@@ -1,0 +1,87 @@
+"""Baseline B1: the paper's detector vs bundle-blind alternatives.
+
+Scores three detectors against ground truth on the same world:
+
+- the paper's methodology (collected Jito bundles + five criteria);
+- a bundle-blind consecutive-window scan over raw blocks;
+- an Ethereum-style non-adjacent matcher (Qin et al. 2022).
+
+Shape to hold: the Jito detector is exact on whatever the collector gathered
+(its recall is bounded only by collection gaps), while the ledger baselines
+need full-archive access and still cannot observe tips, bundle boundaries,
+or defensive behaviour at all.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.agents.base import Label
+from repro.analysis.figures import format_table
+from repro.baselines import (
+    EthStyleDetector,
+    LedgerOnlyDetector,
+    score_detection,
+)
+from repro.core import SandwichDetector
+
+
+def run_comparison(campaign):
+    world = campaign.world
+    results = []
+
+    events = SandwichDetector().detect_all(campaign.store)
+    jito_victims = {e.bundle.transaction_ids[1] for e in events}
+    results.append(
+        score_detection("jito-bundles", jito_victims, world, (Label.SANDWICH,))
+    )
+
+    ledger = LedgerOnlyDetector()
+    ledger_victims = {
+        c.victim_transaction_id for c in ledger.detect(world.ledger)
+    }
+    results.append(
+        score_detection("ledger-window", ledger_victims, world, (Label.SANDWICH,))
+    )
+
+    eth = EthStyleDetector()
+    eth_victims = {c.victim_transaction_id for c in eth.detect(world.ledger)}
+    results.append(
+        score_detection("eth-style", eth_victims, world, (Label.SANDWICH,))
+    )
+    return results
+
+
+def test_baseline_comparison(benchmark, paper_campaign):
+    scores = benchmark.pedantic(
+        run_comparison, args=(paper_campaign,), rounds=1, iterations=1
+    )
+    by_name = {score.name: score for score in scores}
+
+    # The paper's detector never false-positives.
+    assert by_name["jito-bundles"].precision == 1.0
+
+    # Its recall is bounded above by what the collector gathered; the small
+    # residual below that bound is attacks whose realized profit went
+    # negative under same-block interference — those genuinely fail the
+    # paper's net-gain criterion (an honest, not spurious, miss).
+    collected = {b.bundle_id for b in paper_campaign.store.bundles()}
+    truth = paper_campaign.world.ground_truth
+    landed = {
+        o.bundle_id for o in paper_campaign.world.block_engine.bundle_log
+    }
+    true_ids = truth.bundle_ids_with_label(Label.SANDWICH) & landed
+    reachable = len(true_ids & collected) / max(len(true_ids), 1)
+    assert by_name["jito-bundles"].recall <= reachable + 1e-9
+    assert by_name["jito-bundles"].recall > reachable - 0.05
+
+    # The adjacency baseline has high recall here only because it was handed
+    # the whole ledger; the eth-style matcher trades precision/recall.
+    assert by_name["ledger-window"].recall > 0.8
+    assert by_name["eth-style"].f1 <= by_name["ledger-window"].f1 + 0.05
+
+    text = format_table(
+        ["detector", "precision", "recall", "f1"],
+        [
+            [s.name, f"{s.precision:.3f}", f"{s.recall:.3f}", f"{s.f1:.3f}"]
+            for s in scores
+        ],
+    )
+    save_artifact("baseline_comparison.txt", text)

@@ -1,0 +1,22 @@
+"""End-to-end campaign benchmark: simulate + collect + analyze a small run.
+
+Tracks the wall-clock cost of the full pipeline at test scale, and sanity
+checks that the pipeline's outputs hold their shape at small scale too.
+"""
+
+from repro import AnalysisPipeline, MeasurementCampaign, small_scenario
+
+
+def run_small_campaign():
+    result = MeasurementCampaign(small_scenario(seed=5, days=3)).run()
+    report = AnalysisPipeline().analyze_campaign(result)
+    return result, report
+
+
+def test_small_campaign_end_to_end(benchmark):
+    result, report = benchmark.pedantic(
+        run_small_campaign, rounds=1, iterations=1
+    )
+    assert result.world.bundles_landed > 0
+    assert report.sandwich_count > 0
+    assert report.headline.victim_loss_usd > 0

@@ -1,0 +1,76 @@
+"""Extension E1: victim-side defenses (paper Section 2.2).
+
+Sweeps the two mitigations the paper says users employ — slippage tuning
+and trade splitting — against a rational optimal attacker, reproducing the
+cited Ethereum findings: tolerance caps extraction linearly but does not
+prevent the attack at realistic settings, while splitting can push each
+chunk below the attacker's profit floor and stop attacks entirely.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.defenses import slippage_sweep, split_sweep
+from repro.analysis.figures import format_table
+
+RESERVE_IN = 200 * 10**9   # 200 SOL pool
+RESERVE_OUT = 10**15
+FEE_BPS = 25
+VICTIM = 10 * 10**9        # 10 SOL trade
+
+SLIPPAGES = [25, 50, 100, 200, 400, 800, 1600]
+SPLITS = [1, 2, 4, 8, 16, 32]
+
+
+def run_sweeps():
+    slippage = slippage_sweep(
+        RESERVE_IN, RESERVE_OUT, FEE_BPS, VICTIM, SLIPPAGES
+    )
+    splits = split_sweep(
+        RESERVE_IN,
+        RESERVE_OUT,
+        FEE_BPS,
+        VICTIM,
+        SPLITS,
+        slippage_bps=200,
+        attacker_min_profit=2_000_000,
+    )
+    return slippage, splits
+
+
+def test_defense_sweeps(benchmark):
+    slippage, splits = benchmark(run_sweeps)
+
+    # Slippage: loss monotone in tolerance; attacked at realistic settings.
+    losses = [outcome.victim_loss_quote for _, outcome in slippage]
+    assert losses == sorted(losses)
+    attacked = {bps: outcome.attacked for bps, outcome in slippage}
+    assert attacked[200] and attacked[800]
+
+    # Splitting: weakly improving; enough splits kill the attack.
+    split_losses = [outcome.victim_loss_quote for _, outcome in splits]
+    assert split_losses[-1] < split_losses[0]
+    assert splits[0][1].attacked            # the whole trade is a target
+    assert not splits[-1][1].attacked       # 32 chunks are not worth it
+
+    slippage_rows = [
+        [
+            f"{bps}",
+            "yes" if outcome.attacked else "no",
+            f"{outcome.victim_loss_quote / 1e9:.4f}",
+        ]
+        for bps, outcome in slippage
+    ]
+    split_rows = [
+        [
+            f"{n}",
+            "yes" if outcome.attacked else "no",
+            f"{outcome.victim_loss_quote / 1e9:.4f}",
+        ]
+        for n, outcome in splits
+    ]
+    text = (
+        "Slippage sweep (10 SOL victim, 200 SOL pool)\n"
+        + format_table(["slippage (bps)", "attacked", "loss (SOL)"], slippage_rows)
+        + "\n\nSplit sweep (200 bps slippage, 2M-lamport attacker floor)\n"
+        + format_table(["splits", "attacked", "loss (SOL)"], split_rows)
+    )
+    save_artifact("defenses.txt", text)

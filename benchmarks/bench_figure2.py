@@ -1,0 +1,33 @@
+"""Figure 2 bench: attacks and defensive bundles per day; losses and gains.
+
+Paper shape: the daily sandwich count falls roughly an order of magnitude
+across the campaign while defensive bundling rises; daily victim losses
+track the attack count downward; attacker gains move with victim losses.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import build_figure2
+
+
+def test_figure2(benchmark, paper_campaign, paper_report):
+    figure = benchmark(build_figure2, paper_campaign, paper_report)
+
+    # Top panel: attacks fall sharply (paper: ~15K/day -> ~1K/day).
+    assert figure.attack_trend_ratio() < 0.4
+
+    # Top panel: defensive bundling rises over the same period.
+    assert figure.defensive_trend_ratio() > 1.2
+
+    # Bottom panel: losses shrink with the attack count.
+    quarter = max(len(figure.dates) // 4, 1)
+    early_loss = sum(figure.victim_loss_sol[:quarter])
+    late_loss = sum(figure.victim_loss_sol[-quarter:])
+    assert late_loss < early_loss
+
+    # Gains and losses are the same order of magnitude.
+    total_loss = sum(figure.victim_loss_sol)
+    total_gain = sum(figure.attacker_gain_sol)
+    assert total_loss > 0 and total_gain > 0
+    assert 0.3 < total_gain / total_loss < 3.0
+
+    save_artifact("figure2.txt", figure.render())

@@ -1,0 +1,28 @@
+"""Figure 3 bench: CDF of USD lost per sandwiched transaction.
+
+Paper shape: a heavy-tailed distribution with a median near $5 and a
+non-trivial tail of victims losing over $100.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import build_figure3
+
+
+def test_figure3(benchmark, paper_report):
+    figure = benchmark(build_figure3, paper_report)
+
+    # Median per-victim loss is single-digit dollars (paper: ~$5).
+    assert 1.0 < figure.median_loss_usd() < 15.0
+
+    # A real tail loses over $100 — but it is a small minority.
+    tail = figure.fraction_losing_at_least(100.0)
+    assert 0.0 < tail < 0.2
+
+    # The distribution is strongly right-skewed.
+    cdf = figure.cdf
+    assert cdf.quantile(0.95) > 5 * cdf.median()
+
+    # Enough samples for a stable CDF.
+    assert figure.sample_size > 300
+
+    save_artifact("figure3.txt", figure.render())

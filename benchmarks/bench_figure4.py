@@ -1,0 +1,33 @@
+"""Figure 4 bench: tip CDFs for length-1, length-3, and sandwich bundles.
+
+Paper shape: over 86% of length-one bundles tip at or below 100,000 lamports
+(too small to buy priority — defensive bundling); the median length-three
+bundle tips near the 1,000-lamport floor; the median sandwich bundle tips
+over 2,000,000 lamports — orders of magnitude above.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import build_figure4
+from repro.constants import DEFENSIVE_TIP_THRESHOLD_LAMPORTS
+
+
+def test_figure4(benchmark, paper_campaign, paper_report):
+    figure = benchmark(build_figure4, paper_campaign, paper_report)
+
+    # ~86% of length-one bundles sit at or below the defensive threshold.
+    below = figure.fraction_length_one_below_threshold()
+    assert 0.80 < below < 0.92
+
+    medians = figure.median_tips()
+    # Median length-three tip is near the 1,000-lamport minimum.
+    assert medians["length_three"] < 20_000
+
+    # Median sandwich tip is in the millions of lamports (paper: >2M).
+    assert medians["sandwich"] > 1_000_000
+    assert medians["sandwich"] > DEFENSIVE_TIP_THRESHOLD_LAMPORTS
+
+    # The sandwich-to-length-three gap spans orders of magnitude
+    # (paper: over three).
+    assert figure.sandwich_to_length_three_ratio() > 100
+
+    save_artifact("figure4.txt", figure.render())

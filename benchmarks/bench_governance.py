@@ -1,0 +1,53 @@
+"""Extension E4: the actors and validators behind the attacks.
+
+The paper's concluding discussion is about governance: validator-driven
+extensions changed a native chain property, and the revenue flows to the
+validator set at large. This bench profiles who attacks (a small,
+industrialized operator set) and who earns the attack tips (the staked
+majority, in proportion to leadership) on the paper campaign.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.actors import profile_actors
+from repro.analysis.validators import profile_validators
+
+
+def run_profiles(campaign, report):
+    actors = profile_actors(report.quantified)
+    validators = profile_validators(
+        campaign.world, [q.event for q in report.quantified]
+    )
+    return actors, validators
+
+
+def test_governance_profiles(benchmark, paper_campaign, paper_report):
+    actors, validators = benchmark.pedantic(
+        run_profiles, args=(paper_campaign, paper_report), rounds=1, iterations=1
+    )
+
+    # Attacks are industrialized: a handful of operator wallets run the
+    # overwhelming majority of attacks.
+    assert len(actors.attackers) <= 12
+    assert actors.attacker_concentration(top=5) > 0.4
+
+    # Victims are broad and repeat victimization is common: sandwiching is
+    # an ambient tax, not a targeted strike.
+    assert len(actors.victims) > 50
+    assert actors.repeat_victim_fraction() > 0.2
+
+    # Sandwich tip revenue follows stake-weighted leadership: the heavier
+    # half of the validator set lands most attacks — nobody at the top is
+    # outside the flow, which is the paper's governance point.
+    assert validators.stake_weighted_consistency() > 0.6
+    assert validators.total_sandwich_tips() > 0
+
+    # Every attack and its tip is attributed to exactly one leader.
+    assert (
+        sum(a.sandwiches_landed for a in validators.activities)
+        == paper_report.sandwich_count
+    )
+
+    save_artifact(
+        "governance.txt",
+        actors.render(top=8) + "\n\n" + validators.render(top=8),
+    )

@@ -1,0 +1,26 @@
+"""Extension E2: tips versus landing latency (paper Section 3.3 premise).
+
+The defensive-bundling classification rests on a cited result: higher tips
+on length-one bundles do not land transactions meaningfully faster. This
+bench measures submission-to-landing latency by tip quantile on the paper
+campaign's ground truth and asserts the flatness the classification needs.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.latency import latency_by_tip
+
+
+def test_latency_vs_tip(benchmark, paper_campaign):
+    outcomes = paper_campaign.world.block_engine.bundle_log
+    study = benchmark(latency_by_tip, outcomes, 1, 4)
+
+    # Tips do not buy landing speed: the immediate-landing rate varies by
+    # only a few points across tip quantiles spanning 4+ orders of magnitude.
+    assert study.immediate_fraction_spread() < 0.05
+
+    # Sanity: the buckets genuinely span a huge tip range.
+    lows = [bucket.tip_low for bucket in study.buckets]
+    highs = [bucket.tip_high for bucket in study.buckets]
+    assert highs[-1] > 100 * max(lows[0], 1)
+
+    save_artifact("latency_vs_tip.txt", study.render())

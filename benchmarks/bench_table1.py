@@ -1,0 +1,27 @@
+"""Table 1 bench: regenerate the worked example sandwich.
+
+Paper shape: attacker BUY raises the price, the victim's BUY raises it
+further, the attacker SELLs at the top for a risk-free profit.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis import build_table1
+
+
+def test_table1(benchmark):
+    table = benchmark(build_table1)
+
+    assert [row.action for row in table.rows] == ["BUY", "BUY", "SELL"]
+    assert [row.sender for row in table.rows] == [
+        "ATTACKER",
+        "NORMAL",
+        "ATTACKER",
+    ]
+    first, second, third = table.rows
+    # Price staircase: up, up, down — ending above where it started.
+    assert first.price_after_sol > first.price_before_sol
+    assert second.price_after_sol > second.price_before_sol
+    assert third.price_after_sol < third.price_before_sol
+    assert table.attacker_profit_lamports > 0
+
+    save_artifact("table1.txt", table.render())

@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+The flagship artifact is one full 120-day paper-calibrated campaign, run
+once per benchmark session and shared by every figure/table bench. Each
+bench regenerates its figure from the campaign, asserts the paper's *shape*
+(who wins, by what order of magnitude, where the trend points), and writes
+the rendered artifact to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import AnalysisPipeline, MeasurementCampaign, paper_scenario
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Persist a rendered figure/table for inspection after the run."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def paper_scenario_config():
+    """The 120-day paper-calibrated scenario."""
+    return paper_scenario()
+
+
+@pytest.fixture(scope="session")
+def paper_campaign(paper_scenario_config):
+    """One full paper campaign (simulation + collection). Takes minutes."""
+    campaign = MeasurementCampaign(paper_scenario_config)
+    return campaign.run()
+
+
+@pytest.fixture(scope="session")
+def paper_report(paper_campaign):
+    """The analysis pipeline's output over the paper campaign."""
+    return AnalysisPipeline().analyze_campaign(paper_campaign)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Why collect Jito data at all? Compare detectors with and without it.
+
+The paper's methodological premise is that sandwiching on Solana cannot be
+*measured* from the public record alone: the final ledger keeps no trace of
+bundling, tips, or atomicity. This example runs three detectors over the
+same simulated world and scores them against ground truth:
+
+- the paper's detector (Jito bundle data + five criteria);
+- a bundle-blind consecutive-window scan over raw blocks;
+- an Ethereum-style non-adjacent front/back-run matcher (Qin et al. 2022).
+
+Run with:
+    python examples/baseline_comparison.py
+"""
+
+from repro import AnalysisPipeline, MeasurementCampaign, small_scenario
+from repro.agents.base import Label
+from repro.baselines import EthStyleDetector, LedgerOnlyDetector, score_detection
+
+
+def main() -> None:
+    print("running campaign...")
+    result = MeasurementCampaign(small_scenario(seed=31, days=8)).run()
+    world = result.world
+    report = AnalysisPipeline().analyze_campaign(result)
+
+    scores = []
+
+    # The paper's detector sees only what the collector gathered.
+    jito_victims = {
+        q.event.bundle.transaction_ids[1] for q in report.quantified
+    }
+    scores.append(
+        score_detection("jito-bundles", jito_victims, world, (Label.SANDWICH,))
+    )
+
+    # The baselines get the *entire* ledger — in reality an unaffordable
+    # 400 TB archive (paper Section 2.1); here, ground truth.
+    ledger_detector = LedgerOnlyDetector()
+    ledger_victims = {
+        c.victim_transaction_id for c in ledger_detector.detect(world.ledger)
+    }
+    scores.append(
+        score_detection("ledger-window", ledger_victims, world, (Label.SANDWICH,))
+    )
+
+    eth_detector = EthStyleDetector()
+    eth_victims = {
+        c.victim_transaction_id for c in eth_detector.detect(world.ledger)
+    }
+    scores.append(
+        score_detection("eth-style", eth_victims, world, (Label.SANDWICH,))
+    )
+
+    print()
+    print(f"{'detector':<15} {'precision':>9} {'recall':>7} {'f1':>6}")
+    for score in scores:
+        print(
+            f"{score.name:<15} {score.precision:>9.2%} "
+            f"{score.recall:>7.2%} {score.f1:>6.2f}"
+        )
+
+    print()
+    print("what only the Jito-data detector can do:")
+    sandwich_tips = [q.event.tip_lamports for q in report.quantified]
+    if sandwich_tips:
+        sandwich_tips.sort()
+        median_tip = sandwich_tips[len(sandwich_tips) // 2]
+        print(
+            f"  - observe attack tips (median {median_tip:,} lamports) and "
+            "the auction behind them"
+        )
+    print(
+        "  - classify defensive bundling "
+        f"({len(report.defensive.defensive)} protective bundles found)"
+    )
+    print("  - confirm atomic execution (bundles are invisible on-ledger)")
+    print()
+    print(
+        "the ledger baselines also presuppose full-archive access the paper "
+        "shows is impractical (~$40K setup plus $3K/month, Section 2.1) — "
+        "the Jito Explorer methodology needs none of it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Full measurement campaign: reproduce the paper's Section 4 end to end.
+
+Runs a multi-week campaign (configurable; the paper's full 120 days takes a
+few minutes), then renders every figure and the headline comparison against
+the paper's reported numbers, including the paper-scale extrapolation.
+
+Run with:
+    python examples/measurement_campaign.py [days]
+"""
+
+import sys
+import time
+
+from repro import AnalysisPipeline, MeasurementCampaign, paper_scenario
+from repro.analysis.report import render_campaign_report
+
+
+def main() -> None:
+    days = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    scenario = paper_scenario(days=days)
+    print(
+        f"simulating {days} days "
+        f"(~{scenario.expected_bundles_per_day():.0f} bundles/day; the bulk "
+        f"population is scaled 1:{scenario.bundle_scale_factor():,.0f} "
+        "versus the real Jito)..."
+    )
+
+    started = time.time()
+    campaign = MeasurementCampaign(scenario)
+    result = campaign.run()
+    report = AnalysisPipeline().analyze_campaign(result)
+    print(f"done in {time.time() - started:.1f}s\n")
+
+    print(render_campaign_report(result, report, scenario))
+
+
+if __name__ == "__main__":
+    main()

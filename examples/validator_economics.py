@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validator MEV economics: where the tips — including attack tips — go.
+
+The paper's concluding discussion is about governance: Jito changed a native
+chain property (MEV resistance) and the resulting tip revenue flows to the
+validator set at large. This example runs a campaign with the epochal tip
+distribution enabled (Jito's MEV rewards), then follows the money:
+
+- how much tip revenue validators and their stakers earned per epoch;
+- what share of it came from detected sandwich bundles;
+- how both track stake.
+
+Run with:
+    python examples/validator_economics.py
+"""
+
+from dataclasses import replace
+
+from repro import AnalysisPipeline, MeasurementCampaign, small_scenario
+from repro.analysis.validators import profile_validators
+from repro.constants import LAMPORTS_PER_SOL
+from repro.jito.tip_distribution import staker_pool_address
+
+
+def main() -> None:
+    scenario = replace(
+        small_scenario(seed=202, days=8),
+        tip_epoch_days=2,
+        tip_commission_bps=800,
+    )
+    print("running campaign with epochal tip distribution (every 2 days)...")
+    campaign = MeasurementCampaign(scenario)
+    result = campaign.run()
+    report = AnalysisPipeline().analyze_campaign(result)
+    world = result.world
+
+    distributor = campaign.engine.tip_distributor
+    assert distributor is not None
+    print(f"epochs distributed: {len(distributor.history)}")
+    for distribution in distributor.history:
+        print(
+            f"  epoch {distribution.epoch}: swept "
+            f"{distribution.swept_lamports / LAMPORTS_PER_SOL:.4f} SOL across "
+            f"{len(distribution.payouts)} validators"
+        )
+
+    # Attribute sandwich tips to the leaders whose slots landed them.
+    study = profile_validators(world, [q.event for q in report.quantified])
+    print()
+    print(study.render(top=6))
+
+    # Follow one validator's money end to end.
+    top = max(
+        world.schedule.validators, key=lambda validator: validator.stake_lamports
+    )
+    commission = world.bank.lamport_balance(top.identity)
+    stakers = world.bank.lamport_balance(staker_pool_address(top))
+    print()
+    print(
+        f"largest validator ({top.name}): commission balance "
+        f"{commission / LAMPORTS_PER_SOL:.4f} SOL "
+        f"(includes base fees), staker pool "
+        f"{stakers / LAMPORTS_PER_SOL:.4f} SOL"
+    )
+    print(
+        "\nthe governance point: every Jito validator — including the "
+        "super-minority — earns from the attack flow passing through its "
+        "slots; there is no validator-side incentive to refuse it."
+    )
+
+
+if __name__ == "__main__":
+    main()

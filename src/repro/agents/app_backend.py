@@ -1,0 +1,119 @@
+"""Trading-app backends: bundles whose final transaction only tips.
+
+The paper's fifth criterion exists because of this population: apps that
+"implement Jito in the backend and simply add on a final transaction to a
+bundle originally length 2 to tip out the Jito validator" (footnote 4).
+These are the bulk of length-three bundles, and their near-minimum tips are
+why the median length-three tip in Figure 4 sits at 1,000 lamports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.base import (
+    AgentContext,
+    Behavior,
+    GeneratedBundle,
+    Label,
+    WalletPool,
+    build_random_swap_instruction,
+)
+from repro.constants import MIN_JITO_TIP_LAMPORTS
+from repro.jito.tips import build_tip_instruction
+from repro.solana.tokens import SOL_MINT
+from repro.solana.transaction import Transaction
+from repro.utils.distributions import clipped_lognormal
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class AppBackendConfig:
+    """Tip and user-trade distributions for app-issued bundles."""
+
+    num_user_wallets: int = 200
+    num_backend_wallets: int = 5
+    median_tip_lamports: float = 1_100.0
+    tip_sigma: float = 0.6
+    max_tip_lamports: int = 30_000
+    median_trade_sol: float = 0.8
+    trade_sigma: float = 1.0
+    # Fraction of app bundles where both user swaps come from one wallet.
+    same_user_fraction: float = 0.5
+
+
+class AppBackendBundler(Behavior):
+    """Bundles two user swaps plus a backend tip-only transaction."""
+
+    name = "app-backend"
+
+    def __init__(
+        self,
+        ctx: AgentContext,
+        rng: DeterministicRNG,
+        config: AppBackendConfig | None = None,
+    ) -> None:
+        super().__init__(ctx, rng)
+        self.config = config or AppBackendConfig()
+        self.users = WalletPool(ctx.bank, "app-user", self.config.num_user_wallets)
+        self.backends = WalletPool(
+            ctx.bank, "app-backend", self.config.num_backend_wallets
+        )
+
+    def sample_tip(self) -> int:
+        """Near-minimum tips: the app pays just enough to land the bundle."""
+        return int(
+            clipped_lognormal(
+                self.rng,
+                self.config.median_tip_lamports,
+                self.config.tip_sigma,
+                MIN_JITO_TIP_LAMPORTS,
+                self.config.max_tip_lamports,
+            )
+        )
+
+    def _user_swap(self, wallet) -> Transaction:
+        amount_in = SOL_MINT.to_base_units(
+            clipped_lognormal(
+                self.rng,
+                self.config.median_trade_sol,
+                self.config.trade_sigma,
+                0.01,
+                50.0,
+            )
+        )
+        swap_ix, _quote = build_random_swap_instruction(
+            self.ctx, self.users, wallet, self.rng, amount_in, slippage_bps=300
+        )
+        return Transaction.build(wallet, [swap_ix])
+
+    def generate(self) -> GeneratedBundle | None:
+        """Submit one [swap, swap, tip-only] bundle."""
+        ctx = self.ctx
+        if self.rng.bernoulli(self.config.same_user_fraction):
+            user_a = self.users.pick(self.rng)
+            user_b = user_a
+        else:
+            user_a, user_b = self.users.pick_two_distinct(self.rng)
+        backend = self.backends.pick(self.rng)
+        tip = self.sample_tip()
+        self.backends.ensure_lamports(backend, tip + 1_000_000)
+
+        tip_tx = Transaction.build(
+            backend,
+            [
+                build_tip_instruction(
+                    backend.pubkey, tip, account_index=self.rng.randint(0, 7)
+                )
+            ],
+        )
+        bundle_id = ctx.searcher.send_bundle(
+            [self._user_swap(user_a), self._user_swap(user_b), tip_tx]
+        )
+        return ctx.record(
+            bundle_id,
+            Label.APP_BUNDLE,
+            length=3,
+            tip_lamports=tip,
+            backend=backend.pubkey.to_base58(),
+        )

@@ -1,0 +1,133 @@
+"""Arbitrage-style searchers: multi-swap bundles of lengths two to five.
+
+These populate the non-sandwich bundle-length mix of Figure 1 and provide
+length-three bundles that are *not* sandwiches (all legs signed by the same
+searcher), exercising the detector's first criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.base import AgentContext, Behavior, GeneratedBundle, Label, WalletPool
+from repro.dex.swap import swap_instruction
+from repro.jito.tips import build_tip_instruction
+from repro.solana.tokens import SOL_MINT
+from repro.solana.transaction import Transaction
+from repro.utils.distributions import clipped_lognormal, weighted_choice
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class ArbitrageConfig:
+    """Shape of arbitrage bundles."""
+
+    num_wallets: int = 40
+    median_tip_lamports: float = 50_000.0
+    tip_sigma: float = 1.5
+    max_tip_lamports: int = 5_000_000
+    median_trade_sol: float = 1.0
+    trade_sigma: float = 0.9
+    # Relative frequency of bundle lengths 2/3/4/5 among arb bundles.
+    length_weights: tuple[float, float, float, float] = (0.65, 0.02, 0.20, 0.13)
+
+
+class ArbitrageBot(Behavior):
+    """Submits round-trip swap bundles across the market's pools."""
+
+    name = "arbitrage"
+
+    def __init__(
+        self,
+        ctx: AgentContext,
+        rng: DeterministicRNG,
+        config: ArbitrageConfig | None = None,
+    ) -> None:
+        super().__init__(ctx, rng)
+        self.config = config or ArbitrageConfig()
+        self.wallets = WalletPool(ctx.bank, "arb-wallet", self.config.num_wallets)
+
+    def sample_tip(self) -> int:
+        """An arb tip: wide lognormal, occasionally competitive."""
+        return int(
+            clipped_lognormal(
+                self.rng,
+                self.config.median_tip_lamports,
+                self.config.tip_sigma,
+                1_000,
+                self.config.max_tip_lamports,
+            )
+        )
+
+    def _swap_tx(
+        self, wallet, pool, mint_in, amount_in: int, tip: int | None = None
+    ) -> Transaction:
+        instructions = [
+            swap_instruction(wallet.pubkey, pool, mint_in, amount_in, 0)
+        ]
+        if tip is not None:
+            instructions.append(
+                build_tip_instruction(
+                    wallet.pubkey, tip, account_index=self.rng.randint(0, 7)
+                )
+            )
+        return Transaction.build(wallet, instructions)
+
+    def generate(self) -> GeneratedBundle | None:
+        """Submit one multi-leg bundle of length 2-5."""
+        ctx = self.ctx
+        config = self.config
+        wallet = self.wallets.pick(self.rng)
+        length = weighted_choice(self.rng, [2, 3, 4, 5], list(config.length_weights))
+        tip = self.sample_tip()
+
+        pools = [
+            ctx.market.random_sol_pool(self.rng) for _ in range(length)
+        ]
+        amount_sol = SOL_MINT.to_base_units(
+            clipped_lognormal(
+                self.rng,
+                config.median_trade_sol,
+                config.trade_sigma,
+                0.05,
+                50.0,
+            )
+        )
+        self.wallets.ensure_lamports(wallet, tip + 2_000_000)
+
+        transactions: list[Transaction] = []
+        # Legs alternate buy/sell across pools; each leg is funded so the
+        # bundle cannot fail on balance (arb bots track their inventory).
+        for index in range(length - 1):
+            pool = pools[index]
+            token = pool.other_mint(SOL_MINT.address)
+            if index % 2 == 0:
+                mint_in = SOL_MINT.address
+                amount_in = amount_sol
+            else:
+                mint_in = token.address
+                rate = ctx.market.spot_rate(pool, SOL_MINT.address)
+                amount_in = max(int(amount_sol / rate) if rate > 0 else 1, 1)
+            self.wallets.ensure_tokens(wallet, mint_in, amount_in)
+            transactions.append(self._swap_tx(wallet, pool, mint_in, amount_in))
+
+        # Final transaction: a closing swap carrying the tip.
+        final_pool = pools[-1]
+        final_token = final_pool.other_mint(SOL_MINT.address)
+        rate = ctx.market.spot_rate(final_pool, SOL_MINT.address)
+        final_amount = max(int(amount_sol / rate) if rate > 0 else 1, 1)
+        self.wallets.ensure_tokens(wallet, final_token.address, final_amount)
+        transactions.append(
+            self._swap_tx(
+                wallet, final_pool, final_token.address, final_amount, tip=tip
+            )
+        )
+
+        bundle_id = ctx.searcher.send_bundle(transactions)
+        return ctx.record(
+            bundle_id,
+            Label.ARBITRAGE,
+            length=length,
+            tip_lamports=tip,
+            wallet=wallet.pubkey.to_base58(),
+        )

@@ -1,0 +1,105 @@
+"""Disguised sandwich attackers: four-transaction sandwiches.
+
+The paper acknowledges its counts are a lower bound because an attacker can
+"disguise their intent, such as adding on a fourth unrelated transaction"
+(Section 3.2) — and the methodology only fetches transaction details for
+length-three bundles. This behaviour generates exactly that evasion so the
+reproduction can *measure* the lower-bound gap instead of asserting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.attacker import SandwichAttacker
+from repro.agents.base import AgentContext, GeneratedBundle, Label
+from repro.agents.retail import RetailTrader
+from repro.dex.swap import swap_instruction
+from repro.jito.bundle import Bundle
+from repro.solana.keys import Pubkey
+from repro.solana.tokens import SOL_MINT
+from repro.solana.transaction import Transaction
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class DisguiseConfig:
+    """Size of the decoy swap appended to the sandwich."""
+
+    decoy_trade_sol: float = 0.05
+
+
+class DisguisedAttacker(SandwichAttacker):
+    """A sandwich attacker that pads bundles to length four."""
+
+    name = "disguised-attacker"
+
+    def __init__(
+        self,
+        ctx: AgentContext,
+        rng: DeterministicRNG,
+        retail: RetailTrader,
+        disguise: DisguiseConfig | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(ctx, rng, retail, **kwargs)
+        self.disguise = disguise or DisguiseConfig()
+
+    def generate(self) -> GeneratedBundle | None:
+        """Run the normal sandwich, then repackage it with a decoy leg."""
+        generated = super().generate()
+        if generated is None:
+            return None
+
+        # The parent recorded and submitted a 3-tx bundle; replace it with a
+        # 4-tx version by appending an unrelated small swap from the same
+        # attacker wallet. We rebuild rather than mutate: bundles are frozen.
+        queued = self.ctx.relayer.take_bundles()
+        target_index = next(
+            (
+                index
+                for index, (bundle, _) in enumerate(queued)
+                if bundle.bundle_id == generated.bundle_id
+            ),
+            None,
+        )
+        if target_index is None:  # pragma: no cover - defensive
+            for bundle, when in queued:
+                self.ctx.relayer.submit_bundle(bundle, when)
+            return generated
+
+        bundle, submitted_at = queued.pop(target_index)
+        for other, when in queued:
+            self.ctx.relayer.submit_bundle(other, when)
+
+        attacker_key = bundle.transactions[0].message.fee_payer
+        wallet = self.wallets.find(attacker_key)
+        decoy_pool = self.ctx.market.random_sol_pool(self.rng)
+        decoy_amount = SOL_MINT.to_base_units(self.disguise.decoy_trade_sol)
+        self.wallets.ensure_tokens(wallet, SOL_MINT.address, decoy_amount)
+        decoy_tx = Transaction.build(
+            wallet,
+            [
+                swap_instruction(
+                    wallet.pubkey,
+                    decoy_pool,
+                    SOL_MINT.address,
+                    decoy_amount,
+                    min_amount_out=0,
+                )
+            ],
+        )
+        disguised = Bundle(transactions=bundle.transactions + (decoy_tx,))
+        self.ctx.relayer.submit_bundle(disguised, submitted_at)
+        self.ctx.ground_truth.remove(generated.bundle_id)
+        return self.ctx.record(
+            disguised.bundle_id,
+            Label.DISGUISED_SANDWICH,
+            length=4,
+            tip_lamports=generated.tip_lamports,
+            original_bundle_id=generated.bundle_id,
+            **{
+                key: value
+                for key, value in generated.metadata.items()
+            },
+        )

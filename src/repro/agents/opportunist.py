@@ -1,0 +1,72 @@
+"""The opportunistic attacker: the public-mempool era.
+
+Until March 2024 Jito operated a *public* mempool that "opened up MEV
+opportunities for users without access to their own validator node or
+private mempool source" (paper Section 2.3). This behaviour models that
+world: instead of being fed victims by a private deal-flow channel, the
+attacker scans every pending transaction it can see and sandwiches each one
+that clears its profit floor.
+
+Comparing campaigns with this attacker against the calibrated private-era
+attacker quantifies what closing the public mempool changed — and what it
+could not change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.attacker import SandwichAttacker, SandwichConfig
+from repro.agents.base import AgentContext, GeneratedBundle
+from repro.agents.retail import RetailTrader
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class OpportunistConfig:
+    """Scanning behaviour of the public-mempool attacker."""
+
+    max_attacks_per_scan: int = 25
+
+
+class OpportunisticAttacker(SandwichAttacker):
+    """Scans the visible mempool and attacks everything profitable."""
+
+    name = "opportunistic-attacker"
+
+    def __init__(
+        self,
+        ctx: AgentContext,
+        rng: DeterministicRNG,
+        retail: RetailTrader,
+        config: SandwichConfig | None = None,
+        opportunist: OpportunistConfig | None = None,
+    ) -> None:
+        super().__init__(ctx, rng, retail, config)
+        self.opportunist = opportunist or OpportunistConfig()
+        self.scans = 0
+        self.attacks_made = 0
+
+    def generate(self) -> GeneratedBundle | None:
+        """Sweep the mempool once; attack every profitable pending swap.
+
+        Returns the last attack's record (the engine counts activations,
+        the ground truth records every attack individually).
+        """
+        self.scans += 1
+        mempool = self.ctx.relayer.mempool
+        last: GeneratedBundle | None = None
+        attacked = 0
+        for pending in mempool.peek_all():
+            if attacked >= self.opportunist.max_attacks_per_scan:
+                break
+            claimed = mempool.claim(pending.transaction.transaction_id)
+            if claimed is None:
+                continue
+            record = self.attack_claimed_transaction(claimed)
+            if record is None:
+                continue  # returned to native flow by the attack core
+            attacked += 1
+            self.attacks_made += 1
+            last = record
+        return last

@@ -1,0 +1,103 @@
+"""Priority users: length-one bundles with tips large enough to matter.
+
+The other reason to bundle a single transaction (paper Section 3.3): paying
+a meaningful Jito tip for placement. These users tip strictly above the
+100,000-lamport defensive threshold, forming the upper ~14% of the
+length-one tip distribution in Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.base import (
+    AgentContext,
+    Behavior,
+    GeneratedBundle,
+    Label,
+    WalletPool,
+    build_random_swap_instruction,
+)
+from repro.constants import DEFENSIVE_TIP_THRESHOLD_LAMPORTS
+from repro.jito.tips import build_tip_instruction
+from repro.solana.tokens import SOL_MINT
+from repro.solana.transaction import Transaction
+from repro.utils.distributions import clipped_lognormal
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class PriorityConfig:
+    """Tip distribution for priority-seeking bundlers."""
+
+    num_wallets: int = 100
+    median_tip_lamports: float = 400_000.0
+    tip_sigma: float = 1.2
+    max_tip_lamports: int = 50_000_000
+    median_trade_sol: float = 5.0
+    trade_sigma: float = 1.0
+
+
+class PriorityUser(Behavior):
+    """Bundles a single transaction with a large tip for fast placement."""
+
+    name = "priority"
+
+    def __init__(
+        self,
+        ctx: AgentContext,
+        rng: DeterministicRNG,
+        config: PriorityConfig | None = None,
+    ) -> None:
+        super().__init__(ctx, rng)
+        self.config = config or PriorityConfig()
+        self.wallets = WalletPool(ctx.bank, "priority-wallet", self.config.num_wallets)
+
+    def sample_tip(self) -> int:
+        """A priority tip: strictly above the defensive threshold."""
+        return int(
+            clipped_lognormal(
+                self.rng,
+                self.config.median_tip_lamports,
+                self.config.tip_sigma,
+                DEFENSIVE_TIP_THRESHOLD_LAMPORTS + 1,
+                self.config.max_tip_lamports,
+            )
+        )
+
+    def generate(self) -> GeneratedBundle | None:
+        """Submit one high-tip length-one bundle."""
+        ctx = self.ctx
+        wallet = self.wallets.pick(self.rng)
+        amount_in = SOL_MINT.to_base_units(
+            clipped_lognormal(
+                self.rng,
+                self.config.median_trade_sol,
+                self.config.trade_sigma,
+                0.1,
+                500.0,
+            )
+        )
+        swap_ix, quote = build_random_swap_instruction(
+            ctx, self.wallets, wallet, self.rng, amount_in, slippage_bps=300
+        )
+        tip = self.sample_tip()
+        self.wallets.ensure_lamports(wallet, tip + 1_000_000)
+        tx = Transaction.build(
+            wallet,
+            [
+                swap_ix,
+                build_tip_instruction(
+                    wallet.pubkey, tip, account_index=self.rng.randint(0, 7)
+                ),
+            ],
+        )
+        bundle_id = ctx.searcher.send_bundle([tx])
+        return ctx.record(
+            bundle_id,
+            Label.PRIORITY,
+            length=1,
+            tip_lamports=tip,
+            wallet=wallet.pubkey.to_base58(),
+            pair=quote.pool.pair_name,
+        )

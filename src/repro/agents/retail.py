@@ -1,0 +1,156 @@
+"""Retail traders: native swaps, and therefore the sandwich-victim pool.
+
+Trade sizes and slippage tolerances are heavy-tailed: the paper's victim-loss
+distribution (median ~$5, tail beyond $100, Figure 3) emerges from the
+product of these two choices, since a sandwich attacker can extract at most
+the victim's slippage budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.base import AgentContext, Behavior, GeneratedBundle, WalletPool
+from repro.dex.pool import PoolSpec
+from repro.errors import ConfigError, DexError
+from repro.solana.keys import Keypair
+from repro.solana.tokens import SOL_MINT
+from repro.solana.transaction import Transaction
+from repro.utils.distributions import clipped_lognormal
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class RetailConfig:
+    """Distributional knobs for retail trading behaviour."""
+
+    num_wallets: int = 400
+    median_trade_sol: float = 0.85
+    trade_sigma: float = 1.2
+    min_trade_sol: float = 0.05
+    max_trade_sol: float = 500.0
+    median_slippage_bps: float = 70.0
+    slippage_sigma: float = 0.8
+    min_slippage_bps: int = 10
+    max_slippage_bps: int = 2_000
+    buy_fraction: float = 0.55
+
+
+@dataclass(frozen=True)
+class VictimOrder:
+    """A built-and-submitted native swap, as seen in the private mempool."""
+
+    transaction: Transaction
+    wallet: Keypair
+    pool: PoolSpec
+    mint_in: str
+    amount_in: int
+    min_amount_out: int
+    slippage_bps: int
+
+
+class RetailTrader(Behavior):
+    """Generates native (unbundled) swap transactions."""
+
+    name = "retail"
+
+    def __init__(
+        self,
+        ctx: AgentContext,
+        rng: DeterministicRNG,
+        config: RetailConfig | None = None,
+    ) -> None:
+        super().__init__(ctx, rng)
+        self.config = config or RetailConfig()
+        self.wallets = WalletPool(ctx.bank, "retail-wallet", self.config.num_wallets)
+
+    def generate(self) -> GeneratedBundle | None:
+        """Submit one native swap (no bundle record: natives have no bundle)."""
+        self.build_and_submit_order(pool_kind="sol")
+        return None
+
+    # --- order construction (also used by the attacker to source victims) ---
+
+    def _sample_slippage_bps(self) -> int:
+        config = self.config
+        return int(
+            clipped_lognormal(
+                self.rng,
+                config.median_slippage_bps,
+                config.slippage_sigma,
+                config.min_slippage_bps,
+                config.max_slippage_bps,
+            )
+        )
+
+    def _sample_trade_sol(self) -> float:
+        config = self.config
+        return clipped_lognormal(
+            self.rng,
+            config.median_trade_sol,
+            config.trade_sigma,
+            config.min_trade_sol,
+            config.max_trade_sol,
+        )
+
+    def build_and_submit_order(self, pool_kind: str = "sol") -> VictimOrder:
+        """Build a native swap, submit it, and return its mempool view.
+
+        ``pool_kind`` selects the venue: ``"sol"`` trades a SOL/memecoin pool
+        (the quantifiable case); ``"token"`` trades a USDC/memecoin pool (the
+        28% of sandwiches the paper cannot price).
+        """
+        ctx = self.ctx
+        wallet = self.wallets.pick(self.rng)
+        slippage_bps = self._sample_slippage_bps()
+
+        quote = None
+        for _attempt in range(5):
+            if pool_kind == "token":
+                pool = ctx.market.random_token_token_pool(self.rng)
+                quote_mint = ctx.market.usdc
+                # Size the stable leg to the SOL-case notional equivalent.
+                sol_notional = self._sample_trade_sol()
+                usd_notional = ctx.oracle.sol_to_usd(sol_notional)
+                amount_in = quote_mint.to_base_units(usd_notional)
+            else:
+                pool = ctx.market.random_sol_pool(self.rng)
+                quote_mint = SOL_MINT
+                amount_in = SOL_MINT.to_base_units(self._sample_trade_sol())
+            amount_in = max(amount_in, 1)
+
+            buying_token = self.rng.bernoulli(self.config.buy_fraction)
+            token_mint = pool.other_mint(quote_mint.address)
+            if buying_token:
+                mint_in = quote_mint.address
+                mint_out = token_mint.address
+            else:
+                # Selling tokens back into the quote currency: size the
+                # token leg to the sampled notional at the current rate.
+                mint_in = token_mint.address
+                mint_out = quote_mint.address
+                rate = ctx.market.spot_rate(pool, quote_mint.address)
+                amount_in = max(int(amount_in / rate) if rate > 0 else 1, 1)
+
+            try:
+                quote = ctx.router.quote(
+                    mint_in, mint_out, amount_in, slippage_bps
+                )
+                break
+            except DexError:
+                continue  # drained or dust-quoting pool: redraw
+        if quote is None:
+            raise ConfigError("retail order found no viable route")
+        self.wallets.ensure_lamports(wallet, 10_000_000)
+        self.wallets.ensure_tokens(wallet, mint_in, amount_in)
+        tx = ctx.router.build_swap_transaction(wallet, quote)
+        ctx.searcher.send_transaction(tx)
+        return VictimOrder(
+            transaction=tx,
+            wallet=wallet,
+            pool=quote.pool,
+            mint_in=mint_in.to_base58(),
+            amount_in=amount_in,
+            min_amount_out=quote.min_amount_out,
+            slippage_bps=slippage_bps,
+        )

@@ -1,0 +1,65 @@
+"""Figure/table builders and paper-scale extrapolation.
+
+One module per artifact in the paper's evaluation:
+
+- :mod:`repro.analysis.table1` — the worked example sandwich
+- :mod:`repro.analysis.figure1` — bundles/day by bundle length
+- :mod:`repro.analysis.figure2` — attacks & defensive bundles/day; losses/gains
+- :mod:`repro.analysis.figure3` — CDF of per-victim USD losses
+- :mod:`repro.analysis.figure4` — tip CDFs for bundle classes
+- :mod:`repro.analysis.headline` — the Section 4 headline numbers
+- :mod:`repro.analysis.extrapolate` — simulation-to-paper scale conversion
+
+Extension studies beyond the paper's artifacts:
+
+- :mod:`repro.analysis.defenses` — slippage/splitting vs the optimal attacker
+- :mod:`repro.analysis.latency` — tips vs landing latency
+- :mod:`repro.analysis.sensitivity` — multi-seed stability
+- :mod:`repro.analysis.actors` / :mod:`repro.analysis.validators` — who
+  attacks, who gets hit, and who earns the tips
+- :mod:`repro.analysis.cost_benefit` — the Section 5 insurance arithmetic
+- :mod:`repro.analysis.export` — figure series as CSV
+"""
+
+from repro.analysis.actors import ActorStudy, profile_actors
+from repro.analysis.cost_benefit import CostBenefit, compute_cost_benefit
+from repro.analysis.defenses import slippage_sweep, split_sweep
+from repro.analysis.extrapolate import ScaleFactors, extrapolated_headline
+from repro.analysis.latency import LatencyStudy, latency_by_tip
+from repro.analysis.sensitivity import SensitivityReport, multi_seed_study
+from repro.analysis.validators import ValidatorStudy, profile_validators
+from repro.analysis.figure1 import Figure1, build_figure1
+from repro.analysis.figure2 import Figure2, build_figure2
+from repro.analysis.figure3 import Figure3, build_figure3
+from repro.analysis.figure4 import Figure4, build_figure4
+from repro.analysis.headline import HeadlineComparison, build_headline_comparison
+from repro.analysis.table1 import Table1, build_table1
+
+__all__ = [
+    "ActorStudy",
+    "CostBenefit",
+    "Figure1",
+    "Figure2",
+    "Figure3",
+    "Figure4",
+    "HeadlineComparison",
+    "LatencyStudy",
+    "ScaleFactors",
+    "SensitivityReport",
+    "Table1",
+    "ValidatorStudy",
+    "build_figure1",
+    "build_figure2",
+    "build_figure3",
+    "build_figure4",
+    "build_headline_comparison",
+    "build_table1",
+    "compute_cost_benefit",
+    "extrapolated_headline",
+    "latency_by_tip",
+    "multi_seed_study",
+    "profile_actors",
+    "profile_validators",
+    "slippage_sweep",
+    "split_sweep",
+]

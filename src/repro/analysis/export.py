@@ -1,0 +1,132 @@
+"""CSV export of figure data for external plotting.
+
+Each figure's underlying series is written as a plain CSV so the paper's
+plots can be regenerated with any plotting stack; nothing in this module
+renders pixels.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis.figure1 import Figure1
+from repro.analysis.figure2 import Figure2
+from repro.analysis.figure3 import Figure3
+from repro.analysis.figure4 import Figure4
+from repro.errors import ConfigError
+
+
+def _write_csv(path: Path, header: list[str], rows: list[list]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_figure1(figure: Figure1, path: str | Path) -> Path:
+    """Figure 1 as CSV: date, counts per bundle length, gap flag."""
+    rows = []
+    for date, counts in figure.counts_by_day.items():
+        rows.append(
+            [date]
+            + [counts.get(length, 0) for length in range(1, 6)]
+            + [1 if date in figure.downtime_dates else 0]
+        )
+    return _write_csv(
+        Path(path),
+        ["date", "len1", "len2", "len3", "len4", "len5", "collection_gap"],
+        rows,
+    )
+
+
+def export_figure2(figure: Figure2, path: str | Path) -> Path:
+    """Figure 2 as CSV: both panels' daily series."""
+    rows = [
+        [
+            date,
+            attacks,
+            defensive,
+            f"{loss:.9f}",
+            f"{gain:.9f}",
+            1 if date in figure.downtime_dates else 0,
+        ]
+        for date, attacks, defensive, loss, gain in zip(
+            figure.dates,
+            figure.attacks,
+            figure.defensive,
+            figure.victim_loss_sol,
+            figure.attacker_gain_sol,
+        )
+    ]
+    return _write_csv(
+        Path(path),
+        [
+            "date",
+            "attacks",
+            "defensive_bundles",
+            "victim_loss_sol",
+            "attacker_gain_sol",
+            "collection_gap",
+        ],
+        rows,
+    )
+
+
+def export_figure3(figure: Figure3, path: str | Path, points: int = 200) -> Path:
+    """Figure 3 as CSV: (loss_usd, cumulative_fraction) points."""
+    rows = [
+        [f"{value:.6f}", f"{fraction:.6f}"]
+        for value, fraction in figure.cdf.log_points(points)
+    ]
+    return _write_csv(Path(path), ["loss_usd", "cumulative_fraction"], rows)
+
+
+def export_figure4(figure: Figure4, path: str | Path, points: int = 200) -> Path:
+    """Figure 4 as CSV: per-group (tip, cumulative_fraction) points.
+
+    Groups are stacked long-form: one ``group`` column, matching how
+    plotting libraries want multi-series CDFs.
+    """
+    rows: list[list] = []
+    groups = [
+        ("length_one", figure.length_one),
+        ("length_three", figure.length_three),
+    ]
+    if figure.sandwiches is not None:
+        groups.append(("sandwich", figure.sandwiches))
+    for name, cdf in groups:
+        for value, fraction in cdf.log_points(points):
+            rows.append([name, f"{value:.1f}", f"{fraction:.6f}"])
+    return _write_csv(
+        Path(path), ["group", "tip_lamports", "cumulative_fraction"], rows
+    )
+
+
+def export_all(
+    directory: str | Path,
+    figure1: Figure1 | None = None,
+    figure2: Figure2 | None = None,
+    figure3: Figure3 | None = None,
+    figure4: Figure4 | None = None,
+) -> list[Path]:
+    """Write every provided figure's CSV under ``directory``.
+
+    Raises:
+        ConfigError: if no figure was provided.
+    """
+    directory = Path(directory)
+    written: list[Path] = []
+    if figure1 is not None:
+        written.append(export_figure1(figure1, directory / "figure1.csv"))
+    if figure2 is not None:
+        written.append(export_figure2(figure2, directory / "figure2.csv"))
+    if figure3 is not None:
+        written.append(export_figure3(figure3, directory / "figure3.csv"))
+    if figure4 is not None:
+        written.append(export_figure4(figure4, directory / "figure4.csv"))
+    if not written:
+        raise ConfigError("export_all called with no figures")
+    return written

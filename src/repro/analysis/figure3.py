@@ -1,0 +1,61 @@
+"""Figure 3: cumulative distribution of USD lost per sandwiched transaction.
+
+The paper reads off a median near $5 with a tail of transactions losing over
+$100; this module reproduces the CDF over the campaign's priced sandwiches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.figures import cdf_rows, format_table
+from repro.core.pipeline import AnalysisReport
+from repro.errors import ConfigError
+from repro.utils.stats import Cdf
+
+
+@dataclass
+class Figure3:
+    """The per-victim USD loss distribution."""
+
+    cdf: Cdf
+
+    @property
+    def sample_size(self) -> int:
+        """Number of priced (SOL-denominated, positive-loss) sandwiches."""
+        return len(self.cdf)
+
+    def median_loss_usd(self) -> float:
+        """Median per-victim loss (paper: ~$5)."""
+        return self.cdf.median()
+
+    def fraction_losing_at_least(self, usd: float) -> float:
+        """Share of victims losing at least ``usd`` (paper: some > $100)."""
+        return 1.0 - self.cdf.fraction_at_or_below(usd)
+
+    def points(self, n: int = 50) -> list[tuple[float, float]]:
+        """(loss, cumulative-fraction) points, log-spaced like the figure."""
+        return self.cdf.log_points(n)
+
+    def render(self) -> str:
+        """Plain-text rendering of the CDF's key quantiles."""
+        rows = cdf_rows(self.cdf, [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0])
+        table = format_table(["quantile", "loss (USD)"], rows)
+        return (
+            "Figure 3 — CDF of USD lost per sandwiched transaction\n"
+            f"n={self.sample_size}, median=${self.median_loss_usd():.2f}, "
+            f"P(loss >= $100)={self.fraction_losing_at_least(100.0):.4f}\n"
+            f"{table}"
+        )
+
+
+def build_figure3(report: AnalysisReport) -> Figure3:
+    """Build Figure 3 from an analysis report.
+
+    Raises:
+        ConfigError: if the campaign produced no priced sandwiches.
+    """
+    losses = report.headline.losses_usd
+    if not losses:
+        raise ConfigError("no priced sandwiches: cannot build Figure 3")
+    return Figure3(cdf=Cdf(losses))

@@ -1,0 +1,49 @@
+"""Shared helpers for text-rendered figures."""
+
+from __future__ import annotations
+
+from repro.utils.stats import Cdf
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """A crude ASCII sparkline for a daily series."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    if len(values) > width:
+        # Downsample by bucket means.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(len(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)]), 1)
+            for i in range(width)
+        ]
+    top = max(values)
+    if top <= 0:
+        return " " * len(values)
+    return "".join(
+        blocks[min(int(v / top * (len(blocks) - 1)), len(blocks) - 1)]
+        for v in values
+    )
+
+
+def cdf_rows(cdf: Cdf, quantiles: list[float]) -> list[list[str]]:
+    """Quantile rows for a CDF table."""
+    return [
+        [f"p{int(q * 100):02d}", f"{cdf.quantile(q):,.4f}"] for q in quantiles
+    ]

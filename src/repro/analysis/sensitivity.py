@@ -1,0 +1,121 @@
+"""Multi-seed sensitivity analysis.
+
+A single simulated campaign is one draw from the scenario's distribution;
+the paper's qualitative claims should not hinge on the draw. This harness
+runs the same scenario under several seeds and summarizes the stability of
+every scale-free headline statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.figures import format_table
+from repro.collector.campaign import MeasurementCampaign
+from repro.core.pipeline import AnalysisPipeline
+from repro.errors import ConfigError
+from repro.simulation.config import ScenarioConfig
+from repro.utils.stats import Summary, summarize
+
+SCALE_FREE_STATS = (
+    "median_victim_loss_usd",
+    "non_sol_fraction",
+    "defensive_fraction_of_length_one",
+    "average_defensive_tip_usd",
+    "poll_overlap_fraction",
+    "gain_to_loss_ratio",
+)
+
+
+@dataclass
+class SeedOutcome:
+    """Scale-free statistics measured under one seed."""
+
+    seed: int
+    values: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SensitivityReport:
+    """Per-seed outcomes plus aggregate stability measures."""
+
+    outcomes: list[SeedOutcome]
+
+    def values_for(self, stat: str) -> list[float]:
+        """All seeds' values of one statistic."""
+        if stat not in SCALE_FREE_STATS:
+            raise ConfigError(f"unknown scale-free statistic {stat!r}")
+        return [outcome.values[stat] for outcome in self.outcomes]
+
+    def summary_of(self, stat: str) -> Summary:
+        """Descriptive summary of one statistic across seeds."""
+        return summarize(self.values_for(stat))
+
+    def relative_spread(self, stat: str) -> float:
+        """(max - min) / mean across seeds: the stability measure."""
+        values = self.values_for(stat)
+        mean = sum(values) / len(values)
+        if mean == 0:
+            return 0.0
+        return (max(values) - min(values)) / abs(mean)
+
+    def render(self) -> str:
+        """Plain-text stability table."""
+        rows = []
+        for stat in SCALE_FREE_STATS:
+            summary = self.summary_of(stat)
+            rows.append(
+                [
+                    stat,
+                    f"{summary.mean:.4f}",
+                    f"{summary.minimum:.4f}",
+                    f"{summary.maximum:.4f}",
+                    f"{self.relative_spread(stat):.2f}",
+                ]
+            )
+        table = format_table(
+            ["statistic", "mean", "min", "max", "rel. spread"], rows
+        )
+        seeds = [outcome.seed for outcome in self.outcomes]
+        return f"Seed sensitivity over seeds {seeds}\n{table}"
+
+
+def measure_seed(scenario: ScenarioConfig) -> SeedOutcome:
+    """Run one campaign and pull its scale-free statistics."""
+    result = MeasurementCampaign(scenario).run()
+    report = AnalysisPipeline().analyze_campaign(result)
+    headline = report.headline
+    gain_to_loss = (
+        headline.attacker_gain_usd / headline.victim_loss_usd
+        if headline.victim_loss_usd
+        else 0.0
+    )
+    return SeedOutcome(
+        seed=scenario.seed,
+        values={
+            "median_victim_loss_usd": headline.median_victim_loss_usd or 0.0,
+            "non_sol_fraction": headline.non_sol_fraction(),
+            "defensive_fraction_of_length_one": (
+                headline.defensive_fraction_of_length_one
+            ),
+            "average_defensive_tip_usd": headline.average_defensive_tip_usd,
+            "poll_overlap_fraction": headline.poll_overlap_fraction or 1.0,
+            "gain_to_loss_ratio": gain_to_loss,
+        },
+    )
+
+
+def multi_seed_study(
+    scenario_factory: Callable[[int], ScenarioConfig], seeds: list[int]
+) -> SensitivityReport:
+    """Run ``scenario_factory(seed)`` campaigns and collect stability data.
+
+    Raises:
+        ConfigError: if fewer than two seeds are given.
+    """
+    if len(seeds) < 2:
+        raise ConfigError("sensitivity needs at least two seeds")
+    return SensitivityReport(
+        outcomes=[measure_seed(scenario_factory(seed)) for seed in seeds]
+    )

@@ -1,0 +1,26 @@
+"""Baseline detectors and the ground-truth comparison harness.
+
+The paper's methodological claim is that Jito bundle data is *necessary* to
+see sandwiching on Solana: the final ledger records no bundle structure.
+These baselines quantify that claim:
+
+- :class:`~repro.baselines.ledger_heuristic.LedgerOnlyDetector` scans raw
+  blocks for consecutive-transaction sandwich shapes (what a full-node
+  observer could do without Jito data);
+- :class:`~repro.baselines.eth_heuristic.EthStyleDetector` ports the
+  Ethereum-style front-run/back-run matcher (Qin et al. 2022) that does not
+  require adjacency;
+- :mod:`repro.baselines.comparison` scores any detector against the
+  simulation's ground truth.
+"""
+
+from repro.baselines.comparison import DetectorScore, score_detection
+from repro.baselines.eth_heuristic import EthStyleDetector
+from repro.baselines.ledger_heuristic import LedgerOnlyDetector
+
+__all__ = [
+    "DetectorScore",
+    "EthStyleDetector",
+    "LedgerOnlyDetector",
+    "score_detection",
+]

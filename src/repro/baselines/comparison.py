@@ -1,0 +1,80 @@
+"""Scoring detectors against the simulation's ground truth.
+
+Every generated sandwich records its victim transaction id; a detector's
+output is reduced to the set of victim transaction ids it implicates, and
+scored as precision/recall/F1 against the set of victims that actually
+landed on-chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.base import GroundTruth, Label
+from repro.simulation.results import SimulationWorld
+
+
+@dataclass(frozen=True)
+class DetectorScore:
+    """Precision/recall of one detector against ground truth."""
+
+    name: str
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 on empty predictions."""
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there was nothing to find."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def true_victim_tx_ids(
+    world: SimulationWorld,
+    labels: tuple[Label, ...] = (Label.SANDWICH, Label.DISGUISED_SANDWICH),
+) -> set[str]:
+    """Victim transaction ids of sandwiches that actually landed on-chain."""
+    landed = {
+        outcome.bundle_id for outcome in world.block_engine.bundle_log
+    }
+    ground_truth: GroundTruth = world.ground_truth
+    victims: set[str] = set()
+    for label in labels:
+        for bundle_id in ground_truth.bundle_ids_with_label(label):
+            if bundle_id not in landed:
+                continue
+            generated = ground_truth.get(bundle_id)
+            victim_tx = generated.metadata.get("victim_tx_id") if generated else None
+            if victim_tx:
+                victims.add(victim_tx)
+    return victims
+
+
+def score_detection(
+    name: str,
+    predicted_victim_tx_ids: set[str],
+    world: SimulationWorld,
+    labels: tuple[Label, ...] = (Label.SANDWICH, Label.DISGUISED_SANDWICH),
+) -> DetectorScore:
+    """Score a detector's implicated victims against the ground truth."""
+    truth = true_victim_tx_ids(world, labels)
+    true_positives = len(predicted_victim_tx_ids & truth)
+    return DetectorScore(
+        name=name,
+        true_positives=true_positives,
+        false_positives=len(predicted_victim_tx_ids - truth),
+        false_negatives=len(truth - predicted_victim_tx_ids),
+    )

@@ -1,0 +1,289 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``campaign`` — run a measurement campaign, persist the collected store,
+  and write the rendered report;
+- ``analyze`` — re-analyze a previously persisted store offline;
+- ``serve`` — simulate a world and serve its Jito Explorer over HTTP;
+- ``scrape`` — collect from a running explorer over HTTP;
+- ``table1`` — print the worked example sandwich.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import AnalysisPipeline, MeasurementCampaign
+from repro.analysis import build_table1
+from repro.analysis.report import render_campaign_report
+from repro.collector import (
+    BundlePoller,
+    BundleStore,
+    CoverageEstimator,
+    HttpExplorerClient,
+    TxDetailFetcher,
+)
+from repro.collector.poller import PollerConfig
+from repro.core import DefensiveBundlingClassifier, SandwichDetector
+from repro.simulation import SimulationEngine, paper_scenario, small_scenario
+from repro.utils.serialization import write_jsonl
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    if args.small:
+        return small_scenario(seed=args.seed, days=args.days or 5)
+    return paper_scenario(seed=args.seed, days=args.days or 120)
+
+
+def _export_figure_csvs(result, report, out: Path) -> None:
+    """Best-effort CSV export of every buildable figure."""
+    from repro.analysis import (
+        build_figure1,
+        build_figure2,
+        build_figure3,
+        build_figure4,
+    )
+    from repro.analysis.export import (
+        export_figure1,
+        export_figure2,
+        export_figure3,
+        export_figure4,
+    )
+    from repro.errors import ConfigError
+
+    export_figure1(build_figure1(result), out / "figure1.csv")
+    export_figure2(build_figure2(result, report), out / "figure2.csv")
+    try:
+        export_figure3(build_figure3(report), out / "figure3.csv")
+        export_figure4(build_figure4(result, report), out / "figure4.csv")
+    except ConfigError:
+        pass  # tiny runs may lack priced sandwiches
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a campaign; write store + report + summary under --out."""
+    scenario = _scenario_from_args(args)
+    out = Path(args.out)
+    print(
+        f"running {scenario.days}-day campaign "
+        f"(seed {scenario.seed}, ~{scenario.expected_bundles_per_day():.0f} "
+        "bundles/day)...",
+        file=sys.stderr,
+    )
+    started = time.time()
+    result = MeasurementCampaign(scenario).run()
+    report = AnalysisPipeline().analyze_campaign(result)
+    elapsed = time.time() - started
+
+    out.mkdir(parents=True, exist_ok=True)
+    result.store.save(out)
+    (out / "report.txt").write_text(
+        render_campaign_report(result, report, scenario) + "\n"
+    )
+    _export_figure_csvs(result, report, out)
+    summary = {
+        "elapsed_seconds": round(elapsed, 2),
+        "collection": result.summary(),
+        "sandwiches": report.sandwich_count,
+        "victim_loss_usd": report.headline.victim_loss_usd,
+        "attacker_gain_usd": report.headline.attacker_gain_usd,
+        "defensive_bundles": report.headline.defensive_bundles,
+        "defensive_spend_usd": report.headline.defensive_spend_usd,
+    }
+    (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    print(json.dumps(summary, indent=2))
+    print(f"wrote {out}/bundles.jsonl, transactions.jsonl, report.txt")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Re-analyze a persisted store (no simulation)."""
+    from repro.core import WindowedSandwichDetector
+
+    store = BundleStore.load(args.store)
+    detector = (
+        WindowedSandwichDetector() if args.windowed else SandwichDetector()
+    )
+    classifier = DefensiveBundlingClassifier(
+        threshold_lamports=args.threshold
+    )
+    pipeline = AnalysisPipeline(detector=detector, classifier=classifier)
+    report = pipeline.analyze_store(store)
+    headline = report.headline
+    print(f"bundles:            {len(store)}")
+    print(f"sandwiches:         {headline.sandwich_count}")
+    print(f"  non-SOL fraction: {headline.non_sol_fraction():.1%}")
+    print(f"victim losses:      ${headline.victim_loss_usd:,.2f}")
+    print(f"attacker gains:     ${headline.attacker_gain_usd:,.2f}")
+    if headline.median_victim_loss_usd is not None:
+        print(f"median loss:        ${headline.median_victim_loss_usd:.2f}")
+    print(
+        f"defensive bundles:  {headline.defensive_bundles} "
+        f"({headline.defensive_fraction_of_length_one:.1%} of length-1, "
+        f"threshold {args.threshold:,} lamports)"
+    )
+    print(f"defensive spend:    ${headline.defensive_spend_usd:,.4f}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Simulate a world, then serve its explorer over HTTP until killed."""
+    from repro.explorer.http_server import ThreadedExplorerServer
+    from repro.explorer.service import ExplorerConfig, ExplorerService
+
+    scenario = _scenario_from_args(args)
+    print(f"simulating {scenario.days} days...", file=sys.stderr)
+    world = SimulationEngine(scenario).run()
+    service = ExplorerService(
+        world.block_engine,
+        world.ledger,
+        world.clock,
+        config=ExplorerConfig(
+            requests_per_second=args.rps, burst_capacity=max(args.rps * 5, 5)
+        ),
+    )
+    server = ThreadedExplorerServer(service, host=args.host, port=args.port)
+    server.start()
+    print(
+        f"explorer serving {world.bundles_landed} bundles on "
+        f"http://{args.host}:{server.port} (Ctrl-C to stop)"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_scrape(args: argparse.Namespace) -> int:
+    """Collect from a live explorer over HTTP, then persist the store."""
+    client = HttpExplorerClient(args.host, args.port)
+    if not client.health():
+        print(f"no explorer at {args.host}:{args.port}", file=sys.stderr)
+        return 1
+    from repro.utils.simtime import SimClock
+
+    clock = SimClock()
+    store = BundleStore()
+    coverage = CoverageEstimator()
+    poller = BundlePoller(
+        client,
+        store,
+        coverage,
+        clock,
+        config=PollerConfig(window_limit=args.window),
+    )
+    for index in range(args.polls):
+        result = poller.poll_once()
+        print(
+            f"poll {index + 1}/{args.polls}: {result.returned} returned, "
+            f"{result.new_bundles} new, overlap={result.overlapped}"
+        )
+        clock.advance(120)
+    fetcher = TxDetailFetcher(client, store, clock)
+    stored = fetcher.drain()
+    print(f"fetched {stored} transaction details")
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    store.save(out)
+    write_jsonl(
+        out / "coverage.jsonl",
+        [
+            {
+                "poll_time": p.poll_time,
+                "overlapped": p.overlapped,
+                "new_bundles": p.new_bundles,
+            }
+            for p in coverage.pairs
+        ],
+    )
+    print(f"wrote {len(store)} bundles to {out}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Print the paper's Table 1, executed for real."""
+    table = build_table1(
+        victim_trade_sol=args.victim_sol, victim_slippage_bps=args.slippage_bps
+    )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sandwiching MEV on Jito — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run a measurement campaign")
+    campaign.add_argument("--days", type=int, default=None)
+    campaign.add_argument("--seed", type=int, default=2025)
+    campaign.add_argument("--small", action="store_true")
+    campaign.add_argument("--out", default="campaign-output")
+    campaign.set_defaults(func=cmd_campaign)
+
+    analyze = sub.add_parser("analyze", help="re-analyze a persisted store")
+    analyze.add_argument("--store", required=True)
+    analyze.add_argument("--threshold", type=int, default=100_000)
+    analyze.add_argument(
+        "--windowed",
+        action="store_true",
+        help="scan lengths 3-5 with the windowed detector (needs details "
+        "for those lengths in the store)",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    serve = sub.add_parser("serve", help="serve a simulated explorer")
+    serve.add_argument("--days", type=int, default=None)
+    serve.add_argument("--seed", type=int, default=2025)
+    serve.add_argument("--small", action="store_true")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--rps", type=float, default=100.0)
+    serve.set_defaults(func=cmd_serve)
+
+    scrape = sub.add_parser("scrape", help="collect from a live explorer")
+    scrape.add_argument("--host", default="127.0.0.1")
+    scrape.add_argument("--port", type=int, required=True)
+    scrape.add_argument("--polls", type=int, default=10)
+    scrape.add_argument("--window", type=int, default=1_000)
+    scrape.add_argument("--out", default="scrape-output")
+    scrape.set_defaults(func=cmd_scrape)
+
+    table1 = sub.add_parser("table1", help="print the example sandwich")
+    table1.add_argument("--victim-sol", type=float, default=25.0)
+    table1.add_argument("--slippage-bps", type=int, default=200)
+    table1.set_defaults(func=cmd_table1)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a good
+        # unix citizen.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

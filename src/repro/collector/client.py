@@ -1,0 +1,42 @@
+"""Explorer client interfaces.
+
+The collection pipeline is transport-agnostic: it programs against
+:class:`ExplorerClient`, satisfied both by the in-process adapter (fast,
+used inside campaigns) and by :class:`~repro.collector.http_client.
+HttpExplorerClient` (the full socket path).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.explorer.service import ExplorerService
+
+
+class ExplorerClient(Protocol):
+    """What the poller and detail fetcher need from a transport."""
+
+    def recent_bundles(self, limit: int | None = None) -> list[BundleRecord]:
+        """Fetch the most recent ``limit`` bundles (newest last)."""
+
+    def transactions(self, transaction_ids: list[str]) -> list[TransactionRecord]:
+        """Fetch execution details for explicit transaction ids."""
+
+
+class InProcessExplorerClient:
+    """Direct adapter onto an :class:`ExplorerService` instance."""
+
+    def __init__(self, service: ExplorerService, client_id: str = "collector") -> None:
+        self._service = service
+        self._client_id = client_id
+
+    def recent_bundles(self, limit: int | None = None) -> list[BundleRecord]:
+        """Fetch recent bundles through the service's guards."""
+        return self._service.recent_bundles(limit=limit, client_id=self._client_id)
+
+    def transactions(self, transaction_ids: list[str]) -> list[TransactionRecord]:
+        """Fetch transaction details through the service's guards."""
+        return self._service.transactions(
+            transaction_ids, client_id=self._client_id
+        )

@@ -1,0 +1,144 @@
+"""Transaction-detail fetching for length-three bundles.
+
+The paper limits detail pulls to bundles of length three (2.77% of bundles,
+the canonical sandwich shape), requesting at most 10,000 transactions at a
+time, spaced at least two minutes apart (Section 3.1). This fetcher applies
+the same policy against the simulated endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import DETAIL_BATCH_LIMIT, DETAIL_BATCH_SPACING_SECONDS
+from repro.collector.client import ExplorerClient
+from repro.collector.store import BundleStore
+from repro.errors import (
+    ConfigError,
+    RateLimitedError,
+    ServiceUnavailableError,
+    TransportError,
+)
+from repro.utils.simtime import SimClock
+
+
+@dataclass(frozen=True)
+class DetailFetcherConfig:
+    """Which bundles to detail, and how politely."""
+
+    target_length: int = 3
+    batch_limit: int = DETAIL_BATCH_LIMIT
+    spacing_seconds: float = DETAIL_BATCH_SPACING_SECONDS
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on nonsensical settings."""
+        if self.target_length < 1 or self.target_length > 5:
+            raise ConfigError("target_length must be a valid bundle length")
+        if self.batch_limit < 1:
+            raise ConfigError("batch_limit must be positive")
+        if self.spacing_seconds < 0:
+            raise ConfigError("spacing_seconds must be >= 0")
+
+
+@dataclass
+class FetchResult:
+    """Outcome of one fetch cycle."""
+
+    requested: int = 0
+    stored: int = 0
+    failed: bool = False
+    error: str | None = None
+
+
+class TxDetailFetcher:
+    """Fetches contents for not-yet-detailed bundles of the target length."""
+
+    def __init__(
+        self,
+        client: ExplorerClient,
+        store: BundleStore,
+        clock: SimClock,
+        config: DetailFetcherConfig | None = None,
+    ) -> None:
+        self.config = config or DetailFetcherConfig()
+        self.config.validate()
+        self._client = client
+        self._store = store
+        self._clock = clock
+        self._next_due = clock.now()
+        self.batches_fetched = 0
+        self.batches_failed = 0
+        # Incremental scan state: bundles already seen but not yet fully
+        # detailed, plus the offset into the store's per-length index.
+        self._scan_offset = 0
+        self._incomplete: list = []
+
+    def due(self) -> bool:
+        """Whether the two-minute spacing allows another batch now."""
+        return self._clock.now() >= self._next_due
+
+    def _refresh_incomplete(self) -> None:
+        new_records = self._store.bundles_of_length_since(
+            self.config.target_length, self._scan_offset
+        )
+        self._scan_offset += len(new_records)
+        self._incomplete.extend(new_records)
+        self._incomplete = [
+            bundle
+            for bundle in self._incomplete
+            if self._store.missing_details(bundle)
+        ]
+
+    def pending_transaction_ids(self) -> list[str]:
+        """Transaction ids of target-length bundles still lacking details.
+
+        Scans incrementally: only bundles collected since the last call,
+        plus any that previously failed to detail, are re-examined.
+        """
+        self._refresh_incomplete()
+        pending: list[str] = []
+        for bundle in self._incomplete:
+            pending.extend(self._store.missing_details(bundle))
+        return pending
+
+    def fetch_once(self) -> FetchResult:
+        """Fetch one batch (up to the 10,000-transaction cap)."""
+        self._next_due = self._clock.now() + self.config.spacing_seconds
+        pending = self.pending_transaction_ids()
+        if not pending:
+            return FetchResult()
+        batch = pending[: self.config.batch_limit]
+        try:
+            records = self._client.transactions(batch)
+        except (RateLimitedError, ServiceUnavailableError, TransportError) as exc:
+            self.batches_failed += 1
+            return FetchResult(requested=len(batch), failed=True, error=str(exc))
+        stored = self._store.add_details(records)
+        self.batches_fetched += 1
+        return FetchResult(requested=len(batch), stored=stored)
+
+    def maybe_fetch(self) -> FetchResult | None:
+        """Fetch one batch if spacing allows and work is pending."""
+        if not self.due():
+            return None
+        if not self.pending_transaction_ids():
+            return None
+        return self.fetch_once()
+
+    def drain(self, max_batches: int = 1_000) -> int:
+        """Fetch batches back-to-back until nothing is pending.
+
+        Each batch advances the simulated clock by the configured spacing,
+        honoring the paper's pacing. Returns the number of details stored.
+        """
+        stored = 0
+        for _ in range(max_batches):
+            if not self.pending_transaction_ids():
+                break
+            result = self.fetch_once()
+            stored += result.stored
+            if result.failed:
+                break
+            if self.config.spacing_seconds:
+                self._clock.advance(self.config.spacing_seconds)
+        return stored

@@ -1,0 +1,144 @@
+"""A blocking HTTP/1.1 client for the explorer, built on raw sockets.
+
+Mirrors the scraper side of the paper's methodology: plain HTTP requests to
+the reverse-engineered endpoints, with connection timeouts and HTTP status
+codes mapped back to the same typed errors the in-process client raises, so
+the rest of the pipeline cannot tell the transports apart.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.errors import (
+    BadRequestError,
+    RateLimitedError,
+    ServiceUnavailableError,
+    TransportError,
+)
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.explorer.wire import (
+    bundle_record_from_json,
+    transaction_record_from_json,
+)
+
+_RECV_CHUNK = 65_536
+
+
+class HttpExplorerClient:
+    """Talks to :class:`~repro.explorer.http_server.ExplorerHttpServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        client_id: str = "collector",
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._client_id = client_id
+
+    # --- transport -------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: bytes = b"") -> dict:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            f"X-Client-Id: {self._client_id}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        try:
+            with socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            ) as conn:
+                conn.sendall(head + body)
+                raw = bytearray()
+                while True:
+                    chunk = conn.recv(_RECV_CHUNK)
+                    if not chunk:
+                        break
+                    raw.extend(chunk)
+        except OSError as exc:
+            raise TransportError(f"HTTP request failed: {exc}") from exc
+
+        return self._parse_response(bytes(raw))
+
+    def _parse_response(self, raw: bytes) -> dict:
+        separator = raw.find(b"\r\n\r\n")
+        if separator < 0:
+            raise TransportError("malformed HTTP response: no header terminator")
+        head = raw[:separator].decode("latin-1")
+        body = raw[separator + 4 :]
+        status_line = head.split("\r\n")[0].split(" ", 2)
+        if len(status_line) < 2:
+            raise TransportError(f"malformed status line: {head[:80]!r}")
+        try:
+            status = int(status_line[1])
+        except ValueError as exc:
+            raise TransportError(f"bad status code {status_line[1]!r}") from exc
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise TransportError(f"non-JSON response body: {exc}") from exc
+
+        if status == 200:
+            return payload
+        message = (
+            payload.get("error", "") if isinstance(payload, dict) else str(payload)
+        )
+        if status == 400:
+            raise BadRequestError(message or "bad request")
+        if status == 429:
+            raise RateLimitedError(message or "rate limited")
+        if status == 503:
+            raise ServiceUnavailableError(message or "service unavailable")
+        raise TransportError(f"unexpected HTTP status {status}: {message}")
+
+    # --- ExplorerClient interface ---------------------------------------------------
+
+    def recent_bundles(self, limit: int | None = None) -> list[BundleRecord]:
+        """GET the recent-bundles listing."""
+        path = "/api/v1/bundles/recent"
+        if limit is not None:
+            path += f"?limit={int(limit)}"
+        payload = self._request("GET", path)
+        bundles = payload.get("bundles")
+        if not isinstance(bundles, list):
+            raise TransportError("response missing 'bundles' list")
+        return [bundle_record_from_json(item) for item in bundles]
+
+    def transactions(self, transaction_ids: list[str]) -> list[TransactionRecord]:
+        """POST a bulk transaction-detail query."""
+        body = json.dumps({"ids": list(transaction_ids)}).encode("utf-8")
+        payload = self._request("POST", "/api/v1/transactions", body)
+        records = payload.get("transactions")
+        if not isinstance(records, list):
+            raise TransportError("response missing 'transactions' list")
+        return [transaction_record_from_json(item) for item in records]
+
+    def bundle(self, bundle_id: str) -> BundleRecord | None:
+        """GET one bundle's detail page (None on 404)."""
+        try:
+            payload = self._request("GET", f"/api/v1/bundles/{bundle_id}")
+        except TransportError as exc:
+            if "404" in str(exc):
+                return None
+            raise
+        record = payload.get("bundle")
+        if not isinstance(record, dict):
+            raise TransportError("response missing 'bundle' object")
+        return bundle_record_from_json(record)
+
+    def health(self) -> bool:
+        """Probe the /healthz endpoint."""
+        try:
+            payload = self._request("GET", "/healthz")
+        except TransportError:
+            return False
+        return payload.get("status") == "ok"

@@ -1,0 +1,121 @@
+"""Streaming persistence: a bundle store that checkpoints as it collects.
+
+A four-month collection campaign cannot afford to lose its data to a crash
+(the paper's own collector ran unattended with known gaps). This store
+appends every newly collected record to JSONL files as it arrives, so a
+campaign is recoverable up to its last write.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.collector.store import BundleStore
+from repro.errors import StoreError
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.explorer.wire import (
+    bundle_record_from_json,
+    bundle_record_to_json,
+    transaction_record_from_json,
+    transaction_record_to_json,
+)
+from repro.utils import serialization
+
+
+class PersistentBundleStore(BundleStore):
+    """A :class:`BundleStore` that mirrors every insert to append-only JSONL.
+
+    Layout under ``directory``: ``bundles.jsonl`` and ``transactions.jsonl``
+    — the same files :meth:`BundleStore.save` writes, so a directory written
+    by either class loads with either loader.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        super().__init__()
+        self._directory = Path(directory)
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            self._bundles_file = (self._directory / "bundles.jsonl").open(
+                "a", encoding="utf-8"
+            )
+            self._details_file = (self._directory / "transactions.jsonl").open(
+                "a", encoding="utf-8"
+            )
+        except OSError as exc:
+            raise StoreError(
+                f"cannot open persistent store in {directory}: {exc}"
+            ) from exc
+
+    @property
+    def directory(self) -> Path:
+        """Where the JSONL mirrors live."""
+        return self._directory
+
+    def add_bundles(self, records: list[BundleRecord]) -> int:
+        """Insert and append the genuinely new records to disk."""
+        new_records = [
+            record
+            for record in records
+            if self.get_bundle(record.bundle_id) is None
+        ]
+        added = super().add_bundles(records)
+        for record in new_records:
+            self._bundles_file.write(
+                serialization.dumps(bundle_record_to_json(record)) + "\n"
+            )
+        self._bundles_file.flush()
+        return added
+
+    def add_details(self, records: list[TransactionRecord]) -> int:
+        """Insert and append the genuinely new details to disk."""
+        new_records = [
+            record
+            for record in records
+            if self.get_detail(record.transaction_id) is None
+        ]
+        added = super().add_details(records)
+        for record in new_records:
+            self._details_file.write(
+                serialization.dumps(transaction_record_to_json(record)) + "\n"
+            )
+        self._details_file.flush()
+        return added
+
+    def close(self) -> None:
+        """Flush and close the underlying files."""
+        for handle in (self._bundles_file, self._details_file):
+            try:
+                handle.flush()
+                handle.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    @classmethod
+    def resume(cls, directory: str | Path) -> "PersistentBundleStore":
+        """Reopen a persistent store, loading everything written so far."""
+        directory = Path(directory)
+        store = cls(directory)
+        bundles_path = directory / "bundles.jsonl"
+        details_path = directory / "transactions.jsonl"
+        # Load via the parent's in-memory insert so nothing is re-appended.
+        if bundles_path.exists():
+            BundleStore.add_bundles(
+                store,
+                serialization.read_jsonl_as(
+                    bundles_path, bundle_record_from_json
+                ),
+            )
+        if details_path.exists():
+            BundleStore.add_details(
+                store,
+                serialization.read_jsonl_as(
+                    details_path, transaction_record_from_json
+                ),
+            )
+        return store
+
+    def __enter__(self) -> "PersistentBundleStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,142 @@
+"""The recent-bundles poller.
+
+Requests the widened recent-bundles window on a fixed cadence, retries
+transient failures with jittered exponential backoff, deduplicates into the
+store, and feeds every successful response to the coverage estimator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.constants import EXPLORER_MAX_RECENT_LIMIT, POLL_INTERVAL_SECONDS
+from repro.collector.client import ExplorerClient
+from repro.collector.coverage import CoverageEstimator
+from repro.collector.store import BundleStore
+from repro.errors import (
+    BadRequestError,
+    ConfigError,
+    RateLimitedError,
+    ServiceUnavailableError,
+    TransportError,
+)
+from repro.utils.backoff import ExponentialBackoff
+from repro.utils.rng import DeterministicRNG
+from repro.utils.simtime import SimClock
+
+
+class PollStatus(enum.Enum):
+    """Outcome of one poll attempt cycle."""
+
+    OK = "ok"
+    NOT_DUE = "not_due"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class PollerConfig:
+    """Cadence, window size, and retry policy."""
+
+    poll_interval_seconds: float = POLL_INTERVAL_SECONDS
+    window_limit: int = EXPLORER_MAX_RECENT_LIMIT
+    max_retries: int = 3
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on nonsensical settings."""
+        if self.poll_interval_seconds <= 0:
+            raise ConfigError("poll interval must be positive")
+        if self.window_limit <= 0:
+            raise ConfigError("window limit must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+
+
+@dataclass
+class PollResult:
+    """What one :meth:`BundlePoller.poll_once` call did."""
+
+    status: PollStatus
+    returned: int = 0
+    new_bundles: int = 0
+    overlapped: bool | None = None
+    error: str | None = None
+
+
+class BundlePoller:
+    """Drives the recent-bundles endpoint on the simulated clock."""
+
+    def __init__(
+        self,
+        client: ExplorerClient,
+        store: BundleStore,
+        coverage: CoverageEstimator,
+        clock: SimClock,
+        config: PollerConfig | None = None,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        self.config = config or PollerConfig()
+        self.config.validate()
+        self._client = client
+        self._store = store
+        self._coverage = coverage
+        self._clock = clock
+        self._rng = rng or DeterministicRNG(0).child("poller")
+        self._next_due = clock.now()
+        self.polls_attempted = 0
+
+    @property
+    def store(self) -> BundleStore:
+        """The store polls dedupe into."""
+        return self._store
+
+    @property
+    def coverage(self) -> CoverageEstimator:
+        """The overlap/coverage accumulator."""
+        return self._coverage
+
+    def due(self) -> bool:
+        """Whether the next poll's scheduled time has arrived."""
+        return self._clock.now() >= self._next_due
+
+    def poll_once(self) -> PollResult:
+        """Poll now (retrying transient errors), regardless of schedule."""
+        self.polls_attempted += 1
+        now = self._clock.now()
+        self._next_due = now + self.config.poll_interval_seconds
+        backoff = ExponentialBackoff(
+            base=2.0,
+            max_delay=30.0,
+            max_attempts=self.config.max_retries + 1,
+            rng=self._rng.child(f"retry:{self.polls_attempted}"),
+        )
+        last_error: str | None = None
+        while not backoff.exhausted():
+            backoff.next_delay()  # budget accounting; sim time does not sleep
+            try:
+                records = self._client.recent_bundles(self.config.window_limit)
+            except BadRequestError:
+                raise  # a programming error, not a transient condition
+            except (RateLimitedError, ServiceUnavailableError, TransportError) as exc:
+                last_error = str(exc)
+                continue
+            new_bundles = self._store.add_bundles(records)
+            overlapped = self._coverage.observe_success(
+                poll_time=now,
+                returned_ids=[record.bundle_id for record in records],
+                new_bundles=new_bundles,
+            )
+            return PollResult(
+                status=PollStatus.OK,
+                returned=len(records),
+                new_bundles=new_bundles,
+                overlapped=overlapped,
+            )
+        self._coverage.observe_failure(now)
+        return PollResult(status=PollStatus.FAILED, error=last_error)
+
+    def maybe_poll(self) -> PollResult:
+        """Poll only if the cadence says a poll is due."""
+        if not self.due():
+            return PollResult(status=PollStatus.NOT_DUE)
+        return self.poll_once()

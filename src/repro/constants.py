@@ -1,0 +1,91 @@
+"""Chain-level and paper-level constants.
+
+Values here mirror the figures used in the paper (Sections 2-3): Solana fee
+structure, Jito bundle limits, the defensive-bundling tip threshold, and the
+measurement-campaign parameters.
+"""
+
+from __future__ import annotations
+
+# --- Solana ----------------------------------------------------------------
+
+LAMPORTS_PER_SOL: int = 1_000_000_000
+"""One SOL is divisible into one billion lamports (paper Section 2.1)."""
+
+BASE_FEE_LAMPORTS: int = 5_000
+"""Solana base transaction fee: 5,000 lamports (paper Section 2.1)."""
+
+SLOT_DURATION_MS: int = 400
+"""Solana block (slot) creation time: 400 milliseconds (paper Section 1)."""
+
+SLOTS_PER_DAY: int = 24 * 60 * 60 * 1000 // SLOT_DURATION_MS
+"""Number of 400 ms slots in a day (216,000)."""
+
+SOL_USD_RATE: float = 242.0
+"""SOL to USD conversion rate as of 2025-09-12, used by the paper for all
+USD figures (paper footnotes 2, 3, 6)."""
+
+# --- Jito -------------------------------------------------------------------
+
+MAX_BUNDLE_SIZE: int = 5
+"""Jito allows searchers to bundle up to five transactions per request
+(paper Section 2.3)."""
+
+MIN_JITO_TIP_LAMPORTS: int = 1_000
+"""Minimum Jito tip when bundling: 1,000 lamports (paper Section 3.3)."""
+
+DEFENSIVE_TIP_THRESHOLD_LAMPORTS: int = 100_000
+"""Length-one bundles with a tip at or below this threshold are classified as
+defensive (MEV protection) rather than priority-seeking (paper Section 3.3)."""
+
+HIGH_TIP_P95_LAMPORTS: int = 2_000_000
+"""Average 95th-percentile tip within a block observed on Jito's dashboard:
+about 0.002 SOL, i.e. 2,000,000 lamports (paper Section 3.3)."""
+
+NUM_JITO_TIP_ACCOUNTS: int = 8
+"""Jito maintains eight canonical tip-payment accounts."""
+
+# --- Measurement campaign (paper Section 3.1) --------------------------------
+
+CAMPAIGN_START_ISO: str = "2025-02-09T00:00:00+00:00"
+"""First day of the paper's measurement period."""
+
+CAMPAIGN_END_ISO: str = "2025-06-09T00:00:00+00:00"
+"""Last day of the paper's measurement period."""
+
+CAMPAIGN_DAYS: int = 120
+"""Length of the measurement period in days (2025-02-09 to 2025-06-09)."""
+
+EXPLORER_DEFAULT_RECENT_LIMIT: int = 200
+"""Number of bundles the Jito Explorer website requests by default."""
+
+EXPLORER_MAX_RECENT_LIMIT: int = 50_000
+"""The widened page size the paper used after reverse engineering the API."""
+
+POLL_INTERVAL_SECONDS: int = 120
+"""The paper polled the recent-bundles endpoint roughly every two minutes."""
+
+DETAIL_BATCH_LIMIT: int = 10_000
+"""Maximum transactions requested per detail query (paper Section 3.1)."""
+
+DETAIL_BATCH_SPACING_SECONDS: int = 120
+"""Detail queries were spaced at least two minutes apart."""
+
+# --- Paper headline figures (targets for EXPERIMENTS.md) ---------------------
+
+PAPER_SANDWICH_COUNT: int = 521_903
+PAPER_VICTIM_LOSS_USD: float = 7_712_138.0
+PAPER_ATTACKER_GAIN_USD: float = 9_678_466.0
+PAPER_NON_SOL_SANDWICHES: int = 143_348
+PAPER_DEFENSIVE_SPEND_USD: float = 2_421_868.0
+PAPER_DEFENSIVE_BUNDLE_COUNT: int = 864_889_302
+PAPER_SANDWICH_BUNDLE_FRACTION: float = 0.00038
+PAPER_AVG_DEFENSIVE_TIP_USD: float = 0.0028
+PAPER_MEDIAN_VICTIM_LOSS_USD: float = 5.0
+PAPER_MEDIAN_LEN3_TIP_LAMPORTS: int = 1_000
+PAPER_MEDIAN_SANDWICH_TIP_LAMPORTS: int = 2_000_000
+PAPER_LEN1_DEFENSIVE_FRACTION: float = 0.86
+PAPER_LEN3_BUNDLE_FRACTION: float = 0.0277
+PAPER_POLL_OVERLAP_FRACTION: float = 0.95
+PAPER_BUNDLES_PER_DAY: float = 14_800_000.0
+PAPER_TRANSACTIONS_PER_DAY: float = 26_000_000.0

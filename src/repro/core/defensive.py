@@ -1,0 +1,106 @@
+"""Defensive-bundling classification (paper Section 3.3).
+
+A length-one bundle whose Jito tip is at or below 100,000 lamports cannot be
+buying meaningful priority — the paper's experiments with Jupiter put the
+floor of priority-relevant tips above that — so such bundles are classified
+as MEV protection. Everything above the threshold is priority-seeking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import DEFENSIVE_TIP_THRESHOLD_LAMPORTS, LAMPORTS_PER_SOL
+from repro.collector.store import BundleStore
+from repro.dex.oracle import PriceOracle
+from repro.errors import ConfigError
+from repro.explorer.models import BundleRecord
+from repro.utils.simtime import unix_to_date
+
+
+@dataclass
+class DefensiveReport:
+    """Classification results over all collected length-one bundles."""
+
+    threshold_lamports: int
+    defensive: list[BundleRecord] = field(default_factory=list)
+    priority: list[BundleRecord] = field(default_factory=list)
+
+    @property
+    def length_one_total(self) -> int:
+        """All length-one bundles classified."""
+        return len(self.defensive) + len(self.priority)
+
+    @property
+    def defensive_fraction(self) -> float:
+        """Share of length-one bundles classified defensive (paper: ~86%)."""
+        total = self.length_one_total
+        return len(self.defensive) / total if total else 0.0
+
+    @property
+    def defensive_tips_lamports(self) -> int:
+        """Total lamports spent on defensive tips."""
+        return sum(record.tip_lamports for record in self.defensive)
+
+    def defensive_spend_usd(self, oracle: PriceOracle) -> float:
+        """Cumulative USD spent on defensive bundling (paper: ~$2.42M)."""
+        return oracle.lamports_to_usd(self.defensive_tips_lamports)
+
+    def average_defensive_tip_usd(self, oracle: PriceOracle) -> float:
+        """Mean defensive tip in USD (paper: ~$0.0028)."""
+        if not self.defensive:
+            return 0.0
+        return oracle.lamports_to_usd(
+            self.defensive_tips_lamports / len(self.defensive)
+        )
+
+    def average_defensive_tip_sol(self) -> float:
+        """Mean defensive tip in SOL."""
+        if not self.defensive:
+            return 0.0
+        return (
+            self.defensive_tips_lamports / len(self.defensive) / LAMPORTS_PER_SOL
+        )
+
+    def defensive_per_day(self) -> dict[str, int]:
+        """Defensive bundle count per UTC date (the Figure 2 top series)."""
+        counts: dict[str, int] = {}
+        for record in self.defensive:
+            date = unix_to_date(record.landed_at)
+            counts[date] = counts.get(date, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class DefensiveBundlingClassifier:
+    """Splits length-one bundles into defensive vs priority by tip size."""
+
+    def __init__(
+        self, threshold_lamports: int = DEFENSIVE_TIP_THRESHOLD_LAMPORTS
+    ) -> None:
+        if threshold_lamports < 0:
+            raise ConfigError(
+                f"threshold must be >= 0, got {threshold_lamports}"
+            )
+        self._threshold = threshold_lamports
+
+    @property
+    def threshold_lamports(self) -> int:
+        """The defensive/priority tip boundary."""
+        return self._threshold
+
+    def is_defensive(self, record: BundleRecord) -> bool:
+        """Whether one bundle matches the defensive signature."""
+        return (
+            record.num_transactions == 1
+            and record.tip_lamports <= self._threshold
+        )
+
+    def classify(self, store: BundleStore) -> DefensiveReport:
+        """Classify every collected length-one bundle."""
+        report = DefensiveReport(threshold_lamports=self._threshold)
+        for record in store.bundles_of_length(1):
+            if self.is_defensive(record):
+                report.defensive.append(record)
+            else:
+                report.priority.append(record)
+        return report

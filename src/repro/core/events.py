@@ -1,0 +1,61 @@
+"""Detection output datatypes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.trades import TradeLeg
+from repro.explorer.models import BundleRecord
+from repro.solana.tokens import SOL_MINT
+
+_SOL_ADDRESS = SOL_MINT.address.to_base58()
+
+
+@dataclass(frozen=True)
+class SandwichEvent:
+    """A detected Sandwiching-MEV attack: one length-three bundle.
+
+    ``frontrun`` / ``victim_trade`` / ``backrun`` are the three swap legs in
+    bundle order; the attacker signs legs one and three, the victim leg two.
+    """
+
+    bundle: BundleRecord
+    attacker: str
+    victim: str
+    frontrun: TradeLeg
+    victim_trade: TradeLeg
+    backrun: TradeLeg
+
+    @property
+    def bundle_id(self) -> str:
+        """The attacked bundle's id."""
+        return self.bundle.bundle_id
+
+    @property
+    def landed_at(self) -> float:
+        """Unix time the bundle landed."""
+        return self.bundle.landed_at
+
+    @property
+    def tip_lamports(self) -> int:
+        """The bundle's Jito tip."""
+        return self.bundle.tip_lamports
+
+    @property
+    def traded_mints(self) -> frozenset[str]:
+        """The mint pair under attack."""
+        return self.victim_trade.mints
+
+    @property
+    def involves_sol(self) -> bool:
+        """Whether SOL is one side of the attacked pair.
+
+        Only these events can be priced in USD (paper Section 3.2); the rest
+        are counted but excluded from financial totals.
+        """
+        return _SOL_ADDRESS in self.traded_mints
+
+    @property
+    def quote_mint(self) -> str:
+        """The currency the victim pays with (their ``mint_in``)."""
+        return self.victim_trade.mint_in

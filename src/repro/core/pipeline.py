@@ -1,0 +1,87 @@
+"""The end-to-end analysis pipeline.
+
+Takes what the collector gathered (the :class:`BundleStore`, plus optional
+coverage stats) and produces everything the paper's Section 4 reports:
+detected sandwiches, quantified losses, defensive classification, daily
+series, and headline statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collector.campaign import CampaignResult
+from repro.collector.store import BundleStore
+from repro.core.aggregate import (
+    DailySandwichStats,
+    HeadlineStats,
+    headline_stats,
+    sandwiches_per_day,
+)
+from repro.core.defensive import DefensiveBundlingClassifier, DefensiveReport
+from repro.core.detector import DetectionStats, SandwichDetector
+from repro.core.quantify import LossQuantifier, QuantifiedSandwich
+from repro.dex.oracle import PriceOracle
+
+
+@dataclass
+class AnalysisReport:
+    """All pipeline outputs for one campaign."""
+
+    quantified: list[QuantifiedSandwich]
+    defensive: DefensiveReport
+    daily: dict[str, DailySandwichStats]
+    headline: HeadlineStats
+    detection_stats: DetectionStats
+
+    @property
+    def sandwich_count(self) -> int:
+        """Number of detected sandwiches."""
+        return len(self.quantified)
+
+
+class AnalysisPipeline:
+    """Detector + quantifier + defensive classifier + aggregation."""
+
+    def __init__(
+        self,
+        oracle: PriceOracle | None = None,
+        detector: SandwichDetector | None = None,
+        classifier: DefensiveBundlingClassifier | None = None,
+    ) -> None:
+        self.oracle = oracle or PriceOracle()
+        self.detector = detector or SandwichDetector()
+        self.quantifier = LossQuantifier(self.oracle)
+        self.classifier = classifier or DefensiveBundlingClassifier()
+
+    def analyze_store(
+        self,
+        store: BundleStore,
+        poll_overlap_fraction: float | None = None,
+    ) -> AnalysisReport:
+        """Run the full analysis over a collected store."""
+        events = self.detector.detect_all(store)
+        quantified = self.quantifier.quantify_all(events)
+        defensive_report = self.classifier.classify(store)
+        daily = sandwiches_per_day(quantified, self.oracle)
+        headline = headline_stats(
+            quantified,
+            defensive_report,
+            bundles_collected=len(store),
+            oracle=self.oracle,
+            poll_overlap_fraction=poll_overlap_fraction,
+        )
+        return AnalysisReport(
+            quantified=quantified,
+            defensive=defensive_report,
+            daily=daily,
+            headline=headline,
+            detection_stats=self.detector.stats,
+        )
+
+    def analyze_campaign(self, result: CampaignResult) -> AnalysisReport:
+        """Analyze a finished measurement campaign."""
+        return self.analyze_store(
+            result.store,
+            poll_overlap_fraction=result.coverage.overlap_fraction(),
+        )

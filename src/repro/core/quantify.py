@@ -1,0 +1,100 @@
+"""Financial quantification of detected sandwiches (paper Section 4.1).
+
+Victim loss: compare the rate at which the attacker's first leg traded with
+the rate the victim was forced into; multiplying the attacker's rate by the
+victim's traded quantity gives the price the victim *would* have paid.
+Attacker gain: the attacker's net quote-currency position across their two
+legs. Both are only converted to USD when the trade touches SOL; everything
+else is counted but excluded from totals, making the USD figures a lower
+bound exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import LAMPORTS_PER_SOL
+from repro.core.events import SandwichEvent
+from repro.dex.oracle import PriceOracle
+from repro.solana.tokens import SOL_MINT
+
+_SOL_ADDRESS = SOL_MINT.address.to_base58()
+
+
+@dataclass(frozen=True)
+class QuantifiedSandwich:
+    """A detected sandwich with its financial impact attached.
+
+    Quote-currency amounts are in base units of the victim's ``mint_in``.
+    USD figures are ``None`` when the attacked pair does not include SOL.
+    """
+
+    event: SandwichEvent
+    victim_loss_quote: float
+    attacker_gain_quote: float
+    victim_loss_usd: float | None
+    attacker_gain_usd: float | None
+
+    @property
+    def priced(self) -> bool:
+        """Whether this sandwich contributes to USD totals."""
+        return self.victim_loss_usd is not None
+
+
+class LossQuantifier:
+    """Computes victim losses and attacker gains for sandwich events."""
+
+    def __init__(self, oracle: PriceOracle | None = None) -> None:
+        self._oracle = oracle or PriceOracle()
+
+    @property
+    def oracle(self) -> PriceOracle:
+        """The SOL/USD conversion oracle."""
+        return self._oracle
+
+    def victim_loss_quote(self, event: SandwichEvent) -> float:
+        """Victim loss in units of the victim's input currency.
+
+        The victim paid ``amount_in`` for ``amount_out``; at the attacker's
+        first-leg rate they would have paid ``rate_A * amount_out`` for the
+        same quantity. The difference is the skimmed amount.
+        """
+        victim = event.victim_trade
+        attacker_rate = event.frontrun.rate
+        would_have_paid = attacker_rate * victim.amount_out
+        return victim.amount_in - would_have_paid
+
+    def attacker_gain_quote(self, event: SandwichEvent) -> float:
+        """Attacker gain in the same quote currency: sell-leg output minus
+        buy-leg input (both legs trade the quote against the token)."""
+        return event.backrun.amount_out - event.frontrun.amount_in
+
+    def _to_usd(self, event: SandwichEvent, quote_amount: float) -> float | None:
+        if not event.involves_sol:
+            return None
+        if event.quote_mint == _SOL_ADDRESS:
+            lamports = quote_amount
+        else:
+            # SOL is the *output* side (victim sells token for SOL): express
+            # the quote-side loss in SOL using the victim's realized rate.
+            victim = event.victim_trade
+            if victim.amount_in == 0:
+                return None
+            lamports = quote_amount * (victim.amount_out / victim.amount_in)
+        return lamports / LAMPORTS_PER_SOL * self._oracle.usd_per_sol
+
+    def quantify(self, event: SandwichEvent) -> QuantifiedSandwich:
+        """Attach loss/gain figures to one detected sandwich."""
+        loss_quote = self.victim_loss_quote(event)
+        gain_quote = self.attacker_gain_quote(event)
+        return QuantifiedSandwich(
+            event=event,
+            victim_loss_quote=loss_quote,
+            attacker_gain_quote=gain_quote,
+            victim_loss_usd=self._to_usd(event, loss_quote),
+            attacker_gain_usd=self._to_usd(event, gain_quote),
+        )
+
+    def quantify_all(self, events: list[SandwichEvent]) -> list[QuantifiedSandwich]:
+        """Quantify a batch of events, preserving order."""
+        return [self.quantify(event) for event in events]

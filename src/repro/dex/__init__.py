@@ -1,0 +1,26 @@
+"""DEX substrate: constant-product AMM pools, the swap program, a
+Jupiter-like router, and price oracles.
+
+Sandwiching MEV exists because DEX rates move with every trade (paper
+Section 2.2); this package provides that dynamic-rate substrate.
+"""
+
+from repro.dex.oracle import PriceOracle
+from repro.dex.pool import PoolSpec, quote_constant_product
+from repro.dex.router import Router, RouteQuote
+from repro.dex.market import Market
+from repro.dex.slippage import min_out_with_slippage
+from repro.dex.swap import DexProgram, PoolRegistry, swap_instruction
+
+__all__ = [
+    "DexProgram",
+    "Market",
+    "PoolRegistry",
+    "PoolSpec",
+    "PriceOracle",
+    "RouteQuote",
+    "Router",
+    "min_out_with_slippage",
+    "quote_constant_product",
+    "swap_instruction",
+]

@@ -1,0 +1,195 @@
+"""Market bootstrap: the token universe and seeded liquidity pools.
+
+Builds the trading landscape the paper's population acts on: a set of
+memecoins quoted against SOL (the majority of sandwich victims trade to or
+from SOL) plus token/token pools quoted against a USDC-like stable (the 28%
+of sandwiches that never touch SOL and are excluded from USD totals).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dex.pool import PoolSpec
+from repro.dex.swap import DexProgram, PoolRegistry
+from repro.errors import ConfigError
+from repro.solana.bank import Bank
+from repro.solana.instruction import DEX_PROGRAM_ID
+from repro.solana.keys import Pubkey
+from repro.solana.tokens import Mint, SOL_MINT
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Knobs for the generated token/pool universe."""
+
+    num_meme_tokens: int = 20
+    num_token_token_pools: int = 5
+    pool_fee_bps: int = 25
+    min_pool_sol: float = 50.0
+    max_pool_sol: float = 500.0
+    min_token_price_sol: float = 0.000001
+    max_token_price_sol: float = 0.01
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent settings."""
+        if self.num_meme_tokens < 1:
+            raise ConfigError("need at least one meme token")
+        if self.num_token_token_pools > self.num_meme_tokens:
+            raise ConfigError(
+                "cannot have more token/token pools than meme tokens"
+            )
+        if self.min_pool_sol <= 0 or self.max_pool_sol < self.min_pool_sol:
+            raise ConfigError("invalid pool SOL reserve range")
+        if (
+            self.min_token_price_sol <= 0
+            or self.max_token_price_sol < self.min_token_price_sol
+        ):
+            raise ConfigError("invalid token price range")
+
+
+class Market:
+    """The DEX-side world: mints, pools, registry, and the installed program."""
+
+    def __init__(self, bank: Bank, config: MarketConfig, rng: DeterministicRNG) -> None:
+        config.validate()
+        self._bank = bank
+        self._config = config
+        self._rng = rng.child("market")
+        self.sol = SOL_MINT
+        self.usdc = Mint.from_symbol("USDC", decimals=6)
+        self.meme_tokens: list[Mint] = [
+            Mint.from_symbol(f"MEME-{i}") for i in range(config.num_meme_tokens)
+        ]
+        self.registry = PoolRegistry()
+        self.program = DexProgram(self.registry)
+        bank.register_program(DEX_PROGRAM_ID, self.program)
+        self.sol_pools: list[PoolSpec] = []
+        self.token_token_pools: list[PoolSpec] = []
+        self._bootstrap_pools()
+        # Anchor rates: the bootstrap price of each pool, which external
+        # arbitrage (modelled by the engine's market maker) reverts toward.
+        self._anchor_rates: dict[Pubkey, float] = {
+            pool.address: self.spot_rate(pool, pool.mint_a.address)
+            for pool in self.all_pools()
+        }
+
+    @property
+    def bank(self) -> Bank:
+        """The bank holding all pool reserves."""
+        return self._bank
+
+    def _seed_pool(
+        self, pool: PoolSpec, reserve_a: int, reserve_b: int
+    ) -> None:
+        self.registry.add(pool)
+        self._bank.fund_tokens(pool.address, pool.mint_a.address, reserve_a)
+        self._bank.fund_tokens(pool.address, pool.mint_b.address, reserve_b)
+
+    def _bootstrap_pools(self) -> None:
+        config = self._config
+        # One SOL pool per meme token, with a random depth and price level.
+        for token in self.meme_tokens:
+            pool = PoolSpec.create(self.sol, token, fee_bps=config.pool_fee_bps)
+            sol_reserve_ui = self._rng.uniform(config.min_pool_sol, config.max_pool_sol)
+            price_sol = 10 ** self._rng.uniform(
+                math.log10(config.min_token_price_sol),
+                math.log10(config.max_token_price_sol),
+            )
+            sol_reserve = self.sol.to_base_units(sol_reserve_ui)
+            token_reserve = token.to_base_units(sol_reserve_ui / price_sol)
+            self._seed_pool(pool, sol_reserve, token_reserve)
+            self.sol_pools.append(pool)
+
+        # A deep SOL/USDC pool anchoring the stable leg.
+        usdc_pool = PoolSpec.create(self.sol, self.usdc, fee_bps=config.pool_fee_bps)
+        anchor_sol = self.sol.to_base_units(50_000.0)
+        anchor_usdc = self.usdc.to_base_units(50_000.0 * 150.0)
+        self._seed_pool(usdc_pool, anchor_sol, anchor_usdc)
+        self.usdc_pool = usdc_pool
+
+        # Token/USDC pools: the venue for sandwiches that never touch SOL.
+        for token in self.meme_tokens[: config.num_token_token_pools]:
+            pool = PoolSpec.create(self.usdc, token, fee_bps=config.pool_fee_bps)
+            usdc_reserve_ui = self._rng.uniform(8_000.0, 80_000.0)
+            price_usdc = 10 ** self._rng.uniform(-4.0, -1.0)
+            usdc_reserve = self.usdc.to_base_units(usdc_reserve_ui)
+            token_reserve = token.to_base_units(usdc_reserve_ui / price_usdc)
+            self._seed_pool(pool, usdc_reserve, token_reserve)
+            self.token_token_pools.append(pool)
+
+    # --- queries ---------------------------------------------------------------
+
+    def all_pools(self) -> list[PoolSpec]:
+        """Every pool in the market."""
+        return self.registry.all_pools()
+
+    def random_sol_pool(self, rng: DeterministicRNG) -> PoolSpec:
+        """Pick a random SOL/memecoin pool."""
+        return rng.choice(self.sol_pools)
+
+    def random_token_token_pool(self, rng: DeterministicRNG) -> PoolSpec:
+        """Pick a random non-SOL pool."""
+        if not self.token_token_pools:
+            raise ConfigError("market has no token/token pools")
+        return rng.choice(self.token_token_pools)
+
+    def reserves(self, pool: PoolSpec) -> tuple[int, int]:
+        """Current bank-held reserves (mint_a units, mint_b units)."""
+        return (
+            self._bank.token_balance(pool.address, pool.mint_a.address),
+            self._bank.token_balance(pool.address, pool.mint_b.address),
+        )
+
+    def quote(self, pool: PoolSpec, mint_in: Pubkey, amount_in: int) -> int:
+        """Read-only swap quote against current reserves."""
+        return self.program.quote(self._bank, pool, mint_in, amount_in)
+
+    def spot_rate(self, pool: PoolSpec, mint_in: Pubkey) -> float:
+        """Marginal price: units of ``mint_in`` per unit of the other mint."""
+        mint_out = pool.other_mint(mint_in)
+        reserve_in = self._bank.token_balance(pool.address, mint_in)
+        reserve_out = self._bank.token_balance(pool.address, mint_out.address)
+        if reserve_out == 0:
+            raise ConfigError(f"pool {pool.pair_name} has empty reserves")
+        return reserve_in / reserve_out
+
+    def anchor_rate(self, pool: PoolSpec) -> float:
+        """The pool's bootstrap price (mint_a units per mint_b unit)."""
+        return self._anchor_rates[pool.address]
+
+    def rebalance_order(
+        self, pool: PoolSpec, band: float = 0.25
+    ) -> tuple[Pubkey, int] | None:
+        """The corrective swap that reverts a drifted pool toward its anchor.
+
+        Models external arbitrage: on a real market, a pool whose price
+        deviates from the wider market gets arbitraged back. Returns
+        ``(mint_in, amount_in)`` for the correcting trade, or None while the
+        price is within ``band`` (relative) of the anchor.
+
+        For a constant-product pool, trading ``a`` units into the ``in``
+        side moves the in-per-out rate to ``(r_in + a)^2 / k``; solving for
+        the anchor rate gives ``a = r_in * (sqrt(target / current) - 1)``.
+        """
+        if band <= 0:
+            raise ConfigError(f"band must be positive, got {band}")
+        current = self.spot_rate(pool, pool.mint_a.address)
+        target = self._anchor_rates[pool.address]
+        if abs(current - target) <= band * target:
+            return None
+        if current < target:
+            # mint_a is too cheap: buy mint_b with mint_a (raises the rate).
+            mint_in = pool.mint_a.address
+            reserve_in = self._bank.token_balance(pool.address, mint_in)
+            amount = int(reserve_in * (math.sqrt(target / current) - 1.0))
+        else:
+            # mint_a is too dear: sell mint_b into the pool (lowers the rate).
+            mint_in = pool.mint_b.address
+            reserve_in = self._bank.token_balance(pool.address, mint_in)
+            amount = int(reserve_in * (math.sqrt(current / target) - 1.0))
+        if amount <= 0:
+            return None
+        return mint_in, amount

@@ -1,0 +1,104 @@
+"""Constant-product AMM math and pool metadata.
+
+The pool's *reserves* live in the bank's token ledger (owned by the pool's
+address), so bundle rollbacks automatically restore them; this module holds
+only the pure math and the immutable pool description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, InsufficientLiquidityError
+from repro.solana.keys import Pubkey
+from repro.solana.tokens import Mint
+
+BPS_DENOMINATOR = 10_000
+
+
+def quote_constant_product(
+    reserve_in: int, reserve_out: int, amount_in: int, fee_bps: int
+) -> int:
+    """Output amount for a constant-product swap with an input-side LP fee.
+
+    ``out = reserve_out * a / (reserve_in + a)`` where ``a`` is the amount in
+    net of the fee. Rounds down, so the invariant ``k`` never decreases.
+
+    Raises:
+        InsufficientLiquidityError: on empty reserves.
+        ConfigError: on non-positive input or out-of-range fee.
+    """
+    if amount_in <= 0:
+        raise ConfigError(f"swap amount must be positive, got {amount_in}")
+    if not 0 <= fee_bps < BPS_DENOMINATOR:
+        raise ConfigError(f"fee_bps must be in [0, 10000), got {fee_bps}")
+    if reserve_in <= 0 or reserve_out <= 0:
+        raise InsufficientLiquidityError(
+            f"pool reserves empty: in={reserve_in} out={reserve_out}"
+        )
+    effective_in = amount_in * (BPS_DENOMINATOR - fee_bps) // BPS_DENOMINATOR
+    if effective_in <= 0:
+        return 0
+    return reserve_out * effective_in // (reserve_in + effective_in)
+
+
+def execution_rate(amount_in: int, amount_out: int) -> float:
+    """Units of input paid per unit of output received (the trade's price).
+
+    This is the quantity the paper compares between the attacker's first leg
+    and the victim's trade: the front-run raises the victim's rate.
+    """
+    if amount_out <= 0:
+        raise ConfigError(f"amount_out must be positive, got {amount_out}")
+    return amount_in / amount_out
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Immutable description of one liquidity pool."""
+
+    address: Pubkey
+    mint_a: Mint
+    mint_b: Mint
+    fee_bps: int = 25
+
+    def __post_init__(self) -> None:
+        if self.mint_a.address == self.mint_b.address:
+            raise ConfigError("pool mints must differ")
+        if not 0 <= self.fee_bps < BPS_DENOMINATOR:
+            raise ConfigError(f"fee_bps must be in [0, 10000), got {self.fee_bps}")
+
+    @classmethod
+    def create(cls, mint_a: Mint, mint_b: Mint, fee_bps: int = 25) -> "PoolSpec":
+        """Derive a deterministic pool address from the mint pair."""
+        address = Pubkey.from_seed(
+            f"pool:{mint_a.address.to_base58()}:{mint_b.address.to_base58()}:{fee_bps}"
+        )
+        return cls(address=address, mint_a=mint_a, mint_b=mint_b, fee_bps=fee_bps)
+
+    @property
+    def pair_name(self) -> str:
+        """Human-readable pair label, e.g. ``"SOL/MEME-7"``."""
+        return f"{self.mint_a.symbol}/{self.mint_b.symbol}"
+
+    def mints(self) -> tuple[Mint, Mint]:
+        """Both mints of the pair."""
+        return (self.mint_a, self.mint_b)
+
+    def has_mint(self, mint_address: Pubkey) -> bool:
+        """Whether ``mint_address`` is one side of this pool."""
+        return mint_address in (self.mint_a.address, self.mint_b.address)
+
+    def other_mint(self, mint_address: Pubkey) -> Mint:
+        """The opposite side of ``mint_address``.
+
+        Raises:
+            ConfigError: if the mint is not part of the pool.
+        """
+        if mint_address == self.mint_a.address:
+            return self.mint_b
+        if mint_address == self.mint_b.address:
+            return self.mint_a
+        raise ConfigError(
+            f"mint {mint_address.to_base58()[:8]} not in pool {self.pair_name}"
+        )

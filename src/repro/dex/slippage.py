@@ -1,0 +1,37 @@
+"""Slippage-tolerance helpers.
+
+Slippage tolerance is the user-set cap on how far the execution price may
+move against them (paper Section 2.2). Properly set, it bounds what a
+sandwich attacker can extract; loosely set, it is the attacker's budget.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+BPS_DENOMINATOR = 10_000
+
+
+def min_out_with_slippage(quoted_out: int, slippage_bps: int) -> int:
+    """Minimum acceptable output given a quote and a tolerance in bps.
+
+    A 100 bps (1%) tolerance on a quote of 1,000 tokens yields
+    ``min_amount_out = 990``.
+
+    Raises:
+        ConfigError: on a non-positive quote or out-of-range tolerance.
+    """
+    if quoted_out <= 0:
+        raise ConfigError(f"quoted_out must be positive, got {quoted_out}")
+    if not 0 <= slippage_bps <= BPS_DENOMINATOR:
+        raise ConfigError(
+            f"slippage_bps must be in [0, 10000], got {slippage_bps}"
+        )
+    return quoted_out * (BPS_DENOMINATOR - slippage_bps) // BPS_DENOMINATOR
+
+
+def realized_slippage_bps(quoted_out: int, executed_out: int) -> float:
+    """How far (in bps) the executed output fell short of the quote."""
+    if quoted_out <= 0:
+        raise ConfigError(f"quoted_out must be positive, got {quoted_out}")
+    return (quoted_out - executed_out) / quoted_out * BPS_DENOMINATOR

@@ -1,0 +1,29 @@
+"""The simulated Jito Explorer: the undocumented API the paper scraped.
+
+:class:`~repro.explorer.service.ExplorerService` reproduces the two endpoints
+the paper reverse engineered: a recent-bundles listing (default page size 200,
+widenable to 50,000) and a bulk transaction-detail endpoint. The service
+enforces per-client rate limits and injected instability windows.
+:mod:`repro.explorer.http_server` exposes the same service over real HTTP for
+end-to-end collector tests.
+"""
+
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.explorer.service import ExplorerConfig, ExplorerService
+from repro.explorer.wire import (
+    bundle_record_from_json,
+    bundle_record_to_json,
+    transaction_record_from_json,
+    transaction_record_to_json,
+)
+
+__all__ = [
+    "BundleRecord",
+    "ExplorerConfig",
+    "ExplorerService",
+    "TransactionRecord",
+    "bundle_record_from_json",
+    "bundle_record_to_json",
+    "transaction_record_from_json",
+    "transaction_record_to_json",
+]

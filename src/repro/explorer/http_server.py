@@ -1,0 +1,268 @@
+"""An asyncio HTTP/1.1 front end for the explorer service.
+
+Exposes the same two endpoints the paper scraped, over a real socket:
+
+- ``GET /api/v1/bundles/recent?limit=N`` — recent bundle listing
+- ``POST /api/v1/transactions`` with body ``{"ids": [...]}`` — bulk details
+- ``GET /healthz`` — liveness probe
+
+Typed service errors map onto HTTP statuses (400 / 429 / 503), which the
+collector's HTTP client maps back into the same typed errors — so the
+collection pipeline behaves identically over the wire and in-process.
+
+:class:`ThreadedExplorerServer` runs the event loop on a daemon thread so
+synchronous tests and examples can exercise the full network path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    BadRequestError,
+    ExplorerError,
+    RateLimitedError,
+    ServiceUnavailableError,
+)
+from repro.explorer.service import ExplorerService
+from repro.explorer.wire import bundle_record_to_json, transaction_record_to_json
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _status_for_error(error: ExplorerError) -> int:
+    if isinstance(error, BadRequestError):
+        return 400
+    if isinstance(error, RateLimitedError):
+        return 429
+    if isinstance(error, ServiceUnavailableError):
+        return 503
+    return 500
+
+
+class ExplorerHttpServer:
+    """Async HTTP server bound to an :class:`ExplorerService`."""
+
+    def __init__(
+        self, service: ExplorerService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after :meth:`start` when requested as 0)."""
+        return self._port
+
+    async def start(self) -> None:
+        """Bind and start serving."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self._port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop serving and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # --- request handling --------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, target, headers, body = request
+            peer = writer.get_extra_info("peername") or ("unknown",)
+            client_id = headers.get("x-client-id", str(peer[0]))
+            status, payload = self._dispatch(method, target, body, client_id)
+        except Exception as exc:  # noqa: BLE001 - server must not crash
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        try:
+            await self._write_response(writer, status, payload)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        if len(head) > _MAX_HEADER_BYTES:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        request_line = lines[0].split(" ")
+        if len(request_line) != 3:
+            return None
+        method, target, _version = request_line
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    def _dispatch(
+        self, method: str, target: str, body: bytes, client_id: str
+    ) -> tuple[int, dict | list]:
+        parts = urlsplit(target)
+        path = parts.path
+        try:
+            if path == "/healthz":
+                return 200, {"status": "ok"}
+            if path == "/api/v1/bundles/recent":
+                if method != "GET":
+                    return 405, {"error": "use GET"}
+                query = parse_qs(parts.query)
+                limit_values = query.get("limit")
+                limit = int(limit_values[0]) if limit_values else None
+                records = self._service.recent_bundles(
+                    limit=limit, client_id=client_id
+                )
+                return 200, {
+                    "bundles": [bundle_record_to_json(r) for r in records]
+                }
+            if path.startswith("/api/v1/bundles/") and path != (
+                "/api/v1/bundles/recent"
+            ):
+                if method != "GET":
+                    return 405, {"error": "use GET"}
+                bundle_id = path.rsplit("/", 1)[-1]
+                record = self._service.bundle(bundle_id, client_id=client_id)
+                if record is None:
+                    return 404, {"error": f"no bundle {bundle_id[:16]}"}
+                return 200, {"bundle": bundle_record_to_json(record)}
+            if path == "/api/v1/transactions":
+                if method != "POST":
+                    return 405, {"error": "use POST"}
+                try:
+                    payload = json.loads(body.decode("utf-8") or "{}")
+                    ids = [str(i) for i in payload["ids"]]
+                except (
+                    json.JSONDecodeError,
+                    KeyError,
+                    TypeError,
+                    UnicodeDecodeError,
+                ) as exc:
+                    raise BadRequestError(f"malformed body: {exc}") from exc
+                records = self._service.transactions(ids, client_id=client_id)
+                return 200, {
+                    "transactions": [
+                        transaction_record_to_json(r) for r in records
+                    ]
+                }
+            return 404, {"error": f"no route {path}"}
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        except ExplorerError as exc:
+            return _status_for_error(exc), {"error": str(exc)}
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict | list
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+class ThreadedExplorerServer:
+    """Runs an :class:`ExplorerHttpServer` on a daemon thread.
+
+    Lets synchronous code (tests, examples, the blocking HTTP client) talk to
+    the async server without managing an event loop. Use as a context
+    manager::
+
+        with ThreadedExplorerServer(service) as server:
+            client = HttpExplorerClient("127.0.0.1", server.port)
+    """
+
+    def __init__(
+        self, service: ExplorerService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._inner = ExplorerHttpServer(service, host, port)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    @property
+    def port(self) -> int:
+        """The bound port once the server has started."""
+        return self._inner.port
+
+    def start(self) -> None:
+        """Start the event loop thread and wait for the socket to bind."""
+        self._loop = asyncio.new_event_loop()
+
+        def run() -> None:
+            assert self._loop is not None
+            asyncio.set_event_loop(self._loop)
+            self._loop.run_until_complete(self._inner.start())
+            self._started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=run, name="explorer-http", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("explorer HTTP server failed to start")
+
+    def stop(self) -> None:
+        """Stop the server and join the thread."""
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self._inner.stop(), self._loop)
+        future.result(timeout=10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ThreadedExplorerServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

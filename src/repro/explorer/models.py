@@ -1,0 +1,49 @@
+"""Wire-level records served by the explorer.
+
+These deliberately mirror what the paper could actually obtain:
+
+- the bundles endpoint exposes only ``bundleId``, the member
+  ``transactionId``s, and the tip — *not* transaction contents;
+- the transaction-detail endpoint exposes execution artifacts (balance
+  deltas, program events) for specific transaction ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BundleRecord:
+    """One landed bundle, as listed by the recent-bundles endpoint."""
+
+    bundle_id: str
+    slot: int
+    landed_at: float
+    tip_lamports: int
+    transaction_ids: tuple[str, ...]
+
+    @property
+    def num_transactions(self) -> int:
+        """Bundle length (1 to 5)."""
+        return len(self.transaction_ids)
+
+
+@dataclass(frozen=True)
+class TransactionRecord:
+    """One executed transaction, as served by the detail endpoint.
+
+    ``signer`` is the fee payer (the paper's notion of the transaction's
+    sender); ``token_deltas`` maps owner -> mint -> signed base-unit change;
+    ``events`` carries structured swap/transfer events.
+    """
+
+    transaction_id: str
+    slot: int
+    block_time: float
+    signer: str
+    signers: tuple[str, ...]
+    fee_lamports: int
+    token_deltas: dict[str, dict[str, int]] = field(default_factory=dict)
+    lamport_deltas: dict[str, int] = field(default_factory=dict)
+    events: tuple[dict, ...] = ()

@@ -1,0 +1,72 @@
+"""JSON encoding/decoding of explorer wire records."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import BadRequestError
+from repro.explorer.models import BundleRecord, TransactionRecord
+
+
+def bundle_record_to_json(record: BundleRecord) -> dict[str, Any]:
+    """Encode a bundle record for the wire."""
+    return {
+        "bundleId": record.bundle_id,
+        "slot": record.slot,
+        "landedAt": record.landed_at,
+        "tipLamports": record.tip_lamports,
+        "transactionIds": list(record.transaction_ids),
+    }
+
+
+def bundle_record_from_json(payload: dict[str, Any]) -> BundleRecord:
+    """Decode a bundle record; raises BadRequestError on malformed payloads."""
+    try:
+        return BundleRecord(
+            bundle_id=str(payload["bundleId"]),
+            slot=int(payload["slot"]),
+            landed_at=float(payload["landedAt"]),
+            tip_lamports=int(payload["tipLamports"]),
+            transaction_ids=tuple(str(t) for t in payload["transactionIds"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BadRequestError(f"malformed bundle record: {exc}") from exc
+
+
+def transaction_record_to_json(record: TransactionRecord) -> dict[str, Any]:
+    """Encode a transaction record for the wire."""
+    return {
+        "transactionId": record.transaction_id,
+        "slot": record.slot,
+        "blockTime": record.block_time,
+        "signer": record.signer,
+        "signers": list(record.signers),
+        "feeLamports": record.fee_lamports,
+        "tokenDeltas": record.token_deltas,
+        "lamportDeltas": record.lamport_deltas,
+        "events": list(record.events),
+    }
+
+
+def transaction_record_from_json(payload: dict[str, Any]) -> TransactionRecord:
+    """Decode a transaction record; raises BadRequestError when malformed."""
+    try:
+        return TransactionRecord(
+            transaction_id=str(payload["transactionId"]),
+            slot=int(payload["slot"]),
+            block_time=float(payload["blockTime"]),
+            signer=str(payload["signer"]),
+            signers=tuple(str(s) for s in payload["signers"]),
+            fee_lamports=int(payload["feeLamports"]),
+            token_deltas={
+                str(owner): {str(mint): int(delta) for mint, delta in mints.items()}
+                for owner, mints in payload["tokenDeltas"].items()
+            },
+            lamport_deltas={
+                str(owner): int(delta)
+                for owner, delta in payload["lamportDeltas"].items()
+            },
+            events=tuple(dict(event) for event in payload["events"]),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise BadRequestError(f"malformed transaction record: {exc}") from exc

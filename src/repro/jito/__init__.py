@@ -1,0 +1,42 @@
+"""Jito substrate: bundles, tips, the block engine, and searcher access.
+
+Implements the validator-client extension the paper measures: searchers
+submit bundles of up to five transactions that execute atomically, in order,
+prioritized by a Jito tip paid to canonical tip accounts. The final ledger
+retains no trace of bundling — bundle structure exists only in the engine's
+own records, served by :mod:`repro.explorer`.
+"""
+
+from repro.jito.block_engine import BlockEngine, BundleOutcome
+from repro.jito.bundle import Bundle
+from repro.jito.relayer import PrivateMempool, Relayer
+from repro.jito.searcher import SearcherClient
+from repro.jito.tip_distribution import (
+    EpochDistribution,
+    TipDistributor,
+    ValidatorPayout,
+)
+from repro.jito.tips import (
+    TipPercentileTracker,
+    build_tip_instruction,
+    extract_tip_lamports,
+    is_tip_only_transaction,
+    tip_accounts,
+)
+
+__all__ = [
+    "BlockEngine",
+    "Bundle",
+    "BundleOutcome",
+    "EpochDistribution",
+    "PrivateMempool",
+    "Relayer",
+    "SearcherClient",
+    "TipDistributor",
+    "ValidatorPayout",
+    "TipPercentileTracker",
+    "build_tip_instruction",
+    "extract_tip_lamports",
+    "is_tip_only_transaction",
+    "tip_accounts",
+]

@@ -1,0 +1,103 @@
+"""Transaction relaying and the private mempool.
+
+Solana's original design has no public mempool; after JitoLabs suspended its
+public one in March 2024, sandwiching is understood to operate via *private*
+validator-adjacent mempools (paper Sections 1 and 2.3). :class:`PrivateMempool`
+models that channel: pending native transactions are visible to subscribed
+searchers, who may *claim* a victim — pull it out of native flow and embed it
+in their own bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jito.bundle import Bundle
+from repro.solana.transaction import Transaction
+
+
+@dataclass
+class PendingTransaction:
+    """A native transaction waiting for the next block."""
+
+    transaction: Transaction
+    submitted_at: float
+
+
+class PrivateMempool:
+    """Pending native transactions, observable by privileged searchers."""
+
+    def __init__(self) -> None:
+        self._pending: dict[str, PendingTransaction] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, tx: Transaction, when: float) -> None:
+        """Queue a native transaction (idempotent per transaction id)."""
+        self._pending.setdefault(
+            tx.transaction_id, PendingTransaction(tx, when)
+        )
+
+    def peek_all(self) -> list[PendingTransaction]:
+        """Searcher view: every pending transaction, oldest first."""
+        return sorted(self._pending.values(), key=lambda p: p.submitted_at)
+
+    def claim(self, tx_id: str) -> Transaction | None:
+        """Atomically remove a transaction for inclusion in a bundle.
+
+        Returns None if another searcher (or the block producer) got there
+        first, so at most one sandwich can claim a given victim.
+        """
+        pending = self._pending.pop(tx_id, None)
+        return pending.transaction if pending else None
+
+    def drain(self) -> list[Transaction]:
+        """Remove and return all pending transactions (block production)."""
+        drained = [p.transaction for p in self.peek_all()]
+        self._pending.clear()
+        return drained
+
+
+class Relayer:
+    """Front door for submissions: native transactions and Jito bundles."""
+
+    def __init__(self, mempool: PrivateMempool) -> None:
+        self._mempool = mempool
+        self._bundle_queue: list[tuple[Bundle, float]] = []
+        self._bundles_submitted = 0
+
+    @property
+    def mempool(self) -> PrivateMempool:
+        """The private mempool native submissions land in."""
+        return self._mempool
+
+    @property
+    def bundles_submitted(self) -> int:
+        """Total bundles ever submitted through this relayer."""
+        return self._bundles_submitted
+
+    def submit_transaction(self, tx: Transaction, when: float) -> None:
+        """Submit a native (unbundled) transaction."""
+        self._mempool.add(tx, when)
+
+    def submit_bundle(self, bundle: Bundle, when: float) -> str:
+        """Submit a bundle; returns its bundle id.
+
+        Bundles cannot be nested — a bundle is an opaque unit here, which is
+        precisely why defensively bundling one's own transaction prevents
+        inclusion in an attacker's bundle (paper Section 3.3).
+        """
+        self._bundle_queue.append((bundle, when))
+        self._bundles_submitted += 1
+        return bundle.bundle_id
+
+    def pending_bundle_count(self) -> int:
+        """Bundles currently queued, waiting for a Jito leader."""
+        return len(self._bundle_queue)
+
+    def take_bundles(self) -> list[tuple[Bundle, float]]:
+        """Hand queued bundles to the block engine (clears the queue)."""
+        taken = self._bundle_queue
+        self._bundle_queue = []
+        return taken

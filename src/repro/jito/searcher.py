@@ -1,0 +1,49 @@
+"""Searcher-facing client, mirroring the shape of Jito's bundle API.
+
+Agents use this facade rather than touching the relayer directly, so the
+submission path in the simulation matches the interface a real searcher
+programs against (``getTipAccounts`` / ``sendBundle``).
+"""
+
+from __future__ import annotations
+
+from repro.jito.bundle import Bundle
+from repro.jito.relayer import Relayer
+from repro.jito.tips import tip_accounts
+from repro.solana.keys import Pubkey
+from repro.solana.transaction import Transaction
+from repro.utils.simtime import SimClock
+
+
+class SearcherClient:
+    """Submit bundles and query tip accounts, as a Jito searcher would."""
+
+    def __init__(self, relayer: Relayer, clock: SimClock, bank=None) -> None:
+        self._relayer = relayer
+        self._clock = clock
+        self._bank = bank
+
+    def get_tip_accounts(self) -> list[Pubkey]:
+        """The canonical tip accounts a searcher may pay."""
+        return list(tip_accounts())
+
+    def send_bundle(self, transactions: list[Transaction]) -> str:
+        """Bundle up to five transactions and submit them; returns bundleId."""
+        bundle = Bundle(transactions=tuple(transactions))
+        return self._relayer.submit_bundle(bundle, self._clock.now())
+
+    def send_transaction(self, tx: Transaction) -> None:
+        """Submit a native (unbundled) transaction."""
+        self._relayer.submit_transaction(tx, self._clock.now())
+
+    def simulate_bundle(self, transactions: list[Transaction]) -> bool:
+        """Dry-run a would-be bundle (Jito's ``simulateBundle``).
+
+        Returns whether it would land atomically against current state.
+        Requires the client to be wired to a bank; raises otherwise.
+        """
+        if self._bank is None:
+            raise ValueError("searcher client has no bank to simulate against")
+        bundle = Bundle(transactions=tuple(transactions))  # validates shape
+        receipts = self._bank.simulate_atomic(bundle.transactions)
+        return bool(receipts) and all(r.success for r in receipts)

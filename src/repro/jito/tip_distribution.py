@@ -1,0 +1,149 @@
+"""Epochal tip distribution: how Jito tips become MEV rewards.
+
+The paper notes Jito "provided reward incentives to validators that ran
+their client (called Jito tips)" and that daily tip revenue has only grown.
+On mainnet, tips accumulate in the canonical tip accounts and are swept each
+epoch by Jito's tip-distribution program: the slot leader's share goes to
+the validator, which takes a commission and passes the remainder to its
+stakers. This module implements that sweep so tip revenue has a destination
+and validator MEV economics can be analyzed end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.solana.bank import Bank
+from repro.solana.keys import Pubkey
+from repro.solana.leader_schedule import Validator
+from repro.jito.tips import tip_accounts
+
+BPS_DENOMINATOR = 10_000
+
+
+def staker_pool_address(validator: Validator) -> Pubkey:
+    """The per-validator account holding the stakers' share of tips."""
+    return Pubkey.from_seed(
+        f"staker-pool:{validator.identity.to_base58()}"
+    )
+
+
+@dataclass(frozen=True)
+class ValidatorPayout:
+    """One validator's share of an epoch's tips."""
+
+    identity: str
+    total_lamports: int
+    commission_lamports: int
+    stakers_lamports: int
+
+
+@dataclass
+class EpochDistribution:
+    """The result of sweeping the tip accounts once."""
+
+    epoch: int
+    swept_lamports: int
+    payouts: list[ValidatorPayout] = field(default_factory=list)
+    residual_lamports: int = 0
+
+    @property
+    def distributed_lamports(self) -> int:
+        """Lamports that reached validators and stakers."""
+        return sum(p.total_lamports for p in self.payouts)
+
+
+class TipDistributor:
+    """Sweeps the tip accounts each epoch, stake-weighted with commission.
+
+    Attribution note: real distribution is per-slot-leader; this simulator
+    distributes each epoch's pooled tips pro-rata by stake among the
+    Jito-running validators, which is equivalent in expectation under
+    stake-weighted leader selection and avoids per-slot bookkeeping.
+    """
+
+    def __init__(
+        self,
+        bank: Bank,
+        validators: list[Validator],
+        commission_bps: int = 800,
+    ) -> None:
+        if not 0 <= commission_bps <= BPS_DENOMINATOR:
+            raise ConfigError(
+                f"commission must be in [0, 10000] bps, got {commission_bps}"
+            )
+        jito_validators = [v for v in validators if v.runs_jito]
+        if not jito_validators:
+            raise ConfigError("no Jito-running validators to distribute to")
+        self._bank = bank
+        self._validators = jito_validators
+        self._commission_bps = commission_bps
+        self._total_stake = sum(v.stake_lamports for v in jito_validators)
+        self._epochs_distributed = 0
+        self.history: list[EpochDistribution] = []
+
+    @property
+    def commission_bps(self) -> int:
+        """Validator commission on distributed tips."""
+        return self._commission_bps
+
+    def pending_lamports(self) -> int:
+        """Tips currently sitting in the canonical tip accounts."""
+        return sum(
+            self._bank.lamport_balance(account) for account in tip_accounts()
+        )
+
+    def distribute_epoch(self) -> EpochDistribution:
+        """Sweep the tip accounts and pay validators and stakers.
+
+        Integer pro-rata shares round down; the residual dust stays in the
+        first tip account rather than being minted or burned, so lamports
+        are conserved exactly.
+        """
+        self._epochs_distributed += 1
+        swept = 0
+        first_account = tip_accounts()[0]
+        for account in tip_accounts():
+            balance = self._bank.lamport_balance(account)
+            if balance <= 0:
+                continue
+            if account != first_account:
+                self._bank.transfer_lamports(account, first_account, balance)
+            swept += balance
+
+        distribution = EpochDistribution(
+            epoch=self._epochs_distributed, swept_lamports=swept
+        )
+        if swept == 0:
+            self.history.append(distribution)
+            return distribution
+
+        paid_total = 0
+        for validator in self._validators:
+            share = swept * validator.stake_lamports // self._total_stake
+            if share <= 0:
+                continue
+            commission = share * self._commission_bps // BPS_DENOMINATOR
+            stakers = share - commission
+            if commission > 0:
+                self._bank.transfer_lamports(
+                    first_account, validator.identity, commission
+                )
+            if stakers > 0:
+                self._bank.transfer_lamports(
+                    first_account, staker_pool_address(validator), stakers
+                )
+            distribution.payouts.append(
+                ValidatorPayout(
+                    identity=validator.identity.to_base58(),
+                    total_lamports=share,
+                    commission_lamports=commission,
+                    stakers_lamports=stakers,
+                )
+            )
+            paid_total += share
+        distribution.residual_lamports = swept - paid_total
+        self._bank.finalize_out_of_band()
+        self.history.append(distribution)
+        return distribution

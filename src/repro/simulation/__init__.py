@@ -1,0 +1,18 @@
+"""Scenario configuration and the day-loop simulation engine."""
+
+from repro.simulation.config import ScenarioConfig, TrendSpec
+from repro.simulation.downtime import DowntimeSchedule, DowntimeWindow
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.results import SimulationWorld
+from repro.simulation.scenario import paper_scenario, small_scenario
+
+__all__ = [
+    "DowntimeSchedule",
+    "DowntimeWindow",
+    "ScenarioConfig",
+    "SimulationEngine",
+    "SimulationWorld",
+    "TrendSpec",
+    "paper_scenario",
+    "small_scenario",
+]

@@ -1,0 +1,140 @@
+"""Scenario configuration: intensities, trends, and scale factors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.population import PopulationConfig
+from repro.constants import CAMPAIGN_DAYS, PAPER_BUNDLES_PER_DAY
+from repro.dex.market import MarketConfig
+from repro.errors import ConfigError
+from repro.utils.distributions import geometric_daily, interpolate_daily
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class TrendSpec:
+    """A per-day intensity: endpoints, interpolation kind, and noise.
+
+    ``kind`` is one of ``"flat"``, ``"linear"``, ``"geometric"``; noise is a
+    multiplicative lognormal-ish jitter of ±``noise`` (relative).
+    """
+
+    start: float
+    end: float | None = None
+    kind: str = "flat"
+    noise: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"flat", "linear", "geometric"}:
+            raise ConfigError(f"unknown trend kind {self.kind!r}")
+        if self.start < 0:
+            raise ConfigError(f"trend start must be >= 0, got {self.start}")
+        if not 0.0 <= self.noise < 1.0:
+            raise ConfigError(f"trend noise must be in [0, 1), got {self.noise}")
+
+    def mean_on_day(self, day: int, total_days: int) -> float:
+        """Noise-free intensity on ``day``."""
+        end = self.start if self.end is None else self.end
+        if self.kind == "flat":
+            return self.start
+        if self.kind == "linear":
+            return interpolate_daily(self.start, end, day, total_days)
+        return geometric_daily(max(self.start, 1e-9), max(end, 1e-9), day, total_days)
+
+    def sample_count(self, day: int, total_days: int, rng: DeterministicRNG) -> int:
+        """Integer event count for ``day``, with multiplicative jitter."""
+        mean = self.mean_on_day(day, total_days)
+        if self.noise > 0:
+            mean *= rng.uniform(1.0 - self.noise, 1.0 + self.noise)
+        base = int(mean)
+        if rng.random() < (mean - base):
+            base += 1
+        return max(base, 0)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything that defines one simulated campaign.
+
+    Default intensities are calibrated (at laptop scale) to the paper's
+    proportions: a length-1-dominated bundle mix with ~86% of length-1
+    bundles defensive, length-3 bundles near 2.77% of the total, sandwich
+    attacks decaying ~15x over the period while defensive bundling rises.
+    """
+
+    seed: int = 2025
+    days: int = 14
+    blocks_per_day: int = 24
+    # Per-day event intensities by class.
+    retail_per_day: TrendSpec = field(default_factory=lambda: TrendSpec(120.0))
+    defensive_per_day: TrendSpec = field(
+        default_factory=lambda: TrendSpec(1_500.0, 2_200.0, kind="linear")
+    )
+    priority_per_day: TrendSpec = field(default_factory=lambda: TrendSpec(300.0))
+    arbitrage_per_day: TrendSpec = field(default_factory=lambda: TrendSpec(620.0))
+    app_bundles_per_day: TrendSpec = field(default_factory=lambda: TrendSpec(80.0))
+    sandwiches_per_day: TrendSpec = field(
+        default_factory=lambda: TrendSpec(150.0, 10.0, kind="geometric")
+    )
+    disguised_per_day: TrendSpec = field(default_factory=lambda: TrendSpec(2.0))
+    # Opportunistic mempool scans per day (the public-mempool era; 0 = the
+    # private-era world the paper measured).
+    opportunist_scans_per_day: TrendSpec = field(
+        default_factory=lambda: TrendSpec(0.0, noise=0.0)
+    )
+    # Spike days: short demand bursts that overflow the explorer's window
+    # (the paper's "spikes in usage" that break successive-poll overlap).
+    spike_probability: float = 0.05
+    spike_multiplier: float = 3.0
+    market: MarketConfig = field(default_factory=MarketConfig)
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    num_validators: int = 20
+    jito_validator_fraction: float = 0.97
+    # Epochal tip distribution (Jito MEV rewards): every N days, sweep the
+    # tip accounts to validators and their stakers. 0 disables the sweep.
+    tip_epoch_days: int = 0
+    tip_commission_bps: int = 800
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent settings."""
+        if self.days < 1:
+            raise ConfigError(f"need at least one day, got {self.days}")
+        if self.blocks_per_day < 1:
+            raise ConfigError(
+                f"need at least one block per day, got {self.blocks_per_day}"
+            )
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ConfigError("spike_probability must be in [0, 1]")
+        if self.spike_multiplier < 1.0:
+            raise ConfigError("spike_multiplier must be >= 1")
+        if self.tip_epoch_days < 0:
+            raise ConfigError("tip_epoch_days must be >= 0 (0 disables)")
+        if not 0 <= self.tip_commission_bps <= 10_000:
+            raise ConfigError("tip_commission_bps must be in [0, 10000]")
+        self.market.validate()
+
+    def expected_bundles_per_day(self) -> float:
+        """Rough mean daily bundle count (for scale-factor reporting)."""
+        total_days = self.days
+        classes = [
+            self.defensive_per_day,
+            self.priority_per_day,
+            self.arbitrage_per_day,
+            self.app_bundles_per_day,
+            self.sandwiches_per_day,
+            self.disguised_per_day,
+        ]
+        per_day = [
+            sum(spec.mean_on_day(day, total_days) for spec in classes)
+            for day in range(total_days)
+        ]
+        return sum(per_day) / len(per_day)
+
+    def bundle_scale_factor(self) -> float:
+        """How many real bundles one simulated bundle stands for."""
+        return PAPER_BUNDLES_PER_DAY / self.expected_bundles_per_day()
+
+    def day_scale_factor(self) -> float:
+        """How many campaign days one simulated day stands for."""
+        return CAMPAIGN_DAYS / self.days

@@ -1,0 +1,100 @@
+"""Collection-downtime schedule.
+
+The paper's collection "was down due to instability or changes to the Jito
+interface, bugs in our code, or other transient errors", visible as shaded
+gaps in Figures 1 and 2. The simulation injects such windows: while a window
+is active the explorer returns 503s, so the collector misses whatever lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class DowntimeWindow:
+    """A half-open interval of days [start_day, end_day) with no collection."""
+
+    start_day: float
+    end_day: float
+    reason: str = "transient error"
+
+    def __post_init__(self) -> None:
+        if self.end_day <= self.start_day:
+            raise ConfigError(
+                f"downtime window must have positive length: "
+                f"[{self.start_day}, {self.end_day})"
+            )
+
+    def contains_day_fraction(self, day_fraction: float) -> bool:
+        """Whether a fractional day offset falls inside the window."""
+        return self.start_day <= day_fraction < self.end_day
+
+
+class DowntimeSchedule:
+    """All injected downtime windows for one campaign."""
+
+    def __init__(self, windows: list[DowntimeWindow] | None = None) -> None:
+        self._windows = sorted(windows or [], key=lambda w: w.start_day)
+
+    @property
+    def windows(self) -> list[DowntimeWindow]:
+        """All windows, sorted by start (a copy)."""
+        return list(self._windows)
+
+    def is_down(self, day_fraction: float) -> bool:
+        """Whether collection is down at this fractional day offset."""
+        return any(w.contains_day_fraction(day_fraction) for w in self._windows)
+
+    def affected_days(self) -> set[int]:
+        """Integer day indexes touched by any window (for graph shading)."""
+        days: set[int] = set()
+        for window in self._windows:
+            day = int(window.start_day)
+            while day < window.end_day:
+                days.add(day)
+                day += 1
+        return days
+
+    @classmethod
+    def sample(
+        cls,
+        rng: DeterministicRNG,
+        total_days: int,
+        num_windows: int = 3,
+        min_length_days: float = 0.5,
+        max_length_days: float = 3.0,
+    ) -> "DowntimeSchedule":
+        """Draw a plausible schedule: a few multi-day gaps, non-adjacent."""
+        if total_days < 4 or num_windows == 0:
+            return cls([])
+        rng = rng.child("downtime")
+        windows: list[DowntimeWindow] = []
+        attempts = 0
+        reasons = [
+            "Jito interface change",
+            "collector bug",
+            "transient network error",
+        ]
+        while len(windows) < num_windows and attempts < 50:
+            attempts += 1
+            start = rng.uniform(1.0, max(total_days - max_length_days - 1, 1.5))
+            length = rng.uniform(min_length_days, max_length_days)
+            candidate = DowntimeWindow(
+                start_day=start,
+                end_day=min(start + length, total_days - 0.5),
+                reason=reasons[len(windows) % len(reasons)],
+            )
+            overlaps = any(
+                not (
+                    candidate.end_day + 1 <= w.start_day
+                    or w.end_day + 1 <= candidate.start_day
+                )
+                for w in windows
+            )
+            if not overlaps:
+                windows.append(candidate)
+        return cls(windows)

@@ -1,0 +1,86 @@
+"""The assembled simulation world and its run artifacts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.base import AgentContext, GroundTruth
+from repro.agents.population import Population
+from repro.dex.market import Market
+from repro.dex.oracle import PriceOracle
+from repro.dex.router import Router
+from repro.jito.block_engine import BlockEngine
+from repro.jito.relayer import PrivateMempool, Relayer
+from repro.jito.searcher import SearcherClient
+from repro.simulation.config import ScenarioConfig
+from repro.simulation.downtime import DowntimeSchedule
+from repro.solana.bank import Bank
+from repro.solana.leader_schedule import LeaderSchedule
+from repro.solana.ledger import Ledger
+from repro.utils.simtime import SimClock
+
+
+@dataclass
+class DayStats:
+    """Per-day generation statistics recorded by the engine."""
+
+    day: int
+    date: str
+    events_by_class: dict[str, int] = field(default_factory=dict)
+    bundles_generated: int = 0
+    is_spike: bool = False
+
+
+@dataclass
+class SimulationWorld:
+    """Every live component of one simulated campaign, post-run.
+
+    This is the "ground truth side" of the reproduction: the collector and
+    detector never see this object — they see only what the explorer API
+    serves — but analyses compare their outputs against it.
+    """
+
+    config: ScenarioConfig
+    clock: SimClock
+    bank: Bank
+    market: Market
+    router: Router
+    oracle: PriceOracle
+    ledger: Ledger
+    mempool: PrivateMempool
+    relayer: Relayer
+    schedule: LeaderSchedule
+    block_engine: BlockEngine
+    searcher: SearcherClient
+    ground_truth: GroundTruth
+    population: Population
+    ctx: AgentContext
+    downtime: DowntimeSchedule
+    day_stats: list[DayStats] = field(default_factory=list)
+    spike_days: set[int] = field(default_factory=set)
+
+    @property
+    def bundles_landed(self) -> int:
+        """Total bundles that made it into blocks."""
+        return self.block_engine.stats.bundles_landed
+
+    @property
+    def transactions_landed(self) -> int:
+        """Total transactions committed to the ledger."""
+        return self.ledger.transaction_count()
+
+    def summary(self) -> dict:
+        """A compact run summary for logs and examples."""
+        stats = self.block_engine.stats
+        return {
+            "days": self.config.days,
+            "blocks": stats.blocks_produced,
+            "bundles_landed": stats.bundles_landed,
+            "bundles_dropped": stats.bundles_dropped,
+            "native_landed": stats.native_landed,
+            "native_dropped": stats.native_dropped,
+            "transactions": self.transactions_landed,
+            "landed_by_length": dict(sorted(stats.landed_by_length.items())),
+            "spike_days": sorted(self.spike_days),
+            "downtime_days": sorted(self.downtime.affected_days()),
+        }

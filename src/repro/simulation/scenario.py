@@ -1,0 +1,45 @@
+"""Canonical scenarios: the paper-calibrated campaign and a fast test one."""
+
+from __future__ import annotations
+
+from repro.constants import CAMPAIGN_DAYS
+from repro.simulation.config import ScenarioConfig, TrendSpec
+
+
+def paper_scenario(seed: int = 2025, days: int = CAMPAIGN_DAYS) -> ScenarioConfig:
+    """The full reproduction scenario: 120 days at laptop scale.
+
+    Scale notes (documented in DESIGN.md): the bulk bundle population is
+    scaled roughly 1:10,000 versus the paper's 14.8M bundles/day, while the
+    sandwich series is scaled roughly 1:100 so loss/tip *distributions* keep
+    enough samples. Counts are extrapolated back to paper scale by
+    :mod:`repro.analysis.extrapolate` using the recorded factors.
+    """
+    return ScenarioConfig(
+        seed=seed,
+        days=days,
+        blocks_per_day=48,
+        retail_per_day=TrendSpec(60.0),
+        defensive_per_day=TrendSpec(850.0, 1_400.0, kind="linear"),
+        priority_per_day=TrendSpec(180.0),
+        arbitrage_per_day=TrendSpec(350.0),
+        app_bundles_per_day=TrendSpec(70.0),
+        sandwiches_per_day=TrendSpec(60.0, 4.0, kind="geometric"),
+        disguised_per_day=TrendSpec(1.5),
+    )
+
+
+def small_scenario(seed: int = 7, days: int = 5) -> ScenarioConfig:
+    """A minutes-scale scenario for tests and examples."""
+    return ScenarioConfig(
+        seed=seed,
+        days=days,
+        blocks_per_day=24,
+        retail_per_day=TrendSpec(12.0),
+        defensive_per_day=TrendSpec(80.0, 140.0, kind="linear"),
+        priority_per_day=TrendSpec(18.0),
+        arbitrage_per_day=TrendSpec(35.0),
+        app_bundles_per_day=TrendSpec(8.0),
+        sandwiches_per_day=TrendSpec(25.0, 6.0, kind="geometric"),
+        disguised_per_day=TrendSpec(0.6),
+    )

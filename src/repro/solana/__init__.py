@@ -1,0 +1,36 @@
+"""Solana ledger substrate: keys, transactions, programs, bank, and blocks.
+
+This package implements, from scratch, the slice of Solana semantics the
+paper's measurement pipeline depends on: accounts holding lamports, an
+SPL-style token layer, atomic transaction execution with base + priority
+fees, 400 ms slots with a stake-weighted leader schedule, and per-transaction
+balance-change receipts (the raw material for sandwich detection).
+"""
+
+from repro.solana.accounts import Account
+from repro.solana.bank import Bank, TransactionReceipt
+from repro.solana.blocks import Block
+from repro.solana.instruction import AccountMeta, Instruction
+from repro.solana.keys import Keypair, Pubkey, Signature
+from repro.solana.ledger import Ledger
+from repro.solana.leader_schedule import LeaderSchedule, Validator
+from repro.solana.tokens import Mint
+from repro.solana.transaction import Message, Transaction
+
+__all__ = [
+    "Account",
+    "AccountMeta",
+    "Bank",
+    "Block",
+    "Instruction",
+    "Keypair",
+    "LeaderSchedule",
+    "Ledger",
+    "Message",
+    "Mint",
+    "Pubkey",
+    "Signature",
+    "Transaction",
+    "TransactionReceipt",
+    "Validator",
+]

@@ -1,0 +1,35 @@
+"""Account state held by the bank."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.solana.instruction import SYSTEM_PROGRAM_ID
+from repro.solana.keys import Pubkey
+
+
+@dataclass
+class Account:
+    """A ledger account: a lamport balance plus an owning program.
+
+    Token balances are tracked separately by the bank's token ledger (this
+    simulator models associated token accounts implicitly, keyed by
+    ``(owner, mint)``), so ``data`` is only used by programs that need
+    scratch state.
+    """
+
+    lamports: int = 0
+    owner: Pubkey = SYSTEM_PROGRAM_ID
+    data: dict = field(default_factory=dict)
+
+    def credit(self, amount: int) -> None:
+        """Add lamports to the account."""
+        if amount < 0:
+            raise ValueError(f"credit must be non-negative, got {amount}")
+        self.lamports += amount
+
+    def debit(self, amount: int) -> None:
+        """Remove lamports; the caller is responsible for balance checks."""
+        if amount < 0:
+            raise ValueError(f"debit must be non-negative, got {amount}")
+        self.lamports -= amount

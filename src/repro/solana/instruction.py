@@ -1,0 +1,45 @@
+"""Instructions, account metas, and well-known program addresses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.solana.keys import Pubkey
+
+# Well-known program addresses (deterministic, simulation-local).
+SYSTEM_PROGRAM_ID = Pubkey.from_seed("program:system")
+TOKEN_PROGRAM_ID = Pubkey.from_seed("program:spl-token")
+COMPUTE_BUDGET_PROGRAM_ID = Pubkey.from_seed("program:compute-budget")
+DEX_PROGRAM_ID = Pubkey.from_seed("program:dex-amm")
+MEMO_PROGRAM_ID = Pubkey.from_seed("program:memo")
+
+
+@dataclass(frozen=True)
+class AccountMeta:
+    """One account referenced by an instruction."""
+
+    pubkey: Pubkey
+    is_signer: bool = False
+    is_writable: bool = False
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single program invocation.
+
+    ``data`` carries the program-specific payload; this simulator encodes
+    payloads as UTF-8 JSON produced by each program's builder functions, so
+    instructions remain introspectable in tests and stored records.
+    """
+
+    program_id: Pubkey
+    accounts: tuple[AccountMeta, ...] = field(default_factory=tuple)
+    data: bytes = b""
+
+    def signer_keys(self) -> list[Pubkey]:
+        """All accounts this instruction requires signatures from."""
+        return [meta.pubkey for meta in self.accounts if meta.is_signer]
+
+    def writable_keys(self) -> list[Pubkey]:
+        """All accounts this instruction may mutate."""
+        return [meta.pubkey for meta in self.accounts if meta.is_writable]

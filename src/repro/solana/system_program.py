@@ -1,0 +1,72 @@
+"""The system program: native lamport transfers.
+
+Jito tips are plain system transfers to one of the canonical tip accounts,
+so this program is on the hot path of both attack and defensive bundles.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ProgramError
+from repro.solana.instruction import SYSTEM_PROGRAM_ID, AccountMeta, Instruction
+from repro.solana.keys import Pubkey
+from repro.solana.program import BankView
+
+
+def transfer(source: Pubkey, dest: Pubkey, lamports: int) -> Instruction:
+    """Build a lamport transfer instruction (source must sign)."""
+    if lamports <= 0:
+        raise ValueError(f"transfer amount must be positive, got {lamports}")
+    payload = {"op": "transfer", "lamports": lamports}
+    return Instruction(
+        program_id=SYSTEM_PROGRAM_ID,
+        accounts=(
+            AccountMeta(source, is_signer=True, is_writable=True),
+            AccountMeta(dest, is_writable=True),
+        ),
+        data=json.dumps(payload, sort_keys=True).encode(),
+    )
+
+
+def process(bank: BankView, instruction: Instruction) -> None:
+    """Execute a system-program instruction.
+
+    Raises:
+        ProgramError: on malformed payloads or missing signatures; balance
+            failures surface as :class:`InsufficientFundsError` from the bank.
+    """
+    try:
+        payload = json.loads(instruction.data.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProgramError(f"system program: malformed payload: {exc}") from exc
+
+    op = payload.get("op")
+    if op != "transfer":
+        raise ProgramError(f"system program: unknown op {op!r}")
+    if len(instruction.accounts) != 2:
+        raise ProgramError(
+            f"system transfer expects 2 accounts, got {len(instruction.accounts)}"
+        )
+
+    source = instruction.accounts[0].pubkey
+    dest = instruction.accounts[1].pubkey
+    if not bank.is_signer(source):
+        raise ProgramError(
+            f"system transfer source {source.to_base58()} did not sign"
+        )
+
+    lamports = int(payload["lamports"])
+    bank.transfer_lamports(source, dest, lamports)
+    bank.emit_event(
+        {
+            "type": "transfer",
+            "source": source.to_base58(),
+            "dest": dest.to_base58(),
+            "lamports": lamports,
+        }
+    )
+    bank.log(
+        f"system: transfer {lamports} lamports "
+        f"{source.to_base58()[:8]} -> {dest.to_base58()[:8]}"
+    )

@@ -1,0 +1,47 @@
+"""Token mints.
+
+The paper's detection criteria reason about "the same set of minted coins
+being traded" across a bundle; a :class:`Mint` is the identity of one such
+coin. SOL itself is represented by the sentinel :data:`SOL_MINT` so that
+trade extraction can treat native and token legs uniformly (Solana does the
+same via wrapped SOL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.solana.keys import Pubkey
+
+
+@dataclass(frozen=True)
+class Mint:
+    """A token type: address, display symbol, and decimal precision."""
+
+    address: Pubkey
+    symbol: str
+    decimals: int = 9
+
+    @classmethod
+    def from_symbol(cls, symbol: str, decimals: int = 9) -> "Mint":
+        """Derive a deterministic mint for a symbol (test/simulation use)."""
+        return cls(
+            address=Pubkey.from_seed(f"mint:{symbol}"),
+            symbol=symbol,
+            decimals=decimals,
+        )
+
+    def to_base_units(self, ui_amount: float) -> int:
+        """Convert a UI amount (e.g. 1.5 SOL) to integer base units."""
+        return int(round(ui_amount * 10**self.decimals))
+
+    def to_ui_amount(self, base_units: int) -> float:
+        """Convert integer base units to a UI amount."""
+        return base_units / 10**self.decimals
+
+    def __str__(self) -> str:
+        return self.symbol
+
+
+SOL_MINT = Mint(address=Pubkey.from_seed("mint:SOL-native"), symbol="SOL", decimals=9)
+"""Sentinel mint for native SOL (analogous to wrapped SOL)."""

@@ -1,0 +1,53 @@
+"""Base58 encoding and decoding (Bitcoin/Solana alphabet).
+
+Solana public keys and transaction signatures are conventionally rendered in
+base58. This is a from-scratch implementation with no dependencies.
+"""
+
+from __future__ import annotations
+
+ALPHABET = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+_INDEX = {char: i for i, char in enumerate(ALPHABET)}
+
+
+def b58encode(data: bytes) -> str:
+    """Encode ``data`` as a base58 string using the Bitcoin alphabet.
+
+    Leading zero bytes are encoded as leading ``'1'`` characters, matching
+    the standard used by Solana for public keys.
+    """
+    leading_zeros = 0
+    for byte in data:
+        if byte != 0:
+            break
+        leading_zeros += 1
+
+    value = int.from_bytes(data, "big")
+    digits: list[str] = []
+    while value > 0:
+        value, remainder = divmod(value, 58)
+        digits.append(ALPHABET[remainder])
+    return "1" * leading_zeros + "".join(reversed(digits))
+
+
+def b58decode(encoded: str) -> bytes:
+    """Decode a base58 string back to bytes.
+
+    Raises:
+        ValueError: if ``encoded`` contains characters outside the alphabet.
+    """
+    leading_ones = 0
+    for char in encoded:
+        if char != "1":
+            break
+        leading_ones += 1
+
+    value = 0
+    for char in encoded:
+        try:
+            value = value * 58 + _INDEX[char]
+        except KeyError:
+            raise ValueError(f"invalid base58 character: {char!r}") from None
+
+    body = value.to_bytes((value.bit_length() + 7) // 8, "big") if value else b""
+    return b"\x00" * leading_ones + body

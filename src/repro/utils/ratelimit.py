@@ -1,0 +1,81 @@
+"""Token-bucket rate limiting.
+
+Used on both sides of the measurement pipeline: the simulated Jito Explorer
+enforces per-client request limits (the paper notes RPC providers cap calls
+and "compute units"), and the collector throttles itself to the paper's
+two-minute cadence to keep "reasonable load on Jito's servers".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+
+
+class TokenBucket:
+    """Classic token-bucket limiter driven by an injectable time source.
+
+    The bucket holds at most ``capacity`` tokens and refills at ``rate``
+    tokens per second. Each admitted request consumes tokens; a request that
+    cannot be satisfied is rejected without consuming anything.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        time_fn: Callable[[], float],
+    ) -> None:
+        if rate <= 0:
+            raise ConfigError(f"token rate must be positive, got {rate}")
+        if capacity <= 0:
+            raise ConfigError(f"bucket capacity must be positive, got {capacity}")
+        self._rate = rate
+        self._capacity = capacity
+        self._time_fn = time_fn
+        self._tokens = capacity
+        self._last_refill = time_fn()
+
+    @property
+    def capacity(self) -> float:
+        """Maximum number of tokens the bucket can hold."""
+        return self._capacity
+
+    def _refill(self) -> None:
+        now = self._time_fn()
+        elapsed = max(0.0, now - self._last_refill)
+        self._tokens = min(self._capacity, self._tokens + elapsed * self._rate)
+        self._last_refill = now
+
+    def available(self) -> float:
+        """Tokens currently available (after refill accounting)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` if available; return whether admission succeeded."""
+        if tokens <= 0:
+            raise ConfigError(f"must acquire a positive token count, got {tokens}")
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def seconds_until_available(self, tokens: float = 1.0) -> float:
+        """How long a caller must wait before ``tokens`` would be admitted.
+
+        Returns 0.0 if the request would be admitted right now. Requests
+        larger than the bucket capacity can never be admitted; for those this
+        raises :class:`ConfigError` rather than returning infinity silently.
+        """
+        if tokens > self._capacity:
+            raise ConfigError(
+                f"requested {tokens} tokens exceeds capacity {self._capacity}"
+            )
+        self._refill()
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self._rate

@@ -1,0 +1,87 @@
+"""JSON/JSONL persistence helpers.
+
+The collector persists bundle and transaction records as JSON-lines so a
+four-month campaign can be checkpointed and re-analyzed offline, mirroring
+how the paper's scraper archived its pulls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, TypeVar
+
+from repro.errors import StoreError
+
+T = TypeVar("T")
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses / tuples / sets into JSON-safe values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(to_jsonable(item) for item in obj)
+    if isinstance(obj, bytes):
+        return obj.hex()
+    return obj
+
+
+def dumps(obj: Any) -> str:
+    """Serialize any supported object to a compact JSON string."""
+    return json.dumps(to_jsonable(obj), separators=(",", ":"), sort_keys=True)
+
+
+def write_jsonl(path: str | Path, records: Iterable[Any]) -> int:
+    """Write records to a JSON-lines file; returns the number written.
+
+    Raises:
+        StoreError: if the destination cannot be written.
+    """
+    target = Path(path)
+    count = 0
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(dumps(record))
+                handle.write("\n")
+                count += 1
+    except OSError as exc:
+        raise StoreError(f"cannot write JSONL to {target}: {exc}") from exc
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield parsed records from a JSON-lines file.
+
+    Blank lines are skipped. Raises:
+        StoreError: if the file is missing or a line is not valid JSON.
+    """
+    target = Path(path)
+    if not target.exists():
+        raise StoreError(f"JSONL file not found: {target}")
+    with target.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StoreError(
+                    f"invalid JSON at {target}:{line_number}: {exc}"
+                ) from exc
+
+
+def read_jsonl_as(path: str | Path, factory: Callable[[dict[str, Any]], T]) -> list[T]:
+    """Read a JSONL file and map each record through ``factory``."""
+    return [factory(record) for record in read_jsonl(path)]

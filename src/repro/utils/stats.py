@@ -1,0 +1,154 @@
+"""Empirical statistics: CDFs, percentiles, and summary descriptors.
+
+The paper's Figures 3 and 4 are cumulative distributions; this module is the
+single implementation both the analysis layer and the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of pre-sorted values.
+
+    Raises:
+        ConfigError: on an empty input or out-of-range ``q``.
+    """
+    if not sorted_values:
+        raise ConfigError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigError(f"percentile q must be in [0, 100], got {q}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(sorted_values[low])
+    frac = rank - low
+    low_value = float(sorted_values[low])
+    high_value = float(sorted_values[high])
+    # a + (b - a) * f is monotone in f under floating-point rounding,
+    # unlike a * (1 - f) + b * f, which can wobble by an ulp.
+    return low_value + (high_value - low_value) * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one sample."""
+
+    count: int
+    total: float
+    mean: float
+    median: float
+    p05: float
+    p25: float
+    p75: float
+    p95: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``.
+
+    Raises:
+        ConfigError: if ``values`` is empty.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ConfigError("summarize of empty sequence")
+    total = sum(data)
+    return Summary(
+        count=len(data),
+        total=total,
+        mean=total / len(data),
+        median=percentile(data, 50),
+        p05=percentile(data, 5),
+        p25=percentile(data, 25),
+        p75=percentile(data, 75),
+        p95=percentile(data, 95),
+        minimum=data[0],
+        maximum=data[-1],
+    )
+
+
+class Cdf:
+    """Empirical cumulative distribution function over a finite sample.
+
+    Supports the two queries the paper's figures need: the fraction of the
+    sample at or below a value (e.g. "86% of length-one bundles tip at most
+    100,000 lamports") and the value at a quantile (e.g. the median victim
+    loss).
+    """
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values = sorted(float(v) for v in values)
+        if not self._values:
+            raise ConfigError("Cdf requires a non-empty sample")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        """The sorted sample (a copy)."""
+        return list(self._values)
+
+    def fraction_at_or_below(self, x: float) -> float:
+        """P(X <= x) under the empirical distribution."""
+        return bisect.bisect_right(self._values, x) / len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        return percentile(self._values, q * 100.0)
+
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.quantile(0.5)
+
+    def points(self, n: int = 100) -> list[tuple[float, float]]:
+        """Sample ``n`` (value, cumulative-fraction) points for plotting.
+
+        Points are evenly spaced in quantile space, so heavy tails remain
+        visible. The final point is always (max, 1.0).
+        """
+        if n < 2:
+            raise ConfigError(f"need at least 2 CDF points, got {n}")
+        out: list[tuple[float, float]] = []
+        for i in range(n):
+            q = i / (n - 1)
+            out.append((self.quantile(q), q))
+        return out
+
+    def log_points(self, n: int = 100) -> list[tuple[float, float]]:
+        """CDF points evenly spaced in *log value* space (for log-x plots).
+
+        Only meaningful for strictly positive samples; zero/negative values
+        are clamped to the smallest positive value present.
+        """
+        positives = [v for v in self._values if v > 0]
+        if not positives:
+            raise ConfigError("log_points requires at least one positive value")
+        if n < 2:
+            raise ConfigError(f"need at least 2 CDF points, got {n}")
+        low = math.log10(positives[0])
+        high = math.log10(positives[-1])
+        if high <= low:
+            return [(positives[0], self.fraction_at_or_below(positives[0]))]
+        out = []
+        for i in range(n):
+            x = 10 ** (low + (high - low) * i / (n - 1))
+            out.append((x, self.fraction_at_or_below(x)))
+        # Pin the endpoint: float rounding of 10**log10(max) can land a hair
+        # below the true maximum, leaving the final fraction short of 1.
+        out[-1] = (positives[-1], self.fraction_at_or_below(positives[-1]))
+        return out

@@ -1,0 +1,91 @@
+"""Wallet pool and ground-truth registry tests."""
+
+import pytest
+
+from repro.agents.base import GeneratedBundle, GroundTruth, Label, WalletPool
+from repro.solana.bank import Bank
+from repro.solana.keys import Keypair, Pubkey
+from repro.solana.tokens import SOL_MINT
+from repro.utils.rng import DeterministicRNG
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRNG(77)
+
+
+class TestWalletPool:
+    def test_deterministic_wallets(self):
+        bank = Bank()
+        a = WalletPool(bank, "pool", 5)
+        b = WalletPool(bank, "pool", 5)
+        assert a.find(b.pick(DeterministicRNG(1)).pubkey)
+
+    def test_pick_two_distinct(self, rng):
+        pool = WalletPool(Bank(), "pool", 5)
+        first, second = pool.pick_two_distinct(rng)
+        assert first.pubkey != second.pubkey
+
+    def test_find_unknown_raises(self):
+        pool = WalletPool(Bank(), "pool", 2)
+        with pytest.raises(KeyError):
+            pool.find(Keypair("stranger").pubkey)
+
+    def test_ensure_lamports_credits_fully(self, rng):
+        bank = Bank()
+        pool = WalletPool(bank, "pool", 1)
+        wallet = pool.pick(rng)
+        pool.ensure_lamports(wallet, 1_000)
+        pool.ensure_lamports(wallet, 1_000)
+        # Credits stack: two pending submissions are both covered.
+        assert bank.lamport_balance(wallet.pubkey) == 2_000
+
+    def test_ensure_tokens_credits_fully(self, rng):
+        bank = Bank()
+        pool = WalletPool(bank, "pool", 1)
+        wallet = pool.pick(rng)
+        pool.ensure_tokens(wallet, SOL_MINT.address, 500)
+        pool.ensure_tokens(wallet, SOL_MINT.address, 500)
+        assert bank.token_balance(wallet.pubkey, SOL_MINT.address) == 1_000
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            WalletPool(Bank(), "pool", 0)
+
+
+class TestGroundTruth:
+    def make_record(self, bundle_id: str, label: Label) -> GeneratedBundle:
+        return GeneratedBundle(
+            bundle_id=bundle_id,
+            label=label,
+            length=1,
+            tip_lamports=1_000,
+            day=0,
+        )
+
+    def test_record_and_lookup(self):
+        truth = GroundTruth()
+        truth.record(self.make_record("b1", Label.DEFENSIVE))
+        assert truth.label_of("b1") is Label.DEFENSIVE
+        assert truth.label_of("unknown") is None
+        assert truth.count(Label.DEFENSIVE) == 1
+        assert len(truth) == 1
+
+    def test_bundle_ids_with_label(self):
+        truth = GroundTruth()
+        truth.record(self.make_record("b1", Label.SANDWICH))
+        truth.record(self.make_record("b2", Label.SANDWICH))
+        truth.record(self.make_record("b3", Label.PRIORITY))
+        assert truth.bundle_ids_with_label(Label.SANDWICH) == {"b1", "b2"}
+
+    def test_remove(self):
+        truth = GroundTruth()
+        truth.record(self.make_record("b1", Label.SANDWICH))
+        truth.remove("b1")
+        assert truth.count(Label.SANDWICH) == 0
+        assert truth.label_of("b1") is None
+
+    def test_remove_unknown_is_noop(self):
+        truth = GroundTruth()
+        truth.remove("ghost")
+        assert len(truth) == 0

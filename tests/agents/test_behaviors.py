@@ -1,0 +1,107 @@
+"""Behaviour-level tests: each population produces its signature bundles."""
+
+import pytest
+
+from repro.agents.base import Label
+from repro.constants import DEFENSIVE_TIP_THRESHOLD_LAMPORTS, MIN_JITO_TIP_LAMPORTS
+from repro.jito.tips import is_tip_only_transaction
+
+
+def take_bundles(world):
+    return [bundle for bundle, _ in world.relayer.take_bundles()]
+
+
+class TestDefensiveUser:
+    def test_generates_length_one_bundle(self, fresh_world):
+        generated = fresh_world.population.defensive.generate()
+        assert generated is not None
+        assert generated.label is Label.DEFENSIVE
+        assert generated.length == 1
+        bundles = take_bundles(fresh_world)
+        assert len(bundles) == 1 and len(bundles[0]) == 1
+
+    def test_tip_within_defensive_band(self, fresh_world):
+        defensive = fresh_world.population.defensive
+        for _ in range(50):
+            generated = defensive.generate()
+            assert (
+                MIN_JITO_TIP_LAMPORTS
+                <= generated.tip_lamports
+                <= DEFENSIVE_TIP_THRESHOLD_LAMPORTS
+            )
+
+    def test_bundle_tip_matches_recorded(self, fresh_world):
+        generated = fresh_world.population.defensive.generate()
+        bundle = take_bundles(fresh_world)[0]
+        assert bundle.tip_lamports == generated.tip_lamports
+
+    def test_bundle_executes_successfully(self, fresh_world):
+        fresh_world.population.defensive.generate()
+        bundle = take_bundles(fresh_world)[0]
+        receipts = fresh_world.block_engine.land_bundle_directly(bundle)
+        assert receipts is not None
+
+
+class TestPriorityUser:
+    def test_tip_above_defensive_threshold(self, fresh_world):
+        priority = fresh_world.population.priority
+        for _ in range(50):
+            generated = priority.generate()
+            assert generated.tip_lamports > DEFENSIVE_TIP_THRESHOLD_LAMPORTS
+            assert generated.label is Label.PRIORITY
+            assert generated.length == 1
+
+
+class TestAppBackend:
+    def test_length_three_with_tip_only_tail(self, fresh_world):
+        generated = fresh_world.population.app_backend.generate()
+        assert generated.label is Label.APP_BUNDLE
+        assert generated.length == 3
+        bundle = take_bundles(fresh_world)[0]
+        assert len(bundle) == 3
+        assert is_tip_only_transaction(bundle.transactions[-1])
+        assert not is_tip_only_transaction(bundle.transactions[0])
+
+    def test_near_minimum_tips(self, fresh_world):
+        app = fresh_world.population.app_backend
+        tips = [app.generate().tip_lamports for _ in range(40)]
+        tips.sort()
+        assert tips[len(tips) // 2] < 5_000  # median near the 1,000 floor
+
+
+class TestArbitrageBot:
+    def test_lengths_in_range(self, fresh_world):
+        arb = fresh_world.population.arbitrage
+        lengths = {arb.generate().length for _ in range(60)}
+        assert lengths <= {2, 3, 4, 5}
+        assert 2 in lengths
+
+    def test_single_signer_throughout(self, fresh_world):
+        fresh_world.population.arbitrage.generate()
+        bundle = take_bundles(fresh_world)[0]
+        signers = {tx.message.fee_payer for tx in bundle.transactions}
+        assert len(signers) == 1
+
+    def test_bundles_execute(self, fresh_world):
+        arb = fresh_world.population.arbitrage
+        for _ in range(10):
+            arb.generate()
+        for bundle in take_bundles(fresh_world):
+            assert fresh_world.block_engine.land_bundle_directly(bundle)
+
+
+class TestRetailTrader:
+    def test_generate_returns_none_and_submits_native(self, fresh_world):
+        assert fresh_world.population.retail.generate() is None
+        assert len(fresh_world.mempool) == 1
+
+    def test_victim_order_has_slippage_floor(self, fresh_world):
+        order = fresh_world.population.retail.build_and_submit_order()
+        assert order.min_amount_out > 0
+        assert 10 <= order.slippage_bps <= 2_000
+
+    def test_token_venue_orders(self, fresh_world):
+        order = fresh_world.population.retail.build_and_submit_order(
+            pool_kind="token"
+        )
+        assert order.pool in fresh_world.market.token_token_pools

@@ -1,0 +1,112 @@
+"""Opportunistic (public-mempool era) attacker tests."""
+
+import pytest
+
+from repro.agents.base import Label
+from repro.agents.opportunist import OpportunistConfig, OpportunisticAttacker
+
+
+class TestMempoolScanning:
+    def seed_victims(self, world, n=10):
+        retail = world.population.retail
+        return [retail.build_and_submit_order() for _ in range(n)]
+
+    def test_attacks_profitable_pending_transactions(self, fresh_world):
+        world = fresh_world
+        self.seed_victims(world, 12)
+        before = len(world.mempool)
+        opportunist = world.population.opportunist
+        opportunist.generate()
+        assert opportunist.attacks_made > 0
+        truth = world.ground_truth
+        assert truth.count(Label.SANDWICH) == opportunist.attacks_made
+
+    def test_unprofitable_transactions_stay_native(self, fresh_world):
+        world = fresh_world
+        self.seed_victims(world, 12)
+        opportunist = world.population.opportunist
+        opportunist.generate()
+        # Everything not attacked was returned to (or left in) the mempool.
+        pending_after = len(world.mempool)
+        assert pending_after + opportunist.attacks_made == 12
+
+    def test_attack_records_carry_victim_identity(self, fresh_world):
+        world = fresh_world
+        orders = {
+            o.transaction.transaction_id: o for o in self.seed_victims(world, 12)
+        }
+        world.population.opportunist.generate()
+        truth = world.ground_truth
+        for bundle_id in truth.bundle_ids_with_label(Label.SANDWICH):
+            generated = truth.get(bundle_id)
+            victim_tx = generated.metadata["victim_tx_id"]
+            assert victim_tx in orders
+            assert generated.metadata["victim"] == (
+                orders[victim_tx].wallet.pubkey.to_base58()
+            )
+            # Slippage is not observable from the wire for a scanner.
+            assert generated.metadata["victim_slippage_bps"] is None
+
+    def test_scan_cap_respected(self, fresh_world):
+        world = fresh_world
+        self.seed_victims(world, 12)
+        capped = OpportunisticAttacker(
+            world.ctx,
+            world.population.opportunist.rng.child("capped"),
+            world.population.retail,
+            opportunist=OpportunistConfig(max_attacks_per_scan=2),
+        )
+        capped.generate()
+        assert capped.attacks_made <= 2
+
+    def test_empty_mempool_is_a_noop(self, fresh_world):
+        opportunist = fresh_world.population.opportunist
+        assert opportunist.generate() is None
+        assert opportunist.attacks_made == 0
+
+    def test_attack_bundles_execute(self, fresh_world):
+        world = fresh_world
+        self.seed_victims(world, 12)
+        world.population.opportunist.generate()
+        world.clock.advance(1.0)
+        world.block_engine.produce_block()
+        landed = {o.bundle_id for o in world.block_engine.bundle_log}
+        truth = world.ground_truth
+        attacked = truth.bundle_ids_with_label(Label.SANDWICH)
+        assert attacked & landed
+
+
+class TestEraComparison:
+    def test_public_mempool_era_attacks_more_of_the_flow(self):
+        """With everything visible, far more retail flow gets eaten."""
+        from repro.simulation import SimulationEngine
+        from repro.simulation.config import ScenarioConfig, TrendSpec
+        from tests.conftest import tiny_scenario
+
+        base = tiny_scenario(seed=111)
+        private_era = ScenarioConfig(
+            **{
+                **base.__dict__,
+                "retail_per_day": TrendSpec(40.0, noise=0.0),
+                "sandwiches_per_day": TrendSpec(4.0, noise=0.0),
+            }
+        )
+        public_era = ScenarioConfig(
+            **{
+                **base.__dict__,
+                "retail_per_day": TrendSpec(40.0, noise=0.0),
+                "sandwiches_per_day": TrendSpec(0.0, noise=0.0),
+                "opportunist_scans_per_day": TrendSpec(
+                    float(base.blocks_per_day), noise=0.0
+                ),
+            }
+        )
+        worlds = {
+            "private": SimulationEngine(private_era).run(),
+            "public": SimulationEngine(public_era).run(),
+        }
+        counts = {
+            era: world.ground_truth.count(Label.SANDWICH)
+            for era, world in worlds.items()
+        }
+        assert counts["public"] > 2 * counts["private"]

@@ -1,0 +1,50 @@
+"""Population assembly tests."""
+
+import pytest
+
+from repro.agents.base import Label
+from repro.agents.population import Population
+
+
+class TestPopulation:
+    def test_all_behaviors_present(self, fresh_world):
+        behaviors = fresh_world.population.behaviors()
+        assert set(behaviors) == {
+            "retail",
+            "defensive",
+            "priority",
+            "arbitrage",
+            "app_backend",
+            "sandwich",
+            "disguised",
+            "opportunist",
+        }
+
+    def test_label_mapping(self):
+        assert Population.label_for_class("defensive") is Label.DEFENSIVE
+        assert Population.label_for_class("sandwich") is Label.SANDWICH
+        assert Population.label_for_class("app_backend") is Label.APP_BUNDLE
+        assert Population.label_for_class("retail") is None
+        assert Population.label_for_class("unknown") is None
+
+    def test_attackers_share_victim_source(self, fresh_world):
+        population = fresh_world.population
+        assert population.attacker.retail is population.retail
+        assert population.disguised.retail is population.retail
+        assert population.opportunist.retail is population.retail
+
+    def test_behavior_rngs_are_distinct_streams(self, fresh_world):
+        population = fresh_world.population
+        draws = {
+            name: behavior.rng.child("probe").random()
+            for name, behavior in population.behaviors().items()
+        }
+        # No two behaviours share a randomness stream.
+        assert len(set(draws.values())) == len(draws)
+
+    def test_every_bundle_behavior_produces_its_label(self, fresh_world):
+        population = fresh_world.population
+        for name in ("defensive", "priority", "arbitrage", "app_backend"):
+            generated = population.behaviors()[name].generate()
+            assert generated is not None
+            assert generated.label is Population.label_for_class(name)

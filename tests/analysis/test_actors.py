@@ -1,0 +1,65 @@
+"""Actor-profiling tests."""
+
+import pytest
+
+from repro.analysis.actors import profile_actors
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def study(small_report):
+    return profile_actors(small_report.quantified)
+
+
+class TestAttackerProfiles:
+    def test_attack_totals_match_detections(self, study, small_report):
+        assert study.attack_count == small_report.sandwich_count
+
+    def test_sorted_by_attack_count(self, study):
+        counts = [profile.attacks for profile in study.attackers]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_attacker_pool_is_small(self, study):
+        # The simulated attacker runs a 12-wallet pool; the analysis should
+        # recover a small, concentrated operator set — as on the real chain.
+        assert len(study.attackers) <= 12
+        assert study.attacker_concentration(top=5) > 0.4
+
+    def test_gains_nonnegative_and_summed(self, study, small_report):
+        total = sum(profile.gains_usd for profile in study.attackers)
+        expected = sum(
+            q.attacker_gain_usd or 0.0 for q in small_report.quantified
+        )
+        assert total == pytest.approx(expected)
+
+    def test_victim_counts_bounded_by_attacks(self, study):
+        for profile in study.attackers:
+            assert 1 <= profile.victims <= profile.attacks
+
+
+class TestVictimProfiles:
+    def test_hit_totals_match_detections(self, study, small_report):
+        assert sum(v.times_sandwiched for v in study.victims) == (
+            small_report.sandwich_count
+        )
+
+    def test_sorted_by_losses(self, study):
+        losses = [profile.losses_usd for profile in study.victims]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_repeat_fraction_in_range(self, study):
+        assert 0.0 <= study.repeat_victim_fraction() <= 1.0
+
+    def test_losses_sum_to_headline(self, study, small_report):
+        total = sum(profile.losses_usd for profile in study.victims)
+        assert total == pytest.approx(small_report.headline.victim_loss_usd)
+
+
+class TestRendering:
+    def test_render(self, study):
+        text = study.render()
+        assert "Attackers" in text and "Victims" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            profile_actors([])

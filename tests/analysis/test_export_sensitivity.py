@@ -1,0 +1,121 @@
+"""CSV export and multi-seed sensitivity tests."""
+
+import csv
+
+import pytest
+
+from repro.analysis import (
+    build_figure1,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+)
+from repro.analysis.export import (
+    export_all,
+    export_figure1,
+    export_figure2,
+    export_figure3,
+    export_figure4,
+)
+from repro.analysis.sensitivity import (
+    SCALE_FREE_STATS,
+    multi_seed_study,
+)
+from repro.errors import ConfigError
+from repro.simulation import small_scenario
+
+
+def read_csv(path):
+    with path.open() as handle:
+        return list(csv.reader(handle))
+
+
+class TestFigureExports:
+    def test_figure1_csv(self, small_campaign, tmp_path):
+        figure = build_figure1(small_campaign)
+        path = export_figure1(figure, tmp_path / "f1.csv")
+        rows = read_csv(path)
+        assert rows[0] == [
+            "date",
+            "len1",
+            "len2",
+            "len3",
+            "len4",
+            "len5",
+            "collection_gap",
+        ]
+        assert len(rows) - 1 == len(figure.dates)
+
+    def test_figure2_csv(self, small_campaign, small_report, tmp_path):
+        figure = build_figure2(small_campaign, small_report)
+        path = export_figure2(figure, tmp_path / "f2.csv")
+        rows = read_csv(path)
+        assert len(rows) - 1 == len(figure.dates)
+        total_attacks = sum(int(r[1]) for r in rows[1:])
+        assert total_attacks == small_report.sandwich_count
+
+    def test_figure3_csv_is_monotone_cdf(self, small_report, tmp_path):
+        figure = build_figure3(small_report)
+        path = export_figure3(figure, tmp_path / "f3.csv", points=50)
+        rows = read_csv(path)[1:]
+        fractions = [float(r[1]) for r in rows]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_figure4_csv_long_form(
+        self, small_campaign, small_report, tmp_path
+    ):
+        figure = build_figure4(small_campaign, small_report)
+        path = export_figure4(figure, tmp_path / "f4.csv", points=20)
+        rows = read_csv(path)[1:]
+        groups = {row[0] for row in rows}
+        assert {"length_one", "length_three", "sandwich"} == groups
+
+    def test_export_all(self, small_campaign, small_report, tmp_path):
+        written = export_all(
+            tmp_path,
+            figure1=build_figure1(small_campaign),
+            figure3=build_figure3(small_report),
+        )
+        assert len(written) == 2
+        assert all(path.exists() for path in written)
+
+    def test_export_all_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            export_all(tmp_path)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return multi_seed_study(
+            lambda seed: small_scenario(seed=seed, days=3),
+            seeds=[1, 2, 3],
+        )
+
+    def test_all_stats_measured_per_seed(self, study):
+        for outcome in study.outcomes:
+            assert set(outcome.values) == set(SCALE_FREE_STATS)
+
+    def test_defensive_fraction_stable_across_seeds(self, study):
+        # The structural statistics should not be seed artifacts.
+        assert study.relative_spread("defensive_fraction_of_length_one") < 0.2
+
+    def test_values_plausible(self, study):
+        for outcome in study.outcomes:
+            assert 0.5 < outcome.values["defensive_fraction_of_length_one"] < 1.0
+            assert 0.0 <= outcome.values["non_sol_fraction"] <= 1.0
+            assert outcome.values["median_victim_loss_usd"] > 0
+
+    def test_render(self, study):
+        text = study.render()
+        assert "Seed sensitivity" in text
+        assert "defensive_fraction_of_length_one" in text
+
+    def test_unknown_stat_rejected(self, study):
+        with pytest.raises(ConfigError):
+            study.values_for("nonexistent")
+
+    def test_too_few_seeds_rejected(self):
+        with pytest.raises(ConfigError):
+            multi_seed_study(lambda seed: small_scenario(seed=seed), [1])

@@ -1,0 +1,127 @@
+"""Figure builder tests over the session campaign."""
+
+import pytest
+
+from repro.analysis import (
+    build_figure1,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+)
+from repro.analysis.figures import format_table, sparkline
+from repro.constants import DEFENSIVE_TIP_THRESHOLD_LAMPORTS
+from repro.simulation import small_scenario
+
+
+class TestHelpers:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.split("\n")
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_sparkline_length(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline(list(range(200)), width=60)) == 60
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def figure(self, small_campaign):
+        return build_figure1(small_campaign)
+
+    def test_majority_length_is_one(self, figure):
+        assert figure.majority_length() == 1
+
+    def test_series_lengths_match_dates(self, figure):
+        for length in range(1, 6):
+            assert len(figure.series_for_length(length)) == len(figure.dates)
+
+    def test_length_fractions_sum_to_one(self, figure):
+        total = sum(figure.length_fraction(l) for l in range(1, 6))
+        assert total == pytest.approx(1.0)
+
+    def test_render_mentions_gaps(self, figure, small_campaign):
+        text = figure.render()
+        assert "Figure 1" in text
+        if small_campaign.downtime.affected_days():
+            assert "<- gap" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def figure(self, small_campaign, small_report):
+        return build_figure2(small_campaign, small_report)
+
+    def test_series_aligned(self, figure):
+        n = len(figure.dates)
+        assert len(figure.attacks) == n
+        assert len(figure.defensive) == n
+        assert len(figure.victim_loss_sol) == n
+        assert len(figure.attacker_gain_sol) == n
+
+    def test_attack_totals_match_report(self, figure, small_report):
+        assert sum(figure.attacks) == small_report.sandwich_count
+
+    def test_losses_nonnegative_days_exist(self, figure):
+        assert any(loss > 0 for loss in figure.victim_loss_sol)
+
+    def test_render(self, figure):
+        text = figure.render()
+        assert "Figure 2" in text
+        assert "attacks" in text
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def figure(self, small_report):
+        return build_figure3(small_report)
+
+    def test_sample_is_priced_positive_losses(self, figure, small_report):
+        assert figure.sample_size == len(small_report.headline.losses_usd)
+
+    def test_median_positive(self, figure):
+        assert figure.median_loss_usd() > 0
+
+    def test_tail_fraction_monotone(self, figure):
+        assert figure.fraction_losing_at_least(1.0) >= (
+            figure.fraction_losing_at_least(100.0)
+        )
+
+    def test_points_are_cdf(self, figure):
+        points = figure.points(30)
+        fractions = [f for _, f in points]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_render(self, figure):
+        assert "Figure 3" in figure.render()
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def figure(self, small_campaign, small_report):
+        return build_figure4(small_campaign, small_report)
+
+    def test_most_length_one_below_threshold(self, figure):
+        assert figure.fraction_length_one_below_threshold() > 0.6
+
+    def test_sandwich_tips_dwarf_length_three(self, figure):
+        ratio = figure.sandwich_to_length_three_ratio()
+        assert ratio is not None
+        # Paper: three orders of magnitude. Require at least 2 at this scale.
+        assert ratio > 100
+
+    def test_median_ordering(self, figure):
+        medians = figure.median_tips()
+        assert medians["sandwich"] > medians["length_one"]
+        assert medians["sandwich"] > DEFENSIVE_TIP_THRESHOLD_LAMPORTS
+
+    def test_render(self, figure):
+        text = figure.render()
+        assert "Figure 4" in text
+        assert "length-1" in text

@@ -1,0 +1,45 @@
+"""Full campaign report rendering tests."""
+
+import pytest
+
+from repro.analysis.report import render_campaign_report
+from repro.simulation import small_scenario
+
+
+@pytest.fixture(scope="module")
+def report_text(small_campaign, small_report):
+    return render_campaign_report(
+        small_campaign, small_report, small_scenario(seed=7)
+    )
+
+
+class TestReportSections:
+    @pytest.mark.parametrize(
+        "marker",
+        [
+            "Headline statistics",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "cost-benefit",
+            "Attackers",
+            "Victims",
+            "sandwich tip revenue",
+            "Collection",
+        ],
+    )
+    def test_section_present(self, report_text, marker):
+        assert marker in report_text
+
+    def test_paper_targets_quoted(self, report_text):
+        # The headline comparison carries the paper's numbers for context.
+        assert "5.219e+05" in report_text  # 521,903 sandwiches
+
+    def test_gap_days_flagged(self, report_text, small_campaign):
+        if small_campaign.downtime.affected_days():
+            assert "<- gap" in report_text
+
+    def test_report_is_plain_text(self, report_text):
+        assert "\x1b[" not in report_text  # no ANSI escapes
+        assert len(report_text.splitlines()) > 50

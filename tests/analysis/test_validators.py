@@ -1,0 +1,79 @@
+"""Validator attribution tests."""
+
+import pytest
+
+from repro.analysis.validators import profile_validators
+from repro.errors import ConfigError
+from repro.simulation.results import SimulationWorld
+
+
+@pytest.fixture(scope="module")
+def study(small_campaign, small_report):
+    events = [q.event for q in small_report.quantified]
+    return profile_validators(small_campaign.world, events)
+
+
+class TestAttribution:
+    def test_blocks_sum_to_ledger(self, study, small_campaign):
+        total_blocks = sum(a.blocks_produced for a in study.activities)
+        assert total_blocks == len(small_campaign.world.ledger)
+
+    def test_bundles_sum_to_log(self, study, small_campaign):
+        total = sum(a.bundles_landed for a in study.activities)
+        assert total == len(small_campaign.world.block_engine.bundle_log)
+
+    def test_sandwiches_sum_to_detections(self, study, small_report):
+        total = sum(a.sandwiches_landed for a in study.activities)
+        assert total == small_report.sandwich_count
+
+    def test_tips_attributed_completely(self, study, small_campaign):
+        total = sum(a.total_tip_lamports for a in study.activities)
+        expected = sum(
+            o.tip_lamports
+            for o in small_campaign.world.block_engine.bundle_log
+        )
+        assert total == expected
+
+    def test_non_jito_validators_land_no_bundles(self, study, small_campaign):
+        non_jito = {
+            v.identity.to_base58()
+            for v in small_campaign.world.schedule.validators
+            if not v.runs_jito
+        }
+        for activity in study.activities:
+            if activity.identity in non_jito:
+                assert activity.bundles_landed == 0
+
+
+class TestGovernanceReading:
+    def test_stake_concentrates_sandwich_revenue(self, study):
+        # With stake-weighted leadership, the heavier half of the validator
+        # set lands the large majority of attacks — everyone at the top
+        # profits, which is the governance problem the paper raises.
+        assert study.stake_weighted_consistency() > 0.6
+
+    def test_sandwich_tip_share_bounded(self, study):
+        for activity in study.activities:
+            assert 0.0 <= activity.sandwich_tip_share <= 1.0
+
+    def test_render(self, study):
+        text = study.render()
+        assert "sandwich tip revenue" in text
+
+    def test_empty_world_rejected(self, small_campaign, small_report):
+        import copy
+
+        empty = copy.copy(small_campaign.world)
+        from repro.solana.ledger import Ledger
+
+        empty = SimulationWorld(
+            **{
+                **{
+                    f: getattr(small_campaign.world, f)
+                    for f in small_campaign.world.__dataclass_fields__
+                },
+                "ledger": Ledger(),
+            }
+        )
+        with pytest.raises(ConfigError):
+            profile_validators(empty, [])

@@ -1,0 +1,67 @@
+"""Coverage estimator tests: the successive-overlap statistic."""
+
+from repro.collector.coverage import CoverageEstimator
+
+
+class TestOverlap:
+    def test_first_poll_unscored(self):
+        coverage = CoverageEstimator()
+        verdict = coverage.observe_success(0.0, ["a", "b"], new_bundles=2)
+        assert verdict is None
+        assert coverage.pair_count == 0
+
+    def test_shared_id_means_overlap(self):
+        coverage = CoverageEstimator()
+        coverage.observe_success(0.0, ["a", "b"], 2)
+        verdict = coverage.observe_success(120.0, ["b", "c"], 1)
+        assert verdict is True
+        assert coverage.overlap_fraction() == 1.0
+
+    def test_disjoint_means_miss(self):
+        coverage = CoverageEstimator()
+        coverage.observe_success(0.0, ["a", "b"], 2)
+        verdict = coverage.observe_success(120.0, ["c", "d"], 2)
+        assert verdict is False
+        assert coverage.overlap_fraction() == 0.0
+        assert coverage.missed_pair_times() == [120.0]
+
+    def test_empty_response_counts_as_overlap(self):
+        coverage = CoverageEstimator()
+        coverage.observe_success(0.0, ["a"], 1)
+        assert coverage.observe_success(120.0, [], 0) is True
+
+    def test_mixed_fraction(self):
+        coverage = CoverageEstimator()
+        coverage.observe_success(0.0, ["a"], 1)
+        coverage.observe_success(1.0, ["a", "b"], 1)   # overlap
+        coverage.observe_success(2.0, ["c"], 1)        # miss
+        coverage.observe_success(3.0, ["c", "d"], 1)   # overlap
+        assert coverage.overlap_fraction() == 2 / 3
+
+    def test_no_pairs_reports_full_overlap(self):
+        assert CoverageEstimator().overlap_fraction() == 1.0
+
+
+class TestFailures:
+    def test_failure_recorded(self):
+        coverage = CoverageEstimator()
+        coverage.observe_failure(5.0)
+        assert coverage.failed_polls == 1
+        assert coverage.failure_times == [5.0]
+
+    def test_failure_breaks_the_chain(self):
+        coverage = CoverageEstimator()
+        coverage.observe_success(0.0, ["a"], 1)
+        coverage.observe_failure(120.0)
+        # The next success has no usable predecessor: unscored.
+        verdict = coverage.observe_success(240.0, ["z"], 1)
+        assert verdict is None
+        assert coverage.pair_count == 0
+
+    def test_counts(self):
+        coverage = CoverageEstimator()
+        coverage.observe_success(0.0, ["a"], 1)
+        coverage.observe_failure(1.0)
+        coverage.observe_success(2.0, ["b"], 1)
+        assert coverage.successful_polls == 2
+        assert coverage.failed_polls == 1

@@ -1,0 +1,125 @@
+"""Persistent (streaming) bundle store tests."""
+
+import pytest
+
+from repro.collector.persistent import PersistentBundleStore
+from repro.collector.store import BundleStore
+from repro.explorer.models import BundleRecord, TransactionRecord
+
+
+def bundle(i: int, length: int = 1):
+    return BundleRecord(
+        bundle_id=f"pb{i}",
+        slot=i,
+        landed_at=float(i),
+        tip_lamports=1_000,
+        transaction_ids=tuple(f"pt{i}-{j}" for j in range(length)),
+    )
+
+
+def detail(tx_id: str):
+    return TransactionRecord(
+        transaction_id=tx_id,
+        slot=0,
+        block_time=0.0,
+        signer="s",
+        signers=("s",),
+        fee_lamports=5_000,
+    )
+
+
+class TestStreaming:
+    def test_inserts_mirrored_to_disk(self, tmp_path):
+        with PersistentBundleStore(tmp_path) as store:
+            store.add_bundles([bundle(1), bundle(2)])
+            store.add_details([detail("pt1-0")])
+        lines = (tmp_path / "bundles.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 2
+        detail_lines = (
+            (tmp_path / "transactions.jsonl").read_text().strip().splitlines()
+        )
+        assert len(detail_lines) == 1
+
+    def test_duplicates_not_rewritten(self, tmp_path):
+        with PersistentBundleStore(tmp_path) as store:
+            store.add_bundles([bundle(1)])
+            store.add_bundles([bundle(1), bundle(2)])
+        lines = (tmp_path / "bundles.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 2
+
+    def test_loadable_by_plain_store(self, tmp_path):
+        with PersistentBundleStore(tmp_path) as store:
+            store.add_bundles([bundle(1, length=3)])
+            store.add_details([detail(f"pt1-{j}") for j in range(3)])
+        loaded = BundleStore.load(tmp_path)
+        assert len(loaded) == 1
+        assert loaded.detail_count() == 3
+
+
+class TestResume:
+    def test_resume_restores_memory_state(self, tmp_path):
+        with PersistentBundleStore(tmp_path) as store:
+            store.add_bundles([bundle(1), bundle(2)])
+            store.add_details([detail("pt1-0")])
+        resumed = PersistentBundleStore.resume(tmp_path)
+        try:
+            assert len(resumed) == 2
+            assert resumed.detail_count() == 1
+            assert resumed.get_bundle("pb1") is not None
+        finally:
+            resumed.close()
+
+    def test_resume_continues_without_duplication(self, tmp_path):
+        with PersistentBundleStore(tmp_path) as store:
+            store.add_bundles([bundle(1)])
+        resumed = PersistentBundleStore.resume(tmp_path)
+        try:
+            assert resumed.add_bundles([bundle(1)]) == 0  # already known
+            resumed.add_bundles([bundle(2)])
+        finally:
+            resumed.close()
+        lines = (tmp_path / "bundles.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 2
+
+    def test_resume_empty_directory(self, tmp_path):
+        resumed = PersistentBundleStore.resume(tmp_path / "fresh")
+        try:
+            assert len(resumed) == 0
+        finally:
+            resumed.close()
+
+
+class TestCampaignIntegration:
+    def test_poller_writes_through(self, tmp_path):
+        from repro.collector import BundlePoller, CoverageEstimator
+        from repro.collector.client import InProcessExplorerClient
+        from repro.collector.poller import PollerConfig
+        from repro.explorer.service import ExplorerConfig, ExplorerService
+        from repro.simulation import SimulationEngine
+        from tests.conftest import tiny_scenario
+
+        world = SimulationEngine(tiny_scenario(seed=91)).run()
+        service = ExplorerService(
+            world.block_engine,
+            world.ledger,
+            world.clock,
+            config=ExplorerConfig(
+                requests_per_second=1000.0, burst_capacity=1000.0
+            ),
+        )
+        with PersistentBundleStore(tmp_path) as store:
+            poller = BundlePoller(
+                InProcessExplorerClient(service),
+                store,
+                CoverageEstimator(),
+                world.clock,
+                config=PollerConfig(window_limit=10_000),
+            )
+            poller.poll_once()
+            collected = len(store)
+        # A crash here loses nothing: resume sees everything collected.
+        resumed = PersistentBundleStore.resume(tmp_path)
+        try:
+            assert len(resumed) == collected > 0
+        finally:
+            resumed.close()

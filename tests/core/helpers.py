@@ -1,0 +1,125 @@
+"""Hand-crafted bundle/transaction records for detector unit tests.
+
+These build the analyst's-eye view directly (wire records), letting each
+criterion be tested in isolation with precisely shaped inputs.
+"""
+
+from __future__ import annotations
+
+from repro.core.criteria import BundleView
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.jito.tips import tip_accounts
+
+SOL = "SOLMINT"
+MEME = "MEMEMINT"
+OTHER = "OTHERMINT"
+POOL = "POOLADDR"
+
+_counter = [0]
+
+
+def _next_id(prefix: str) -> str:
+    _counter[0] += 1
+    return f"{prefix}-{_counter[0]}"
+
+
+def swap_record(
+    signer: str,
+    mint_in: str = SOL,
+    mint_out: str = MEME,
+    amount_in: int = 1_000,
+    amount_out: int = 1_000_000,
+    pool: str = POOL,
+    extra_events: list[dict] | None = None,
+    token_deltas: dict | None = None,
+) -> TransactionRecord:
+    """A transaction record containing one swap event.
+
+    ``token_deltas`` defaults to the swap's own balance effect on the signer.
+    """
+    if token_deltas is None:
+        token_deltas = {
+            signer: {mint_in: -amount_in, mint_out: amount_out}
+        }
+    events = [
+        {
+            "type": "swap",
+            "pool": pool,
+            "owner": signer,
+            "mint_in": mint_in,
+            "mint_out": mint_out,
+            "amount_in": amount_in,
+            "amount_out": amount_out,
+            "rate": amount_in / amount_out,
+        }
+    ]
+    events.extend(extra_events or [])
+    return TransactionRecord(
+        transaction_id=_next_id("tx"),
+        slot=1,
+        block_time=1_739_059_200.0,
+        signer=signer,
+        signers=(signer,),
+        fee_lamports=5_000,
+        token_deltas=token_deltas,
+        events=tuple(events),
+    )
+
+
+def tip_only_record(signer: str, lamports: int = 1_000) -> TransactionRecord:
+    """A transaction record that only tips a Jito tip account."""
+    return TransactionRecord(
+        transaction_id=_next_id("tip"),
+        slot=1,
+        block_time=1_739_059_200.0,
+        signer=signer,
+        signers=(signer,),
+        fee_lamports=5_000,
+        lamport_deltas={signer: -(lamports + 5_000)},
+        events=(
+            {
+                "type": "transfer",
+                "source": signer,
+                "dest": tip_accounts()[0].to_base58(),
+                "lamports": lamports,
+            },
+        ),
+    )
+
+
+def view_of(records: list[TransactionRecord], tip: int = 2_000_000) -> BundleView:
+    """Wrap records in a BundleRecord + BundleView."""
+    bundle = BundleRecord(
+        bundle_id=_next_id("bundle"),
+        slot=1,
+        landed_at=1_739_059_200.0,
+        tip_lamports=tip,
+        transaction_ids=tuple(r.transaction_id for r in records),
+    )
+    return BundleView.build(bundle, records)
+
+
+def canonical_sandwich_view(
+    attacker: str = "ATTACKER",
+    victim: str = "VICTIM",
+    quote: str = SOL,
+    token: str = MEME,
+    frontrun_in: int = 1_000,
+    frontrun_out: int = 1_000_000,
+    victim_in: int = 10_000,
+    victim_out: int = 9_000_000,
+    backrun_in: int = 1_000_000,
+    backrun_out: int = 1_100,
+    tip: int = 2_000_000,
+) -> BundleView:
+    """The canonical attack: buy cheap, victim buys dear, sell dear.
+
+    Default rates: attacker pays 0.001 quote/token; victim pays ~0.00111;
+    attacker nets +100 quote across the outer legs.
+    """
+    front = swap_record(
+        attacker, quote, token, frontrun_in, frontrun_out
+    )
+    mid = swap_record(victim, quote, token, victim_in, victim_out)
+    back = swap_record(attacker, token, quote, backrun_in, backrun_out)
+    return view_of([front, mid, back], tip=tip)

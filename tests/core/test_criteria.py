@@ -1,0 +1,176 @@
+"""Per-criterion tests, exactly mirroring paper Section 3.2's five rules."""
+
+import pytest
+
+from repro.core.criteria import (
+    CRITERIA,
+    BundleView,
+    attacker_net_gain,
+    evaluate_criteria,
+    not_tip_only_tail,
+    rate_increases_for_victim,
+    same_attacker_distinct_victim,
+    same_mint_set,
+)
+from repro.errors import DetectionError
+from tests.core.helpers import (
+    MEME,
+    OTHER,
+    SOL,
+    canonical_sandwich_view,
+    swap_record,
+    tip_only_record,
+    view_of,
+)
+
+
+class TestCriterion1SameAttacker:
+    def test_canonical_passes(self):
+        assert same_attacker_distinct_victim(canonical_sandwich_view())
+
+    def test_all_same_signer_fails(self):
+        view = view_of(
+            [swap_record("A"), swap_record("A"), swap_record("A", MEME, SOL)]
+        )
+        assert not same_attacker_distinct_victim(view)
+
+    def test_different_outer_signers_fails(self):
+        view = view_of(
+            [swap_record("A"), swap_record("B"), swap_record("C", MEME, SOL)]
+        )
+        assert not same_attacker_distinct_victim(view)
+
+    def test_wrong_length_fails(self):
+        view = view_of([swap_record("A"), swap_record("B")])
+        assert not same_attacker_distinct_victim(view)
+
+
+class TestCriterion2SameMints:
+    def test_canonical_passes(self):
+        assert same_mint_set(canonical_sandwich_view())
+
+    def test_victim_on_other_pair_fails(self):
+        front = swap_record("A", SOL, MEME)
+        mid = swap_record("B", SOL, OTHER)
+        back = swap_record("A", MEME, SOL)
+        assert not same_mint_set(view_of([front, mid, back]))
+
+    def test_tradeless_transaction_fails(self):
+        front = swap_record("A", SOL, MEME)
+        mid = tip_only_record("B")
+        back = swap_record("A", MEME, SOL)
+        assert not same_mint_set(view_of([front, mid, back]))
+
+
+class TestCriterion3RateIncrease:
+    def test_canonical_passes(self):
+        # Victim pays 10,000/9,000,000 > attacker's 1,000/1,000,000.
+        assert rate_increases_for_victim(canonical_sandwich_view())
+
+    def test_victim_with_better_rate_fails(self):
+        view = canonical_sandwich_view(victim_in=10_000, victim_out=11_000_000)
+        assert not rate_increases_for_victim(view)
+
+    def test_equal_rates_fail(self):
+        view = canonical_sandwich_view(victim_in=10_000, victim_out=10_000_000)
+        assert not rate_increases_for_victim(view)
+
+    def test_opposite_direction_victim_fails(self):
+        front = swap_record("A", SOL, MEME, 1_000, 1_000_000)
+        mid = swap_record("B", MEME, SOL, 1_000_000, 900)  # victim sells
+        back = swap_record("A", MEME, SOL, 1_000_000, 1_100)
+        assert not rate_increases_for_victim(view_of([front, mid, back]))
+
+    def test_missing_trades_fail(self):
+        view = view_of(
+            [tip_only_record("A"), swap_record("B"), tip_only_record("A")]
+        )
+        assert not rate_increases_for_victim(view)
+
+
+class TestCriterion4NetGain:
+    def test_canonical_passes(self):
+        # Attacker: -1,000 +1,100 SOL = +100; MEME nets to zero.
+        assert attacker_net_gain(canonical_sandwich_view())
+
+    def test_losing_attacker_fails(self):
+        view = canonical_sandwich_view(backrun_out=900)  # sold at a loss
+        assert not attacker_net_gain(view)
+
+    def test_breakeven_with_token_profit_passes(self):
+        # Quote nets to zero but the attacker keeps extra tokens.
+        front = swap_record("A", SOL, MEME, 1_000, 1_200_000)
+        mid = swap_record("B", SOL, MEME, 10_000, 9_000_000)
+        back = swap_record("A", MEME, SOL, 1_000_000, 1_000)
+        assert attacker_net_gain(view_of([front, mid, back]))
+
+    def test_sell_more_than_bought_with_profit_passes(self):
+        # Footnote 7: back-run sells more than the front-run bought.
+        front = swap_record("A", SOL, MEME, 1_000, 1_000_000)
+        mid = swap_record("B", SOL, MEME, 10_000, 9_000_000)
+        back = swap_record("A", MEME, SOL, 1_500_000, 1_700)
+        assert attacker_net_gain(view_of([front, mid, back]))
+
+
+class TestCriterion5TipOnlyTail:
+    def test_canonical_passes(self):
+        assert not_tip_only_tail(canonical_sandwich_view())
+
+    def test_app_bundle_excluded(self):
+        view = view_of(
+            [swap_record("U1"), swap_record("U2"), tip_only_record("APP")]
+        )
+        assert not not_tip_only_tail(view)
+
+
+class TestEvaluation:
+    def test_canonical_passes_all_five(self):
+        results = evaluate_criteria(canonical_sandwich_view())
+        assert len(results) == 5
+        assert all(r.passed for r in results)
+
+    def test_short_circuits_on_first_failure(self):
+        view = view_of(
+            [swap_record("A"), swap_record("A"), swap_record("A", MEME, SOL)]
+        )
+        results = evaluate_criteria(view)
+        assert len(results) == 1
+        assert results[0].name == "same_attacker_distinct_victim"
+        assert not results[0].passed
+
+    def test_skip_bypasses_criterion(self):
+        view = view_of(
+            [swap_record("A"), swap_record("A"), swap_record("A", MEME, SOL)]
+        )
+        results = evaluate_criteria(
+            view, skip=frozenset({"same_attacker_distinct_victim"})
+        )
+        assert results[0].passed  # skipped counts as passed
+
+    def test_criteria_ordering_matches_paper(self):
+        names = [name for name, _ in CRITERIA]
+        assert names == [
+            "same_attacker_distinct_victim",
+            "same_mint_set",
+            "rate_increases_for_victim",
+            "attacker_net_gain",
+            "not_tip_only_tail",
+        ]
+
+
+class TestBundleView:
+    def test_build_orders_records(self):
+        view = canonical_sandwich_view()
+        assert [r.transaction_id for r in view.records] == list(
+            view.bundle.transaction_ids
+        )
+
+    def test_build_rejects_missing_record(self):
+        view = canonical_sandwich_view()
+        with pytest.raises(DetectionError, match="missing detail"):
+            BundleView.build(view.bundle, list(view.records[:2]))
+
+    def test_trades_pre_extracted(self):
+        view = canonical_sandwich_view()
+        assert all(len(legs) == 1 for legs in view.trades)
+        assert view.first_trade(0).owner == "ATTACKER"

@@ -1,0 +1,127 @@
+"""Property-based detector tests: randomized bundle shapes.
+
+Hypothesis generates randomized sandwich and non-sandwich bundle views and
+checks the detector's invariants: every well-formed attack is caught, every
+structurally broken variant is rejected, and ablations only widen the set.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import CRITERIA, evaluate_criteria
+from repro.core.detector import SandwichDetector
+from repro.core.quantify import LossQuantifier
+from tests.core.helpers import swap_record, tip_only_record, view_of
+
+QUOTE = "QUOTEMINT"
+TOKEN = "TOKENMINT"
+
+# Randomized attack parameters: attacker rate strictly better than victim's.
+attack_params = st.tuples(
+    st.integers(min_value=10**3, max_value=10**12),   # frontrun_in
+    st.integers(min_value=10**3, max_value=10**12),   # frontrun_out
+    st.integers(min_value=10**3, max_value=10**12),   # victim_in
+    st.integers(min_value=1, max_value=10**12),       # victim_out
+    st.integers(min_value=1, max_value=10**11),       # profit
+)
+
+
+def make_sandwich_view(frontrun_in, frontrun_out, victim_in, victim_out, profit):
+    front = swap_record("ATT", QUOTE, TOKEN, frontrun_in, frontrun_out)
+    mid = swap_record("VIC", QUOTE, TOKEN, victim_in, victim_out)
+    back = swap_record(
+        "ATT", TOKEN, QUOTE, frontrun_out, frontrun_in + profit
+    )
+    return view_of([front, mid, back])
+
+
+class TestWellFormedAttacksAreCaught:
+    @settings(max_examples=150, deadline=None)
+    @given(params=attack_params)
+    def test_detected_whenever_rates_order_correctly(self, params):
+        frontrun_in, frontrun_out, victim_in, victim_out, profit = params
+        # Constrain to the attack geometry: the victim's realized rate is
+        # strictly worse than the attacker's first-leg rate.
+        assume(victim_in * frontrun_out > frontrun_in * victim_out)
+        view = make_sandwich_view(*params)
+        event = SandwichDetector().detect_view(view)
+        assert event is not None
+        assert event.attacker == "ATT"
+        assert event.victim == "VIC"
+
+    @settings(max_examples=100, deadline=None)
+    @given(params=attack_params)
+    def test_quantifier_agrees_with_rate_geometry(self, params):
+        frontrun_in, frontrun_out, victim_in, victim_out, profit = params
+        assume(victim_in * frontrun_out > frontrun_in * victim_out)
+        view = make_sandwich_view(*params)
+        event = SandwichDetector().detect_view(view)
+        quantified = LossQuantifier().quantify(event)
+        # The rate-comparison loss is positive exactly when criterion 3 held.
+        assert quantified.victim_loss_quote > 0
+        # And the attacker's measured gain equals the constructed profit.
+        assert quantified.attacker_gain_quote == profit
+
+
+class TestBrokenVariantsAreRejected:
+    @settings(max_examples=80, deadline=None)
+    @given(params=attack_params)
+    def test_same_signer_everywhere_rejected(self, params):
+        frontrun_in, frontrun_out, victim_in, victim_out, profit = params
+        assume(victim_in * frontrun_out > frontrun_in * victim_out)
+        front = swap_record("ATT", QUOTE, TOKEN, frontrun_in, frontrun_out)
+        mid = swap_record("ATT", QUOTE, TOKEN, victim_in, victim_out)
+        back = swap_record("ATT", TOKEN, QUOTE, frontrun_out, frontrun_in + profit)
+        assert SandwichDetector().detect_view(view_of([front, mid, back])) is None
+
+    @settings(max_examples=80, deadline=None)
+    @given(params=attack_params)
+    def test_victim_with_better_rate_rejected(self, params):
+        frontrun_in, frontrun_out, victim_in, victim_out, profit = params
+        # Invert the geometry: victim trades at the same or a better rate.
+        assume(victim_in * frontrun_out <= frontrun_in * victim_out)
+        view = make_sandwich_view(*params)
+        assert SandwichDetector().detect_view(view) is None
+
+    @settings(max_examples=80, deadline=None)
+    @given(params=attack_params)
+    def test_unprofitable_attacker_rejected(self, params):
+        frontrun_in, frontrun_out, victim_in, victim_out, profit = params
+        assume(victim_in * frontrun_out > frontrun_in * victim_out)
+        assume(profit < frontrun_in)  # so a loss is constructible
+        front = swap_record("ATT", QUOTE, TOKEN, frontrun_in, frontrun_out)
+        mid = swap_record("VIC", QUOTE, TOKEN, victim_in, victim_out)
+        back = swap_record(
+            "ATT", TOKEN, QUOTE, frontrun_out, frontrun_in - profit
+        )
+        assert SandwichDetector().detect_view(view_of([front, mid, back])) is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(params=attack_params)
+    def test_tip_only_tail_rejected(self, params):
+        frontrun_in, frontrun_out, victim_in, victim_out, _profit = params
+        assume(victim_in * frontrun_out > frontrun_in * victim_out)
+        front = swap_record("ATT", QUOTE, TOKEN, frontrun_in, frontrun_out)
+        mid = swap_record("VIC", QUOTE, TOKEN, victim_in, victim_out)
+        tail = tip_only_record("ATT")
+        assert SandwichDetector().detect_view(view_of([front, mid, tail])) is None
+
+
+class TestAblationMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        params=attack_params,
+        skipped=st.sets(
+            st.sampled_from([name for name, _ in CRITERIA]), max_size=4
+        ),
+    )
+    def test_skipping_criteria_never_unflags(self, params, skipped):
+        """Anything the full battery flags, every ablation also flags."""
+        frontrun_in, frontrun_out, victim_in, victim_out, profit = params
+        view = make_sandwich_view(*params)
+        full = all(r.passed for r in evaluate_criteria(view))
+        if full:
+            ablated = all(
+                r.passed for r in evaluate_criteria(view, skip=frozenset(skipped))
+            )
+            assert ablated

@@ -1,0 +1,121 @@
+"""Loss/gain quantification tests."""
+
+import pytest
+
+from repro.constants import LAMPORTS_PER_SOL
+from repro.core.detector import SandwichDetector
+from repro.core.quantify import LossQuantifier
+from repro.dex.oracle import PriceOracle
+from repro.solana.tokens import SOL_MINT
+from tests.core.helpers import MEME, swap_record, view_of
+
+SOL_B58 = SOL_MINT.address.to_base58()
+
+
+def sol_sandwich_event(
+    frontrun_in=1_000_000_000,     # 1 SOL
+    frontrun_out=1_000_000,
+    victim_in=10_000_000_000,      # 10 SOL
+    victim_out=9_000_000,
+    backrun_in=1_000_000,
+    backrun_out=1_100_000_000,     # 1.1 SOL
+    skip_criteria=frozenset(),
+):
+    """A sandwich on a real SOL pair so USD pricing activates."""
+    front = swap_record("A", SOL_B58, MEME, frontrun_in, frontrun_out)
+    mid = swap_record("B", SOL_B58, MEME, victim_in, victim_out)
+    back = swap_record("A", MEME, SOL_B58, backrun_in, backrun_out)
+    view = view_of([front, mid, back])
+    event = SandwichDetector(skip_criteria=skip_criteria).detect_view(view)
+    assert event is not None
+    return event
+
+
+class TestVictimLoss:
+    def test_rate_based_loss(self):
+        event = sol_sandwich_event()
+        quantifier = LossQuantifier(PriceOracle(usd_per_sol=100.0))
+        # Attacker's rate: 1 SOL / 1M tokens = 1,000 lamports per token.
+        # Victim would have paid 9M tokens * 1,000 = 9 SOL; they paid 10.
+        loss = quantifier.victim_loss_quote(event)
+        assert loss == pytest.approx(1 * LAMPORTS_PER_SOL)
+
+    def test_loss_in_usd(self):
+        event = sol_sandwich_event()
+        quantifier = LossQuantifier(PriceOracle(usd_per_sol=100.0))
+        quantified = quantifier.quantify(event)
+        assert quantified.victim_loss_usd == pytest.approx(100.0)
+        assert quantified.priced
+
+    def test_zero_loss_when_rates_equal(self):
+        # Equal rates fail criterion 3, so build the event with it skipped.
+        event = sol_sandwich_event(
+            victim_in=9_000_000_000,
+            victim_out=9_000_000,
+            skip_criteria=frozenset({"rate_increases_for_victim"}),
+        )
+        quantifier = LossQuantifier()
+        assert quantifier.victim_loss_quote(event) == pytest.approx(0.0)
+
+
+class TestAttackerGain:
+    def test_gain_is_backrun_minus_frontrun(self):
+        event = sol_sandwich_event()
+        quantifier = LossQuantifier(PriceOracle(usd_per_sol=100.0))
+        gain = quantifier.attacker_gain_quote(event)
+        assert gain == pytest.approx(0.1 * LAMPORTS_PER_SOL)
+        quantified = quantifier.quantify(event)
+        assert quantified.attacker_gain_usd == pytest.approx(10.0)
+
+    def test_inventory_dump_inflates_gain(self):
+        # Selling extra tokens in the back-run raises measured gain even
+        # though the victim's rate-based loss is unchanged (footnote 7).
+        plain = sol_sandwich_event()
+        dumped = sol_sandwich_event(
+            backrun_in=2_000_000, backrun_out=2_200_000_000
+        )
+        quantifier = LossQuantifier()
+        assert quantifier.attacker_gain_quote(dumped) > (
+            quantifier.attacker_gain_quote(plain)
+        )
+        assert quantifier.victim_loss_quote(dumped) == pytest.approx(
+            quantifier.victim_loss_quote(plain)
+        )
+
+
+class TestNonSolExclusion:
+    def test_non_sol_pair_not_priced(self):
+        front = swap_record("A", "USDCMINT", MEME, 1_000, 1_000_000)
+        mid = swap_record("B", "USDCMINT", MEME, 10_000, 9_000_000)
+        back = swap_record("A", MEME, "USDCMINT", 1_000_000, 1_100)
+        event = SandwichDetector().detect_view(view_of([front, mid, back]))
+        quantified = LossQuantifier().quantify(event)
+        assert quantified.victim_loss_usd is None
+        assert quantified.attacker_gain_usd is None
+        assert not quantified.priced
+        # Quote-currency figures still exist.
+        assert quantified.victim_loss_quote > 0
+
+
+class TestSellDirection:
+    def test_victim_selling_tokens_priced_via_sol_leg(self):
+        # Victim sells MEME for SOL; the quote currency is the token, and
+        # the USD value flows through the victim's realized SOL rate.
+        front = swap_record("A", MEME, SOL_B58, 1_000_000, 900_000_000)
+        mid = swap_record("B", MEME, SOL_B58, 10_000_000, 8_000_000_000)
+        back = swap_record("A", SOL_B58, MEME, 800_000_000, 1_050_000)
+        event = SandwichDetector().detect_view(view_of([front, mid, back]))
+        assert event is not None
+        assert event.involves_sol
+        quantified = LossQuantifier(PriceOracle(usd_per_sol=100.0)).quantify(
+            event
+        )
+        assert quantified.victim_loss_usd is not None
+        assert quantified.victim_loss_usd > 0
+
+
+class TestBatch:
+    def test_quantify_all_preserves_order(self):
+        events = [sol_sandwich_event(), sol_sandwich_event(victim_in=12_000_000_000)]
+        quantified = LossQuantifier().quantify_all(events)
+        assert [q.event for q in quantified] == events

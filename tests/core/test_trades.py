@@ -1,0 +1,136 @@
+"""Trade-extraction tests."""
+
+import pytest
+
+from repro.core.trades import (
+    extract_trades,
+    is_tip_only_record,
+    net_deltas_for,
+    tip_paid_by_record,
+    traded_mints,
+)
+from repro.errors import DetectionError
+from tests.core.helpers import MEME, SOL, swap_record, tip_only_record
+
+
+class TestExtractTrades:
+    def test_single_swap(self):
+        record = swap_record("alice", SOL, MEME, 100, 1_000)
+        legs = extract_trades(record)
+        assert len(legs) == 1
+        leg = legs[0]
+        assert leg.owner == "alice"
+        assert leg.mint_in == SOL and leg.mint_out == MEME
+        assert leg.amount_in == 100 and leg.amount_out == 1_000
+
+    def test_rate(self):
+        record = swap_record("alice", SOL, MEME, 100, 1_000)
+        assert extract_trades(record)[0].rate == 0.1
+
+    def test_zero_output_rate_raises(self):
+        record = swap_record("alice", SOL, MEME, 100, 1_000)
+        leg = extract_trades(record)[0]
+        broken = type(leg)(
+            owner=leg.owner,
+            pool=leg.pool,
+            mint_in=leg.mint_in,
+            mint_out=leg.mint_out,
+            amount_in=100,
+            amount_out=0,
+        )
+        with pytest.raises(DetectionError):
+            _ = broken.rate
+
+    def test_mints_property(self):
+        record = swap_record("alice", SOL, MEME, 100, 1_000)
+        assert extract_trades(record)[0].mints == frozenset({SOL, MEME})
+
+    def test_non_swap_events_ignored(self):
+        record = tip_only_record("alice")
+        assert extract_trades(record) == []
+
+    def test_traded_mints(self):
+        record = swap_record("alice", SOL, MEME, 100, 1_000)
+        assert traded_mints(record) == frozenset({SOL, MEME})
+        assert traded_mints(tip_only_record("alice")) == frozenset()
+
+
+class TestNetDeltas:
+    def test_sums_across_records(self):
+        first = swap_record("alice", SOL, MEME, 100, 1_000)
+        second = swap_record("alice", MEME, SOL, 1_000, 110)
+        deltas = net_deltas_for([first, second], "alice")
+        assert deltas == {SOL: 10}  # MEME nets to zero and is dropped
+
+    def test_other_owners_excluded(self):
+        record = swap_record("alice", SOL, MEME, 100, 1_000)
+        assert net_deltas_for([record], "bob") == {}
+
+    def test_zero_entries_dropped(self):
+        first = swap_record("alice", SOL, MEME, 100, 1_000)
+        second = swap_record("alice", MEME, SOL, 1_000, 100)
+        assert net_deltas_for([first, second], "alice") == {}
+
+
+class TestTipOnly:
+    def test_tip_only_record_detected(self):
+        assert is_tip_only_record(tip_only_record("backend"))
+
+    def test_swap_record_is_not_tip_only(self):
+        assert not is_tip_only_record(swap_record("alice"))
+
+    def test_swap_with_tip_is_not_tip_only(self):
+        from repro.jito.tips import tip_accounts
+
+        record = swap_record(
+            "alice",
+            extra_events=[
+                {
+                    "type": "transfer",
+                    "source": "alice",
+                    "dest": tip_accounts()[0].to_base58(),
+                    "lamports": 500_000,
+                }
+            ],
+        )
+        assert not is_tip_only_record(record)
+
+    def test_plain_transfer_is_not_tip_only(self):
+        record = tip_only_record("alice")
+        modified = type(record)(
+            transaction_id=record.transaction_id,
+            slot=record.slot,
+            block_time=record.block_time,
+            signer=record.signer,
+            signers=record.signers,
+            fee_lamports=record.fee_lamports,
+            events=(
+                {
+                    "type": "transfer",
+                    "source": "alice",
+                    "dest": "SOMEBODY",
+                    "lamports": 1_000,
+                },
+            ),
+        )
+        assert not is_tip_only_record(modified)
+
+    def test_empty_record_is_not_tip_only(self):
+        record = tip_only_record("alice")
+        empty = type(record)(
+            transaction_id="e",
+            slot=1,
+            block_time=0.0,
+            signer="alice",
+            signers=("alice",),
+            fee_lamports=5_000,
+        )
+        assert not is_tip_only_record(empty)
+
+
+class TestTipPaid:
+    def test_tip_amount_extracted(self):
+        assert tip_paid_by_record(tip_only_record("a", 7_500)) == 7_500
+
+    def test_swap_without_tip_pays_zero(self):
+        assert tip_paid_by_record(swap_record("a")) == 0

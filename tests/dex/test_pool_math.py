@@ -1,0 +1,117 @@
+"""Constant-product AMM math tests, including property-based invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, InsufficientLiquidityError
+from repro.dex.pool import PoolSpec, execution_rate, quote_constant_product
+from repro.solana.tokens import Mint, SOL_MINT
+
+TOKEN = Mint.from_symbol("POOLTEST")
+
+reserves = st.integers(min_value=10**6, max_value=10**15)
+amounts = st.integers(min_value=1, max_value=10**13)
+fees = st.integers(min_value=0, max_value=100)
+
+
+class TestQuote:
+    def test_small_swap_near_spot(self):
+        # 1 unit into a balanced deep pool returns ~1 unit minus fee.
+        out = quote_constant_product(10**12, 10**12, 10**6, 0)
+        assert out == pytest.approx(10**6, rel=1e-4)
+
+    def test_fee_reduces_output(self):
+        no_fee = quote_constant_product(10**12, 10**12, 10**9, 0)
+        with_fee = quote_constant_product(10**12, 10**12, 10**9, 25)
+        assert with_fee < no_fee
+
+    def test_zero_amount_rejected(self):
+        with pytest.raises(ConfigError):
+            quote_constant_product(10**9, 10**9, 0, 25)
+
+    def test_empty_reserves_rejected(self):
+        with pytest.raises(InsufficientLiquidityError):
+            quote_constant_product(0, 10**9, 100, 25)
+
+    def test_invalid_fee_rejected(self):
+        with pytest.raises(ConfigError):
+            quote_constant_product(10**9, 10**9, 100, 10_000)
+
+    @settings(max_examples=200, deadline=None)
+    @given(r_in=reserves, r_out=reserves, amount=amounts, fee=fees)
+    def test_k_never_decreases(self, r_in, r_out, amount, fee):
+        out = quote_constant_product(r_in, r_out, amount, fee)
+        k_before = r_in * r_out
+        k_after = (r_in + amount) * (r_out - out)
+        assert k_after >= k_before
+
+    @settings(max_examples=200, deadline=None)
+    @given(r_in=reserves, r_out=reserves, amount=amounts, fee=fees)
+    def test_output_below_reserve(self, r_in, r_out, amount, fee):
+        out = quote_constant_product(r_in, r_out, amount, fee)
+        assert 0 <= out < r_out
+
+    @settings(max_examples=100, deadline=None)
+    @given(r_in=reserves, r_out=reserves, fee=fees)
+    def test_output_monotone_in_input(self, r_in, r_out, fee):
+        small = quote_constant_product(r_in, r_out, 10**6, fee)
+        large = quote_constant_product(r_in, r_out, 10**9, fee)
+        assert large >= small
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        r_in=reserves,
+        r_out=reserves,
+        amount=st.integers(min_value=10**4, max_value=10**13),
+    )
+    def test_price_impact_worsens_rate(self, r_in, r_out, amount):
+        # Buying twice as much never gets a better average price (up to the
+        # one-unit floor-rounding granularity of integer quotes).
+        out1 = quote_constant_product(r_in, r_out, amount, 0)
+        out2 = quote_constant_product(r_in, r_out, amount * 2, 0)
+        if out1 > 0 and out2 > 0:
+            assert out2 / (amount * 2) <= (out1 + 1) / amount
+
+
+class TestExecutionRate:
+    def test_rate_is_input_per_output(self):
+        assert execution_rate(100, 50) == 2.0
+
+    def test_zero_output_rejected(self):
+        with pytest.raises(ConfigError):
+            execution_rate(100, 0)
+
+
+class TestPoolSpec:
+    def test_create_deterministic_address(self):
+        a = PoolSpec.create(SOL_MINT, TOKEN)
+        b = PoolSpec.create(SOL_MINT, TOKEN)
+        assert a.address == b.address
+
+    def test_identical_mints_rejected(self):
+        with pytest.raises(ConfigError):
+            PoolSpec.create(SOL_MINT, SOL_MINT)
+
+    def test_other_mint(self):
+        pool = PoolSpec.create(SOL_MINT, TOKEN)
+        assert pool.other_mint(SOL_MINT.address) == TOKEN
+        assert pool.other_mint(TOKEN.address) == SOL_MINT
+
+    def test_other_mint_unknown_rejected(self):
+        pool = PoolSpec.create(SOL_MINT, TOKEN)
+        with pytest.raises(ConfigError):
+            pool.other_mint(Mint.from_symbol("OTHER").address)
+
+    def test_has_mint(self):
+        pool = PoolSpec.create(SOL_MINT, TOKEN)
+        assert pool.has_mint(SOL_MINT.address)
+        assert not pool.has_mint(Mint.from_symbol("OTHER").address)
+
+    def test_pair_name(self):
+        pool = PoolSpec.create(SOL_MINT, TOKEN)
+        assert pool.pair_name == "SOL/POOLTEST"
+
+    def test_invalid_fee_rejected(self):
+        with pytest.raises(ConfigError):
+            PoolSpec.create(SOL_MINT, TOKEN, fee_bps=10_000)

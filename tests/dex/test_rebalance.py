@@ -1,0 +1,103 @@
+"""Market rebalancing (external-arbitrage anchor) tests."""
+
+import pytest
+
+from repro.dex.market import Market, MarketConfig
+from repro.dex.swap import swap_instruction
+from repro.errors import ConfigError
+from repro.solana.bank import Bank
+from repro.solana.keys import Keypair
+from repro.solana.tokens import SOL_MINT
+from repro.solana.transaction import Transaction
+from repro.utils.rng import DeterministicRNG
+
+
+@pytest.fixture
+def market_world():
+    bank = Bank()
+    market = Market(
+        bank,
+        MarketConfig(num_meme_tokens=3, num_token_token_pools=0),
+        DeterministicRNG(4),
+    )
+    trader = Keypair("rebalance-trader")
+    bank.fund(trader, 10**12)
+    return bank, market, trader
+
+
+def push_price(bank, market, trader, pool, sol_amount: float):
+    """Buy tokens with SOL to push the token price up."""
+    amount = SOL_MINT.to_base_units(sol_amount)
+    bank.fund_tokens(trader.pubkey, SOL_MINT.address, amount)
+    tx = Transaction.build(
+        trader,
+        [swap_instruction(trader.pubkey, pool, SOL_MINT.address, amount, 0)],
+    )
+    receipt = bank.execute_transaction(tx)
+    assert receipt.success
+
+
+class TestRebalanceOrder:
+    def test_balanced_pool_needs_nothing(self, market_world):
+        _, market, _ = market_world
+        for pool in market.sol_pools:
+            assert market.rebalance_order(pool) is None
+
+    def test_drifted_pool_gets_corrective_order(self, market_world):
+        bank, market, trader = market_world
+        pool = market.sol_pools[0]
+        sol_reserve = bank.token_balance(pool.address, SOL_MINT.address)
+        # Push the price up ~69% (buy 30% of the SOL reserve's worth).
+        push_price(bank, market, trader, pool, sol_reserve / 10**9 * 0.3)
+        order = market.rebalance_order(pool)
+        assert order is not None
+        mint_in, amount = order
+        # Token too expensive in SOL terms -> correction sells tokens in.
+        assert mint_in == pool.other_mint(SOL_MINT.address).address
+        assert amount > 0
+
+    def test_executing_order_restores_anchor(self, market_world):
+        bank, market, trader = market_world
+        pool = market.sol_pools[0]
+        anchor = market.anchor_rate(pool)
+        sol_reserve = bank.token_balance(pool.address, SOL_MINT.address)
+        push_price(bank, market, trader, pool, sol_reserve / 10**9 * 0.3)
+        mint_in, amount = market.rebalance_order(pool)
+        maker = Keypair("maker")
+        bank.fund(maker, 10**9)
+        bank.fund_tokens(maker.pubkey, mint_in, amount)
+        tx = Transaction.build(
+            maker, [swap_instruction(maker.pubkey, pool, mint_in, amount, 0)]
+        )
+        assert bank.execute_transaction(tx).success
+        restored = market.spot_rate(pool, pool.mint_a.address)
+        # Within a few percent of the anchor (LP fees shift the optimum).
+        assert restored == pytest.approx(anchor, rel=0.08)
+        assert market.rebalance_order(pool) is None
+
+    def test_band_controls_sensitivity(self, market_world):
+        bank, market, trader = market_world
+        pool = market.sol_pools[0]
+        sol_reserve = bank.token_balance(pool.address, SOL_MINT.address)
+        push_price(bank, market, trader, pool, sol_reserve / 10**9 * 0.05)
+        # ~10% drift: outside a 5% band, inside a 50% band.
+        assert market.rebalance_order(pool, band=0.05) is not None
+        assert market.rebalance_order(pool, band=0.50) is None
+
+    def test_invalid_band_rejected(self, market_world):
+        _, market, _ = market_world
+        with pytest.raises(ConfigError):
+            market.rebalance_order(market.sol_pools[0], band=0.0)
+
+
+class TestEngineMarketMaker:
+    def test_long_run_prices_stay_anchored(self):
+        from repro.simulation import SimulationEngine
+        from tests.conftest import tiny_scenario
+
+        world = SimulationEngine(tiny_scenario(seed=3)).run()
+        market = world.market
+        for pool in market.sol_pools:
+            current = market.spot_rate(pool, pool.mint_a.address)
+            anchor = market.anchor_rate(pool)
+            assert 0.5 * anchor < current < 2.0 * anchor

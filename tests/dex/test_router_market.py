@@ -1,0 +1,147 @@
+"""Router, market bootstrap, slippage helper, and oracle tests."""
+
+import pytest
+
+from repro.constants import LAMPORTS_PER_SOL, SOL_USD_RATE
+from repro.errors import ConfigError, PoolNotFoundError
+from repro.dex.market import Market, MarketConfig
+from repro.dex.oracle import PriceOracle
+from repro.dex.router import Router
+from repro.dex.slippage import min_out_with_slippage, realized_slippage_bps
+from repro.solana.bank import Bank
+from repro.solana.keys import Keypair
+from repro.solana.tokens import Mint, SOL_MINT
+from repro.utils.rng import DeterministicRNG
+
+
+@pytest.fixture
+def market_world():
+    bank = Bank()
+    market = Market(
+        bank,
+        MarketConfig(num_meme_tokens=4, num_token_token_pools=2),
+        DeterministicRNG(99),
+    )
+    router = Router(bank, market.program)
+    trader = Keypair("router-trader")
+    bank.fund(trader, 10**9)
+    bank.fund_tokens(
+        trader.pubkey, SOL_MINT.address, SOL_MINT.to_base_units(100)
+    )
+    return bank, market, router, trader
+
+
+class TestMarketBootstrap:
+    def test_pool_counts(self, market_world):
+        _, market, _, _ = market_world
+        assert len(market.sol_pools) == 4
+        assert len(market.token_token_pools) == 2
+        # 4 SOL pools + SOL/USDC anchor + 2 token pools.
+        assert len(market.all_pools()) == 7
+
+    def test_reserves_seeded(self, market_world):
+        _, market, _, _ = market_world
+        for pool in market.all_pools():
+            reserve_a, reserve_b = market.reserves(pool)
+            assert reserve_a > 0 and reserve_b > 0
+
+    def test_sol_reserve_in_configured_range(self, market_world):
+        _, market, _, _ = market_world
+        config = MarketConfig()
+        for pool in market.sol_pools:
+            sol_reserve = market.bank.token_balance(
+                pool.address, SOL_MINT.address
+            )
+            sol_ui = SOL_MINT.to_ui_amount(sol_reserve)
+            assert config.min_pool_sol <= sol_ui <= config.max_pool_sol
+
+    def test_spot_rate_positive(self, market_world):
+        _, market, _, _ = market_world
+        pool = market.sol_pools[0]
+        assert market.spot_rate(pool, SOL_MINT.address) > 0
+
+    def test_deterministic_given_seed(self):
+        worlds = []
+        for _ in range(2):
+            bank = Bank()
+            market = Market(bank, MarketConfig(), DeterministicRNG(5))
+            worlds.append(market.reserves(market.sol_pools[0]))
+        assert worlds[0] == worlds[1]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            MarketConfig(num_meme_tokens=0).validate()
+        with pytest.raises(ConfigError):
+            MarketConfig(num_meme_tokens=2, num_token_token_pools=3).validate()
+
+
+class TestRouter:
+    def test_quote_and_execute(self, market_world):
+        bank, market, router, trader = market_world
+        pool = market.sol_pools[0]
+        token = pool.other_mint(SOL_MINT.address)
+        quote = router.quote(
+            SOL_MINT.address, token.address, SOL_MINT.to_base_units(1), 100
+        )
+        assert quote.expected_out > 0
+        assert quote.min_amount_out <= quote.expected_out
+        tx = router.build_swap_transaction(trader, quote)
+        receipt = bank.execute_transaction(tx)
+        assert receipt.success
+
+    def test_no_pool_raises(self, market_world):
+        _, _, router, _ = market_world
+        orphan = Mint.from_symbol("ORPHAN")
+        with pytest.raises(PoolNotFoundError):
+            router.quote(SOL_MINT.address, orphan.address, 1000, 100)
+
+    def test_priority_fee_instruction_added(self, market_world):
+        bank, market, router, trader = market_world
+        pool = market.sol_pools[0]
+        token = pool.other_mint(SOL_MINT.address)
+        quote = router.quote(
+            SOL_MINT.address, token.address, SOL_MINT.to_base_units(1), 100
+        )
+        tx = router.build_swap_transaction(
+            trader, quote, priority_fee_micro_lamports=500
+        )
+        assert len(tx.message.instructions) == 2
+
+
+class TestSlippageHelpers:
+    def test_min_out_basic(self):
+        assert min_out_with_slippage(1000, 100) == 990
+
+    def test_zero_tolerance(self):
+        assert min_out_with_slippage(1000, 0) == 1000
+
+    def test_full_tolerance(self):
+        assert min_out_with_slippage(1000, 10_000) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            min_out_with_slippage(0, 100)
+        with pytest.raises(ConfigError):
+            min_out_with_slippage(100, 10_001)
+
+    def test_realized_slippage(self):
+        assert realized_slippage_bps(1000, 990) == pytest.approx(100.0)
+
+
+class TestOracle:
+    def test_defaults_to_paper_rate(self):
+        assert PriceOracle().usd_per_sol == SOL_USD_RATE
+
+    def test_lamports_to_usd(self):
+        oracle = PriceOracle(usd_per_sol=200.0)
+        assert oracle.lamports_to_usd(LAMPORTS_PER_SOL) == 200.0
+
+    def test_usd_round_trip(self):
+        oracle = PriceOracle(usd_per_sol=250.0)
+        assert oracle.lamports_to_usd(oracle.usd_to_lamports(5.0)) == (
+            pytest.approx(5.0)
+        )
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            PriceOracle(usd_per_sol=0.0)

@@ -1,0 +1,165 @@
+"""DEX program tests: swap execution, slippage enforcement, registry."""
+
+import pytest
+
+from repro.errors import PoolNotFoundError, ProgramError
+from repro.dex.pool import PoolSpec
+from repro.dex.swap import DexProgram, PoolRegistry, swap_instruction
+from repro.solana.bank import Bank
+from repro.solana.instruction import DEX_PROGRAM_ID
+from repro.solana.keys import Keypair
+from repro.solana.tokens import Mint, SOL_MINT
+from repro.solana.transaction import Transaction
+
+TOKEN = Mint.from_symbol("SWAPTEST")
+
+
+@pytest.fixture
+def world():
+    bank = Bank()
+    registry = PoolRegistry()
+    program = DexProgram(registry)
+    bank.register_program(DEX_PROGRAM_ID, program)
+    pool = PoolSpec.create(SOL_MINT, TOKEN, fee_bps=25)
+    registry.add(pool)
+    bank.fund_tokens(pool.address, SOL_MINT.address, SOL_MINT.to_base_units(1000))
+    bank.fund_tokens(pool.address, TOKEN.address, TOKEN.to_base_units(1_000_000))
+    trader = Keypair("trader")
+    bank.fund(trader, 10**9)
+    bank.fund_tokens(trader.pubkey, SOL_MINT.address, SOL_MINT.to_base_units(50))
+    return bank, program, pool, trader
+
+
+class TestSwapExecution:
+    def test_successful_swap(self, world):
+        bank, program, pool, trader = world
+        amount = SOL_MINT.to_base_units(1)
+        expected = program.quote(bank, pool, SOL_MINT.address, amount)
+        tx = Transaction.build(
+            trader,
+            [swap_instruction(trader.pubkey, pool, SOL_MINT.address, amount, 0)],
+        )
+        receipt = bank.execute_transaction(tx)
+        assert receipt.success
+        assert bank.token_balance(trader.pubkey, TOKEN.address) == expected
+
+    def test_reserves_move(self, world):
+        bank, program, pool, trader = world
+        amount = SOL_MINT.to_base_units(1)
+        sol_before = bank.token_balance(pool.address, SOL_MINT.address)
+        tx = Transaction.build(
+            trader,
+            [swap_instruction(trader.pubkey, pool, SOL_MINT.address, amount, 0)],
+        )
+        bank.execute_transaction(tx)
+        assert bank.token_balance(pool.address, SOL_MINT.address) == (
+            sol_before + amount
+        )
+
+    def test_slippage_violation_fails_transaction(self, world):
+        bank, program, pool, trader = world
+        amount = SOL_MINT.to_base_units(1)
+        quote = program.quote(bank, pool, SOL_MINT.address, amount)
+        tx = Transaction.build(
+            trader,
+            [
+                swap_instruction(
+                    trader.pubkey, pool, SOL_MINT.address, amount, quote + 1
+                )
+            ],
+        )
+        receipt = bank.execute_transaction(tx)
+        assert not receipt.success
+        assert "below min_amount_out" in receipt.error
+
+    def test_exact_min_out_passes(self, world):
+        bank, program, pool, trader = world
+        amount = SOL_MINT.to_base_units(1)
+        quote = program.quote(bank, pool, SOL_MINT.address, amount)
+        tx = Transaction.build(
+            trader,
+            [swap_instruction(trader.pubkey, pool, SOL_MINT.address, amount, quote)],
+        )
+        assert bank.execute_transaction(tx).success
+
+    def test_swap_emits_event(self, world):
+        bank, program, pool, trader = world
+        amount = SOL_MINT.to_base_units(2)
+        tx = Transaction.build(
+            trader,
+            [swap_instruction(trader.pubkey, pool, SOL_MINT.address, amount, 0)],
+        )
+        receipt = bank.execute_transaction(tx)
+        swaps = [e for e in receipt.events if e["type"] == "swap"]
+        assert len(swaps) == 1
+        assert swaps[0]["amount_in"] == amount
+        assert swaps[0]["owner"] == trader.pubkey.to_base58()
+        assert swaps[0]["rate"] > 0
+
+    def test_unsigned_owner_fails(self, world):
+        bank, program, pool, trader = world
+        other = Keypair("other")
+        bank.fund(other, 10**9)
+        tx = Transaction.build(
+            other,
+            [
+                swap_instruction(
+                    trader.pubkey, pool, SOL_MINT.address, 100, 0
+                )
+            ],
+        )
+        receipt = bank.execute_transaction(tx)
+        assert not receipt.success
+
+    def test_insufficient_trader_funds_fails(self, world):
+        bank, program, pool, trader = world
+        huge = SOL_MINT.to_base_units(10_000)
+        tx = Transaction.build(
+            trader,
+            [swap_instruction(trader.pubkey, pool, SOL_MINT.address, huge, 0)],
+        )
+        receipt = bank.execute_transaction(tx)
+        assert not receipt.success
+
+    def test_round_trip_loses_to_fees(self, world):
+        bank, program, pool, trader = world
+        amount = SOL_MINT.to_base_units(5)
+        before = bank.token_balance(trader.pubkey, SOL_MINT.address)
+        tx1 = Transaction.build(
+            trader,
+            [swap_instruction(trader.pubkey, pool, SOL_MINT.address, amount, 0)],
+        )
+        bank.execute_transaction(tx1)
+        tokens = bank.token_balance(trader.pubkey, TOKEN.address)
+        tx2 = Transaction.build(
+            trader,
+            [swap_instruction(trader.pubkey, pool, TOKEN.address, tokens, 0)],
+        )
+        bank.execute_transaction(tx2)
+        assert bank.token_balance(trader.pubkey, SOL_MINT.address) < before
+
+
+class TestPoolRegistry:
+    def test_lookup_by_pair_unordered(self, world):
+        _, program, pool, _ = world
+        registry = program.registry
+        assert registry.for_pair(SOL_MINT.address, TOKEN.address) == [pool]
+        assert registry.for_pair(TOKEN.address, SOL_MINT.address) == [pool]
+
+    def test_unknown_pool_raises(self):
+        registry = PoolRegistry()
+        with pytest.raises(PoolNotFoundError):
+            registry.get(SOL_MINT.address)
+
+    def test_add_idempotent(self, world):
+        _, program, pool, _ = world
+        count = len(program.registry)
+        program.registry.add(pool)
+        assert len(program.registry) == count
+
+    def test_builder_validation(self, world):
+        _, _, pool, trader = world
+        with pytest.raises(ValueError):
+            swap_instruction(trader.pubkey, pool, SOL_MINT.address, 0, 0)
+        with pytest.raises(ValueError):
+            swap_instruction(trader.pubkey, pool, SOL_MINT.address, 1, -1)

@@ -1,0 +1,88 @@
+"""Wire encoding round-trip tests."""
+
+import pytest
+
+from repro.errors import BadRequestError
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.explorer.wire import (
+    bundle_record_from_json,
+    bundle_record_to_json,
+    transaction_record_from_json,
+    transaction_record_to_json,
+)
+
+
+@pytest.fixture
+def bundle_record():
+    return BundleRecord(
+        bundle_id="abc123",
+        slot=42,
+        landed_at=1_700_000_000.5,
+        tip_lamports=9_000,
+        transaction_ids=("tx1", "tx2", "tx3"),
+    )
+
+
+@pytest.fixture
+def transaction_record():
+    return TransactionRecord(
+        transaction_id="tx1",
+        slot=42,
+        block_time=1_700_000_000.5,
+        signer="signer1",
+        signers=("signer1", "signer2"),
+        fee_lamports=5_000,
+        token_deltas={"owner": {"mint": -100}},
+        lamport_deltas={"owner": -5_000},
+        events=({"type": "swap", "amount_in": 100},),
+    )
+
+
+class TestBundleRecordWire:
+    def test_round_trip(self, bundle_record):
+        payload = bundle_record_to_json(bundle_record)
+        assert bundle_record_from_json(payload) == bundle_record
+
+    def test_json_uses_jito_field_names(self, bundle_record):
+        payload = bundle_record_to_json(bundle_record)
+        assert payload["bundleId"] == "abc123"
+        assert payload["transactionIds"] == ["tx1", "tx2", "tx3"]
+        assert payload["tipLamports"] == 9_000
+
+    def test_num_transactions(self, bundle_record):
+        assert bundle_record.num_transactions == 3
+
+    def test_malformed_rejected(self):
+        with pytest.raises(BadRequestError):
+            bundle_record_from_json({"bundleId": "x"})
+
+
+class TestTransactionRecordWire:
+    def test_round_trip(self, transaction_record):
+        payload = transaction_record_to_json(transaction_record)
+        assert transaction_record_from_json(payload) == transaction_record
+
+    def test_deltas_survive_round_trip_as_ints(self, transaction_record):
+        payload = transaction_record_to_json(transaction_record)
+        decoded = transaction_record_from_json(payload)
+        assert decoded.token_deltas["owner"]["mint"] == -100
+        assert isinstance(decoded.token_deltas["owner"]["mint"], int)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(BadRequestError):
+            transaction_record_from_json({"transactionId": "x"})
+
+    def test_malformed_deltas_rejected(self):
+        payload = transaction_record_to_json(
+            TransactionRecord(
+                transaction_id="t",
+                slot=1,
+                block_time=0.0,
+                signer="s",
+                signers=("s",),
+                fee_lamports=0,
+            )
+        )
+        payload["tokenDeltas"] = "not-a-dict"
+        with pytest.raises(BadRequestError):
+            transaction_record_from_json(payload)

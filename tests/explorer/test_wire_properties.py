@@ -1,0 +1,111 @@
+"""Property-based wire round-trips over randomized records.
+
+The collector archives wire records as JSONL and re-analyzes them offline;
+any encode/decode asymmetry silently corrupts a campaign. Hypothesis
+generates adversarial record shapes and demands exact round-trips — also
+through an actual JSON dump/parse, which is what the HTTP layer does.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.explorer.wire import (
+    bundle_record_from_json,
+    bundle_record_to_json,
+    transaction_record_from_json,
+    transaction_record_to_json,
+)
+
+ids = st.text(
+    alphabet="123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz",
+    min_size=1,
+    max_size=88,
+)
+lamports = st.integers(min_value=0, max_value=10**15)
+deltas = st.integers(min_value=-(10**18), max_value=10**18)
+
+bundle_records = st.builds(
+    BundleRecord,
+    bundle_id=ids,
+    slot=st.integers(min_value=0, max_value=10**9),
+    landed_at=st.floats(
+        min_value=0, max_value=2e9, allow_nan=False, allow_infinity=False
+    ),
+    tip_lamports=lamports,
+    transaction_ids=st.lists(ids, min_size=1, max_size=5).map(tuple),
+)
+
+events = st.lists(
+    st.dictionaries(
+        keys=st.sampled_from(
+            ["type", "pool", "owner", "mint_in", "mint_out", "amount_in"]
+        ),
+        values=st.one_of(ids, st.integers(min_value=0, max_value=10**12)),
+        max_size=6,
+    ),
+    max_size=3,
+).map(tuple)
+
+transaction_records = st.builds(
+    TransactionRecord,
+    transaction_id=ids,
+    slot=st.integers(min_value=0, max_value=10**9),
+    block_time=st.floats(
+        min_value=0, max_value=2e9, allow_nan=False, allow_infinity=False
+    ),
+    signer=ids,
+    signers=st.lists(ids, min_size=1, max_size=4).map(tuple),
+    fee_lamports=lamports,
+    token_deltas=st.dictionaries(
+        keys=ids,
+        values=st.dictionaries(keys=ids, values=deltas, max_size=3),
+        max_size=3,
+    ),
+    lamport_deltas=st.dictionaries(keys=ids, values=deltas, max_size=4),
+    events=events,
+)
+
+
+class TestBundleRecordProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(record=bundle_records)
+    def test_round_trip(self, record):
+        assert bundle_record_from_json(bundle_record_to_json(record)) == record
+
+    @settings(max_examples=100, deadline=None)
+    @given(record=bundle_records)
+    def test_survives_json_text(self, record):
+        text = json.dumps(bundle_record_to_json(record))
+        assert bundle_record_from_json(json.loads(text)) == record
+
+
+class TestTransactionRecordProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(record=transaction_records)
+    def test_round_trip(self, record):
+        decoded = transaction_record_from_json(
+            transaction_record_to_json(record)
+        )
+        assert decoded == record
+
+    @settings(max_examples=100, deadline=None)
+    @given(record=transaction_records)
+    def test_survives_json_text(self, record):
+        text = json.dumps(transaction_record_to_json(record))
+        decoded = transaction_record_from_json(json.loads(text))
+        assert decoded == record
+
+    @settings(max_examples=100, deadline=None)
+    @given(record=transaction_records)
+    def test_deltas_stay_integers(self, record):
+        decoded = transaction_record_from_json(
+            transaction_record_to_json(record)
+        )
+        for per_owner in decoded.token_deltas.values():
+            assert all(isinstance(v, int) for v in per_owner.values())
+        assert all(
+            isinstance(v, int) for v in decoded.lamport_deltas.values()
+        )

@@ -1,0 +1,89 @@
+"""Private mempool and relayer tests."""
+
+import pytest
+
+from repro.jito.bundle import Bundle
+from repro.jito.relayer import PrivateMempool, Relayer
+from repro.solana.keys import Keypair
+from repro.solana.system_program import transfer
+from repro.solana.transaction import Transaction
+
+
+@pytest.fixture
+def payer():
+    return Keypair("relayer-payer")
+
+
+def make_tx(payer):
+    other = Keypair("relayer-other")
+    return Transaction.build(payer, [transfer(payer.pubkey, other.pubkey, 10)])
+
+
+class TestPrivateMempool:
+    def test_add_and_peek_ordered_by_time(self, payer):
+        mempool = PrivateMempool()
+        tx1, tx2 = make_tx(payer), make_tx(payer)
+        mempool.add(tx2, when=2.0)
+        mempool.add(tx1, when=1.0)
+        pending = mempool.peek_all()
+        assert [p.transaction for p in pending] == [tx1, tx2]
+
+    def test_add_idempotent(self, payer):
+        mempool = PrivateMempool()
+        tx = make_tx(payer)
+        mempool.add(tx, 1.0)
+        mempool.add(tx, 2.0)
+        assert len(mempool) == 1
+
+    def test_claim_removes(self, payer):
+        mempool = PrivateMempool()
+        tx = make_tx(payer)
+        mempool.add(tx, 1.0)
+        assert mempool.claim(tx.transaction_id) is tx
+        assert len(mempool) == 0
+
+    def test_claim_is_exclusive(self, payer):
+        mempool = PrivateMempool()
+        tx = make_tx(payer)
+        mempool.add(tx, 1.0)
+        assert mempool.claim(tx.transaction_id) is tx
+        assert mempool.claim(tx.transaction_id) is None
+
+    def test_drain_clears(self, payer):
+        mempool = PrivateMempool()
+        mempool.add(make_tx(payer), 1.0)
+        mempool.add(make_tx(payer), 2.0)
+        drained = mempool.drain()
+        assert len(drained) == 2
+        assert len(mempool) == 0
+
+
+class TestRelayer:
+    def test_submit_transaction_reaches_mempool(self, payer):
+        relayer = Relayer(PrivateMempool())
+        tx = make_tx(payer)
+        relayer.submit_transaction(tx, when=1.0)
+        assert len(relayer.mempool) == 1
+
+    def test_submit_bundle_queues(self, payer):
+        relayer = Relayer(PrivateMempool())
+        bundle = Bundle.of(make_tx(payer))
+        bundle_id = relayer.submit_bundle(bundle, when=1.0)
+        assert bundle_id == bundle.bundle_id
+        assert relayer.pending_bundle_count() == 1
+        assert relayer.bundles_submitted == 1
+
+    def test_take_bundles_clears_queue(self, payer):
+        relayer = Relayer(PrivateMempool())
+        relayer.submit_bundle(Bundle.of(make_tx(payer)), when=1.0)
+        taken = relayer.take_bundles()
+        assert len(taken) == 1
+        assert relayer.pending_bundle_count() == 0
+        assert relayer.take_bundles() == []
+
+    def test_bundled_transaction_not_in_mempool(self, payer):
+        # Bundled transactions bypass the mempool entirely: defensive
+        # bundling works because a bundle is opaque to other searchers.
+        relayer = Relayer(PrivateMempool())
+        relayer.submit_bundle(Bundle.of(make_tx(payer)), when=1.0)
+        assert len(relayer.mempool) == 0

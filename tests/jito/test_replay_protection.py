@@ -1,0 +1,139 @@
+"""Replay protection and contested-sandwich auction tests."""
+
+import pytest
+
+from repro.agents.attacker import SandwichConfig
+from repro.agents.base import Label
+from repro.agents.population import PopulationConfig
+from repro.jito.bundle import Bundle
+from repro.jito.tips import build_tip_instruction
+from repro.simulation import SimulationEngine
+from repro.simulation.config import ScenarioConfig
+from repro.solana.keys import Keypair
+from repro.solana.system_program import transfer
+from repro.solana.transaction import Transaction
+from tests.conftest import tiny_scenario
+
+
+@pytest.fixture
+def engine_world(fresh_world):
+    world = fresh_world
+    payer = Keypair("replay-payer")
+    world.bank.fund(payer, 10**12)
+    return world, payer
+
+
+def bundle_with(payer, shared_tx, tip):
+    own = Transaction.build(
+        payer, [build_tip_instruction(payer.pubkey, tip)]
+    )
+    return Bundle.of(own, shared_tx)
+
+
+class TestReplayProtection:
+    def test_second_bundle_with_same_tx_dropped(self, engine_world):
+        world, payer = engine_world
+        other = Keypair("replay-other")
+        shared = Transaction.build(
+            payer, [transfer(payer.pubkey, other.pubkey, 50)]
+        )
+        low = bundle_with(payer, shared, tip=1_000)
+        high = bundle_with(payer, shared, tip=9_000_000)
+        world.relayer.submit_bundle(low, world.clock.now())
+        world.relayer.submit_bundle(high, world.clock.now())
+        world.clock.advance(1.0)
+        world.block_engine.produce_block()
+        stats = world.block_engine.stats
+        assert stats.bundles_landed == 1
+        assert stats.bundles_dropped_duplicate == 1
+        # The higher bid won the auction.
+        landed = world.block_engine.bundle_log[0]
+        assert landed.bundle_id == high.bundle_id
+        # The shared transaction landed exactly once.
+        assert world.ledger.get_transaction(shared.transaction_id) is not None
+        assert world.bank.lamport_balance(other.pubkey) == 50
+
+    def test_native_duplicate_of_bundled_tx_dropped(self, engine_world):
+        world, payer = engine_world
+        other = Keypair("replay-other2")
+        shared = Transaction.build(
+            payer, [transfer(payer.pubkey, other.pubkey, 7)]
+        )
+        world.relayer.submit_bundle(
+            bundle_with(payer, shared, tip=5_000), world.clock.now()
+        )
+        world.relayer.submit_transaction(shared, world.clock.now())
+        world.clock.advance(1.0)
+        world.block_engine.produce_block()
+        assert world.block_engine.stats.native_dropped_duplicate == 1
+        assert world.bank.lamport_balance(other.pubkey) == 7  # once, not twice
+
+    def test_duplicate_across_blocks_dropped(self, engine_world):
+        world, payer = engine_world
+        other = Keypair("replay-other3")
+        shared = Transaction.build(
+            payer, [transfer(payer.pubkey, other.pubkey, 9)]
+        )
+        world.relayer.submit_bundle(
+            bundle_with(payer, shared, tip=5_000), world.clock.now()
+        )
+        world.clock.advance(1.0)
+        world.block_engine.produce_block()
+        # Resubmit the already-landed bundle next block.
+        world.relayer.submit_bundle(
+            bundle_with(payer, shared, tip=6_000), world.clock.now()
+        )
+        world.clock.advance(1.0)
+        world.block_engine.produce_block()
+        assert world.block_engine.stats.bundles_dropped_duplicate == 1
+
+
+class TestContestedSandwiches:
+    @pytest.fixture(scope="class")
+    def contested_world(self):
+        base = tiny_scenario(seed=92)
+        population = PopulationConfig(
+            sandwich=SandwichConfig(contested_probability=1.0)
+        )
+        scenario = ScenarioConfig(
+            **{**base.__dict__, "population": population}
+        )
+        return SimulationEngine(scenario).run()
+
+    def test_each_victim_lands_at_most_once(self, contested_world):
+        world = contested_world
+        truth = world.ground_truth
+        landed = {o.bundle_id for o in world.block_engine.bundle_log}
+        victims_landed = {}
+        for bundle_id in truth.bundle_ids_with_label(Label.SANDWICH) & landed:
+            victim_tx = truth.get(bundle_id).metadata["victim_tx_id"]
+            victims_landed[victim_tx] = victims_landed.get(victim_tx, 0) + 1
+        assert victims_landed, "no contested sandwiches landed"
+        assert all(count == 1 for count in victims_landed.values())
+
+    def test_rivals_dropped_as_duplicates(self, contested_world):
+        assert contested_world.block_engine.stats.bundles_dropped_duplicate > 0
+
+    def test_higher_bid_wins(self, contested_world):
+        world = contested_world
+        truth = world.ground_truth
+        landed = {o.bundle_id for o in world.block_engine.bundle_log}
+        # Group contested pairs by victim; whenever both bids were for the
+        # same victim, the landed one carries the (weakly) higher tip.
+        by_victim = {}
+        for bundle_id in truth.bundle_ids_with_label(Label.SANDWICH):
+            generated = truth.get(bundle_id)
+            by_victim.setdefault(
+                generated.metadata["victim_tx_id"], []
+            ).append(generated)
+        checked = 0
+        for victim_tx, bids in by_victim.items():
+            if len(bids) != 2:
+                continue
+            landed_bids = [b for b in bids if b.bundle_id in landed]
+            if len(landed_bids) != 1:
+                continue  # both failed (e.g. slippage) — nothing to check
+            loser = next(b for b in bids if b is not landed_bids[0])
+            assert landed_bids[0].tip_lamports >= loser.tip_lamports
+            checked += 1
+        assert checked > 0

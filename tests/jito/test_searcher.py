@@ -1,0 +1,58 @@
+"""Searcher client facade tests."""
+
+import pytest
+
+from repro.constants import MAX_BUNDLE_SIZE, NUM_JITO_TIP_ACCOUNTS
+from repro.errors import BundleTooLargeError
+from repro.jito.relayer import PrivateMempool, Relayer
+from repro.jito.searcher import SearcherClient
+from repro.solana.keys import Keypair
+from repro.solana.system_program import transfer
+from repro.solana.transaction import Transaction
+from repro.utils.simtime import SimClock
+
+
+@pytest.fixture
+def searcher_setup():
+    relayer = Relayer(PrivateMempool())
+    clock = SimClock()
+    client = SearcherClient(relayer, clock)
+    payer = Keypair("searcher-payer")
+    return client, relayer, clock, payer
+
+
+def make_tx(payer):
+    other = Keypair("searcher-other")
+    return Transaction.build(payer, [transfer(payer.pubkey, other.pubkey, 1)])
+
+
+class TestSearcherClient:
+    def test_get_tip_accounts(self, searcher_setup):
+        client, _, _, _ = searcher_setup
+        accounts = client.get_tip_accounts()
+        assert len(accounts) == NUM_JITO_TIP_ACCOUNTS
+
+    def test_send_bundle_returns_bundle_id(self, searcher_setup):
+        client, relayer, _, payer = searcher_setup
+        bundle_id = client.send_bundle([make_tx(payer)])
+        assert len(bundle_id) == 64
+        assert relayer.pending_bundle_count() == 1
+
+    def test_send_bundle_stamps_submission_time(self, searcher_setup):
+        client, relayer, clock, payer = searcher_setup
+        clock.advance(777.0)
+        client.send_bundle([make_tx(payer)])
+        [(_, submitted_at)] = relayer.take_bundles()
+        assert submitted_at == clock.now()
+
+    def test_oversized_bundle_rejected(self, searcher_setup):
+        client, _, _, payer = searcher_setup
+        txs = [make_tx(payer) for _ in range(MAX_BUNDLE_SIZE + 1)]
+        with pytest.raises(BundleTooLargeError):
+            client.send_bundle(txs)
+
+    def test_send_transaction_goes_native(self, searcher_setup):
+        client, relayer, _, payer = searcher_setup
+        client.send_transaction(make_tx(payer))
+        assert len(relayer.mempool) == 1
+        assert relayer.pending_bundle_count() == 0

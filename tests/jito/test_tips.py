@@ -1,0 +1,128 @@
+"""Tip account, tip extraction, and percentile tracker tests."""
+
+import pytest
+
+from repro.constants import (
+    HIGH_TIP_P95_LAMPORTS,
+    MIN_JITO_TIP_LAMPORTS,
+    NUM_JITO_TIP_ACCOUNTS,
+)
+from repro.errors import BundleError
+from repro.jito.tips import (
+    TipPercentileTracker,
+    build_tip_instruction,
+    extract_tip_lamports,
+    is_tip_account,
+    is_tip_only_transaction,
+    tip_accounts,
+)
+from repro.solana.fees import set_compute_unit_price
+from repro.solana.keys import Keypair
+from repro.solana.system_program import transfer
+from repro.solana.transaction import Transaction
+
+
+@pytest.fixture
+def payer():
+    return Keypair("tipper")
+
+
+class TestTipAccounts:
+    def test_eight_canonical_accounts(self):
+        assert len(tip_accounts()) == NUM_JITO_TIP_ACCOUNTS
+        assert len(set(tip_accounts())) == NUM_JITO_TIP_ACCOUNTS
+
+    def test_is_tip_account(self, payer):
+        assert is_tip_account(tip_accounts()[0])
+        assert is_tip_account(tip_accounts()[3].to_base58())
+        assert not is_tip_account(payer.pubkey)
+
+
+class TestTipConstruction:
+    def test_minimum_enforced(self, payer):
+        with pytest.raises(BundleError, match="at least"):
+            build_tip_instruction(payer.pubkey, MIN_JITO_TIP_LAMPORTS - 1)
+
+    def test_account_index_wraps(self, payer):
+        ix = build_tip_instruction(payer.pubkey, 1_000, account_index=9)
+        assert ix.accounts[1].pubkey == tip_accounts()[1]
+
+
+class TestTipExtraction:
+    def test_extracts_tip(self, payer):
+        tx = Transaction.build(
+            payer, [build_tip_instruction(payer.pubkey, 5_000)]
+        )
+        assert extract_tip_lamports(tx) == 5_000
+
+    def test_sums_multiple_tips(self, payer):
+        tx = Transaction.build(
+            payer,
+            [
+                build_tip_instruction(payer.pubkey, 5_000, 0),
+                build_tip_instruction(payer.pubkey, 2_000, 1),
+            ],
+        )
+        assert extract_tip_lamports(tx) == 7_000
+
+    def test_ignores_ordinary_transfers(self, payer):
+        other = Keypair("other")
+        tx = Transaction.build(
+            payer, [transfer(payer.pubkey, other.pubkey, 9_999)]
+        )
+        assert extract_tip_lamports(tx) == 0
+
+
+class TestTipOnly:
+    def test_pure_tip_transaction(self, payer):
+        tx = Transaction.build(
+            payer, [build_tip_instruction(payer.pubkey, 1_500)]
+        )
+        assert is_tip_only_transaction(tx)
+
+    def test_compute_budget_does_not_disqualify(self, payer):
+        tx = Transaction.build(
+            payer,
+            [
+                set_compute_unit_price(100),
+                build_tip_instruction(payer.pubkey, 1_500),
+            ],
+        )
+        assert is_tip_only_transaction(tx)
+
+    def test_transfer_to_non_tip_account_disqualifies(self, payer):
+        other = Keypair("other")
+        tx = Transaction.build(
+            payer,
+            [
+                build_tip_instruction(payer.pubkey, 1_500),
+                transfer(payer.pubkey, other.pubkey, 10),
+            ],
+        )
+        assert not is_tip_only_transaction(tx)
+
+    def test_no_instructions_is_not_tip_only(self, payer):
+        tx = Transaction.build(payer, [])
+        assert not is_tip_only_transaction(tx)
+
+
+class TestTipPercentileTracker:
+    def test_empty_blocks_ignored(self):
+        tracker = TipPercentileTracker()
+        tracker.record_block([])
+        assert tracker.blocks_observed == 0
+
+    def test_fallback_to_paper_dashboard_value(self):
+        tracker = TipPercentileTracker()
+        assert tracker.average_p95() == float(HIGH_TIP_P95_LAMPORTS)
+
+    def test_average_p95(self):
+        tracker = TipPercentileTracker()
+        tracker.record_block([1_000] * 100)
+        tracker.record_block([3_000] * 100)
+        assert tracker.average_p95() == pytest.approx(2_000.0)
+
+    def test_high_tip_threshold_is_half_p95(self):
+        tracker = TipPercentileTracker()
+        tracker.record_block([4_000_000] * 10)
+        assert tracker.high_tip_threshold() == pytest.approx(2_000_000.0)

@@ -1,0 +1,83 @@
+"""Scenario configuration and trend tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulation.config import ScenarioConfig, TrendSpec
+from repro.simulation.scenario import paper_scenario, small_scenario
+from repro.utils.rng import DeterministicRNG
+
+
+class TestTrendSpec:
+    def test_flat(self):
+        spec = TrendSpec(10.0)
+        assert spec.mean_on_day(0, 100) == 10.0
+        assert spec.mean_on_day(99, 100) == 10.0
+
+    def test_linear(self):
+        spec = TrendSpec(0.0, 100.0, kind="linear")
+        assert spec.mean_on_day(0, 101) == 0.0
+        assert spec.mean_on_day(100, 101) == 100.0
+
+    def test_geometric_decay(self):
+        spec = TrendSpec(100.0, 1.0, kind="geometric")
+        mid = spec.mean_on_day(50, 101)
+        assert mid == pytest.approx(10.0, rel=0.01)
+
+    def test_sample_count_no_noise_near_mean(self):
+        spec = TrendSpec(10.0, noise=0.0)
+        rng = DeterministicRNG(1)
+        counts = [spec.sample_count(0, 10, rng.child(str(i))) for i in range(200)]
+        assert all(count in (10,) for count in counts)
+
+    def test_sample_count_fractional_mean_rounds_stochastically(self):
+        spec = TrendSpec(2.5, noise=0.0)
+        rng = DeterministicRNG(1)
+        counts = [spec.sample_count(0, 10, rng.child(str(i))) for i in range(500)]
+        assert set(counts) == {2, 3}
+        assert 2.3 <= sum(counts) / len(counts) <= 2.7
+
+    def test_sample_count_never_negative(self):
+        spec = TrendSpec(0.2, noise=0.5)
+        rng = DeterministicRNG(1)
+        assert all(
+            spec.sample_count(0, 10, rng.child(str(i))) >= 0 for i in range(100)
+        )
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            TrendSpec(1.0, kind="quadratic")
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigError):
+            TrendSpec(-1.0)
+
+
+class TestScenarioConfig:
+    def test_defaults_validate(self):
+        ScenarioConfig().validate()
+
+    def test_paper_scenario_is_120_days(self):
+        assert paper_scenario().days == 120
+
+    def test_small_scenario_validates(self):
+        small_scenario().validate()
+
+    def test_invalid_days_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(days=0).validate()
+
+    def test_invalid_spike_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(spike_probability=1.5).validate()
+        with pytest.raises(ConfigError):
+            ScenarioConfig(spike_multiplier=0.5).validate()
+
+    def test_expected_bundles_positive(self):
+        assert small_scenario().expected_bundles_per_day() > 0
+
+    def test_scale_factors(self):
+        scenario = paper_scenario()
+        assert scenario.day_scale_factor() == pytest.approx(1.0)
+        # The bulk population is scaled down by thousands.
+        assert scenario.bundle_scale_factor() > 1_000

@@ -1,0 +1,64 @@
+"""Downtime schedule tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulation.downtime import DowntimeSchedule, DowntimeWindow
+from repro.utils.rng import DeterministicRNG
+
+
+class TestDowntimeWindow:
+    def test_contains(self):
+        window = DowntimeWindow(2.0, 3.5)
+        assert not window.contains_day_fraction(1.9)
+        assert window.contains_day_fraction(2.0)
+        assert window.contains_day_fraction(3.49)
+        assert not window.contains_day_fraction(3.5)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ConfigError):
+            DowntimeWindow(2.0, 2.0)
+
+
+class TestDowntimeSchedule:
+    def test_is_down(self):
+        schedule = DowntimeSchedule([DowntimeWindow(1.0, 2.0)])
+        assert schedule.is_down(1.5)
+        assert not schedule.is_down(0.5)
+
+    def test_empty_schedule_never_down(self):
+        schedule = DowntimeSchedule([])
+        assert not schedule.is_down(0.0)
+        assert schedule.affected_days() == set()
+
+    def test_affected_days_spans_window(self):
+        schedule = DowntimeSchedule([DowntimeWindow(1.25, 3.5)])
+        assert schedule.affected_days() == {1, 2, 3}
+
+    def test_windows_sorted(self):
+        schedule = DowntimeSchedule(
+            [DowntimeWindow(5.0, 6.0), DowntimeWindow(1.0, 2.0)]
+        )
+        starts = [w.start_day for w in schedule.windows]
+        assert starts == sorted(starts)
+
+    def test_sample_deterministic(self):
+        a = DowntimeSchedule.sample(DeterministicRNG(3), 120)
+        b = DowntimeSchedule.sample(DeterministicRNG(3), 120)
+        assert [w.start_day for w in a.windows] == [
+            w.start_day for w in b.windows
+        ]
+
+    def test_sample_windows_disjoint(self):
+        schedule = DowntimeSchedule.sample(DeterministicRNG(3), 120)
+        windows = schedule.windows
+        for first, second in zip(windows, windows[1:]):
+            assert first.end_day < second.start_day
+
+    def test_sample_within_campaign(self):
+        schedule = DowntimeSchedule.sample(DeterministicRNG(3), 120)
+        for window in schedule.windows:
+            assert 0 <= window.start_day < window.end_day <= 120
+
+    def test_sample_tiny_campaign_empty(self):
+        assert DowntimeSchedule.sample(DeterministicRNG(3), 2).windows == []

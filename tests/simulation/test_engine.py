@@ -1,0 +1,114 @@
+"""Simulation engine tests: determinism, trends, callbacks, accounting."""
+
+import pytest
+
+from repro.agents.base import Label
+from repro.simulation import SimulationEngine
+from repro.simulation.config import ScenarioConfig, TrendSpec
+from tests.conftest import tiny_scenario
+
+
+class TestRunAccounting:
+    def test_blocks_produced(self, run_world):
+        expected = tiny_scenario().days * tiny_scenario().blocks_per_day + 1
+        assert run_world.block_engine.stats.blocks_produced == expected
+
+    def test_day_stats_recorded(self, run_world):
+        assert len(run_world.day_stats) == tiny_scenario().days
+        for stats in run_world.day_stats:
+            assert stats.events_by_class["defensive"] == 30
+
+    def test_dates_follow_campaign_calendar(self, run_world):
+        assert run_world.day_stats[0].date == "2025-02-09"
+        assert run_world.day_stats[1].date == "2025-02-10"
+
+    def test_ledger_populated(self, run_world):
+        assert run_world.transactions_landed > 0
+        assert len(run_world.ledger) > 0
+
+    def test_ground_truth_counts_match_day_events(self, run_world):
+        truth = run_world.ground_truth
+        generated = sum(
+            truth.count(label)
+            for label in (
+                Label.DEFENSIVE,
+                Label.PRIORITY,
+                Label.ARBITRAGE,
+                Label.APP_BUNDLE,
+                Label.SANDWICH,
+                Label.DISGUISED_SANDWICH,
+            )
+        )
+        assert generated == sum(s.bundles_generated for s in run_world.day_stats)
+
+    def test_summary_shape(self, run_world):
+        summary = run_world.summary()
+        assert summary["days"] == tiny_scenario().days
+        assert summary["bundles_landed"] > 0
+        assert 1 in summary["landed_by_length"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = SimulationEngine(tiny_scenario(seed=5)).run()
+        b = SimulationEngine(tiny_scenario(seed=5)).run()
+        assert a.summary() == b.summary()
+        a_log = [o.bundle_id for o in a.block_engine.bundle_log]
+        b_log = [o.bundle_id for o in b.block_engine.bundle_log]
+        assert a_log == b_log
+
+    def test_different_seed_different_world(self):
+        a = SimulationEngine(tiny_scenario(seed=5)).run()
+        b = SimulationEngine(tiny_scenario(seed=6)).run()
+        assert [o.bundle_id for o in a.block_engine.bundle_log] != [
+            o.bundle_id for o in b.block_engine.bundle_log
+        ]
+
+
+class TestCallbacks:
+    def test_on_block_fires_per_block(self):
+        engine = SimulationEngine(tiny_scenario())
+        seen = []
+        engine.on_block(lambda world, block: seen.append(block.slot))
+        engine.run()
+        expected = tiny_scenario().days * tiny_scenario().blocks_per_day + 1
+        assert len(seen) == expected
+        assert seen == sorted(seen)
+
+
+class TestTrends:
+    def test_decreasing_sandwich_trend_visible(self):
+        scenario = ScenarioConfig(
+            seed=9,
+            days=6,
+            blocks_per_day=4,
+            retail_per_day=TrendSpec(0.0, noise=0.0),
+            defensive_per_day=TrendSpec(5.0, noise=0.0),
+            priority_per_day=TrendSpec(0.0, noise=0.0),
+            arbitrage_per_day=TrendSpec(0.0, noise=0.0),
+            app_bundles_per_day=TrendSpec(0.0, noise=0.0),
+            sandwiches_per_day=TrendSpec(40.0, 4.0, kind="geometric", noise=0.0),
+            disguised_per_day=TrendSpec(0.0, noise=0.0),
+            spike_probability=0.0,
+        )
+        world = SimulationEngine(scenario).run()
+        first = world.day_stats[0].events_by_class["sandwich"]
+        last = world.day_stats[-1].events_by_class["sandwich"]
+        assert first == 40 and last == 4
+
+    def test_spike_day_multiplies_counts(self):
+        scenario = tiny_scenario()
+        spiky = ScenarioConfig(
+            **{
+                **scenario.__dict__,
+                "spike_probability": 1.0,
+                "spike_multiplier": 3.0,
+            }
+        )
+        world = SimulationEngine(spiky).run()
+        assert all(s.is_spike for s in world.day_stats)
+        assert all(
+            s.events_by_class["defensive"] == 90 for s in world.day_stats
+        )
+        # Retail (native flow) is not spiked.
+        assert all(s.events_by_class["retail"] == 6 for s in world.day_stats)

@@ -1,0 +1,254 @@
+"""Bank execution tests: fees, transfers, receipts, atomic rollback."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import BASE_FEE_LAMPORTS
+from repro.solana import token_program
+from repro.solana.bank import Bank
+from repro.solana.keys import Keypair, Pubkey
+from repro.solana.system_program import transfer
+from repro.solana.tokens import Mint
+from repro.solana.transaction import Transaction
+
+MINT = Mint.from_symbol("TEST")
+
+
+def make_bank(*funded: Keypair) -> Bank:
+    bank = Bank()
+    for keypair in funded:
+        bank.fund(keypair, 1_000_000_000)
+    return bank
+
+
+@pytest.fixture
+def alice():
+    return Keypair("alice")
+
+
+@pytest.fixture
+def bob():
+    return Keypair("bob")
+
+
+class TestLamportTransfers:
+    def test_successful_transfer(self, alice, bob):
+        bank = make_bank(alice)
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 500)])
+        receipt = bank.execute_transaction(tx)
+        assert receipt.success
+        assert bank.lamport_balance(bob.pubkey) == 500
+
+    def test_fee_charged(self, alice, bob):
+        bank = make_bank(alice)
+        before = bank.lamport_balance(alice.pubkey)
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 500)])
+        bank.execute_transaction(tx)
+        assert (
+            bank.lamport_balance(alice.pubkey)
+            == before - 500 - BASE_FEE_LAMPORTS
+        )
+
+    def test_fee_collector_receives_fees(self, alice, bob):
+        bank = make_bank(alice)
+        collector = Pubkey.from_seed("leader")
+        bank.set_fee_collector(collector)
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 500)])
+        bank.execute_transaction(tx)
+        assert bank.lamport_balance(collector) == BASE_FEE_LAMPORTS
+
+    def test_insufficient_funds_rolls_back_everything(self, alice, bob):
+        bank = make_bank(alice)
+        before = bank.lamport_balance(alice.pubkey)
+        tx = Transaction.build(
+            alice,
+            [
+                transfer(alice.pubkey, bob.pubkey, 100),
+                transfer(alice.pubkey, bob.pubkey, 10**12),  # fails
+            ],
+        )
+        receipt = bank.execute_transaction(tx)
+        assert not receipt.success
+        assert "lamports" in receipt.error
+        assert bank.lamport_balance(alice.pubkey) == before
+        assert bank.lamport_balance(bob.pubkey) == 0
+
+    def test_missing_fee_payer_fails(self, alice, bob):
+        bank = Bank()
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 1)])
+        receipt = bank.execute_transaction(tx)
+        assert not receipt.success
+        assert "does not exist" in receipt.error
+
+    def test_unsigned_source_fails(self, alice, bob):
+        bank = make_bank(alice, bob)
+        tx = Transaction.build(alice, [transfer(bob.pubkey, alice.pubkey, 1)])
+        receipt = bank.execute_transaction(tx)
+        assert not receipt.success
+
+    def test_unknown_program_fails(self, alice):
+        from repro.solana.instruction import Instruction
+
+        bank = make_bank(alice)
+        bogus = Instruction(program_id=Pubkey.from_seed("bogus-program"))
+        tx = Transaction.build(alice, [bogus])
+        receipt = bank.execute_transaction(tx)
+        assert not receipt.success
+        assert "unknown program" in receipt.error
+
+
+class TestReceipts:
+    def test_lamport_deltas(self, alice, bob):
+        bank = make_bank(alice)
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 500)])
+        receipt = bank.execute_transaction(tx)
+        assert receipt.lamport_deltas[bob.pubkey.to_base58()] == 500
+        assert (
+            receipt.lamport_deltas[alice.pubkey.to_base58()]
+            == -(500 + BASE_FEE_LAMPORTS)
+        )
+
+    def test_token_deltas(self, alice, bob):
+        bank = make_bank(alice, bob)
+        bank.fund_tokens(alice.pubkey, MINT.address, 1_000)
+        tx = Transaction.build(
+            alice,
+            [token_program.transfer(alice.pubkey, bob.pubkey, MINT.address, 400)],
+        )
+        receipt = bank.execute_transaction(tx)
+        assert receipt.token_deltas[alice.pubkey.to_base58()][
+            MINT.address.to_base58()
+        ] == -400
+        assert receipt.token_deltas[bob.pubkey.to_base58()][
+            MINT.address.to_base58()
+        ] == 400
+
+    def test_events_recorded(self, alice, bob):
+        bank = make_bank(alice)
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 7)])
+        receipt = bank.execute_transaction(tx)
+        assert receipt.events == [
+            {
+                "type": "transfer",
+                "source": alice.pubkey.to_base58(),
+                "dest": bob.pubkey.to_base58(),
+                "lamports": 7,
+            }
+        ]
+
+    def test_failed_receipt_has_no_deltas(self, alice, bob):
+        bank = make_bank(alice)
+        tx = Transaction.build(
+            alice, [transfer(alice.pubkey, bob.pubkey, 10**15)]
+        )
+        receipt = bank.execute_transaction(tx)
+        assert not receipt.success
+        assert receipt.lamport_deltas == {}
+        assert receipt.token_deltas == {}
+
+    def test_slot_stamped(self, alice, bob):
+        bank = make_bank(alice)
+        bank.set_slot(1234)
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 1)])
+        assert bank.execute_transaction(tx).slot == 1234
+
+    def test_signers_listed(self, alice, bob):
+        bank = make_bank(alice)
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 1)])
+        receipt = bank.execute_transaction(tx)
+        assert receipt.signers == [alice.pubkey.to_base58()]
+        assert receipt.fee_payer == alice.pubkey.to_base58()
+
+
+class TestAtomicExecution:
+    def test_all_succeed(self, alice, bob):
+        bank = make_bank(alice)
+        txs = [
+            Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 10)])
+            for _ in range(3)
+        ]
+        receipts = bank.execute_atomic(txs)
+        assert all(r.success for r in receipts)
+        assert bank.lamport_balance(bob.pubkey) == 30
+
+    def test_middle_failure_rolls_back_all(self, alice, bob):
+        bank = make_bank(alice)
+        before = bank.lamport_balance(alice.pubkey)
+        txs = [
+            Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 10)]),
+            Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 10**15)]),
+            Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 10)]),
+        ]
+        receipts = bank.execute_atomic(txs)
+        assert [r.success for r in receipts] == [True, False]
+        assert bank.lamport_balance(alice.pubkey) == before
+        assert bank.lamport_balance(bob.pubkey) == 0
+        assert len(receipts) == 2  # third never ran
+
+    def test_counter_not_bumped_on_rollback(self, alice, bob):
+        bank = make_bank(alice)
+        executed_before = bank.transactions_executed
+        bank.execute_atomic(
+            [
+                Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 1)]),
+                Transaction.build(
+                    alice, [transfer(alice.pubkey, bob.pubkey, 10**15)]
+                ),
+            ]
+        )
+        assert bank.transactions_executed == executed_before
+
+    def test_token_state_rolls_back(self, alice, bob):
+        bank = make_bank(alice, bob)
+        bank.fund_tokens(alice.pubkey, MINT.address, 100)
+        txs = [
+            Transaction.build(
+                alice,
+                [token_program.transfer(alice.pubkey, bob.pubkey, MINT.address, 60)],
+            ),
+            Transaction.build(
+                alice,
+                [token_program.transfer(alice.pubkey, bob.pubkey, MINT.address, 60)],
+            ),  # insufficient: only 40 left
+        ]
+        receipts = bank.execute_atomic(txs)
+        assert [r.success for r in receipts] == [True, False]
+        assert bank.token_balance(alice.pubkey, MINT.address) == 100
+        assert bank.token_balance(bob.pubkey, MINT.address) == 0
+
+
+class TestConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        amounts=st.lists(
+            st.integers(min_value=1, max_value=10_000), min_size=1, max_size=8
+        )
+    )
+    def test_lamports_conserved_with_collector(self, amounts):
+        alice, bob = Keypair("alice"), Keypair("bob")
+        bank = make_bank(alice, bob)
+        collector = Pubkey.from_seed("leader")
+        bank.set_fee_collector(collector)
+        total_before = sum(
+            bank.lamport_balance(k)
+            for k in (alice.pubkey, bob.pubkey, collector)
+        )
+        for amount in amounts:
+            tx = Transaction.build(
+                alice, [transfer(alice.pubkey, bob.pubkey, amount)]
+            )
+            bank.execute_transaction(tx)
+        total_after = sum(
+            bank.lamport_balance(k)
+            for k in (alice.pubkey, bob.pubkey, collector)
+        )
+        assert total_after == total_before
+
+    def test_slot_cannot_move_backwards(self):
+        bank = Bank()
+        bank.set_slot(10)
+        from repro.errors import TransactionError
+
+        with pytest.raises(TransactionError):
+            bank.set_slot(9)

@@ -1,0 +1,145 @@
+"""Property-based bank invariants under randomized operation sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solana import token_program
+from repro.solana.bank import Bank
+from repro.solana.keys import Keypair, Pubkey
+from repro.solana.system_program import transfer
+from repro.solana.tokens import Mint
+from repro.solana.transaction import Transaction
+
+MINT = Mint.from_symbol("PROP")
+WALLET_COUNT = 4
+
+# One randomized operation: (kind, from_index, to_index, amount).
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["lamports", "tokens"]),
+        st.integers(min_value=0, max_value=WALLET_COUNT - 1),
+        st.integers(min_value=0, max_value=WALLET_COUNT - 1),
+        st.integers(min_value=1, max_value=10**12),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def build_world():
+    bank = Bank()
+    wallets = [Keypair(f"prop-{i}") for i in range(WALLET_COUNT)]
+    for wallet in wallets:
+        bank.fund(wallet, 10**10)
+        bank.fund_tokens(wallet.pubkey, MINT.address, 10**10)
+    collector = Pubkey.from_seed("prop-collector")
+    bank.set_fee_collector(collector)
+    return bank, wallets, collector
+
+
+def run_ops(bank, wallets, ops):
+    receipts = []
+    for kind, src, dst, amount in ops:
+        if src == dst:
+            continue
+        source, dest = wallets[src], wallets[dst]
+        if kind == "lamports":
+            ix = transfer(source.pubkey, dest.pubkey, amount)
+        else:
+            ix = token_program.transfer(
+                source.pubkey, dest.pubkey, MINT.address, amount
+            )
+        receipts.append(
+            bank.execute_transaction(Transaction.build(source, [ix]))
+        )
+    return receipts
+
+
+class TestConservationUnderRandomOps:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_lamports_conserved(self, ops):
+        bank, wallets, collector = build_world()
+        keys = [w.pubkey for w in wallets] + [collector]
+        before = sum(bank.lamport_balance(k) for k in keys)
+        run_ops(bank, wallets, ops)
+        after = sum(bank.lamport_balance(k) for k in keys)
+        assert after == before
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_tokens_conserved(self, ops):
+        bank, wallets, _ = build_world()
+        before = sum(
+            bank.token_balance(w.pubkey, MINT.address) for w in wallets
+        )
+        run_ops(bank, wallets, ops)
+        after = sum(
+            bank.token_balance(w.pubkey, MINT.address) for w in wallets
+        )
+        assert after == before
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_no_negative_balances_ever(self, ops):
+        bank, wallets, collector = build_world()
+        run_ops(bank, wallets, ops)
+        for wallet in wallets:
+            assert bank.lamport_balance(wallet.pubkey) >= 0
+            assert bank.token_balance(wallet.pubkey, MINT.address) >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_failed_transactions_have_no_deltas(self, ops):
+        bank, wallets, _ = build_world()
+        for receipt in run_ops(bank, wallets, ops):
+            if not receipt.success:
+                assert receipt.lamport_deltas == {}
+                assert receipt.token_deltas == {}
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=operations)
+    def test_receipt_deltas_sum_to_zero_modulo_fees(self, ops):
+        # Every successful receipt's lamport deltas net to zero (the fee
+        # leaves the payer and lands on the collector, both tracked).
+        bank, wallets, _ = build_world()
+        for receipt in run_ops(bank, wallets, ops):
+            if receipt.success:
+                assert sum(receipt.lamport_deltas.values()) == 0
+                total_token_delta = sum(
+                    delta
+                    for per_owner in receipt.token_deltas.values()
+                    for delta in per_owner.values()
+                )
+                assert total_token_delta == 0
+
+
+class TestAtomicSequencesUnderRandomOps:
+    @settings(max_examples=30, deadline=None)
+    @given(ops=operations)
+    def test_atomic_failure_is_total(self, ops):
+        bank, wallets, collector = build_world()
+        keys = [w.pubkey for w in wallets] + [collector]
+        snapshot = {k: bank.lamport_balance(k) for k in keys}
+        txs = []
+        for kind, src, dst, amount in ops:
+            if src == dst:
+                continue
+            txs.append(
+                Transaction.build(
+                    wallets[src],
+                    [transfer(wallets[src].pubkey, wallets[dst].pubkey, amount)],
+                )
+            )
+        # Poison the sequence so it must fail and roll back.
+        poor = Keypair("prop-pauper")
+        bank.fund(poor, 10_000)
+        txs.append(
+            Transaction.build(
+                poor, [transfer(poor.pubkey, wallets[0].pubkey, 10**15)]
+            )
+        )
+        receipts = bank.execute_atomic(txs)
+        assert not receipts[-1].success
+        for key in keys:
+            assert bank.lamport_balance(key) == snapshot[key]

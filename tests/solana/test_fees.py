@@ -1,0 +1,86 @@
+"""Fee schedule tests: base fee plus compute-budget priority fees."""
+
+import pytest
+
+from repro.constants import BASE_FEE_LAMPORTS
+from repro.solana.fees import (
+    DEFAULT_COMPUTE_UNITS,
+    FeeSchedule,
+    set_compute_unit_limit,
+    set_compute_unit_price,
+)
+from repro.solana.keys import Keypair
+from repro.solana.system_program import transfer
+from repro.solana.transaction import Transaction
+
+
+@pytest.fixture
+def alice():
+    return Keypair("alice")
+
+
+@pytest.fixture
+def bob():
+    return Keypair("bob")
+
+
+class TestFeeSchedule:
+    def test_base_fee_only(self, alice, bob):
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 1)])
+        fee = FeeSchedule().breakdown(tx)
+        assert fee.base_fee == BASE_FEE_LAMPORTS
+        assert fee.priority_fee == 0
+        assert fee.total == BASE_FEE_LAMPORTS
+
+    def test_priority_fee_from_unit_price(self, alice, bob):
+        tx = Transaction.build(
+            alice,
+            [
+                set_compute_unit_price(1_000_000),  # 1 lamport per unit
+                transfer(alice.pubkey, bob.pubkey, 1),
+            ],
+        )
+        fee = FeeSchedule().breakdown(tx)
+        assert fee.priority_fee == DEFAULT_COMPUTE_UNITS
+
+    def test_priority_fee_respects_unit_limit(self, alice, bob):
+        tx = Transaction.build(
+            alice,
+            [
+                set_compute_unit_price(1_000_000),
+                set_compute_unit_limit(10_000),
+                transfer(alice.pubkey, bob.pubkey, 1),
+            ],
+        )
+        fee = FeeSchedule().breakdown(tx)
+        assert fee.priority_fee == 10_000
+
+    def test_priority_fee_rounds_up(self, alice, bob):
+        tx = Transaction.build(
+            alice,
+            [
+                set_compute_unit_price(1),  # micro-lamports
+                set_compute_unit_limit(100),
+                transfer(alice.pubkey, bob.pubkey, 1),
+            ],
+        )
+        # 100 units * 1 micro-lamport = 0.0001 lamports -> rounds up to 1.
+        assert FeeSchedule().breakdown(tx).priority_fee == 1
+
+    def test_custom_base_fee(self, alice, bob):
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 1)])
+        assert FeeSchedule(base_fee_lamports=100).breakdown(tx).base_fee == 100
+
+    def test_negative_base_fee_rejected(self):
+        with pytest.raises(ValueError):
+            FeeSchedule(base_fee_lamports=-1)
+
+
+class TestBuilders:
+    def test_negative_unit_price_rejected(self):
+        with pytest.raises(ValueError):
+            set_compute_unit_price(-1)
+
+    def test_nonpositive_unit_limit_rejected(self):
+        with pytest.raises(ValueError):
+            set_compute_unit_limit(0)

@@ -1,0 +1,78 @@
+"""Key, signature, and verification tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.solana.keys import (
+    PUBKEY_LENGTH,
+    SIGNATURE_LENGTH,
+    Keypair,
+    Pubkey,
+    Signature,
+    verify,
+)
+
+
+class TestPubkey:
+    def test_from_seed_deterministic(self):
+        assert Pubkey.from_seed("x") == Pubkey.from_seed("x")
+
+    def test_different_seeds_differ(self):
+        assert Pubkey.from_seed("x") != Pubkey.from_seed("y")
+
+    def test_base58_round_trip(self):
+        key = Pubkey.from_seed("round-trip")
+        assert Pubkey.from_base58(key.to_base58()) == key
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            Pubkey(b"\x01" * 31)
+
+    def test_str_is_base58(self):
+        key = Pubkey.from_seed("s")
+        assert str(key) == key.to_base58()
+
+    def test_ordering_is_stable(self):
+        keys = sorted(Pubkey.from_seed(str(i)) for i in range(5))
+        assert keys == sorted(keys)
+
+
+class TestKeypair:
+    def test_deterministic_from_seed(self):
+        assert Keypair("alice").pubkey == Keypair("alice").pubkey
+
+    def test_signature_length(self):
+        sig = Keypair("alice").sign(b"message")
+        assert len(sig.raw) == SIGNATURE_LENGTH
+
+    def test_pubkey_length(self):
+        assert len(Keypair("alice").pubkey.raw) == PUBKEY_LENGTH
+
+
+class TestVerify:
+    def test_valid_signature_verifies(self):
+        keypair = Keypair("signer")
+        message = b"hello world"
+        assert verify(keypair.pubkey, message, keypair.sign(message))
+
+    def test_wrong_message_fails(self):
+        keypair = Keypair("signer")
+        sig = keypair.sign(b"message-one")
+        assert not verify(keypair.pubkey, b"message-two", sig)
+
+    def test_wrong_signer_fails(self):
+        a, b = Keypair("a"), Keypair("b")
+        sig = a.sign(b"msg")
+        assert not verify(b.pubkey, b"msg", sig)
+
+    def test_tampered_signature_fails(self):
+        keypair = Keypair("signer")
+        sig = keypair.sign(b"msg")
+        tampered = Signature(bytes([sig.raw[0] ^ 1]) + sig.raw[1:])
+        assert not verify(keypair.pubkey, b"msg", tampered)
+
+    @given(st.text(min_size=1, max_size=20), st.binary(max_size=64))
+    def test_sign_verify_property(self, seed, message):
+        keypair = Keypair(seed)
+        assert verify(keypair.pubkey, message, keypair.sign(message))

@@ -1,0 +1,88 @@
+"""Leader schedule tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.solana.keys import Pubkey
+from repro.solana.leader_schedule import (
+    LeaderSchedule,
+    Validator,
+    default_validator_set,
+)
+from repro.utils.rng import DeterministicRNG
+
+
+def make_validators(stakes, jito=None):
+    jito = jito or [True] * len(stakes)
+    return [
+        Validator(
+            identity=Pubkey.from_seed(f"v{i}"),
+            stake_lamports=stake,
+            runs_jito=flag,
+        )
+        for i, (stake, flag) in enumerate(zip(stakes, jito))
+    ]
+
+
+class TestLeaderSchedule:
+    def test_deterministic(self):
+        validators = make_validators([100, 50, 10])
+        a = LeaderSchedule(validators, DeterministicRNG(1))
+        b = LeaderSchedule(validators, DeterministicRNG(1))
+        assert [a.leader_for_slot(s).identity for s in range(50)] == [
+            b.leader_for_slot(s).identity for s in range(50)
+        ]
+
+    def test_memoized_stability(self):
+        schedule = LeaderSchedule(make_validators([100, 50]), DeterministicRNG(1))
+        first = schedule.leader_for_slot(7)
+        assert schedule.leader_for_slot(7) is first
+
+    def test_stake_weighting(self):
+        validators = make_validators([900, 100])
+        schedule = LeaderSchedule(validators, DeterministicRNG(2))
+        leaders = [schedule.leader_for_slot(s) for s in range(2000)]
+        heavy_share = sum(
+            1 for l in leaders if l.identity == validators[0].identity
+        ) / len(leaders)
+        assert 0.85 <= heavy_share <= 0.95
+
+    def test_negative_slot_rejected(self):
+        schedule = LeaderSchedule(make_validators([1]), DeterministicRNG(1))
+        with pytest.raises(ConfigError):
+            schedule.leader_for_slot(-1)
+
+    def test_empty_validators_rejected(self):
+        with pytest.raises(ConfigError):
+            LeaderSchedule([], DeterministicRNG(1))
+
+    def test_zero_stake_rejected(self):
+        with pytest.raises(ConfigError):
+            LeaderSchedule(make_validators([0, 0]), DeterministicRNG(1))
+
+    def test_jito_stake_fraction(self):
+        validators = make_validators([75, 25], jito=[True, False])
+        schedule = LeaderSchedule(validators, DeterministicRNG(1))
+        assert schedule.jito_stake_fraction() == 0.75
+
+
+class TestDefaultValidatorSet:
+    def test_size(self):
+        assert len(default_validator_set(count=30)) == 30
+
+    def test_top_validators_run_jito(self):
+        validators = default_validator_set(count=20, jito_fraction=0.9)
+        # The super-minority (largest stakes) all run Jito.
+        assert all(v.runs_jito for v in validators[:10])
+        assert sum(1 for v in validators if not v.runs_jito) == 2
+
+    def test_zipf_like_stakes(self):
+        validators = default_validator_set(count=10)
+        stakes = [v.stake_lamports for v in validators]
+        assert stakes == sorted(stakes, reverse=True)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            default_validator_set(count=0)
+        with pytest.raises(ConfigError):
+            default_validator_set(jito_fraction=1.5)

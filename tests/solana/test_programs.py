@@ -1,0 +1,149 @@
+"""System and token program processor tests."""
+
+import json
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.solana import system_program, token_program
+from repro.solana.bank import Bank
+from repro.solana.instruction import (
+    SYSTEM_PROGRAM_ID,
+    TOKEN_PROGRAM_ID,
+    AccountMeta,
+    Instruction,
+)
+from repro.solana.keys import Keypair
+from repro.solana.tokens import Mint
+from repro.solana.transaction import Transaction
+
+MINT = Mint.from_symbol("PRG")
+
+
+@pytest.fixture
+def setup():
+    bank = Bank()
+    alice, bob = Keypair("alice"), Keypair("bob")
+    bank.fund(alice, 10**9)
+    bank.fund(bob, 10**9)
+    return bank, alice, bob
+
+
+class TestSystemProgram:
+    def test_transfer_builder_validates_amount(self, setup):
+        _, alice, bob = setup
+        with pytest.raises(ValueError):
+            system_program.transfer(alice.pubkey, bob.pubkey, 0)
+
+    def test_malformed_payload_fails(self, setup):
+        bank, alice, bob = setup
+        bogus = Instruction(
+            program_id=SYSTEM_PROGRAM_ID,
+            accounts=(
+                AccountMeta(alice.pubkey, is_signer=True, is_writable=True),
+                AccountMeta(bob.pubkey, is_writable=True),
+            ),
+            data=b"not-json",
+        )
+        receipt = bank.execute_transaction(Transaction.build(alice, [bogus]))
+        assert not receipt.success
+        assert "malformed payload" in receipt.error
+
+    def test_unknown_op_fails(self, setup):
+        bank, alice, bob = setup
+        bogus = Instruction(
+            program_id=SYSTEM_PROGRAM_ID,
+            accounts=(
+                AccountMeta(alice.pubkey, is_signer=True, is_writable=True),
+                AccountMeta(bob.pubkey, is_writable=True),
+            ),
+            data=json.dumps({"op": "burn", "lamports": 5}).encode(),
+        )
+        receipt = bank.execute_transaction(Transaction.build(alice, [bogus]))
+        assert not receipt.success
+        assert "unknown op" in receipt.error
+
+    def test_wrong_account_count_fails(self, setup):
+        bank, alice, _ = setup
+        bogus = Instruction(
+            program_id=SYSTEM_PROGRAM_ID,
+            accounts=(AccountMeta(alice.pubkey, is_signer=True),),
+            data=json.dumps({"op": "transfer", "lamports": 5}).encode(),
+        )
+        receipt = bank.execute_transaction(Transaction.build(alice, [bogus]))
+        assert not receipt.success
+        assert "expects 2 accounts" in receipt.error
+
+
+class TestTokenProgram:
+    def test_transfer_moves_tokens(self, setup):
+        bank, alice, bob = setup
+        bank.fund_tokens(alice.pubkey, MINT.address, 100)
+        tx = Transaction.build(
+            alice,
+            [token_program.transfer(alice.pubkey, bob.pubkey, MINT.address, 40)],
+        )
+        assert bank.execute_transaction(tx).success
+        assert bank.token_balance(alice.pubkey, MINT.address) == 60
+        assert bank.token_balance(bob.pubkey, MINT.address) == 40
+
+    def test_transfer_insufficient_fails(self, setup):
+        bank, alice, bob = setup
+        tx = Transaction.build(
+            alice,
+            [token_program.transfer(alice.pubkey, bob.pubkey, MINT.address, 1)],
+        )
+        receipt = bank.execute_transaction(tx)
+        assert not receipt.success
+
+    def test_mint_to_creates_tokens(self, setup):
+        bank, alice, bob = setup
+        tx = Transaction.build(
+            alice,
+            [token_program.mint_to(alice.pubkey, bob.pubkey, MINT.address, 55)],
+        )
+        assert bank.execute_transaction(tx).success
+        assert bank.token_balance(bob.pubkey, MINT.address) == 55
+
+    def test_token_transfer_event(self, setup):
+        bank, alice, bob = setup
+        bank.fund_tokens(alice.pubkey, MINT.address, 10)
+        tx = Transaction.build(
+            alice,
+            [token_program.transfer(alice.pubkey, bob.pubkey, MINT.address, 10)],
+        )
+        receipt = bank.execute_transaction(tx)
+        events = [e for e in receipt.events if e["type"] == "token_transfer"]
+        assert events[0]["amount"] == 10
+
+    def test_builders_validate_amounts(self, setup):
+        _, alice, bob = setup
+        with pytest.raises(ValueError):
+            token_program.transfer(alice.pubkey, bob.pubkey, MINT.address, 0)
+        with pytest.raises(ValueError):
+            token_program.mint_to(alice.pubkey, bob.pubkey, MINT.address, -5)
+
+    def test_unsigned_token_transfer_fails(self, setup):
+        bank, alice, bob = setup
+        bank.fund_tokens(bob.pubkey, MINT.address, 10)
+        # alice builds a tx moving bob's tokens without bob signing: the
+        # instruction marks bob as a signer, so verification fails.
+        tx = Transaction.build(
+            alice,
+            [token_program.transfer(bob.pubkey, alice.pubkey, MINT.address, 5)],
+        )
+        receipt = bank.execute_transaction(tx)
+        assert not receipt.success
+
+
+class TestMint:
+    def test_base_unit_round_trip(self):
+        assert MINT.to_base_units(1.5) == 1_500_000_000
+        assert MINT.to_ui_amount(1_500_000_000) == 1.5
+
+    def test_from_symbol_deterministic(self):
+        assert Mint.from_symbol("X") == Mint.from_symbol("X")
+
+    def test_usdc_style_decimals(self):
+        usdc = Mint.from_symbol("USDC", decimals=6)
+        assert usdc.to_base_units(2.5) == 2_500_000

@@ -1,0 +1,100 @@
+"""Dry-run (simulateBundle-style) execution tests."""
+
+import pytest
+
+from repro.jito.tips import build_tip_instruction
+from repro.solana.bank import Bank
+from repro.solana.keys import Keypair
+from repro.solana.system_program import transfer
+from repro.solana.transaction import Transaction
+
+
+@pytest.fixture
+def world():
+    bank = Bank()
+    alice, bob = Keypair("sim-a"), Keypair("sim-b")
+    bank.fund(alice, 10**9)
+    return bank, alice, bob
+
+
+class TestSimulateAtomic:
+    def test_success_reported_without_state_change(self, world):
+        bank, alice, bob = world
+        before = bank.lamport_balance(alice.pubkey)
+        txs = [
+            Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 100)])
+        ]
+        receipts = bank.simulate_atomic(txs)
+        assert all(r.success for r in receipts)
+        assert bank.lamport_balance(alice.pubkey) == before
+        assert bank.lamport_balance(bob.pubkey) == 0
+
+    def test_receipts_show_would_be_deltas(self, world):
+        bank, alice, bob = world
+        txs = [
+            Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 100)])
+        ]
+        [receipt] = bank.simulate_atomic(txs)
+        assert receipt.lamport_deltas[bob.pubkey.to_base58()] == 100
+
+    def test_failure_reported_and_rolled_back(self, world):
+        bank, alice, bob = world
+        txs = [
+            Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 100)]),
+            Transaction.build(
+                alice, [transfer(alice.pubkey, bob.pubkey, 10**15)]
+            ),
+        ]
+        receipts = bank.simulate_atomic(txs)
+        assert [r.success for r in receipts] == [True, False]
+        assert bank.lamport_balance(bob.pubkey) == 0
+
+    def test_counter_untouched(self, world):
+        bank, alice, bob = world
+        before = bank.transactions_executed
+        bank.simulate_atomic(
+            [Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 1)])]
+        )
+        assert bank.transactions_executed == before
+
+    def test_simulation_then_real_execution_agree(self, world):
+        bank, alice, bob = world
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 42)])
+        [simulated] = bank.simulate_atomic([tx])
+        [real] = bank.execute_atomic([tx])
+        assert simulated.success == real.success
+        assert simulated.lamport_deltas == real.lamport_deltas
+
+
+class TestSearcherSimulateBundle:
+    def test_viable_bundle_simulates_true(self, fresh_world):
+        world = fresh_world
+        payer = Keypair("sim-searcher")
+        world.bank.fund(payer, 10**9)
+        tx = Transaction.build(
+            payer, [build_tip_instruction(payer.pubkey, 5_000)]
+        )
+        assert world.searcher.simulate_bundle([tx])
+        # Nothing landed or mutated.
+        assert world.relayer.pending_bundle_count() == 0
+
+    def test_failing_bundle_simulates_false(self, fresh_world):
+        world = fresh_world
+        payer = Keypair("sim-searcher-poor")
+        world.bank.fund(payer, 10_000)
+        other = Keypair("sim-other")
+        tx = Transaction.build(
+            payer, [transfer(payer.pubkey, other.pubkey, 10**15)]
+        )
+        assert not world.searcher.simulate_bundle([tx])
+
+    def test_unwired_client_raises(self):
+        from repro.jito.relayer import PrivateMempool, Relayer
+        from repro.jito.searcher import SearcherClient
+        from repro.utils.simtime import SimClock
+
+        client = SearcherClient(Relayer(PrivateMempool()), SimClock())
+        payer = Keypair("sim-unwired")
+        tx = Transaction.build(payer, [build_tip_instruction(payer.pubkey, 5_000)])
+        with pytest.raises(ValueError):
+            client.simulate_bundle([tx])

@@ -1,0 +1,100 @@
+"""Message and transaction tests."""
+
+import pytest
+
+from repro.errors import InvalidSignatureError, TransactionError
+from repro.solana.keys import Keypair
+from repro.solana.system_program import transfer
+from repro.solana.transaction import Message, Transaction
+
+
+@pytest.fixture
+def alice():
+    return Keypair("alice")
+
+
+@pytest.fixture
+def bob():
+    return Keypair("bob")
+
+
+class TestMessage:
+    def test_required_signers_fee_payer_first(self, alice, bob):
+        message = Message(
+            fee_payer=alice.pubkey,
+            instructions=(transfer(bob.pubkey, alice.pubkey, 10),),
+        )
+        assert message.required_signers() == [alice.pubkey, bob.pubkey]
+
+    def test_required_signers_deduplicated(self, alice):
+        message = Message(
+            fee_payer=alice.pubkey,
+            instructions=(transfer(alice.pubkey, alice.pubkey, 10),),
+        )
+        assert message.required_signers() == [alice.pubkey]
+
+    def test_serialization_deterministic(self, alice, bob):
+        ix = transfer(alice.pubkey, bob.pubkey, 5)
+        m1 = Message(alice.pubkey, (ix,), recent_blockhash="h")
+        m2 = Message(alice.pubkey, (ix,), recent_blockhash="h")
+        assert m1.serialize() == m2.serialize()
+        assert m1.hash() == m2.hash()
+
+    def test_serialization_sensitive_to_contents(self, alice, bob):
+        m1 = Message(alice.pubkey, (transfer(alice.pubkey, bob.pubkey, 5),))
+        m2 = Message(alice.pubkey, (transfer(alice.pubkey, bob.pubkey, 6),))
+        assert m1.serialize() != m2.serialize()
+
+
+class TestTransaction:
+    def test_build_signs_fee_payer(self, alice, bob):
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 5)])
+        tx.verify_signatures()
+
+    def test_transaction_id_is_fee_payer_signature(self, alice, bob):
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 5)])
+        assert tx.transaction_id == tx.signatures[alice.pubkey].to_base58()
+
+    def test_unsigned_has_no_id(self, alice, bob):
+        tx = Transaction(
+            message=Message(alice.pubkey, (transfer(alice.pubkey, bob.pubkey, 5),))
+        )
+        with pytest.raises(TransactionError):
+            _ = tx.transaction_id
+
+    def test_missing_extra_signer_fails_verification(self, alice, bob):
+        # bob's lamports move, so bob must sign — but only alice did.
+        tx = Transaction.build(alice, [transfer(bob.pubkey, alice.pubkey, 5)])
+        with pytest.raises(InvalidSignatureError, match="missing signature"):
+            tx.verify_signatures()
+
+    def test_extra_signer_accepted(self, alice, bob):
+        tx = Transaction.build(
+            alice,
+            [transfer(bob.pubkey, alice.pubkey, 5)],
+            extra_signers=[bob],
+        )
+        tx.verify_signatures()
+
+    def test_identical_builds_get_distinct_ids(self, alice, bob):
+        ix = transfer(alice.pubkey, bob.pubkey, 5)
+        tx1 = Transaction.build(alice, [ix])
+        tx2 = Transaction.build(alice, [ix])
+        assert tx1.transaction_id != tx2.transaction_id
+
+    def test_explicit_blockhash_respected(self, alice, bob):
+        tx = Transaction.build(
+            alice, [transfer(alice.pubkey, bob.pubkey, 5)], recent_blockhash="bh"
+        )
+        assert tx.message.recent_blockhash == "bh"
+
+    def test_signer_property(self, alice, bob):
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 5)])
+        assert tx.signer == alice.pubkey
+
+    def test_forged_signature_fails(self, alice, bob):
+        tx = Transaction.build(alice, [transfer(alice.pubkey, bob.pubkey, 5)])
+        mallory = Keypair("mallory")
+        tx.signatures[alice.pubkey] = mallory.sign(tx.message.serialize())
+        with pytest.raises(InvalidSignatureError, match="does not verify"):
+            tx.verify_signatures()

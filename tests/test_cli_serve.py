@@ -1,0 +1,54 @@
+"""CLI ``serve`` command test: boot the server process and probe it."""
+
+import re
+import signal
+import subprocess
+import sys
+import time
+
+
+from repro.collector.http_client import HttpExplorerClient
+
+
+def test_serve_boots_and_answers():
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--small",
+            "--days",
+            "1",
+            "--seed",
+            "33",
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        # The command prints the bound address once the world is simulated.
+        deadline = time.time() + 120
+        line = ""
+        while time.time() < deadline:
+            line = process.stdout.readline()
+            if "explorer serving" in line:
+                break
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no address announced: {line!r}"
+        host, port = match.group(1), int(match.group(2))
+
+        client = HttpExplorerClient(host, port, timeout=5.0)
+        assert client.health()
+        records = client.recent_bundles(limit=5)
+        assert records
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=15)

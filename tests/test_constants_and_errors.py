@@ -1,0 +1,72 @@
+"""Sanity tests for the constants module and the error hierarchy."""
+
+import pytest
+
+from repro import constants, errors
+
+
+class TestConstants:
+    def test_lamports_per_sol(self):
+        assert constants.LAMPORTS_PER_SOL == 10**9
+
+    def test_campaign_span(self):
+        from datetime import datetime
+
+        start = datetime.fromisoformat(constants.CAMPAIGN_START_ISO)
+        end = datetime.fromisoformat(constants.CAMPAIGN_END_ISO)
+        assert (end - start).days == constants.CAMPAIGN_DAYS == 120
+
+    def test_paper_figures_are_consistent(self):
+        # 28% of sandwiches exclude SOL (paper Section 4.1).
+        fraction = (
+            constants.PAPER_NON_SOL_SANDWICHES / constants.PAPER_SANDWICH_COUNT
+        )
+        assert 0.27 < fraction < 0.29
+
+        # Defensive spend / defensive count ~= the reported average tip.
+        implied_avg = (
+            constants.PAPER_DEFENSIVE_SPEND_USD
+            / constants.PAPER_DEFENSIVE_BUNDLE_COUNT
+        )
+        assert implied_avg == pytest.approx(
+            constants.PAPER_AVG_DEFENSIVE_TIP_USD, rel=0.05
+        )
+
+    def test_slot_arithmetic(self):
+        assert constants.SLOTS_PER_DAY == 216_000
+
+    def test_explorer_limits(self):
+        assert constants.EXPLORER_DEFAULT_RECENT_LIMIT == 200
+        assert constants.EXPLORER_MAX_RECENT_LIMIT == 50_000
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_class",
+        [
+            errors.ConfigError,
+            errors.TransactionError,
+            errors.InsufficientFundsError,
+            errors.SlippageExceededError,
+            errors.BundleTooLargeError,
+            errors.RateLimitedError,
+            errors.ServiceUnavailableError,
+            errors.TransportError,
+            errors.StoreError,
+            errors.DetectionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_class):
+        assert issubclass(error_class, errors.ReproError)
+
+    def test_slippage_is_a_program_error(self):
+        # A slippage failure must roll a transaction (and its bundle) back.
+        assert issubclass(errors.SlippageExceededError, errors.ProgramError)
+        assert issubclass(errors.ProgramError, errors.TransactionError)
+
+    def test_explorer_errors_are_not_transaction_errors(self):
+        assert not issubclass(errors.RateLimitedError, errors.TransactionError)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DuplicateTransactionError("x")

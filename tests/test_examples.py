@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public contract — they must keep working as the
+library evolves. Each is executed in a subprocess with a generous timeout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("measurement_campaign.py", ["4"]),
+    ("defensive_bundling_study.py", []),
+    ("attacker_economics.py", []),
+    ("baseline_comparison.py", []),
+    ("live_explorer_scrape.py", []),
+    ("validator_economics.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    completed = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_detections():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "sandwiching attacks detected:" in completed.stdout
+    assert "precision 100%" in completed.stdout
+
+
+def test_measurement_campaign_renders_figures():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "measurement_campaign.py"), "4"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    for marker in ("Figure 1", "Figure 2", "Headline"):
+        assert marker in completed.stdout

@@ -1,0 +1,68 @@
+"""Exponential backoff tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.backoff import ExponentialBackoff
+from repro.utils.rng import DeterministicRNG
+
+
+class TestBackoff:
+    def test_jitterless_sequence_is_exponential(self):
+        backoff = ExponentialBackoff(base=1.0, multiplier=2.0, jitter=0.0)
+        assert [backoff.next_delay() for _ in range(4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_caps_at_max_delay(self):
+        backoff = ExponentialBackoff(
+            base=1.0, multiplier=10.0, max_delay=50.0, jitter=0.0
+        )
+        delays = [backoff.next_delay() for _ in range(4)]
+        assert delays == [1.0, 10.0, 50.0, 50.0]
+
+    def test_jitter_bounds(self):
+        backoff = ExponentialBackoff(
+            base=10.0,
+            multiplier=1.0,
+            jitter=0.2,
+            max_attempts=100,
+            rng=DeterministicRNG(5),
+        )
+        for _ in range(100):
+            assert 8.0 <= backoff.next_delay() <= 12.0
+
+    def test_exhaustion(self):
+        backoff = ExponentialBackoff(max_attempts=2, jitter=0.0)
+        backoff.next_delay()
+        backoff.next_delay()
+        assert backoff.exhausted()
+        with pytest.raises(ConfigError):
+            backoff.next_delay()
+
+    def test_reset_restores_budget(self):
+        backoff = ExponentialBackoff(max_attempts=1, jitter=0.0)
+        backoff.next_delay()
+        assert backoff.exhausted()
+        backoff.reset()
+        assert not backoff.exhausted()
+        assert backoff.next_delay() == 1.0
+
+    def test_deterministic_given_seeded_rng(self):
+        a = ExponentialBackoff(rng=DeterministicRNG(1).child("x"))
+        b = ExponentialBackoff(rng=DeterministicRNG(1).child("x"))
+        assert [a.next_delay() for _ in range(3)] == [
+            b.next_delay() for _ in range(3)
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base": 0.0},
+            {"multiplier": 0.5},
+            {"base": 10.0, "max_delay": 5.0},
+            {"max_attempts": 0},
+            {"jitter": 1.0},
+        ],
+    )
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ConfigError):
+            ExponentialBackoff(**kwargs)

@@ -1,0 +1,64 @@
+"""Base58 encoding tests, including a property-based round trip."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.base58 import ALPHABET, b58decode, b58encode
+
+
+class TestEncode:
+    def test_empty_bytes(self):
+        assert b58encode(b"") == ""
+
+    def test_single_zero_byte(self):
+        assert b58encode(b"\x00") == "1"
+
+    def test_leading_zeros_become_ones(self):
+        assert b58encode(b"\x00\x00\x01").startswith("11")
+
+    def test_known_vector(self):
+        # "hello" in base58 (Bitcoin alphabet) is Cn8eVZg.
+        assert b58encode(b"hello") == "Cn8eVZg"
+
+    def test_alphabet_has_no_ambiguous_characters(self):
+        for banned in "0OIl":
+            assert banned not in ALPHABET
+
+    def test_output_uses_only_alphabet(self):
+        encoded = b58encode(bytes(range(256))[:64])
+        assert all(c in ALPHABET for c in encoded)
+
+
+class TestDecode:
+    def test_empty_string(self):
+        assert b58decode("") == b""
+
+    def test_single_one_is_zero_byte(self):
+        assert b58decode("1") == b"\x00"
+
+    def test_known_vector(self):
+        assert b58decode("Cn8eVZg") == b"hello"
+
+    def test_invalid_character_raises(self):
+        with pytest.raises(ValueError, match="invalid base58"):
+            b58decode("0OIl")
+
+    def test_rejects_zero_lookalike(self):
+        with pytest.raises(ValueError):
+            b58decode("abc0")
+
+
+class TestRoundTrip:
+    @given(st.binary(min_size=0, max_size=128))
+    def test_roundtrip_any_bytes(self, data):
+        assert b58decode(b58encode(data)) == data
+
+    @given(st.binary(min_size=32, max_size=32))
+    def test_roundtrip_pubkey_sized(self, data):
+        assert b58decode(b58encode(data)) == data
+
+    @given(st.integers(min_value=0, max_value=20), st.binary(max_size=16))
+    def test_leading_zero_preservation(self, zeros, tail):
+        data = b"\x00" * zeros + tail
+        assert b58decode(b58encode(data)) == data

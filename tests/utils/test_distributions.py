@@ -1,0 +1,117 @@
+"""Distribution helper tests."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.distributions import (
+    clipped_lognormal,
+    geometric_daily,
+    interpolate_daily,
+    lognormal_from_median,
+    pareto_from_scale,
+    weighted_choice,
+)
+from repro.utils.rng import DeterministicRNG
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRNG(123)
+
+
+class TestLognormal:
+    def test_median_is_respected(self, rng):
+        samples = [lognormal_from_median(rng, 100.0, 1.0) for _ in range(4000)]
+        assert 85 <= statistics.median(samples) <= 115
+
+    def test_zero_sigma_is_constant(self, rng):
+        assert lognormal_from_median(rng, 42.0, 0.0) == pytest.approx(42.0)
+
+    def test_mean_exceeds_median_for_positive_sigma(self, rng):
+        samples = [lognormal_from_median(rng, 10.0, 1.5) for _ in range(4000)]
+        assert statistics.mean(samples) > statistics.median(samples)
+
+    def test_invalid_median_raises(self, rng):
+        with pytest.raises(ConfigError):
+            lognormal_from_median(rng, 0.0, 1.0)
+
+    def test_invalid_sigma_raises(self, rng):
+        with pytest.raises(ConfigError):
+            lognormal_from_median(rng, 1.0, -0.5)
+
+
+class TestClippedLognormal:
+    def test_respects_bounds(self, rng):
+        samples = [
+            clipped_lognormal(rng, 1000.0, 2.0, 500.0, 2000.0)
+            for _ in range(500)
+        ]
+        assert all(500.0 <= s <= 2000.0 for s in samples)
+
+    def test_inverted_bounds_raise(self, rng):
+        with pytest.raises(ConfigError):
+            clipped_lognormal(rng, 10.0, 1.0, 5.0, 1.0)
+
+
+class TestPareto:
+    def test_minimum_is_scale(self, rng):
+        samples = [pareto_from_scale(rng, 3.0, 2.0) for _ in range(500)]
+        assert min(samples) >= 3.0
+
+    def test_invalid_params_raise(self, rng):
+        with pytest.raises(ConfigError):
+            pareto_from_scale(rng, -1.0, 2.0)
+        with pytest.raises(ConfigError):
+            pareto_from_scale(rng, 1.0, 0.0)
+
+
+class TestWeightedChoice:
+    def test_zero_weight_never_chosen(self, rng):
+        picks = {weighted_choice(rng, ["a", "b"], [0.0, 1.0]) for _ in range(100)}
+        assert picks == {"b"}
+
+    def test_proportions_roughly_respected(self, rng):
+        picks = [
+            weighted_choice(rng, ["a", "b"], [3.0, 1.0]) for _ in range(4000)
+        ]
+        fraction_a = picks.count("a") / len(picks)
+        assert 0.70 <= fraction_a <= 0.80
+
+    def test_empty_items_raise(self, rng):
+        with pytest.raises(ConfigError):
+            weighted_choice(rng, [], [])
+
+    def test_mismatched_lengths_raise(self, rng):
+        with pytest.raises(ConfigError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+
+    def test_zero_total_raises(self, rng):
+        with pytest.raises(ConfigError):
+            weighted_choice(rng, ["a", "b"], [0.0, 0.0])
+
+
+class TestInterpolation:
+    def test_linear_endpoints(self):
+        assert interpolate_daily(10.0, 20.0, 0, 11) == 10.0
+        assert interpolate_daily(10.0, 20.0, 10, 11) == 20.0
+
+    def test_linear_midpoint(self):
+        assert interpolate_daily(0.0, 10.0, 5, 11) == pytest.approx(5.0)
+
+    def test_single_day_returns_start(self):
+        assert interpolate_daily(7.0, 99.0, 0, 1) == 7.0
+
+    def test_geometric_endpoints(self):
+        assert geometric_daily(100.0, 1.0, 0, 11) == pytest.approx(100.0)
+        assert geometric_daily(100.0, 1.0, 10, 11) == pytest.approx(1.0)
+
+    def test_geometric_midpoint_is_geometric_mean(self):
+        mid = geometric_daily(100.0, 1.0, 5, 11)
+        assert mid == pytest.approx(math.sqrt(100.0 * 1.0))
+
+    def test_geometric_requires_positive(self):
+        with pytest.raises(ConfigError):
+            geometric_daily(0.0, 5.0, 1, 10)

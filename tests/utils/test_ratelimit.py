@@ -1,0 +1,75 @@
+"""Token bucket tests against a controllable clock."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.ratelimit import TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTokenBucket:
+    def test_starts_full(self, clock):
+        bucket = TokenBucket(rate=1.0, capacity=5.0, time_fn=clock)
+        assert bucket.available() == 5.0
+
+    def test_burst_up_to_capacity(self, clock):
+        bucket = TokenBucket(rate=1.0, capacity=3.0, time_fn=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_over_time(self, clock):
+        bucket = TokenBucket(rate=2.0, capacity=2.0, time_fn=clock)
+        assert bucket.try_acquire(2.0)
+        assert not bucket.try_acquire()
+        clock.t += 0.5  # refills one token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_capacity(self, clock):
+        bucket = TokenBucket(rate=10.0, capacity=4.0, time_fn=clock)
+        clock.t += 100.0
+        assert bucket.available() == 4.0
+
+    def test_rejected_request_consumes_nothing(self, clock):
+        bucket = TokenBucket(rate=1.0, capacity=2.0, time_fn=clock)
+        assert not bucket.try_acquire(3.0)
+        assert bucket.available() == 2.0
+
+    def test_seconds_until_available(self, clock):
+        bucket = TokenBucket(rate=1.0, capacity=2.0, time_fn=clock)
+        bucket.try_acquire(2.0)
+        assert bucket.seconds_until_available(1.0) == pytest.approx(1.0)
+
+    def test_seconds_until_available_zero_when_ready(self, clock):
+        bucket = TokenBucket(rate=1.0, capacity=2.0, time_fn=clock)
+        assert bucket.seconds_until_available() == 0.0
+
+    def test_request_beyond_capacity_raises(self, clock):
+        bucket = TokenBucket(rate=1.0, capacity=2.0, time_fn=clock)
+        with pytest.raises(ConfigError):
+            bucket.seconds_until_available(3.0)
+
+    def test_nonpositive_acquire_raises(self, clock):
+        bucket = TokenBucket(rate=1.0, capacity=2.0, time_fn=clock)
+        with pytest.raises(ConfigError):
+            bucket.try_acquire(0)
+
+    def test_invalid_construction(self, clock):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=0, capacity=1, time_fn=clock)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=1, capacity=0, time_fn=clock)

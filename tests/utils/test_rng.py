@@ -1,0 +1,79 @@
+"""Deterministic RNG tests: reproducibility and stream independence."""
+
+from repro.utils.rng import DeterministicRNG
+
+
+class TestReproducibility:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRNG(42)
+        b = DeterministicRNG(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_string_seeds_supported(self):
+        a = DeterministicRNG("market")
+        b = DeterministicRNG("market")
+        assert a.random() == b.random()
+
+
+class TestChildStreams:
+    def test_children_independent_of_parent_draws(self):
+        a = DeterministicRNG(7)
+        child_before = a.child("x").random()
+        a2 = DeterministicRNG(7)
+        for _ in range(100):
+            a2.random()
+        child_after = a2.child("x").random()
+        assert child_before == child_after
+
+    def test_sibling_streams_differ(self):
+        root = DeterministicRNG(7)
+        assert root.child("a").random() != root.child("b").random()
+
+    def test_nested_paths_differ_from_flat(self):
+        root = DeterministicRNG(7)
+        nested = root.child("a").child("b")
+        flat = root.child("b")
+        assert nested.random() != flat.random()
+
+    def test_path_naming(self):
+        root = DeterministicRNG(7)
+        assert root.path == "<root>"
+        assert root.child("a").child("b").path == "a/b"
+
+
+class TestDistributionHelpers:
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRNG(3)
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_randint_bounds(self):
+        rng = DeterministicRNG(3)
+        values = [rng.randint(2, 5) for _ in range(200)]
+        assert min(values) >= 2 and max(values) <= 5
+        assert set(values) == {2, 3, 4, 5}
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRNG(3)
+        values = [rng.uniform(-1.0, 1.0) for _ in range(200)]
+        assert all(-1.0 <= v <= 1.0 for v in values)
+
+    def test_sample_distinct(self):
+        rng = DeterministicRNG(3)
+        picked = rng.sample(list(range(10)), 4)
+        assert len(set(picked)) == 4
+
+    def test_shuffle_preserves_elements(self):
+        rng = DeterministicRNG(3)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_bytes_deterministic(self):
+        assert DeterministicRNG(9).bytes(16) == DeterministicRNG(9).bytes(16)

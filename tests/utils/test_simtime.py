@@ -1,0 +1,78 @@
+"""Simulated clock tests."""
+
+import pytest
+
+from repro.constants import CAMPAIGN_START_ISO
+from repro.errors import ConfigError
+from repro.utils.simtime import (
+    SECONDS_PER_DAY,
+    SimClock,
+    iso_to_unix,
+    unix_to_date,
+    unix_to_iso,
+)
+
+
+class TestConversions:
+    def test_iso_round_trip(self):
+        unix = iso_to_unix("2025-02-09T00:00:00+00:00")
+        assert unix_to_iso(unix) == "2025-02-09T00:00:00+00:00"
+
+    def test_unix_to_date(self):
+        unix = iso_to_unix("2025-02-09T13:45:00+00:00")
+        assert unix_to_date(unix) == "2025-02-09"
+
+
+class TestSimClock:
+    def test_starts_at_campaign_epoch(self):
+        clock = SimClock()
+        assert clock.now() == iso_to_unix(CAMPAIGN_START_ISO)
+        assert clock.elapsed() == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(120.0)
+        assert clock.elapsed() == 120.0
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ConfigError):
+            clock.advance(-1.0)
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        target = clock.epoch + 3600
+        clock.advance_to(target)
+        assert clock.now() == target
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock()
+        clock.advance(100)
+        with pytest.raises(ConfigError):
+            clock.advance_to(clock.epoch + 50)
+
+    def test_day_index(self):
+        clock = SimClock()
+        assert clock.day_index() == 0
+        clock.advance(SECONDS_PER_DAY * 2.5)
+        assert clock.day_index() == 2
+
+    def test_date_of_day(self):
+        clock = SimClock()
+        assert clock.date_of_day(0) == "2025-02-09"
+        assert clock.date_of_day(1) == "2025-02-10"
+        assert clock.date_of_day(28) == "2025-03-09"
+
+    def test_date_tracks_advance(self):
+        clock = SimClock()
+        clock.advance(SECONDS_PER_DAY)
+        assert clock.date() == "2025-02-10"
+
+    def test_custom_epoch(self):
+        clock = SimClock("2024-01-01T00:00:00+00:00")
+        assert clock.date() == "2024-01-01"
+
+    def test_campaign_span_matches_paper(self):
+        # 2025-02-09 .. 2025-06-09 is 120 days.
+        clock = SimClock()
+        assert clock.date_of_day(120) == "2025-06-09"

@@ -1,0 +1,110 @@
+"""Statistics tests: percentiles, summaries, and CDF properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.utils.stats import Cdf, percentile, summarize
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_interpolates(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_extremes(self):
+        data = [3, 1, 4, 1, 5]
+        data.sort()
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+
+    def test_single_element(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ConfigError):
+            percentile([1], 101)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.count == 4
+        assert summary.total == 10
+        assert summary.mean == 2.5
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            summarize([])
+
+
+class TestCdf:
+    def test_fraction_at_or_below(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.fraction_at_or_below(2) == 0.5
+        assert cdf.fraction_at_or_below(0) == 0.0
+        assert cdf.fraction_at_or_below(10) == 1.0
+
+    def test_quantile_median(self):
+        cdf = Cdf([10, 20, 30])
+        assert cdf.median() == 20
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            Cdf([])
+
+    def test_points_end_at_max(self):
+        cdf = Cdf([5, 9, 1])
+        points = cdf.points(10)
+        assert points[-1] == (9, 1.0)
+
+    def test_points_too_few_raises(self):
+        with pytest.raises(ConfigError):
+            Cdf([1, 2]).points(1)
+
+    def test_log_points_positive_only(self):
+        cdf = Cdf([1, 10, 100, 1000])
+        points = cdf.log_points(5)
+        assert all(x > 0 for x, _ in points)
+
+    def test_log_points_requires_positive_value(self):
+        with pytest.raises(ConfigError):
+            Cdf([0.0, -1.0]).log_points()
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_cdf_is_monotone(self, values):
+        cdf = Cdf(values)
+        sorted_values = sorted(values)
+        fractions = [cdf.fraction_at_or_below(v) for v in sorted_values]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_quantile_within_sample_range(self, values):
+        cdf = Cdf(values)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert min(values) <= cdf.quantile(q) <= max(values)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_quantile_monotone_in_q(self, values):
+        cdf = Cdf(values)
+        quantiles = [cdf.quantile(q / 10) for q in range(11)]
+        assert all(a <= b for a, b in zip(quantiles, quantiles[1:]))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60), finite_floats)
+    def test_fraction_matches_direct_count(self, values, x):
+        cdf = Cdf(values)
+        expected = sum(1 for v in values if v <= x) / len(values)
+        assert cdf.fraction_at_or_below(x) == pytest.approx(expected)
