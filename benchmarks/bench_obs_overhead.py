@@ -1,0 +1,87 @@
+"""Observability overhead: instrumented vs uninstrumented campaign cost.
+
+The observability layer is on by default, so its cost must be negligible:
+the target is <= 5% wall-clock overhead for a full campaign run with the
+default registry versus ``NULL_REGISTRY``. This bench measures both
+configurations on the same scenario, asserts the results are identical
+(recording is passive), and writes the measured ratio as an artifact.
+
+The hard assertion is deliberately lenient (2x) — shared CI machines are
+noisy and a flaky perf gate is worse than none — while the artifact records
+the actual ratio so regressions are visible in ``benchmarks/output/``.
+"""
+
+import time
+
+from benchmarks.conftest import save_artifact
+from repro import AnalysisPipeline, MeasurementCampaign, small_scenario
+from repro.obs.registry import NULL_REGISTRY
+
+#: Documented target; enforced softly (see module docstring).
+TARGET_OVERHEAD = 0.05
+
+
+def run_campaign(metrics):
+    """One small campaign + analysis under the given registry."""
+    result = MeasurementCampaign(small_scenario(seed=7), metrics=metrics).run()
+    report = AnalysisPipeline().analyze_campaign(result)
+    return result, report
+
+
+def measure_overhead(repeats=5):
+    """Best-of-N wall time for each configuration, plus their outputs."""
+    timings = {"instrumented": [], "uninstrumented": []}
+    outputs = {}
+    # Warm both paths once so neither configuration pays first-run costs
+    # (imports, allocator growth) inside its timed window.
+    run_campaign(NULL_REGISTRY)
+    run_campaign(None)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        outputs["uninstrumented"] = run_campaign(NULL_REGISTRY)
+        timings["uninstrumented"].append(time.perf_counter() - start)
+        start = time.perf_counter()
+        outputs["instrumented"] = run_campaign(None)
+        timings["instrumented"].append(time.perf_counter() - start)
+    return {
+        "instrumented": min(timings["instrumented"]),
+        "uninstrumented": min(timings["uninstrumented"]),
+        "outputs": outputs,
+    }
+
+
+def test_obs_overhead(benchmark):
+    measured = benchmark.pedantic(
+        measure_overhead, rounds=1, iterations=1
+    )
+    on = measured["instrumented"]
+    off = measured["uninstrumented"]
+    overhead = on / off - 1.0
+
+    # Passivity: both configurations measure the same world.
+    on_result, on_report = measured["outputs"]["instrumented"]
+    off_result, off_report = measured["outputs"]["uninstrumented"]
+    assert len(on_result.store) == len(off_result.store)
+    assert on_report.sandwich_count == off_report.sandwich_count
+
+    # The instrumented registry actually recorded something.
+    assert on_result.metrics.snapshot()["metrics"]
+    assert not off_result.metrics.snapshot()["metrics"]
+
+    # Soft perf gate: 2x headroom over the documented 5% target.
+    assert on < off * 2.0, (
+        f"instrumented campaign {on:.2f}s vs {off:.2f}s uninstrumented"
+    )
+
+    save_artifact(
+        "obs_overhead.txt",
+        "\n".join(
+            [
+                "observability overhead (small campaign + analysis, best of 5)",
+                f"  uninstrumented (NULL_REGISTRY): {off:8.3f} s",
+                f"  instrumented (default registry): {on:8.3f} s",
+                f"  overhead: {overhead * 100:+.1f}%"
+                f" (target <= {TARGET_OVERHEAD * 100:.0f}%)",
+            ]
+        ),
+    )

@@ -12,7 +12,9 @@ The package is layered bottom-up:
 - :mod:`repro.core` — the paper's contribution: sandwich detection, loss
   quantification, defensive-bundling classification;
 - :mod:`repro.baselines` / :mod:`repro.analysis` — comparisons and every
-  table/figure of the evaluation.
+  table/figure of the evaluation;
+- :mod:`repro.obs` — metrics, span tracing, and structured event telemetry
+  across the whole pipeline (deterministic under the sim clock).
 
 Quickstart::
 
@@ -30,6 +32,7 @@ from repro.core import (
     LossQuantifier,
     SandwichDetector,
 )
+from repro.obs import NULL_REGISTRY, EventLog, MetricsRegistry
 from repro.simulation import (
     ScenarioConfig,
     SimulationEngine,
@@ -37,13 +40,16 @@ from repro.simulation import (
     small_scenario,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisPipeline",
     "DefensiveBundlingClassifier",
+    "EventLog",
     "LossQuantifier",
     "MeasurementCampaign",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
     "SandwichDetector",
     "ScenarioConfig",
     "SimulationEngine",

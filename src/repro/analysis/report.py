@@ -13,6 +13,7 @@ from repro.analysis.validators import profile_validators
 from repro.collector.campaign import CampaignResult
 from repro.core.pipeline import AnalysisReport
 from repro.errors import ConfigError
+from repro.obs.export import render_pipeline_health
 from repro.simulation.config import ScenarioConfig
 
 
@@ -53,4 +54,7 @@ def render_campaign_report(
         "Collection — "
         + ", ".join(f"{key}={value}" for key, value in collection.items())
     )
+    # Only sim-time-deterministic series are rendered here, so the report
+    # stays byte-identical across replays of the same seed.
+    sections.append(render_pipeline_health(result.metrics.snapshot()))
     return "\n\n".join(sections)

@@ -7,7 +7,13 @@ Commands:
 - ``analyze`` — re-analyze a previously persisted store offline;
 - ``serve`` — simulate a world and serve its Jito Explorer over HTTP;
 - ``scrape`` — collect from a running explorer over HTTP;
+- ``metrics`` — render a saved metrics snapshot (table/Prometheus/JSON);
 - ``table1`` — print the worked example sandwich.
+
+All progress and result output flows through the structured event log
+(:mod:`repro.obs.events`): the console sinks print bare messages, so the
+terminal UX matches the historical ``print`` output, while ``--log-jsonl``
+captures the same events as machine-readable records.
 """
 
 from __future__ import annotations
@@ -30,8 +36,34 @@ from repro.collector import (
 )
 from repro.collector.poller import PollerConfig
 from repro.core import DefensiveBundlingClassifier, SandwichDetector
+from repro.obs import (
+    ConsoleSink,
+    EventLog,
+    JsonlSink,
+    MetricsRegistry,
+    load_snapshot,
+    render_prometheus,
+    render_summary,
+    save_snapshot,
+)
 from repro.simulation import SimulationEngine, paper_scenario, small_scenario
 from repro.utils.serialization import write_jsonl
+
+
+def _build_logs(args: argparse.Namespace) -> tuple[EventLog, EventLog]:
+    """The CLI's two event logs: diagnostics (stderr) and results (stdout).
+
+    Both share an optional JSONL sink (``--log-jsonl``) so one file carries
+    the full structured record of a run.
+    """
+    progress = EventLog(sinks=[ConsoleSink(stream=sys.stderr)])
+    output = EventLog(sinks=[ConsoleSink(stream=sys.stdout)])
+    log_path = getattr(args, "log_jsonl", None)
+    if log_path:
+        jsonl = JsonlSink(log_path)
+        progress.add_sink(jsonl)
+        output.add_sink(jsonl)
+    return progress, output
 
 
 def _scenario_from_args(args: argparse.Namespace):
@@ -67,13 +99,16 @@ def _export_figure_csvs(result, report, out: Path) -> None:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a campaign; write store + report + summary under --out."""
+    progress, output = _build_logs(args)
     scenario = _scenario_from_args(args)
     out = Path(args.out)
-    print(
+    progress.info(
+        "cli.campaign",
         f"running {scenario.days}-day campaign "
         f"(seed {scenario.seed}, ~{scenario.expected_bundles_per_day():.0f} "
         "bundles/day)...",
-        file=sys.stderr,
+        days=scenario.days,
+        seed=scenario.seed,
     )
     started = time.time()
     result = MeasurementCampaign(scenario).run()
@@ -96,8 +131,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         "defensive_spend_usd": report.headline.defensive_spend_usd,
     }
     (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
-    print(json.dumps(summary, indent=2))
-    print(f"wrote {out}/bundles.jsonl, transactions.jsonl, report.txt")
+    if args.metrics_out:
+        save_snapshot(result.metrics, args.metrics_out)
+        progress.info(
+            "cli.campaign",
+            f"wrote metrics snapshot to {args.metrics_out}",
+            path=str(args.metrics_out),
+        )
+    output.info("cli.campaign", json.dumps(summary, indent=2), **summary)
+    output.info(
+        "cli.campaign",
+        f"wrote {out}/bundles.jsonl, transactions.jsonl, report.txt",
+        out=str(out),
+    )
     return 0
 
 
@@ -105,6 +151,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     """Re-analyze a persisted store (no simulation)."""
     from repro.core import WindowedSandwichDetector
 
+    _progress, output = _build_logs(args)
     store = BundleStore.load(args.store)
     detector = (
         WindowedSandwichDetector() if args.windowed else SandwichDetector()
@@ -115,30 +162,45 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     pipeline = AnalysisPipeline(detector=detector, classifier=classifier)
     report = pipeline.analyze_store(store)
     headline = report.headline
-    print(f"bundles:            {len(store)}")
-    print(f"sandwiches:         {headline.sandwich_count}")
-    print(f"  non-SOL fraction: {headline.non_sol_fraction():.1%}")
-    print(f"victim losses:      ${headline.victim_loss_usd:,.2f}")
-    print(f"attacker gains:     ${headline.attacker_gain_usd:,.2f}")
+    emit = lambda message, **fields: output.info(  # noqa: E731
+        "cli.analyze", message, **fields
+    )
+    emit(f"bundles:            {len(store)}", bundles=len(store))
+    emit(
+        f"sandwiches:         {headline.sandwich_count}",
+        sandwiches=headline.sandwich_count,
+    )
+    emit(f"  non-SOL fraction: {headline.non_sol_fraction():.1%}")
+    emit(f"victim losses:      ${headline.victim_loss_usd:,.2f}")
+    emit(f"attacker gains:     ${headline.attacker_gain_usd:,.2f}")
     if headline.median_victim_loss_usd is not None:
-        print(f"median loss:        ${headline.median_victim_loss_usd:.2f}")
-    print(
+        emit(f"median loss:        ${headline.median_victim_loss_usd:.2f}")
+    emit(
         f"defensive bundles:  {headline.defensive_bundles} "
         f"({headline.defensive_fraction_of_length_one:.1%} of length-1, "
         f"threshold {args.threshold:,} lamports)"
     )
-    print(f"defensive spend:    ${headline.defensive_spend_usd:,.4f}")
+    emit(f"defensive spend:    ${headline.defensive_spend_usd:,.4f}")
     return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Simulate a world, then serve its explorer over HTTP until killed."""
+    """Simulate a world, then serve its explorer over HTTP until killed.
+
+    The server exposes ``GET /metrics``, so the registry wired here is
+    scrapeable for the lifetime of the process.
+    """
     from repro.explorer.http_server import ThreadedExplorerServer
     from repro.explorer.service import ExplorerConfig, ExplorerService
 
+    progress, output = _build_logs(args)
     scenario = _scenario_from_args(args)
-    print(f"simulating {scenario.days} days...", file=sys.stderr)
-    world = SimulationEngine(scenario).run()
+    metrics = MetricsRegistry()
+    progress.info(
+        "cli.serve", f"simulating {scenario.days} days...", days=scenario.days
+    )
+    world = SimulationEngine(scenario, metrics=metrics).run()
+    metrics.set_time_fn(world.clock.now)
     service = ExplorerService(
         world.block_engine,
         world.ledger,
@@ -146,12 +208,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         config=ExplorerConfig(
             requests_per_second=args.rps, burst_capacity=max(args.rps * 5, 5)
         ),
+        metrics=metrics,
     )
     server = ThreadedExplorerServer(service, host=args.host, port=args.port)
     server.start()
-    print(
+    output.info(
+        "cli.serve",
         f"explorer serving {world.bundles_landed} bundles on "
-        f"http://{args.host}:{server.port} (Ctrl-C to stop)"
+        f"http://{args.host}:{server.port} (Ctrl-C to stop)",
+        bundles=world.bundles_landed,
+        port=server.port,
     )
     try:
         while True:
@@ -165,14 +231,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_scrape(args: argparse.Namespace) -> int:
     """Collect from a live explorer over HTTP, then persist the store."""
+    progress, output = _build_logs(args)
     client = HttpExplorerClient(args.host, args.port)
     if not client.health():
-        print(f"no explorer at {args.host}:{args.port}", file=sys.stderr)
+        progress.error(
+            "cli.scrape",
+            f"no explorer at {args.host}:{args.port}",
+            host=args.host,
+            port=args.port,
+        )
         return 1
     from repro.utils.simtime import SimClock
 
     clock = SimClock()
-    store = BundleStore()
+    metrics = MetricsRegistry(time_fn=clock.now)
+    store = BundleStore(metrics=metrics)
     coverage = CoverageEstimator()
     poller = BundlePoller(
         client,
@@ -180,17 +253,24 @@ def cmd_scrape(args: argparse.Namespace) -> int:
         coverage,
         clock,
         config=PollerConfig(window_limit=args.window),
+        metrics=metrics,
     )
     for index in range(args.polls):
         result = poller.poll_once()
-        print(
+        output.info(
+            "cli.scrape",
             f"poll {index + 1}/{args.polls}: {result.returned} returned, "
-            f"{result.new_bundles} new, overlap={result.overlapped}"
+            f"{result.new_bundles} new, overlap={result.overlapped}",
+            poll=index + 1,
+            returned=result.returned,
+            new_bundles=result.new_bundles,
         )
         clock.advance(120)
-    fetcher = TxDetailFetcher(client, store, clock)
+    fetcher = TxDetailFetcher(client, store, clock, metrics=metrics)
     stored = fetcher.drain()
-    print(f"fetched {stored} transaction details")
+    output.info(
+        "cli.scrape", f"fetched {stored} transaction details", stored=stored
+    )
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     store.save(out)
@@ -205,16 +285,43 @@ def cmd_scrape(args: argparse.Namespace) -> int:
             for p in coverage.pairs
         ],
     )
-    print(f"wrote {len(store)} bundles to {out}")
+    if args.metrics_out:
+        save_snapshot(metrics, args.metrics_out)
+        progress.info(
+            "cli.scrape",
+            f"wrote metrics snapshot to {args.metrics_out}",
+            path=str(args.metrics_out),
+        )
+    output.info(
+        "cli.scrape",
+        f"wrote {len(store)} bundles to {out}",
+        bundles=len(store),
+        out=str(out),
+    )
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a saved metrics snapshot."""
+    _progress, output = _build_logs(args)
+    snapshot = load_snapshot(args.snapshot)
+    if args.format == "prometheus":
+        rendered = render_prometheus(snapshot).rstrip("\n")
+    elif args.format == "json":
+        rendered = json.dumps(snapshot, indent=2, sort_keys=True)
+    else:
+        rendered = render_summary(snapshot)
+    output.info("cli.metrics", rendered, snapshot=str(args.snapshot))
     return 0
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
     """Print the paper's Table 1, executed for real."""
+    _progress, output = _build_logs(args)
     table = build_table1(
         victim_trade_sol=args.victim_sol, victim_slippage_bps=args.slippage_bps
     )
-    print(table.render())
+    output.info("cli.table1", table.render())
     return 0
 
 
@@ -231,6 +338,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=2025)
     campaign.add_argument("--small", action="store_true")
     campaign.add_argument("--out", default="campaign-output")
+    campaign.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the pipeline's metrics snapshot (JSON) to this path",
+    )
+    campaign.add_argument(
+        "--log-jsonl",
+        default=None,
+        help="also append structured events to this JSONL file",
+    )
     campaign.set_defaults(func=cmd_campaign)
 
     analyze = sub.add_parser("analyze", help="re-analyze a persisted store")
@@ -259,7 +376,29 @@ def build_parser() -> argparse.ArgumentParser:
     scrape.add_argument("--polls", type=int, default=10)
     scrape.add_argument("--window", type=int, default=1_000)
     scrape.add_argument("--out", default="scrape-output")
+    scrape.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the collector's metrics snapshot (JSON) to this path",
+    )
+    scrape.add_argument(
+        "--log-jsonl",
+        default=None,
+        help="also append structured events to this JSONL file",
+    )
     scrape.set_defaults(func=cmd_scrape)
+
+    metrics = sub.add_parser(
+        "metrics", help="render a saved metrics snapshot"
+    )
+    metrics.add_argument("--snapshot", required=True)
+    metrics.add_argument(
+        "--format",
+        choices=("table", "prometheus", "json"),
+        default="table",
+        help="rendering: aligned table (default), Prometheus text, or JSON",
+    )
+    metrics.set_defaults(func=cmd_metrics)
 
     table1 = sub.add_parser("table1", help="print the example sandwich")
     table1.add_argument("--victim-sol", type=float, default=25.0)

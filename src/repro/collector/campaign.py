@@ -16,6 +16,7 @@ from repro.collector.detail_fetcher import DetailFetcherConfig, TxDetailFetcher
 from repro.collector.poller import BundlePoller, PollerConfig
 from repro.collector.store import BundleStore
 from repro.explorer.service import ExplorerConfig, ExplorerService
+from repro.obs.registry import MetricsRegistry
 from repro.simulation.config import ScenarioConfig
 from repro.simulation.downtime import DowntimeSchedule
 from repro.simulation.engine import SimulationEngine
@@ -45,6 +46,7 @@ class CampaignResult:
     coverage: CoverageEstimator
     poller: BundlePoller
     fetcher: TxDetailFetcher
+    metrics: MetricsRegistry
 
     @property
     def downtime(self) -> DowntimeSchedule:
@@ -79,9 +81,16 @@ class MeasurementCampaign:
         poller_config: PollerConfig | None = None,
         fetcher_config: DetailFetcherConfig | None = None,
         explorer_config: ExplorerConfig | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
-        self.engine = SimulationEngine(scenario, downtime)
+        # Observability is on by default: recording is passive and every
+        # value derives from the shared sim clock, so instrumented and
+        # uninstrumented runs produce identical analysis output. Pass
+        # ``repro.obs.NULL_REGISTRY`` to disable entirely.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.engine = SimulationEngine(scenario, downtime, metrics=self.metrics)
         world = self.engine.world
+        self.metrics.set_time_fn(world.clock.now)
         if explorer_config is None:
             # Scale both page sizes to simulation volume, preserving the
             # paper's widened-window-to-default ratio in spirit: the widened
@@ -98,9 +107,10 @@ class MeasurementCampaign:
             world.clock,
             config=explorer_config,
             downtime=world.downtime,
+            metrics=self.metrics,
         )
         client = InProcessExplorerClient(self.service)
-        self.store = BundleStore()
+        self.store = BundleStore(metrics=self.metrics)
         self.coverage = CoverageEstimator()
         if poller_config is None:
             poller_config = PollerConfig(
@@ -112,9 +122,14 @@ class MeasurementCampaign:
             self.coverage,
             world.clock,
             config=poller_config,
+            metrics=self.metrics,
         )
         self.fetcher = TxDetailFetcher(
-            client, self.store, world.clock, config=fetcher_config
+            client,
+            self.store,
+            world.clock,
+            config=fetcher_config,
+            metrics=self.metrics,
         )
         self.engine.on_block(self._after_block)
 
@@ -136,4 +151,5 @@ class MeasurementCampaign:
             coverage=self.coverage,
             poller=self.poller,
             fetcher=self.fetcher,
+            metrics=self.metrics,
         )

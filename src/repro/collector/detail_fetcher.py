@@ -19,6 +19,7 @@ from repro.errors import (
     ServiceUnavailableError,
     TransportError,
 )
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.utils.simtime import SimClock
 
 
@@ -59,6 +60,7 @@ class TxDetailFetcher:
         store: BundleStore,
         clock: SimClock,
         config: DetailFetcherConfig | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or DetailFetcherConfig()
         self.config.validate()
@@ -68,6 +70,20 @@ class TxDetailFetcher:
         self._next_due = clock.now()
         self.batches_fetched = 0
         self.batches_failed = 0
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._batches_metric = self.metrics.counter(
+            "collector_detail_batches_total",
+            "Detail-fetch batches, by outcome.",
+        )
+        self._batch_size_metric = self.metrics.histogram(
+            "collector_detail_batch_size",
+            "Transaction ids requested per detail batch.",
+            buckets=(1, 10, 100, 1_000, 10_000),
+        )
+        self._stored_metric = self.metrics.counter(
+            "collector_details_stored_total",
+            "Transaction details newly stored by fetches.",
+        )
         # Incremental scan state: bundles already seen but not yet fully
         # detailed, plus the offset into the store's per-length index.
         self._scan_offset = 0
@@ -106,15 +122,28 @@ class TxDetailFetcher:
         self._next_due = self._clock.now() + self.config.spacing_seconds
         pending = self.pending_transaction_ids()
         if not pending:
+            self._batches_metric.inc(outcome="empty")
             return FetchResult()
         batch = pending[: self.config.batch_limit]
-        try:
-            records = self._client.transactions(batch)
-        except (RateLimitedError, ServiceUnavailableError, TransportError) as exc:
-            self.batches_failed += 1
-            return FetchResult(requested=len(batch), failed=True, error=str(exc))
-        stored = self._store.add_details(records)
+        self._batch_size_metric.observe(len(batch))
+        with self.metrics.span("detail.fetch") as fetch_span:
+            try:
+                records = self._client.transactions(batch)
+            except (
+                RateLimitedError,
+                ServiceUnavailableError,
+                TransportError,
+            ) as exc:
+                self.batches_failed += 1
+                self._batches_metric.inc(outcome="failed")
+                fetch_span.fail("failed")
+                return FetchResult(
+                    requested=len(batch), failed=True, error=str(exc)
+                )
+            stored = self._store.add_details(records)
         self.batches_fetched += 1
+        self._batches_metric.inc(outcome="ok")
+        self._stored_metric.inc(stored)
         return FetchResult(requested=len(batch), stored=stored)
 
     def maybe_fetch(self) -> FetchResult | None:

@@ -21,9 +21,18 @@ from repro.errors import (
     ServiceUnavailableError,
     TransportError,
 )
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.utils.backoff import ExponentialBackoff
 from repro.utils.rng import DeterministicRNG
 from repro.utils.simtime import SimClock
+
+
+def _error_kind(exc: Exception) -> str:
+    if isinstance(exc, RateLimitedError):
+        return "rate_limited"
+    if isinstance(exc, ServiceUnavailableError):
+        return "unavailable"
+    return "transport"
 
 
 class PollStatus(enum.Enum):
@@ -74,6 +83,7 @@ class BundlePoller:
         clock: SimClock,
         config: PollerConfig | None = None,
         rng: DeterministicRNG | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or PollerConfig()
         self.config.validate()
@@ -84,6 +94,34 @@ class BundlePoller:
         self._rng = rng or DeterministicRNG(0).child("poller")
         self._next_due = clock.now()
         self.polls_attempted = 0
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._polls_metric = self.metrics.counter(
+            "collector_polls_total", "Poll cycles, by final status."
+        )
+        self._retries_metric = self.metrics.counter(
+            "collector_poll_retries_total",
+            "Request attempts beyond the first within a poll cycle.",
+        )
+        self._errors_metric = self.metrics.counter(
+            "collector_poll_errors_total",
+            "Transient request errors during polling, by kind.",
+        )
+        self._backoff_metric = self.metrics.histogram(
+            "collector_backoff_delay_seconds",
+            "Jittered retry delays handed out by the backoff policy.",
+        )
+        self._returned_metric = self.metrics.counter(
+            "collector_bundles_returned_total",
+            "Bundle records returned by the recent-bundles endpoint.",
+        )
+        self._new_metric = self.metrics.counter(
+            "collector_bundles_new_total",
+            "Returned bundles not previously collected.",
+        )
+        self._overlap_metric = self.metrics.gauge(
+            "collector_overlap_ratio",
+            "Running successive-poll overlap fraction (coverage proxy).",
+        )
 
     @property
     def store(self) -> BundleStore:
@@ -111,28 +149,50 @@ class BundlePoller:
             rng=self._rng.child(f"retry:{self.polls_attempted}"),
         )
         last_error: str | None = None
-        while not backoff.exhausted():
-            backoff.next_delay()  # budget accounting; sim time does not sleep
-            try:
-                records = self._client.recent_bundles(self.config.window_limit)
-            except BadRequestError:
-                raise  # a programming error, not a transient condition
-            except (RateLimitedError, ServiceUnavailableError, TransportError) as exc:
-                last_error = str(exc)
-                continue
-            new_bundles = self._store.add_bundles(records)
-            overlapped = self._coverage.observe_success(
-                poll_time=now,
-                returned_ids=[record.bundle_id for record in records],
-                new_bundles=new_bundles,
-            )
-            return PollResult(
-                status=PollStatus.OK,
-                returned=len(records),
-                new_bundles=new_bundles,
-                overlapped=overlapped,
-            )
+        with self.metrics.span("poll.fetch") as poll_span:
+            while not backoff.exhausted():
+                retrying = backoff.attempts_made > 0
+                if retrying:
+                    self._retries_metric.inc()
+                delay = backoff.next_delay()  # budget; sim time does not sleep
+                if retrying:
+                    # The first draw is the initial attempt's budget, not a
+                    # retry delay; only actual retries belong in the series.
+                    self._backoff_metric.observe(delay)
+                try:
+                    records = self._client.recent_bundles(
+                        self.config.window_limit
+                    )
+                except BadRequestError:
+                    raise  # a programming error, not a transient condition
+                except (
+                    RateLimitedError,
+                    ServiceUnavailableError,
+                    TransportError,
+                ) as exc:
+                    last_error = str(exc)
+                    self._errors_metric.inc(kind=_error_kind(exc))
+                    continue
+                new_bundles = self._store.add_bundles(records)
+                overlapped = self._coverage.observe_success(
+                    poll_time=now,
+                    returned_ids=[record.bundle_id for record in records],
+                    new_bundles=new_bundles,
+                )
+                self._polls_metric.inc(status="ok")
+                self._returned_metric.inc(len(records))
+                self._new_metric.inc(new_bundles)
+                self._overlap_metric.set(self._coverage.overlap_fraction())
+                return PollResult(
+                    status=PollStatus.OK,
+                    returned=len(records),
+                    new_bundles=new_bundles,
+                    overlapped=overlapped,
+                )
+            poll_span.fail("exhausted")
         self._coverage.observe_failure(now)
+        self._polls_metric.inc(status="failed")
+        self._overlap_metric.set(self._coverage.overlap_fraction())
         return PollResult(status=PollStatus.FAILED, error=last_error)
 
     def maybe_poll(self) -> PollResult:

@@ -18,18 +18,40 @@ from repro.explorer.wire import (
     transaction_record_from_json,
     transaction_record_to_json,
 )
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.utils import serialization
 from repro.utils.simtime import unix_to_date
 
 
 class BundleStore:
-    """All collected bundles and transaction details, deduplicated."""
+    """All collected bundles and transaction details, deduplicated.
 
-    def __init__(self) -> None:
+    When given a :class:`MetricsRegistry`, the store reports insertions and
+    dedup hits (``store_bundles_added_total``, ``store_bundle_dedup_hits_
+    total``, and the detail equivalents) — the overlap-driven dedup rate is
+    a direct pipeline-health signal.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self._bundles: dict[str, BundleRecord] = {}
         self._details: dict[str, TransactionRecord] = {}
         self._tx_to_bundle: dict[str, str] = {}
         self._by_length: dict[int, list[BundleRecord]] = {}
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._bundles_added = self.metrics.counter(
+            "store_bundles_added_total", "New bundle records stored."
+        )
+        self._bundle_dedup = self.metrics.counter(
+            "store_bundle_dedup_hits_total",
+            "Bundle records skipped as already stored.",
+        )
+        self._details_added = self.metrics.counter(
+            "store_details_added_total", "New transaction details stored."
+        )
+        self._detail_dedup = self.metrics.counter(
+            "store_detail_dedup_hits_total",
+            "Transaction details skipped as already stored.",
+        )
 
     # --- bundles ----------------------------------------------------------------
 
@@ -46,6 +68,11 @@ class BundleStore:
                 record
             )
             added += 1
+        if added:
+            self._bundles_added.inc(added)
+        duplicates = len(records) - added
+        if duplicates:
+            self._bundle_dedup.inc(duplicates)
         return added
 
     def __len__(self) -> int:
@@ -107,6 +134,11 @@ class BundleStore:
             if record.transaction_id not in self._details:
                 self._details[record.transaction_id] = record
                 added += 1
+        if added:
+            self._details_added.inc(added)
+        duplicates = len(records) - added
+        if duplicates:
+            self._detail_dedup.inc(duplicates)
         return added
 
     def detail_count(self) -> int:

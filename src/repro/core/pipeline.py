@@ -22,6 +22,7 @@ from repro.core.defensive import DefensiveBundlingClassifier, DefensiveReport
 from repro.core.detector import DetectionStats, SandwichDetector
 from repro.core.quantify import LossQuantifier, QuantifiedSandwich
 from repro.dex.oracle import PriceOracle
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass
@@ -48,11 +49,51 @@ class AnalysisPipeline:
         oracle: PriceOracle | None = None,
         detector: SandwichDetector | None = None,
         classifier: DefensiveBundlingClassifier | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.oracle = oracle or PriceOracle()
         self.detector = detector or SandwichDetector()
         self.quantifier = LossQuantifier(self.oracle)
         self.classifier = classifier or DefensiveBundlingClassifier()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._recorded_examined = 0
+        self._recorded_rejections: dict[str, int] = {}
+
+    def _record_metrics(
+        self, stats: DetectionStats, report: AnalysisReport
+    ) -> None:
+        """Publish one analysis pass's tallies into the registry.
+
+        Detector stats accumulate across passes, so counters record the
+        per-pass deltas — repeated analyses never double count.
+        """
+        self.metrics.counter(
+            "detector_bundles_examined_total",
+            "Bundles evaluated against the five criteria.",
+        ).inc(stats.bundles_examined - self._recorded_examined)
+        self._recorded_examined = stats.bundles_examined
+        self.metrics.counter(
+            "detector_sandwiches_total", "Bundles confirmed as sandwiches."
+        ).inc(len(report.quantified))
+        rejections = self.metrics.counter(
+            "detector_rejections_total",
+            "Bundles rejected during detection, by failing criterion.",
+        )
+        for criterion, count in sorted(stats.rejections_by_criterion.items()):
+            delta = count - self._recorded_rejections.get(criterion, 0)
+            if delta:
+                rejections.inc(delta, criterion=criterion)
+            self._recorded_rejections[criterion] = count
+        defensive = self.metrics.counter(
+            "defensive_bundles_total",
+            "Length-one bundles classified, defensive vs priority.",
+        )
+        defensive.inc(
+            len(report.defensive.defensive), classification="defensive"
+        )
+        defensive.inc(
+            len(report.defensive.priority), classification="priority"
+        )
 
     def analyze_store(
         self,
@@ -60,27 +101,37 @@ class AnalysisPipeline:
         poll_overlap_fraction: float | None = None,
     ) -> AnalysisReport:
         """Run the full analysis over a collected store."""
-        events = self.detector.detect_all(store)
-        quantified = self.quantifier.quantify_all(events)
-        defensive_report = self.classifier.classify(store)
-        daily = sandwiches_per_day(quantified, self.oracle)
-        headline = headline_stats(
-            quantified,
-            defensive_report,
-            bundles_collected=len(store),
-            oracle=self.oracle,
-            poll_overlap_fraction=poll_overlap_fraction,
-        )
-        return AnalysisReport(
-            quantified=quantified,
-            defensive=defensive_report,
-            daily=daily,
-            headline=headline,
-            detection_stats=self.detector.stats,
-        )
+        with self.metrics.span("analysis.pipeline"):
+            events = self.detector.detect_all(store)
+            quantified = self.quantifier.quantify_all(events)
+            defensive_report = self.classifier.classify(store)
+            daily = sandwiches_per_day(quantified, self.oracle)
+            headline = headline_stats(
+                quantified,
+                defensive_report,
+                bundles_collected=len(store),
+                oracle=self.oracle,
+                poll_overlap_fraction=poll_overlap_fraction,
+            )
+            report = AnalysisReport(
+                quantified=quantified,
+                defensive=defensive_report,
+                daily=daily,
+                headline=headline,
+                detection_stats=self.detector.stats,
+            )
+        self._record_metrics(self.detector.stats, report)
+        return report
 
     def analyze_campaign(self, result: CampaignResult) -> AnalysisReport:
-        """Analyze a finished measurement campaign."""
+        """Analyze a finished measurement campaign.
+
+        When the pipeline was built without its own registry, the campaign's
+        registry is adopted so detection metrics land in the same snapshot
+        as collection metrics.
+        """
+        if self.metrics is NULL_REGISTRY and result.metrics.enabled:
+            self.metrics = result.metrics
         return self.analyze_store(
             result.store,
             poll_overlap_fraction=result.coverage.overlap_fraction(),

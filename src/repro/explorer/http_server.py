@@ -1,10 +1,15 @@
 """An asyncio HTTP/1.1 front end for the explorer service.
 
-Exposes the same two endpoints the paper scraped, over a real socket:
+Exposes the endpoints the paper scraped, over a real socket, plus two
+operational endpoints:
 
 - ``GET /api/v1/bundles/recent?limit=N`` — recent bundle listing
+- ``GET /api/v1/bundles/<bundle_id>`` — a single bundle by id
 - ``POST /api/v1/transactions`` with body ``{"ids": [...]}`` — bulk details
 - ``GET /healthz`` — liveness probe
+- ``GET /metrics`` — the service's metrics registry in Prometheus text
+  format (never rate-limited: operators must be able to see a struggling
+  server)
 
 Typed service errors map onto HTTP statuses (400 / 429 / 503), which the
 collector's HTTP client maps back into the same typed errors — so the
@@ -29,6 +34,7 @@ from repro.errors import (
 )
 from repro.explorer.service import ExplorerService
 from repro.explorer.wire import bundle_record_to_json, transaction_record_to_json
+from repro.obs.export import render_prometheus
 
 _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -42,6 +48,15 @@ _STATUS_TEXT = {
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+
+class _PlainText:
+    """Marks a dispatch payload as pre-rendered text, not JSON."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
 
 
 def _status_for_error(error: ExplorerError) -> int:
@@ -138,12 +153,17 @@ class ExplorerHttpServer:
 
     def _dispatch(
         self, method: str, target: str, body: bytes, client_id: str
-    ) -> tuple[int, dict | list]:
+    ) -> tuple[int, "dict | list | _PlainText"]:
         parts = urlsplit(target)
         path = parts.path
         try:
             if path == "/healthz":
                 return 200, {"status": "ok"}
+            if path == "/metrics":
+                if method != "GET":
+                    return 405, {"error": "use GET"}
+                text = render_prometheus(self._service.metrics.snapshot())
+                return 200, _PlainText(text)
             if path == "/api/v1/bundles/recent":
                 if method != "GET":
                     return 405, {"error": "use GET"}
@@ -192,12 +212,17 @@ class ExplorerHttpServer:
             return _status_for_error(exc), {"error": str(exc)}
 
     async def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict | list
+        self, writer: asyncio.StreamWriter, status: int, payload
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _PlainText):
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            body = payload.text.encode("utf-8")
+        else:
+            content_type = "application/json"
+            body = json.dumps(payload).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n"
             f"\r\n"

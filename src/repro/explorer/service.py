@@ -23,6 +23,7 @@ from repro.errors import (
 )
 from repro.explorer.models import BundleRecord, TransactionRecord
 from repro.jito.block_engine import BlockEngine
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.simulation.downtime import DowntimeSchedule
 from repro.solana.ledger import Ledger
 from repro.utils.ratelimit import TokenBucket
@@ -68,6 +69,7 @@ class ExplorerService:
         clock: SimClock,
         config: ExplorerConfig | None = None,
         downtime: DowntimeSchedule | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._engine = block_engine
         self._ledger = ledger
@@ -77,6 +79,19 @@ class ExplorerService:
         self._buckets: dict[str, TokenBucket] = {}
         self.requests_served = 0
         self.requests_rejected = 0
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._requests_metric = self.metrics.counter(
+            "explorer_requests_total",
+            "Requests served successfully, by endpoint.",
+        )
+        self._rejected_metric = self.metrics.counter(
+            "explorer_requests_rejected_total",
+            "Requests rejected, by endpoint and reason (429/503).",
+        )
+        self._tokens_rejected_metric = self.metrics.counter(
+            "ratelimit_tokens_rejected_total",
+            "Token-bucket admission rejections at the explorer.",
+        )
 
     @property
     def config(self) -> ExplorerConfig:
@@ -85,25 +100,32 @@ class ExplorerService:
 
     # --- guards ----------------------------------------------------------------
 
-    def _check_available(self) -> None:
+    def _check_available(self, endpoint: str) -> None:
         day_fraction = self._clock.elapsed() / SECONDS_PER_DAY
         if self._downtime.is_down(day_fraction):
             self.requests_rejected += 1
+            self._rejected_metric.inc(
+                endpoint=endpoint, reason="unavailable"
+            )
             raise ServiceUnavailableError(
                 "explorer unavailable (instability window)"
             )
 
-    def _check_rate(self, client_id: str) -> None:
+    def _check_rate(self, client_id: str, endpoint: str) -> None:
         bucket = self._buckets.get(client_id)
         if bucket is None:
             bucket = TokenBucket(
                 rate=self._config.requests_per_second,
                 capacity=self._config.burst_capacity,
                 time_fn=self._clock.now,
+                on_reject=lambda tokens: self._tokens_rejected_metric.inc(),
             )
             self._buckets[client_id] = bucket
         if not bucket.try_acquire():
             self.requests_rejected += 1
+            self._rejected_metric.inc(
+                endpoint=endpoint, reason="rate_limited"
+            )
             raise RateLimitedError(f"client {client_id!r} exceeded rate limit")
 
     # --- endpoints ---------------------------------------------------------------
@@ -118,8 +140,8 @@ class ExplorerService:
                 widened 50,000 maximum.
             RateLimitedError / ServiceUnavailableError: per policy.
         """
-        self._check_available()
-        self._check_rate(client_id)
+        self._check_available("recent_bundles")
+        self._check_rate(client_id, "recent_bundles")
         if limit is None:
             limit = self._config.default_recent_limit
         if limit <= 0:
@@ -131,6 +153,7 @@ class ExplorerService:
         log = self._engine.bundle_log
         window = log[-limit:]
         self.requests_served += 1
+        self._requests_metric.inc(endpoint="recent_bundles")
         return [
             BundleRecord(
                 bundle_id=outcome.bundle_id,
@@ -149,12 +172,13 @@ class ExplorerService:
 
         Returns None for ids the engine never landed.
         """
-        self._check_available()
-        self._check_rate(client_id)
+        self._check_available("bundle")
+        self._check_rate(client_id, "bundle")
         if not bundle_id:
             raise BadRequestError("bundle id is empty")
         outcome = self._engine.get_landed_bundle(bundle_id)
         self.requests_served += 1
+        self._requests_metric.inc(endpoint="bundle")
         if outcome is None:
             return None
         return BundleRecord(
@@ -172,8 +196,8 @@ class ExplorerService:
 
         Unknown ids are silently omitted, as a best-effort web endpoint would.
         """
-        self._check_available()
-        self._check_rate(client_id)
+        self._check_available("transactions")
+        self._check_rate(client_id, "transactions")
         if not transaction_ids:
             raise BadRequestError("transaction id list is empty")
         if len(transaction_ids) > self._config.max_detail_batch:
@@ -191,4 +215,5 @@ class ExplorerService:
             block_time = block.unix_timestamp if block else 0.0
             records.append(record_from_receipt(receipt, block_time))
         self.requests_served += 1
+        self._requests_metric.inc(endpoint="transactions")
         return records

@@ -1,0 +1,80 @@
+"""Lightweight span tracing over the metrics registry.
+
+A span wraps one logical operation (``poll.fetch``, ``detail.fetch``,
+``analysis.pipeline``) and records its duration and outcome into two shared
+metric families:
+
+- ``span_duration_seconds`` — histogram, labelled ``{span, outcome}``;
+- ``span_total`` — counter, labelled ``{span, outcome}``.
+
+Durations are measured on the registry's injected clock. Under the sim-time
+clock an operation that does not advance simulated time records a zero
+duration — that is intentional: replays must stay deterministic, so spans
+never read the wall clock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.obs.registry import MetricsRegistry
+
+#: Histogram family every span's duration lands in.
+SPAN_DURATION_METRIC = "span_duration_seconds"
+#: Counter family tallying span completions by outcome.
+SPAN_TOTAL_METRIC = "span_total"
+
+
+class SpanHandle:
+    """Mutable view of an in-flight span; lets the body set the outcome."""
+
+    __slots__ = ("name", "outcome")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.outcome = "ok"
+
+    def fail(self, outcome: str = "error") -> None:
+        """Mark the span failed with an explicit outcome label."""
+        self.outcome = outcome
+
+
+@contextmanager
+def span_context(
+    registry: "MetricsRegistry", name: str, **labels: str
+) -> Iterator[SpanHandle]:
+    """Time the enclosed block and record duration + outcome.
+
+    An exception escaping the block marks the outcome ``error`` (unless the
+    body already called :meth:`SpanHandle.fail` with something more
+    specific) and is re-raised — tracing never swallows failures.
+    """
+    handle = SpanHandle(name)
+    started = registry.now()
+    try:
+        yield handle
+    except BaseException:
+        if handle.outcome == "ok":
+            handle.outcome = "error"
+        _record(registry, handle, registry.now() - started, labels)
+        raise
+    _record(registry, handle, registry.now() - started, labels)
+
+
+def _record(
+    registry: "MetricsRegistry",
+    handle: SpanHandle,
+    duration: float,
+    labels: dict[str, str],
+) -> None:
+    merged = dict(labels)
+    merged["span"] = handle.name
+    merged["outcome"] = handle.outcome
+    registry.histogram(
+        SPAN_DURATION_METRIC, "Span durations on the injected clock."
+    ).observe(max(0.0, duration), **merged)
+    registry.counter(
+        SPAN_TOTAL_METRIC, "Spans completed, by name and outcome."
+    ).inc(**merged)

@@ -7,6 +7,8 @@ trend and letting the block engine land what they submit.
 
 from __future__ import annotations
 
+import time
+
 from repro.agents.base import AgentContext, GroundTruth
 from repro.agents.population import Population
 from repro.dex.market import Market
@@ -16,6 +18,7 @@ from repro.jito.block_engine import BlockEngine
 from repro.jito.relayer import PrivateMempool, Relayer
 from repro.jito.tip_distribution import TipDistributor
 from repro.jito.searcher import SearcherClient
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.simulation.config import ScenarioConfig, TrendSpec
 from repro.simulation.downtime import DowntimeSchedule
 from repro.simulation.results import DayStats, SimulationWorld
@@ -41,8 +44,20 @@ class SimulationEngine:
         self,
         config: ScenarioConfig,
         downtime: DowntimeSchedule | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         config.validate()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._blocks_metric = self.metrics.counter(
+            "sim_blocks_produced_total", "Blocks produced by the engine."
+        )
+        self._generated_metric = self.metrics.counter(
+            "sim_bundles_generated_total",
+            "Agent behaviours that produced a submission.",
+        )
+        self._days_metric = self.metrics.counter(
+            "sim_days_total", "Simulated days completed, by spike status."
+        )
         reset_nonce_counter()  # identical (seed, scenario) => identical tx ids
         self.config = config
         self.rng = DeterministicRNG(config.seed)
@@ -214,7 +229,9 @@ class SimulationEngine:
                 generated = behavior.generate()
                 if generated is not None:
                     stats.bundles_generated += 1
+                    self._generated_metric.inc(event_class=event_class)
             block = world.block_engine.produce_block()
+            self._blocks_metric.inc()
             for callback in self._block_callbacks:
                 callback(world, block)
             self._rebalance_pools()
@@ -226,15 +243,34 @@ class SimulationEngine:
             self._tip_distributor.distribute_epoch()
 
         world.day_stats.append(stats)
+        self._days_metric.inc(spike="yes" if is_spike else "no")
         return stats
 
     def run(self) -> SimulationWorld:
-        """Run the whole campaign and return the finished world."""
+        """Run the whole campaign and return the finished world.
+
+        Wall-clock throughput lands in the ``sim_wall_seconds`` and
+        ``sim_blocks_per_wall_second`` gauges. Those are the one deliberate
+        exception to the sim-time rule — they exist to measure the
+        *machine*, are nondeterministic by nature, and are excluded from
+        report rendering (see :data:`repro.obs.export.WALL_CLOCK_METRICS`).
+        """
+        wall_started = time.perf_counter()
         for day in range(self.config.days):
             self.run_day(day)
         # Land anything still queued (bundles deferred past the last block).
         self.clock.advance(1.0)
         block = self.world.block_engine.produce_block()
+        self._blocks_metric.inc()
         for callback in self._block_callbacks:
             callback(self.world, block)
+        wall_elapsed = time.perf_counter() - wall_started
+        blocks = self.world.block_engine.stats.blocks_produced
+        self.metrics.gauge(
+            "sim_wall_seconds", "Wall-clock duration of the engine run."
+        ).set(wall_elapsed)
+        self.metrics.gauge(
+            "sim_blocks_per_wall_second",
+            "Engine throughput: blocks produced per wall-clock second.",
+        ).set(blocks / wall_elapsed if wall_elapsed > 0 else 0.0)
         return self.world

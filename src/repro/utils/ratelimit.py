@@ -26,6 +26,7 @@ class TokenBucket:
         rate: float,
         capacity: float,
         time_fn: Callable[[], float],
+        on_reject: Callable[[float], None] | None = None,
     ) -> None:
         if rate <= 0:
             raise ConfigError(f"token rate must be positive, got {rate}")
@@ -34,8 +35,11 @@ class TokenBucket:
         self._rate = rate
         self._capacity = capacity
         self._time_fn = time_fn
+        self._on_reject = on_reject
         self._tokens = capacity
         self._last_refill = time_fn()
+        self.admitted = 0
+        self.rejected = 0
 
     @property
     def capacity(self) -> float:
@@ -54,13 +58,22 @@ class TokenBucket:
         return self._tokens
 
     def try_acquire(self, tokens: float = 1.0) -> bool:
-        """Consume ``tokens`` if available; return whether admission succeeded."""
+        """Consume ``tokens`` if available; return whether admission succeeded.
+
+        Admissions and rejections are tallied on :attr:`admitted` and
+        :attr:`rejected`; a rejection also fires the ``on_reject`` callback
+        (observability hook) with the requested token count.
+        """
         if tokens <= 0:
             raise ConfigError(f"must acquire a positive token count, got {tokens}")
         self._refill()
         if self._tokens >= tokens:
             self._tokens -= tokens
+            self.admitted += 1
             return True
+        self.rejected += 1
+        if self._on_reject is not None:
+            self._on_reject(tokens)
         return False
 
     def seconds_until_available(self, tokens: float = 1.0) -> float:

@@ -1,0 +1,89 @@
+"""Structured event log tests: sinks, severities, timestamps."""
+
+import io
+import json
+
+from repro.obs.events import (
+    ConsoleSink,
+    EventLog,
+    JsonlSink,
+    MemorySink,
+    Severity,
+)
+from repro.utils.simtime import SimClock
+
+
+class TestEventLog:
+    def test_emit_builds_record(self):
+        log = EventLog()
+        event = log.info("collector", "poll ok", returned=12)
+        assert event.severity is Severity.INFO
+        assert event.component == "collector"
+        assert event.fields == {"returned": 12}
+        assert event.time is None
+
+    def test_sim_clock_timestamps(self):
+        clock = SimClock()
+        clock.advance(30.0)
+        log = EventLog(time_fn=clock.now)
+        event = log.info("c", "m")
+        assert event.time == clock.now()
+
+    def test_fan_out_to_all_sinks(self):
+        first, second = MemorySink(), MemorySink()
+        log = EventLog(sinks=[first, second])
+        log.warning("c", "watch out")
+        assert first.messages() == ["watch out"]
+        assert second.messages() == ["watch out"]
+
+    def test_min_severity_filters_delivery(self):
+        sink = MemorySink()
+        log = EventLog(sinks=[sink], min_severity=Severity.WARNING)
+        log.debug("c", "too quiet")
+        log.info("c", "still too quiet")
+        log.error("c", "loud")
+        assert sink.messages() == ["loud"]
+
+
+class TestConsoleSink:
+    def test_writes_bare_message(self):
+        stream = io.StringIO()
+        log = EventLog(sinks=[ConsoleSink(stream=stream)])
+        log.info("cli.campaign", "running 5-day campaign...", days=5)
+        # Byte-identical to the print() it replaced: no severity prefix,
+        # no component, no timestamp.
+        assert stream.getvalue() == "running 5-day campaign...\n"
+
+    def test_threshold(self):
+        stream = io.StringIO()
+        sink = ConsoleSink(stream=stream, min_severity=Severity.ERROR)
+        log = EventLog(sinks=[sink])
+        log.info("c", "hidden")
+        assert stream.getvalue() == ""
+
+
+class TestJsonlSink:
+    def test_appends_json_records(self, tmp_path):
+        path = tmp_path / "logs" / "events.jsonl"
+        sink = JsonlSink(path)
+        log = EventLog(sinks=[sink], time_fn=lambda: 9.0)
+        log.info("collector", "poll ok", returned=3)
+        log.error("collector", "poll failed")
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "severity": "INFO",
+            "component": "collector",
+            "message": "poll ok",
+            "fields": {"returned": 3},
+            "time": 9.0,
+        }
+        assert json.loads(lines[1])["severity"] == "ERROR"
+
+    def test_fields_omitted_when_empty(self):
+        log = EventLog()
+        record = log.info("c", "m").to_json()
+        assert "fields" not in record
+        assert "time" not in record

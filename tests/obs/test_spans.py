@@ -1,0 +1,69 @@
+"""Span tracing tests: durations on the injected clock, outcomes."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SPAN_DURATION_METRIC, SPAN_TOTAL_METRIC
+from repro.utils.simtime import SimClock
+
+
+class TestSpan:
+    def test_duration_measured_on_injected_clock(self):
+        clock = SimClock()
+        registry = MetricsRegistry(time_fn=clock.now)
+        with registry.span("poll.fetch"):
+            clock.advance(2.5)
+        histogram = registry.get(SPAN_DURATION_METRIC)
+        assert histogram.count(span="poll.fetch", outcome="ok") == 1
+        assert histogram.total(span="poll.fetch", outcome="ok") == 2.5
+
+    def test_zero_duration_when_clock_does_not_move(self):
+        registry = MetricsRegistry()
+        with registry.span("noop"):
+            pass
+        assert registry.get(SPAN_DURATION_METRIC).total(
+            span="noop", outcome="ok"
+        ) == 0.0
+
+    def test_counter_tallies_by_outcome(self):
+        registry = MetricsRegistry()
+        with registry.span("op"):
+            pass
+        with registry.span("op") as handle:
+            handle.fail("rate_limited")
+        counter = registry.get(SPAN_TOTAL_METRIC)
+        assert counter.value(span="op", outcome="ok") == 1
+        assert counter.value(span="op", outcome="rate_limited") == 1
+
+    def test_exception_marks_error_and_reraises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with registry.span("boom"):
+                raise ValueError("nope")
+        counter = registry.get(SPAN_TOTAL_METRIC)
+        assert counter.value(span="boom", outcome="error") == 1
+        assert counter.value(span="boom", outcome="ok") == 0
+
+    def test_explicit_fail_outcome_survives_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("boom") as handle:
+                handle.fail("exhausted")
+                raise RuntimeError("after marking")
+        assert (
+            registry.get(SPAN_TOTAL_METRIC).value(
+                span="boom", outcome="exhausted"
+            )
+            == 1
+        )
+
+    def test_extra_labels_carried(self):
+        registry = MetricsRegistry()
+        with registry.span("op", shard="a"):
+            pass
+        assert (
+            registry.get(SPAN_TOTAL_METRIC).value(
+                span="op", outcome="ok", shard="a"
+            )
+            == 1
+        )

@@ -66,3 +66,67 @@ class TestBackoff:
     def test_invalid_construction(self, kwargs):
         with pytest.raises(ConfigError):
             ExponentialBackoff(**kwargs)
+
+
+class TestBackoffEdgeCases:
+    def test_jitter_replays_identically_across_resets(self):
+        # Retries interleaved with successes must replay identically:
+        # resetting the attempt counter must not disturb the jitter stream.
+        def sequence():
+            backoff = ExponentialBackoff(rng=DeterministicRNG(9).child("b"))
+            first = [backoff.next_delay() for _ in range(3)]
+            backoff.reset()
+            second = [backoff.next_delay() for _ in range(3)]
+            return first, second
+
+        assert sequence() == sequence()
+
+    def test_reset_reuses_jitter_stream(self):
+        # The RNG stream keeps advancing across reset: post-reset delays
+        # differ from the first round even though the raw sequence repeats.
+        backoff = ExponentialBackoff(
+            base=10.0,
+            multiplier=1.0,
+            jitter=0.2,
+            rng=DeterministicRNG(3).child("b"),
+        )
+        first = backoff.next_delay()
+        backoff.reset()
+        assert backoff.next_delay() != first
+
+    def test_attempts_made_tracks_and_resets(self):
+        backoff = ExponentialBackoff(max_attempts=3, jitter=0.0)
+        assert backoff.attempts_made == 0
+        backoff.next_delay()
+        backoff.next_delay()
+        assert backoff.attempts_made == 2
+        backoff.reset()
+        assert backoff.attempts_made == 0
+
+    def test_exhaustion_error_is_stable_after_repeat_calls(self):
+        backoff = ExponentialBackoff(max_attempts=1, jitter=0.0)
+        backoff.next_delay()
+        for _ in range(3):
+            with pytest.raises(ConfigError):
+                backoff.next_delay()
+        assert backoff.attempts_made == 1
+
+    def test_single_attempt_budget(self):
+        backoff = ExponentialBackoff(max_attempts=1, jitter=0.0)
+        assert not backoff.exhausted()
+        assert backoff.next_delay() == 1.0
+        assert backoff.exhausted()
+
+    def test_zero_jitter_draws_nothing_from_rng(self):
+        # jitter=0 short-circuits before the RNG: two backoffs sharing one
+        # RNG stay in lockstep even when one hands out delays.
+        rng = DeterministicRNG(4).child("shared")
+        jitterless = ExponentialBackoff(jitter=0.0, rng=rng)
+        jittered = ExponentialBackoff(
+            jitter=0.5, rng=DeterministicRNG(4).child("shared")
+        )
+        for _ in range(5):
+            jitterless.next_delay()
+        assert jittered.next_delay() == pytest.approx(
+            1.0 * rng.uniform(0.5, 1.5)
+        )

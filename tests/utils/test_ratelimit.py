@@ -73,3 +73,64 @@ class TestTokenBucket:
             TokenBucket(rate=0, capacity=1, time_fn=clock)
         with pytest.raises(ConfigError):
             TokenBucket(rate=1, capacity=0, time_fn=clock)
+
+
+class TestTokenBucketEdgeCases:
+    def test_refill_at_exact_capacity_boundary(self, clock):
+        # Refill that lands exactly on capacity must not overshoot, and the
+        # very next acquire at full capacity must succeed.
+        bucket = TokenBucket(rate=2.0, capacity=4.0, time_fn=clock)
+        assert bucket.try_acquire(4.0)
+        clock.t += 2.0  # refills exactly 4 tokens, exactly to capacity
+        assert bucket.available() == 4.0
+        assert bucket.try_acquire(4.0)
+        assert not bucket.try_acquire(0.001)
+
+    def test_zero_elapsed_time_calls(self, clock):
+        # Repeated calls at the same timestamp must neither refill nor
+        # drift: only explicit acquisitions change the level.
+        bucket = TokenBucket(rate=100.0, capacity=2.0, time_fn=clock)
+        assert bucket.try_acquire()
+        for _ in range(5):
+            assert bucket.available() == 1.0
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_clock_going_backwards_does_not_drain(self, clock):
+        bucket = TokenBucket(rate=1.0, capacity=2.0, time_fn=clock)
+        clock.t = 10.0
+        bucket.try_acquire()
+        clock.t = 5.0  # regression: elapsed clamps to zero
+        assert bucket.available() == 1.0
+
+    def test_admitted_and_rejected_tallies(self, clock):
+        bucket = TokenBucket(rate=1.0, capacity=2.0, time_fn=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert bucket.admitted == 2
+        assert bucket.rejected == 2
+
+    def test_on_reject_fires_with_token_count(self, clock):
+        rejections = []
+        bucket = TokenBucket(
+            rate=1.0,
+            capacity=1.0,
+            time_fn=clock,
+            on_reject=rejections.append,
+        )
+        assert bucket.try_acquire()
+        assert rejections == []
+        assert not bucket.try_acquire(0.75)
+        assert rejections == [0.75]
+
+    def test_fractional_refill_accumulates(self, clock):
+        # Sub-token refills accumulate across many small steps.
+        bucket = TokenBucket(rate=1.0, capacity=1.0, time_fn=clock)
+        assert bucket.try_acquire()
+        for _ in range(8):
+            clock.t += 0.125  # binary-exact so the sum lands on 1.0
+            bucket.available()
+        assert bucket.available() == 1.0
+        assert bucket.try_acquire()
