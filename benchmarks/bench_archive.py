@@ -1,0 +1,103 @@
+"""Archive ingest and query performance at campaign scale.
+
+Two claims are measured on a 100k-bundle synthetic campaign:
+
+1. Ingesting into the batched SQLite archive is in the same league as
+   appending JSONL lines (the archive buys indexes and durability, so it
+   may cost more, but it must stay within a small constant factor).
+2. An indexed slot-range query answers in under 100 ms — the property that
+   makes re-measurement studies interactive instead of full-scan batch
+   jobs. A JSONL store can only answer the same question by loading and
+   scanning everything; the artifact records both costs side by side.
+
+The timing gate is deliberately only on the indexed query (the paper-style
+workload); ingest numbers are recorded as artifacts, not asserted, because
+shared CI machines make throughput gates flaky.
+"""
+
+import time
+
+from benchmarks.conftest import save_artifact
+from repro.archive import ArchiveBundleStore, ArchiveQuery, BundleFilter
+from repro.collector.store import BundleStore
+from repro.explorer.models import BundleRecord
+
+#: Scale of the synthetic campaign; the acceptance target is >= 100k.
+NUM_BUNDLES = 100_000
+
+#: Hard latency gate for one indexed slot-range query.
+QUERY_BUDGET_SECONDS = 0.100
+
+
+def synthetic_bundles(count: int = NUM_BUNDLES) -> list[BundleRecord]:
+    """``count`` bundles spread over ~46 simulated days of slots."""
+    return [
+        BundleRecord(
+            bundle_id=f"bench-{i}",
+            slot=10 * i // 25,  # ~2.5 bundles per slot
+            landed_at=float(i * 40),
+            tip_lamports=10_000 + (i * 7919) % 5_000_000,
+            transaction_ids=(f"bench-{i}-0",),
+        )
+        for i in range(count)
+    ]
+
+
+def test_archive_ingest_and_indexed_query(tmp_path, benchmark):
+    bundles = synthetic_bundles()
+
+    # JSONL baseline: in-memory insert + one bulk save.
+    started = time.perf_counter()
+    jsonl_store = BundleStore()
+    jsonl_store.add_bundles(bundles)
+    jsonl_store.save(tmp_path / "jsonl")
+    jsonl_ingest = time.perf_counter() - started
+
+    # Archive: same records through the batched writer.
+    started = time.perf_counter()
+    archive = ArchiveBundleStore(tmp_path / "archive.db")
+    archive.add_bundles(bundles)
+    archive.flush()
+    archive_ingest = time.perf_counter() - started
+
+    # The paper-style question: everything in a one-day slot window.
+    query = ArchiveQuery(archive.database)
+    window = BundleFilter(slot_min=20_000, slot_max=22_160)
+
+    def indexed_query():
+        return query.bundles(window, order_by="slot")
+
+    matched = benchmark.pedantic(indexed_query, rounds=20, iterations=1)
+    indexed_seconds = min(benchmark.stats.stats.data)
+
+    # JSONL has no index: the comparable cost is reload + full scan.
+    started = time.perf_counter()
+    scanned = BundleStore.load(tmp_path / "jsonl")
+    scan_hits = [
+        b for b in scanned.bundles() if 20_000 <= b.slot <= 22_160
+    ]
+    jsonl_seconds = time.perf_counter() - started
+
+    assert len(matched) == len(scan_hits) > 0
+    assert archive.database.table_counts()["bundles"] == NUM_BUNDLES
+    assert indexed_seconds < QUERY_BUDGET_SECONDS, (
+        f"indexed slot-range query took {indexed_seconds * 1000:.1f} ms "
+        f"on {NUM_BUNDLES} bundles (budget {QUERY_BUDGET_SECONDS * 1000:.0f} ms)"
+    )
+
+    save_artifact(
+        "archive.txt",
+        "\n".join(
+            [
+                f"archive vs JSONL at {NUM_BUNDLES:,} bundles",
+                f"  ingest, JSONL store (insert + save):   {jsonl_ingest:7.2f} s",
+                f"  ingest, SQLite archive (batched):      {archive_ingest:7.2f} s",
+                f"  slot-range query, indexed archive:     "
+                f"{indexed_seconds * 1000:7.2f} ms ({len(matched)} rows)",
+                f"  slot-range query, JSONL load + scan:   "
+                f"{jsonl_seconds * 1000:7.2f} ms",
+                f"  query budget: {QUERY_BUDGET_SECONDS * 1000:.0f} ms",
+            ]
+        ),
+    )
+    archive.close()

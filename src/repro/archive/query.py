@@ -1,0 +1,369 @@
+"""The archive's typed query API.
+
+:class:`ArchiveQuery` answers the questions re-measurement studies ask of
+an archived campaign — "which bundles landed in this slot range", "what did
+this attacker extract per day", "how are tips distributed" — directly from
+the indexed SQLite file, without loading the whole campaign into memory.
+
+Filters are plain dataclasses compiled to parameterized SQL (never string
+interpolation of values), ordering is restricted to indexed columns, and
+every query records its wall-clock latency in the
+``archive_query_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.archive.database import ArchiveDatabase
+from repro.archive.schema import (
+    bundle_from_row,
+    detail_from_row,
+    sandwich_from_row,
+)
+from repro.core.quantify import QuantifiedSandwich
+from repro.errors import ConfigError
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+
+#: Columns ``order_by`` may name, per entity.
+BUNDLE_ORDER_COLUMNS = frozenset(
+    {"seq", "slot", "landed_at", "tip_lamports", "num_transactions"}
+)
+SANDWICH_ORDER_COLUMNS = frozenset(
+    {"seq", "slot", "landed_at", "tip_lamports", "victim_loss_usd"}
+)
+
+
+@dataclass(frozen=True)
+class BundleFilter:
+    """Conjunctive filters over the ``bundles`` table (None = no bound)."""
+
+    slot_min: int | None = None
+    slot_max: int | None = None
+    length: int | None = None
+    tip_min: int | None = None
+    tip_max: int | None = None
+    date_from: str | None = None
+    date_to: str | None = None
+
+    def compile(self) -> tuple[str, list]:
+        """The WHERE clause (without the keyword) and its parameters."""
+        clauses: list[str] = []
+        params: list = []
+        for column, op, value in (
+            ("slot", ">=", self.slot_min),
+            ("slot", "<=", self.slot_max),
+            ("num_transactions", "=", self.length),
+            ("tip_lamports", ">=", self.tip_min),
+            ("tip_lamports", "<=", self.tip_max),
+            ("landed_date", ">=", self.date_from),
+            ("landed_date", "<=", self.date_to),
+        ):
+            if value is not None:
+                clauses.append(f"{column} {op} ?")
+                params.append(value)
+        return (" AND ".join(clauses) or "1=1", params)
+
+
+@dataclass(frozen=True)
+class SandwichFilter:
+    """Conjunctive filters over the ``sandwiches`` table."""
+
+    attacker: str | None = None
+    victim: str | None = None
+    slot_min: int | None = None
+    slot_max: int | None = None
+    date_from: str | None = None
+    date_to: str | None = None
+    priced_only: bool = False
+
+    def compile(self) -> tuple[str, list]:
+        """The WHERE clause (without the keyword) and its parameters."""
+        clauses: list[str] = []
+        params: list = []
+        for column, op, value in (
+            ("attacker", "=", self.attacker),
+            ("victim", "=", self.victim),
+            ("slot", ">=", self.slot_min),
+            ("slot", "<=", self.slot_max),
+            ("landed_date", ">=", self.date_from),
+            ("landed_date", "<=", self.date_to),
+        ):
+            if value is not None:
+                clauses.append(f"{column} {op} ?")
+                params.append(value)
+        if self.priced_only:
+            clauses.append("victim_loss_usd IS NOT NULL")
+        return (" AND ".join(clauses) or "1=1", params)
+
+
+def _order_clause(
+    order_by: str, descending: bool, allowed: frozenset[str]
+) -> str:
+    if order_by not in allowed:
+        raise ConfigError(
+            f"cannot order by {order_by!r}; "
+            f"indexed columns are {sorted(allowed)}"
+        )
+    return f" ORDER BY {order_by} {'DESC' if descending else 'ASC'}"
+
+
+def _page_clause(limit: int | None, offset: int) -> tuple[str, list]:
+    if limit is not None and limit < 0:
+        raise ConfigError("limit must be >= 0")
+    if offset < 0:
+        raise ConfigError("offset must be >= 0")
+    if limit is None and offset == 0:
+        return "", []
+    return " LIMIT ? OFFSET ?", [-1 if limit is None else limit, offset]
+
+
+class ArchiveQuery:
+    """Read-side API over one archive database."""
+
+    def __init__(
+        self,
+        database: ArchiveDatabase,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._db = database
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._latency_metric = self.metrics.histogram(
+            "archive_query_seconds",
+            "Wall-clock latency of archive queries, by query name.",
+            buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+        )
+
+    def _timed(self, name: str, sql: str, params: list) -> list:
+        started = time.perf_counter()
+        rows = self._db.connection.execute(sql, params).fetchall()
+        self._latency_metric.observe(
+            time.perf_counter() - started, query=name
+        )
+        return rows
+
+    # --- bundles -----------------------------------------------------------
+
+    def bundles(
+        self,
+        where: BundleFilter | None = None,
+        order_by: str = "seq",
+        descending: bool = False,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> list[BundleRecord]:
+        """Filtered, ordered, paginated bundle records."""
+        where = where or BundleFilter()
+        clause, params = where.compile()
+        page, page_params = _page_clause(limit, offset)
+        sql = (
+            f"SELECT * FROM bundles WHERE {clause}"
+            + _order_clause(order_by, descending, BUNDLE_ORDER_COLUMNS)
+            + page
+        )
+        return [
+            bundle_from_row(row)
+            for row in self._timed("bundles", sql, params + page_params)
+        ]
+
+    def count_bundles(self, where: BundleFilter | None = None) -> int:
+        """Number of bundles matching the filter."""
+        where = where or BundleFilter()
+        clause, params = where.compile()
+        rows = self._timed(
+            "count_bundles",
+            f"SELECT COUNT(*) AS n FROM bundles WHERE {clause}",
+            params,
+        )
+        return rows[0]["n"]
+
+    def bundle(self, bundle_id: str) -> BundleRecord | None:
+        """One bundle by id."""
+        rows = self._timed(
+            "bundle",
+            "SELECT * FROM bundles WHERE bundle_id = ?",
+            [bundle_id],
+        )
+        return bundle_from_row(rows[0]) if rows else None
+
+    def bundle_of_transaction(self, tx_id: str) -> BundleRecord | None:
+        """The bundle containing a member transaction id, if archived."""
+        rows = self._timed(
+            "bundle_of_transaction",
+            "SELECT b.* FROM bundles b "
+            "JOIN bundle_transactions m ON m.bundle_id = b.bundle_id "
+            "WHERE m.transaction_id = ?",
+            [tx_id],
+        )
+        return bundle_from_row(rows[0]) if rows else None
+
+    # --- transaction details ----------------------------------------------
+
+    def details(
+        self,
+        signer: str | None = None,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> list[TransactionRecord]:
+        """Transaction details, optionally restricted to one signer."""
+        clause = "signer = ?" if signer is not None else "1=1"
+        params: list = [signer] if signer is not None else []
+        page, page_params = _page_clause(limit, offset)
+        sql = f"SELECT * FROM transactions WHERE {clause} ORDER BY seq" + page
+        return [
+            detail_from_row(row)
+            for row in self._timed("details", sql, params + page_params)
+        ]
+
+    def details_for_bundle(self, bundle: BundleRecord) -> list[TransactionRecord]:
+        """Details of a bundle's member transactions, in bundle order."""
+        found = {
+            row["transaction_id"]: detail_from_row(row)
+            for row in self._timed(
+                "details_for_bundle",
+                "SELECT * FROM transactions WHERE transaction_id IN "
+                f"({','.join('?' * len(bundle.transaction_ids))})",
+                list(bundle.transaction_ids),
+            )
+        }
+        return [
+            found[tx_id] for tx_id in bundle.transaction_ids if tx_id in found
+        ]
+
+    # --- sandwiches --------------------------------------------------------
+
+    def sandwiches(
+        self,
+        where: SandwichFilter | None = None,
+        order_by: str = "seq",
+        descending: bool = False,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> list[QuantifiedSandwich]:
+        """Filtered, ordered, paginated detection rows (id-only bundles)."""
+        where = where or SandwichFilter()
+        clause, params = where.compile()
+        page, page_params = _page_clause(limit, offset)
+        sql = (
+            f"SELECT * FROM sandwiches WHERE {clause}"
+            + _order_clause(order_by, descending, SANDWICH_ORDER_COLUMNS)
+            + page
+        )
+        return [
+            sandwich_from_row(row)
+            for row in self._timed("sandwiches", sql, params + page_params)
+        ]
+
+    def count_sandwiches(self, where: SandwichFilter | None = None) -> int:
+        """Number of detections matching the filter."""
+        where = where or SandwichFilter()
+        clause, params = where.compile()
+        rows = self._timed(
+            "count_sandwiches",
+            f"SELECT COUNT(*) AS n FROM sandwiches WHERE {clause}",
+            params,
+        )
+        return rows[0]["n"]
+
+    # --- aggregations ------------------------------------------------------
+
+    def bundle_counts_by_day(self) -> dict[str, dict[int, int]]:
+        """Per-UTC-date bundle counts by length (the Figure 1 series)."""
+        rows = self._timed(
+            "bundle_counts_by_day",
+            "SELECT landed_date, num_transactions, COUNT(*) AS n "
+            "FROM bundles GROUP BY landed_date, num_transactions "
+            "ORDER BY landed_date, num_transactions",
+            [],
+        )
+        table: dict[str, dict[int, int]] = {}
+        for row in rows:
+            table.setdefault(row["landed_date"], {})[
+                row["num_transactions"]
+            ] = row["n"]
+        return table
+
+    def length_histogram(self) -> dict[int, int]:
+        """Bundle count by length."""
+        rows = self._timed(
+            "length_histogram",
+            "SELECT num_transactions, COUNT(*) AS n FROM bundles "
+            "GROUP BY num_transactions ORDER BY num_transactions",
+            [],
+        )
+        return {row["num_transactions"]: row["n"] for row in rows}
+
+    def sandwiches_per_day(self) -> dict[str, dict[str, float]]:
+        """Per-day attack counts and USD loss/gain sums (Figure 2 bottom)."""
+        rows = self._timed(
+            "sandwiches_per_day",
+            "SELECT landed_date, COUNT(*) AS attacks, "
+            "COALESCE(SUM(victim_loss_usd), 0) AS victim_loss_usd, "
+            "COALESCE(SUM(attacker_gain_usd), 0) AS attacker_gain_usd "
+            "FROM sandwiches GROUP BY landed_date ORDER BY landed_date",
+            [],
+        )
+        return {
+            row["landed_date"]: {
+                "attacks": row["attacks"],
+                "victim_loss_usd": row["victim_loss_usd"],
+                "attacker_gain_usd": row["attacker_gain_usd"],
+            }
+            for row in rows
+        }
+
+    def tip_histogram(
+        self, bucket_lamports: int = 100_000, length: int | None = None
+    ) -> dict[int, int]:
+        """Bundle counts per tip bucket (bucket floor, in lamports)."""
+        if bucket_lamports < 1:
+            raise ConfigError("tip bucket width must be >= 1 lamport")
+        clause = "1=1" if length is None else "num_transactions = ?"
+        params: list = [bucket_lamports, bucket_lamports]
+        if length is not None:
+            params.append(length)
+        rows = self._timed(
+            "tip_histogram",
+            f"SELECT (tip_lamports / ?) * ? AS bucket, COUNT(*) AS n "
+            f"FROM bundles WHERE {clause} GROUP BY bucket ORDER BY bucket",
+            params,
+        )
+        return {row["bucket"]: row["n"] for row in rows}
+
+    def top_attackers(self, limit: int = 10) -> list[dict]:
+        """Attackers ranked by total USD extracted (priced events only)."""
+        rows = self._timed(
+            "top_attackers",
+            "SELECT attacker, COUNT(*) AS attacks, "
+            "COALESCE(SUM(attacker_gain_usd), 0) AS gain_usd "
+            "FROM sandwiches GROUP BY attacker "
+            "ORDER BY gain_usd DESC, attacks DESC, attacker LIMIT ?",
+            [limit],
+        )
+        return [
+            {
+                "attacker": row["attacker"],
+                "attacks": row["attacks"],
+                "gain_usd": row["gain_usd"],
+            }
+            for row in rows
+        ]
+
+    def defensive_summary(self) -> dict[str, dict[str, float]]:
+        """Counts and tip totals by defensive/priority classification."""
+        rows = self._timed(
+            "defensive_summary",
+            "SELECT classification, COUNT(*) AS n, "
+            "COALESCE(SUM(tip_lamports), 0) AS tips "
+            "FROM defensive GROUP BY classification ORDER BY classification",
+            [],
+        )
+        return {
+            row["classification"]: {
+                "bundles": row["n"],
+                "tip_lamports": row["tips"],
+            }
+            for row in rows
+        }

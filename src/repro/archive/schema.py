@@ -1,0 +1,297 @@
+"""The archive's versioned SQLite schema and row converters.
+
+The archive is the durable, indexed form of everything one measurement
+campaign collects and derives: bundle listings, transaction details,
+sandwich detections, defensive classifications, campaign checkpoints, and
+incremental-analysis watermarks. The layout follows the shape of real
+sandwich-measurement stores (an indexed relational schema per entity, with
+secondary indexes on the columns analysts filter by) while staying on the
+standard library's :mod:`sqlite3`.
+
+Migrations are append-only: each entry in :data:`MIGRATIONS` upgrades the
+database by exactly one version, and ``PRAGMA user_version`` records which
+version a file is at, so an archive written by an older build opens cleanly
+under a newer one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.events import SandwichEvent
+from repro.core.quantify import QuantifiedSandwich
+from repro.core.trades import TradeLeg
+from repro.errors import StoreError
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.utils.simtime import unix_to_date
+
+#: Current schema version (``PRAGMA user_version`` of an up-to-date file).
+SCHEMA_VERSION = 1
+
+_V1_DDL = """
+CREATE TABLE IF NOT EXISTS bundles (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    bundle_id TEXT NOT NULL UNIQUE,
+    slot INTEGER NOT NULL,
+    landed_at REAL NOT NULL,
+    landed_date TEXT NOT NULL,
+    tip_lamports INTEGER NOT NULL,
+    num_transactions INTEGER NOT NULL,
+    transaction_ids TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_bundles_slot ON bundles(slot);
+CREATE INDEX IF NOT EXISTS idx_bundles_length ON bundles(num_transactions);
+CREATE INDEX IF NOT EXISTS idx_bundles_tip ON bundles(tip_lamports);
+CREATE INDEX IF NOT EXISTS idx_bundles_date ON bundles(landed_date);
+
+CREATE TABLE IF NOT EXISTS bundle_transactions (
+    transaction_id TEXT PRIMARY KEY,
+    bundle_id TEXT NOT NULL,
+    position INTEGER NOT NULL
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_bundle_txs_bundle
+    ON bundle_transactions(bundle_id);
+
+CREATE TABLE IF NOT EXISTS transactions (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    transaction_id TEXT NOT NULL UNIQUE,
+    slot INTEGER NOT NULL,
+    block_time REAL NOT NULL,
+    signer TEXT NOT NULL,
+    signers TEXT NOT NULL,
+    fee_lamports INTEGER NOT NULL,
+    token_deltas TEXT NOT NULL,
+    lamport_deltas TEXT NOT NULL,
+    events TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_transactions_slot ON transactions(slot);
+CREATE INDEX IF NOT EXISTS idx_transactions_signer ON transactions(signer);
+
+CREATE TABLE IF NOT EXISTS sandwiches (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    bundle_id TEXT NOT NULL UNIQUE,
+    slot INTEGER NOT NULL,
+    landed_at REAL NOT NULL,
+    landed_date TEXT NOT NULL,
+    tip_lamports INTEGER NOT NULL,
+    attacker TEXT NOT NULL,
+    victim TEXT NOT NULL,
+    quote_mint TEXT NOT NULL,
+    involves_sol INTEGER NOT NULL,
+    victim_loss_quote REAL NOT NULL,
+    attacker_gain_quote REAL NOT NULL,
+    victim_loss_usd REAL,
+    attacker_gain_usd REAL,
+    legs TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_sandwiches_attacker ON sandwiches(attacker);
+CREATE INDEX IF NOT EXISTS idx_sandwiches_victim ON sandwiches(victim);
+CREATE INDEX IF NOT EXISTS idx_sandwiches_date ON sandwiches(landed_date);
+CREATE INDEX IF NOT EXISTS idx_sandwiches_slot ON sandwiches(slot);
+
+CREATE TABLE IF NOT EXISTS defensive (
+    bundle_id TEXT PRIMARY KEY,
+    landed_date TEXT NOT NULL,
+    tip_lamports INTEGER NOT NULL,
+    classification TEXT NOT NULL CHECK (
+        classification IN ('defensive', 'priority')
+    )
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_defensive_class
+    ON defensive(classification, landed_date);
+
+CREATE TABLE IF NOT EXISTS checkpoints (
+    checkpoint_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    created_sim_time REAL NOT NULL,
+    completed_days INTEGER NOT NULL,
+    payload TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS analysis_state (
+    consumer TEXT PRIMARY KEY,
+    last_bundle_seq INTEGER NOT NULL DEFAULT 0,
+    last_detail_seq INTEGER NOT NULL DEFAULT 0,
+    updated_sim_time REAL NOT NULL DEFAULT 0,
+    state TEXT NOT NULL DEFAULT '{}'
+) WITHOUT ROWID;
+"""
+
+#: Ordered migration steps: ``MIGRATIONS[v]`` upgrades version v to v+1.
+MIGRATIONS: tuple[str, ...] = (_V1_DDL,)
+
+
+# --- bundles ------------------------------------------------------------------
+
+
+def bundle_to_row(record: BundleRecord) -> tuple:
+    """Flatten a bundle record into the ``bundles`` insert tuple."""
+    return (
+        record.bundle_id,
+        record.slot,
+        record.landed_at,
+        unix_to_date(record.landed_at),
+        record.tip_lamports,
+        record.num_transactions,
+        json.dumps(list(record.transaction_ids)),
+    )
+
+
+def bundle_from_row(row: Any) -> BundleRecord:
+    """Rebuild a bundle record from a ``bundles`` row (by column name)."""
+    try:
+        return BundleRecord(
+            bundle_id=row["bundle_id"],
+            slot=row["slot"],
+            landed_at=row["landed_at"],
+            tip_lamports=row["tip_lamports"],
+            transaction_ids=tuple(json.loads(row["transaction_ids"])),
+        )
+    except (KeyError, IndexError, ValueError, TypeError) as exc:
+        raise StoreError(f"malformed bundles row: {exc}") from exc
+
+
+# --- transaction details ------------------------------------------------------
+
+
+def detail_to_row(record: TransactionRecord) -> tuple:
+    """Flatten a transaction record into the ``transactions`` insert tuple."""
+    return (
+        record.transaction_id,
+        record.slot,
+        record.block_time,
+        record.signer,
+        json.dumps(list(record.signers)),
+        record.fee_lamports,
+        json.dumps(record.token_deltas, sort_keys=True),
+        json.dumps(record.lamport_deltas, sort_keys=True),
+        json.dumps(list(record.events)),
+    )
+
+
+def detail_from_row(row: Any) -> TransactionRecord:
+    """Rebuild a transaction record from a ``transactions`` row."""
+    try:
+        return TransactionRecord(
+            transaction_id=row["transaction_id"],
+            slot=row["slot"],
+            block_time=row["block_time"],
+            signer=row["signer"],
+            signers=tuple(json.loads(row["signers"])),
+            fee_lamports=row["fee_lamports"],
+            token_deltas=json.loads(row["token_deltas"]),
+            lamport_deltas=json.loads(row["lamport_deltas"]),
+            events=tuple(json.loads(row["events"])),
+        )
+    except (KeyError, IndexError, ValueError, TypeError) as exc:
+        raise StoreError(f"malformed transactions row: {exc}") from exc
+
+
+# --- sandwich detections ------------------------------------------------------
+
+
+def _leg_to_json(leg: TradeLeg) -> dict:
+    return {
+        "owner": leg.owner,
+        "pool": leg.pool,
+        "mint_in": leg.mint_in,
+        "mint_out": leg.mint_out,
+        "amount_in": leg.amount_in,
+        "amount_out": leg.amount_out,
+    }
+
+
+def _leg_from_json(payload: dict) -> TradeLeg:
+    return TradeLeg(
+        owner=str(payload["owner"]),
+        pool=str(payload["pool"]),
+        mint_in=str(payload["mint_in"]),
+        mint_out=str(payload["mint_out"]),
+        amount_in=int(payload["amount_in"]),
+        amount_out=int(payload["amount_out"]),
+    )
+
+
+def sandwich_to_row(item: QuantifiedSandwich) -> tuple:
+    """Flatten a quantified sandwich into the ``sandwiches`` insert tuple."""
+    event = item.event
+    legs = json.dumps(
+        {
+            "frontrun": _leg_to_json(event.frontrun),
+            "victim_trade": _leg_to_json(event.victim_trade),
+            "backrun": _leg_to_json(event.backrun),
+        },
+        sort_keys=True,
+    )
+    return (
+        event.bundle_id,
+        event.bundle.slot,
+        event.landed_at,
+        unix_to_date(event.landed_at),
+        event.tip_lamports,
+        event.attacker,
+        event.victim,
+        event.quote_mint,
+        1 if event.involves_sol else 0,
+        item.victim_loss_quote,
+        item.attacker_gain_quote,
+        item.victim_loss_usd,
+        item.attacker_gain_usd,
+        legs,
+    )
+
+
+def sandwich_from_row(row: Any) -> QuantifiedSandwich:
+    """Rebuild a quantified sandwich (event + financials) from its row."""
+    try:
+        legs = json.loads(row["legs"])
+        bundle = BundleRecord(
+            bundle_id=row["bundle_id"],
+            slot=row["slot"],
+            landed_at=row["landed_at"],
+            tip_lamports=row["tip_lamports"],
+            transaction_ids=(),
+        )
+        event = SandwichEvent(
+            bundle=bundle,
+            attacker=row["attacker"],
+            victim=row["victim"],
+            frontrun=_leg_from_json(legs["frontrun"]),
+            victim_trade=_leg_from_json(legs["victim_trade"]),
+            backrun=_leg_from_json(legs["backrun"]),
+        )
+        return QuantifiedSandwich(
+            event=event,
+            victim_loss_quote=row["victim_loss_quote"],
+            attacker_gain_quote=row["attacker_gain_quote"],
+            victim_loss_usd=row["victim_loss_usd"],
+            attacker_gain_usd=row["attacker_gain_usd"],
+        )
+    except (KeyError, IndexError, ValueError, TypeError) as exc:
+        raise StoreError(f"malformed sandwiches row: {exc}") from exc
+
+
+def sandwich_with_bundle(
+    item: QuantifiedSandwich, bundle: BundleRecord
+) -> QuantifiedSandwich:
+    """Reattach the full bundle record (with member tx ids) to a rebuilt row.
+
+    ``sandwich_from_row`` alone carries an id-only bundle; joining against
+    the ``bundles`` table restores the exact wire-level record, making the
+    round trip loss-free.
+    """
+    event = item.event
+    return QuantifiedSandwich(
+        event=SandwichEvent(
+            bundle=bundle,
+            attacker=event.attacker,
+            victim=event.victim,
+            frontrun=event.frontrun,
+            victim_trade=event.victim_trade,
+            backrun=event.backrun,
+        ),
+        victim_loss_quote=item.victim_loss_quote,
+        attacker_gain_quote=item.attacker_gain_quote,
+        victim_loss_usd=item.victim_loss_usd,
+        attacker_gain_usd=item.attacker_gain_usd,
+    )

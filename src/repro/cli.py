@@ -3,8 +3,12 @@
 Commands:
 
 - ``campaign`` — run a measurement campaign, persist the collected store,
-  and write the rendered report;
-- ``analyze`` — re-analyze a previously persisted store offline;
+  and write the rendered report (``--archive`` makes it checkpointed and
+  ``--resume`` continues a killed run byte-identically);
+- ``analyze`` — re-analyze a persisted store offline; accepts either a
+  JSONL store directory or an archive database (auto-detected);
+- ``archive`` — maintain an archive database (import/export/stats/vacuum);
+- ``query`` — run indexed queries and aggregations against an archive;
 - ``serve`` — simulate a world and serve its Jito Explorer over HTTP;
 - ``scrape`` — collect from a running explorer over HTTP;
 - ``metrics`` — render a saved metrics snapshot (table/Prometheus/JSON);
@@ -111,7 +115,37 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seed=scenario.seed,
     )
     started = time.time()
-    result = MeasurementCampaign(scenario).run()
+    checkpointed = None
+    if args.archive:
+        from repro.archive import CheckpointedCampaign
+
+        if args.resume:
+            checkpointed = CheckpointedCampaign.resume(
+                scenario,
+                args.archive,
+                checkpoint_every_days=args.checkpoint_every,
+            )
+            progress.info(
+                "cli.campaign",
+                f"resuming from checkpoint: day {checkpointed.start_day} "
+                f"of {scenario.days}",
+                start_day=checkpointed.start_day,
+            )
+        else:
+            checkpointed = CheckpointedCampaign(
+                scenario,
+                args.archive,
+                checkpoint_every_days=args.checkpoint_every,
+            )
+        result = checkpointed.run()
+    elif args.resume:
+        progress.error(
+            "cli.campaign", "--resume requires --archive (the database "
+            "holding the campaign's checkpoints)"
+        )
+        return 2
+    else:
+        result = MeasurementCampaign(scenario).run()
     report = AnalysisPipeline().analyze_campaign(result)
     elapsed = time.time() - started
 
@@ -131,6 +165,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         "defensive_spend_usd": report.headline.defensive_spend_usd,
     }
     (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    if checkpointed is not None:
+        checkpointed.store.close()
+        progress.info(
+            "cli.campaign",
+            f"archive committed at {args.archive}",
+            archive=str(args.archive),
+        )
     if args.metrics_out:
         save_snapshot(result.metrics, args.metrics_out)
         progress.info(
@@ -148,24 +189,85 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """Re-analyze a persisted store (no simulation)."""
+    """Re-analyze a persisted store (no simulation).
+
+    ``--store`` accepts either layout, auto-detected: a JSONL store
+    directory (``bundles.jsonl`` + ``transactions.jsonl``) or an archive
+    database file (``archive.db``). Against an archive, ``--incremental``
+    re-detects only rows newer than the last analyzed watermark.
+    """
+    from repro.archive.database import is_archive_path
     from repro.core import WindowedSandwichDetector
 
-    _progress, output = _build_logs(args)
-    store = BundleStore.load(args.store)
+    progress, output = _build_logs(args)
+    emit = lambda message, **fields: output.info(  # noqa: E731
+        "cli.analyze", message, **fields
+    )
+    store_path = Path(args.store)
+    is_archive = is_archive_path(store_path)
     detector = (
         WindowedSandwichDetector() if args.windowed else SandwichDetector()
     )
     classifier = DefensiveBundlingClassifier(
         threshold_lamports=args.threshold
     )
-    pipeline = AnalysisPipeline(detector=detector, classifier=classifier)
-    report = pipeline.analyze_store(store)
+    if is_archive:
+        from repro.archive import (
+            ArchiveBundleStore,
+            ArchiveDatabase,
+            IncrementalAnalyzer,
+        )
+
+        if args.incremental:
+            analyzer = IncrementalAnalyzer(
+                ArchiveDatabase(store_path),
+                detector_factory=(
+                    WindowedSandwichDetector
+                    if args.windowed
+                    else SandwichDetector
+                ),
+                classifier=classifier,
+            )
+            outcome = analyzer.analyze()
+            report = outcome.report
+            emit(
+                f"incremental pass:   {outcome.new_bundles} new bundles, "
+                f"{outcome.new_sandwiches} new sandwiches, "
+                f"{outcome.pending_detail_bundles} awaiting details",
+                new_bundles=outcome.new_bundles,
+                new_sandwiches=outcome.new_sandwiches,
+            )
+            store_size = report.headline.bundles_collected
+        else:
+            store = ArchiveBundleStore.resume(store_path)
+            pipeline = AnalysisPipeline(
+                detector=detector, classifier=classifier
+            )
+            report = pipeline.analyze_store(store)
+            store_size = len(store)
+    elif (store_path / "bundles.jsonl").is_file():
+        if args.incremental:
+            progress.error(
+                "cli.analyze",
+                "--incremental needs an archive database; JSONL stores "
+                "have no analysis watermark",
+            )
+            return 2
+        store = BundleStore.load(args.store)
+        pipeline = AnalysisPipeline(detector=detector, classifier=classifier)
+        report = pipeline.analyze_store(store)
+        store_size = len(store)
+    else:
+        progress.error(
+            "cli.analyze",
+            f"{args.store} is neither an archive database (a SQLite file "
+            "such as archive.db) nor a JSONL store directory (one holding "
+            "bundles.jsonl and transactions.jsonl)",
+            store=str(args.store),
+        )
+        return 2
     headline = report.headline
-    emit = lambda message, **fields: output.info(  # noqa: E731
-        "cli.analyze", message, **fields
-    )
-    emit(f"bundles:            {len(store)}", bundles=len(store))
+    emit(f"bundles:            {store_size}", bundles=store_size)
     emit(
         f"sandwiches:         {headline.sandwich_count}",
         sandwiches=headline.sandwich_count,
@@ -181,6 +283,186 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         f"threshold {args.threshold:,} lamports)"
     )
     emit(f"defensive spend:    ${headline.defensive_spend_usd:,.4f}")
+    return 0
+
+
+def cmd_archive(args: argparse.Namespace) -> int:
+    """Archive maintenance: JSONL import/export, stats, vacuum."""
+    from repro.archive import ArchiveBundleStore, ArchiveDatabase
+
+    progress, output = _build_logs(args)
+    emit = lambda message, **fields: output.info(  # noqa: E731
+        "cli.archive", message, **fields
+    )
+    if args.archive_command == "stats":
+        with ArchiveDatabase(args.db) as db:
+            info = {
+                "path": str(db.path),
+                "schema_version": db.schema_version,
+                "file_size_bytes": db.file_size_bytes(),
+                "tables": db.table_counts(),
+            }
+            row = db.connection.execute(
+                "SELECT checkpoint_id, completed_days, created_sim_time "
+                "FROM checkpoints ORDER BY checkpoint_id DESC LIMIT 1"
+            ).fetchone()
+            if row is not None:
+                info["latest_checkpoint"] = {
+                    "checkpoint_id": row["checkpoint_id"],
+                    "completed_days": row["completed_days"],
+                    "created_sim_time": row["created_sim_time"],
+                }
+        emit(json.dumps(info, indent=2, sort_keys=True), **info["tables"])
+        return 0
+    if args.archive_command == "import-jsonl":
+        store_dir = Path(args.store)
+        if not (store_dir / "bundles.jsonl").is_file():
+            progress.error(
+                "cli.archive",
+                f"{store_dir} is not a JSONL store directory "
+                "(bundles.jsonl not found)",
+            )
+            return 2
+        source = BundleStore.load(store_dir)
+        with ArchiveBundleStore(args.db) as archive:
+            archive.add_bundles(list(source.bundles()))
+            archive.add_details(list(source.details()))
+            counts = archive.database.table_counts()
+        emit(
+            f"imported {len(source)} bundles, "
+            f"{source.detail_count()} details into {args.db}",
+            bundles=counts["bundles"],
+            transactions=counts["transactions"],
+        )
+        return 0
+    if args.archive_command == "export-jsonl":
+        store = ArchiveBundleStore.resume(args.db)
+        out = Path(args.out)
+        store.save(out)
+        store.database.close()
+        emit(
+            f"exported {len(store)} bundles, {store.detail_count()} "
+            f"details to {out}/bundles.jsonl, transactions.jsonl",
+            bundles=len(store),
+            out=str(out),
+        )
+        return 0
+    # vacuum
+    with ArchiveDatabase(args.db) as db:
+        before = db.file_size_bytes()
+        db.checkpoint_wal()
+        db.vacuum()
+        after = db.file_size_bytes()
+    emit(
+        f"vacuumed {args.db}: {before} -> {after} bytes",
+        before_bytes=before,
+        after_bytes=after,
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Indexed queries and aggregations against an archive database."""
+    from repro.archive import (
+        ArchiveDatabase,
+        ArchiveQuery,
+        BundleFilter,
+        SandwichFilter,
+    )
+    from repro.explorer.wire import bundle_record_to_json
+
+    _progress, output = _build_logs(args)
+    emit = lambda message, **fields: output.info(  # noqa: E731
+        "cli.query", message, **fields
+    )
+    with ArchiveDatabase(args.db) as db:
+        query = ArchiveQuery(db)
+        if args.query_command == "bundles":
+            where = BundleFilter(
+                slot_min=args.slot_min,
+                slot_max=args.slot_max,
+                length=args.length,
+                tip_min=args.tip_min,
+                tip_max=args.tip_max,
+                date_from=args.date_from,
+                date_to=args.date_to,
+            )
+            if args.count:
+                emit(str(query.count_bundles(where)))
+            else:
+                for record in query.bundles(
+                    where,
+                    order_by=args.order_by,
+                    descending=args.desc,
+                    limit=args.limit,
+                    offset=args.offset,
+                ):
+                    emit(
+                        json.dumps(
+                            bundle_record_to_json(record), sort_keys=True
+                        )
+                    )
+        elif args.query_command == "sandwiches":
+            where = SandwichFilter(
+                attacker=args.attacker,
+                victim=args.victim,
+                slot_min=args.slot_min,
+                slot_max=args.slot_max,
+                date_from=args.date_from,
+                date_to=args.date_to,
+                priced_only=args.priced_only,
+            )
+            if args.count:
+                emit(str(query.count_sandwiches(where)))
+            else:
+                for item in query.sandwiches(
+                    where,
+                    order_by=args.order_by,
+                    descending=args.desc,
+                    limit=args.limit,
+                    offset=args.offset,
+                ):
+                    event = item.event
+                    emit(
+                        json.dumps(
+                            {
+                                "bundleId": event.bundle_id,
+                                "slot": event.bundle.slot,
+                                "landedAt": event.landed_at,
+                                "tipLamports": event.tip_lamports,
+                                "attacker": event.attacker,
+                                "victim": event.victim,
+                                "victimLossUsd": item.victim_loss_usd,
+                                "attackerGainUsd": item.attacker_gain_usd,
+                            },
+                            sort_keys=True,
+                        )
+                    )
+        elif args.query_command == "tips":
+            emit(
+                json.dumps(
+                    query.tip_histogram(
+                        bucket_lamports=args.bucket, length=args.length
+                    ),
+                    sort_keys=True,
+                )
+            )
+        elif args.query_command == "lengths":
+            emit(json.dumps(query.length_histogram(), sort_keys=True))
+        elif args.query_command == "daily":
+            emit(
+                json.dumps(
+                    {
+                        "bundles": query.bundle_counts_by_day(),
+                        "sandwiches": query.sandwiches_per_day(),
+                    },
+                    sort_keys=True,
+                )
+            )
+        elif args.query_command == "attackers":
+            emit(json.dumps(query.top_attackers(args.limit), sort_keys=True))
+        else:  # defensive
+            emit(json.dumps(query.defensive_summary(), sort_keys=True))
     return 0
 
 
@@ -344,6 +626,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the pipeline's metrics snapshot (JSON) to this path",
     )
     campaign.add_argument(
+        "--archive",
+        default=None,
+        help="collect into this archive database with per-day checkpoints "
+        "(e.g. out/archive.db)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a killed campaign from the archive's latest "
+        "checkpoint (requires --archive and the same --seed/--days)",
+    )
+    campaign.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="days between checkpoints when --archive is set (default 1)",
+    )
+    campaign.add_argument(
         "--log-jsonl",
         default=None,
         help="also append structured events to this JSONL file",
@@ -351,7 +651,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.set_defaults(func=cmd_campaign)
 
     analyze = sub.add_parser("analyze", help="re-analyze a persisted store")
-    analyze.add_argument("--store", required=True)
+    analyze.add_argument(
+        "--store",
+        required=True,
+        help="JSONL store directory or archive database (auto-detected)",
+    )
     analyze.add_argument("--threshold", type=int, default=100_000)
     analyze.add_argument(
         "--windowed",
@@ -359,7 +663,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="scan lengths 3-5 with the windowed detector (needs details "
         "for those lengths in the store)",
     )
+    analyze.add_argument(
+        "--incremental",
+        action="store_true",
+        help="archive stores only: re-detect only rows newer than the "
+        "last analyzed watermark",
+    )
     analyze.set_defaults(func=cmd_analyze)
+
+    archive = sub.add_parser("archive", help="maintain an archive database")
+    archive_sub = archive.add_subparsers(dest="archive_command", required=True)
+    archive_stats = archive_sub.add_parser(
+        "stats", help="row counts, schema version, latest checkpoint"
+    )
+    archive_import = archive_sub.add_parser(
+        "import-jsonl", help="load a JSONL store directory into an archive"
+    )
+    archive_import.add_argument(
+        "--store", required=True, help="directory holding bundles.jsonl"
+    )
+    archive_export = archive_sub.add_parser(
+        "export-jsonl", help="write an archive back out as JSONL"
+    )
+    archive_export.add_argument("--out", required=True)
+    archive_sub.add_parser(
+        "vacuum", help="fold the WAL and reclaim free pages"
+    )
+    for archive_cmd in (
+        archive_stats,
+        archive_import,
+        archive_export,
+        archive_sub.choices["vacuum"],
+    ):
+        archive_cmd.add_argument(
+            "--db", required=True, help="archive database path"
+        )
+    archive.set_defaults(func=cmd_archive)
+
+    query = sub.add_parser("query", help="query an archive database")
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+    query_bundles = query_sub.add_parser(
+        "bundles", help="filtered bundle listings"
+    )
+    query_bundles.add_argument("--slot-min", type=int, default=None)
+    query_bundles.add_argument("--slot-max", type=int, default=None)
+    query_bundles.add_argument("--length", type=int, default=None)
+    query_bundles.add_argument("--tip-min", type=int, default=None)
+    query_bundles.add_argument("--tip-max", type=int, default=None)
+    query_bundles.add_argument("--order-by", default="seq")
+    query_sandwiches = query_sub.add_parser(
+        "sandwiches", help="filtered detection listings"
+    )
+    query_sandwiches.add_argument("--attacker", default=None)
+    query_sandwiches.add_argument("--victim", default=None)
+    query_sandwiches.add_argument("--slot-min", type=int, default=None)
+    query_sandwiches.add_argument("--slot-max", type=int, default=None)
+    query_sandwiches.add_argument(
+        "--priced-only",
+        action="store_true",
+        help="only sandwiches with USD quantification",
+    )
+    query_sandwiches.add_argument("--order-by", default="seq")
+    for listing in (query_bundles, query_sandwiches):
+        listing.add_argument("--date-from", default=None)
+        listing.add_argument("--date-to", default=None)
+        listing.add_argument("--desc", action="store_true")
+        listing.add_argument("--limit", type=int, default=None)
+        listing.add_argument("--offset", type=int, default=0)
+        listing.add_argument(
+            "--count",
+            action="store_true",
+            help="print the match count instead of rows",
+        )
+    query_tips = query_sub.add_parser(
+        "tips", help="tip histogram (lamport buckets)"
+    )
+    query_tips.add_argument("--bucket", type=int, default=100_000)
+    query_tips.add_argument("--length", type=int, default=None)
+    query_sub.add_parser("lengths", help="bundle counts by length")
+    query_sub.add_parser("daily", help="per-day bundle and sandwich series")
+    query_attackers = query_sub.add_parser(
+        "attackers", help="attackers ranked by extracted USD"
+    )
+    query_attackers.add_argument("--limit", type=int, default=10)
+    query_sub.add_parser(
+        "defensive", help="defensive/priority classification summary"
+    )
+    for query_cmd in query_sub.choices.values():
+        query_cmd.add_argument(
+            "--db", required=True, help="archive database path"
+        )
+    query.set_defaults(func=cmd_query)
 
     serve = sub.add_parser("serve", help="serve a simulated explorer")
     serve.add_argument("--days", type=int, default=None)

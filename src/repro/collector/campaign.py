@@ -82,12 +82,18 @@ class MeasurementCampaign:
         fetcher_config: DetailFetcherConfig | None = None,
         explorer_config: ExplorerConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        store: BundleStore | None = None,
     ) -> None:
         # Observability is on by default: recording is passive and every
         # value derives from the shared sim clock, so instrumented and
         # uninstrumented runs produce identical analysis output. Pass
         # ``repro.obs.NULL_REGISTRY`` to disable entirely.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.scenario = scenario
+        # Collection can be switched off so checkpoint resume can replay
+        # the (deterministic, collection-independent) simulation without
+        # re-polling data the archive already holds.
+        self.collect_enabled = True
         self.engine = SimulationEngine(scenario, downtime, metrics=self.metrics)
         world = self.engine.world
         self.metrics.set_time_fn(world.clock.now)
@@ -110,7 +116,11 @@ class MeasurementCampaign:
             metrics=self.metrics,
         )
         client = InProcessExplorerClient(self.service)
-        self.store = BundleStore(metrics=self.metrics)
+        # An injected store (e.g. a durable archive-backed one) is used
+        # as-is; the default remains the plain in-memory store.
+        self.store = (
+            store if store is not None else BundleStore(metrics=self.metrics)
+        )
         self.coverage = CoverageEstimator()
         if poller_config is None:
             poller_config = PollerConfig(
@@ -134,14 +144,19 @@ class MeasurementCampaign:
         self.engine.on_block(self._after_block)
 
     def _after_block(self, world: SimulationWorld, _block) -> None:
+        if not self.collect_enabled:
+            return
         self.poller.maybe_poll()
         self.fetcher.maybe_fetch()
 
-    def run(self) -> CampaignResult:
-        """Run simulation + collection, then drain remaining details."""
-        world = self.engine.run()
-        # Final sweep: one last poll for the closing block, then pull any
-        # details the in-campaign fetches did not reach.
+    def finalize(self) -> CampaignResult:
+        """Close out a campaign whose day loop has already run.
+
+        Lands still-queued bundles, does the final sweep (one last poll
+        for the closing block, then pull any details the in-campaign
+        fetches did not reach), and assembles the result.
+        """
+        world = self.engine.finish()
         self.poller.poll_once()
         self.fetcher.drain()
         return CampaignResult(
@@ -153,3 +168,8 @@ class MeasurementCampaign:
             fetcher=self.fetcher,
             metrics=self.metrics,
         )
+
+    def run(self) -> CampaignResult:
+        """Run simulation + collection, then drain remaining details."""
+        self.engine.run_days(0, self.scenario.days)
+        return self.finalize()

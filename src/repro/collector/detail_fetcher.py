@@ -93,6 +93,38 @@ class TxDetailFetcher:
         """Whether the two-minute spacing allows another batch now."""
         return self._clock.now() >= self._next_due
 
+    def state(self) -> dict:
+        """JSON-safe snapshot of the fetch cursor (for checkpoints)."""
+        return {
+            "next_due": self._next_due,
+            "batches_fetched": self.batches_fetched,
+            "batches_failed": self.batches_failed,
+            "scan_offset": self._scan_offset,
+            "incomplete_ids": [
+                bundle.bundle_id for bundle in self._incomplete
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state`.
+
+        The incomplete-bundle worklist is rebuilt from ids against the
+        (already restored) store, preserving its order — batch composition
+        after a resume must match the uninterrupted run's.
+        """
+        self._next_due = float(state["next_due"])
+        self.batches_fetched = int(state["batches_fetched"])
+        self.batches_failed = int(state["batches_failed"])
+        self._scan_offset = int(state["scan_offset"])
+        self._incomplete = [
+            bundle
+            for bundle in (
+                self._store.get_bundle(bundle_id)
+                for bundle_id in state["incomplete_ids"]
+            )
+            if bundle is not None
+        ]
+
     def _refresh_incomplete(self) -> None:
         new_records = self._store.bundles_of_length_since(
             self.config.target_length, self._scan_offset

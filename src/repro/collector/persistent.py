@@ -2,12 +2,16 @@
 
 A four-month collection campaign cannot afford to lose its data to a crash
 (the paper's own collector ran unattended with known gaps). This store
-appends every newly collected record to JSONL files as it arrives, so a
-campaign is recoverable up to its last write.
+appends every newly collected record to JSONL files as it arrives and
+fsyncs on a configurable cadence, so a campaign is recoverable up to its
+last synced record — and :meth:`PersistentBundleStore.resume` salvages a
+partially-written trailing record left by a kill mid-write.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 from repro.collector.store import BundleStore
@@ -22,17 +26,61 @@ from repro.explorer.wire import (
 from repro.utils import serialization
 
 
+def _salvage_tail(path: Path) -> int:
+    """Truncate a crash-torn tail off a JSONL file; returns bytes dropped.
+
+    A process killed mid-write can leave either a record with no trailing
+    newline or a flushed-but-incomplete JSON line at the end of the file.
+    Both are dropped (the collector will simply re-collect those records);
+    corruption anywhere *before* the tail is left in place so loading
+    still fails loudly on genuinely damaged files.
+    """
+    if not path.exists():
+        return 0
+    data = path.read_bytes()
+    keep = len(data)
+    while keep:
+        start = data.rfind(b"\n", 0, keep - 1) + 1
+        line = data[start:keep].strip()
+        if not line:
+            keep = start
+            continue
+        try:
+            json.loads(line)
+            break
+        except ValueError:
+            keep = start
+    if keep == len(data):
+        return 0
+    try:
+        with path.open("r+b") as handle:
+            handle.truncate(keep)
+    except OSError as exc:
+        raise StoreError(f"cannot repair {path}: {exc}") from exc
+    return len(data) - keep
+
+
 class PersistentBundleStore(BundleStore):
     """A :class:`BundleStore` that mirrors every insert to append-only JSONL.
 
     Layout under ``directory``: ``bundles.jsonl`` and ``transactions.jsonl``
     — the same files :meth:`BundleStore.save` writes, so a directory written
     by either class loads with either loader.
+
+    ``flush_every`` bounds the crash-loss window: after that many newly
+    appended records the files are flushed *and fsynced*. The default is
+    deliberately small — collection is network-paced, so durability wins
+    over write batching here (contrast the archive's
+    :class:`repro.archive.store.FlushPolicy`, which defaults larger).
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(self, directory: str | Path, flush_every: int = 8) -> None:
         super().__init__()
+        if flush_every < 1:
+            raise StoreError("flush_every must be >= 1")
         self._directory = Path(directory)
+        self._flush_every = flush_every
+        self._unflushed = 0
         try:
             self._directory.mkdir(parents=True, exist_ok=True)
             self._bundles_file = (self._directory / "bundles.jsonl").open(
@@ -51,6 +99,28 @@ class PersistentBundleStore(BundleStore):
         """Where the JSONL mirrors live."""
         return self._directory
 
+    @property
+    def flush_every(self) -> int:
+        """Records appended between fsyncs (the crash-loss bound)."""
+        return self._flush_every
+
+    @property
+    def unflushed(self) -> int:
+        """Records appended since the last sync."""
+        return self._unflushed
+
+    def _maybe_sync(self, appended: int) -> None:
+        self._unflushed += appended
+        if self._unflushed >= self._flush_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush both files through to disk (flush + fsync)."""
+        for handle in (self._bundles_file, self._details_file):
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._unflushed = 0
+
     def add_bundles(self, records: list[BundleRecord]) -> int:
         """Insert and append the genuinely new records to disk."""
         new_records = [
@@ -63,7 +133,7 @@ class PersistentBundleStore(BundleStore):
             self._bundles_file.write(
                 serialization.dumps(bundle_record_to_json(record)) + "\n"
             )
-        self._bundles_file.flush()
+        self._maybe_sync(len(new_records))
         return added
 
     def add_details(self, records: list[TransactionRecord]) -> int:
@@ -78,25 +148,36 @@ class PersistentBundleStore(BundleStore):
             self._details_file.write(
                 serialization.dumps(transaction_record_to_json(record)) + "\n"
             )
-        self._details_file.flush()
+        self._maybe_sync(len(new_records))
         return added
 
     def close(self) -> None:
-        """Flush and close the underlying files."""
+        """Sync and close the underlying files."""
+        try:
+            self.sync()
+        except OSError:  # pragma: no cover - best effort
+            pass
         for handle in (self._bundles_file, self._details_file):
             try:
-                handle.flush()
                 handle.close()
             except OSError:  # pragma: no cover - best effort
                 pass
 
     @classmethod
-    def resume(cls, directory: str | Path) -> "PersistentBundleStore":
-        """Reopen a persistent store, loading everything written so far."""
+    def resume(
+        cls, directory: str | Path, flush_every: int = 8
+    ) -> "PersistentBundleStore":
+        """Reopen a persistent store, loading everything written so far.
+
+        Crash-torn trailing records are truncated away before the append
+        handles reopen, so a store killed mid-write resumes cleanly.
+        """
         directory = Path(directory)
-        store = cls(directory)
         bundles_path = directory / "bundles.jsonl"
         details_path = directory / "transactions.jsonl"
+        _salvage_tail(bundles_path)
+        _salvage_tail(details_path)
+        store = cls(directory, flush_every=flush_every)
         # Load via the parent's in-memory insert so nothing is re-appended.
         if bundles_path.exists():
             BundleStore.add_bundles(

@@ -121,6 +121,11 @@ class AnalysisPipeline:
                 detection_stats=self.detector.stats,
             )
         self._record_metrics(self.detector.stats, report)
+        # Archive-backed stores persist detections; duck-typed so this
+        # module never imports repro.archive (which imports repro.core).
+        recorder = getattr(store, "record_analysis", None)
+        if recorder is not None:
+            recorder(report)
         return report
 
     def analyze_campaign(self, result: CampaignResult) -> AnalysisReport:

@@ -128,6 +128,41 @@ class ExplorerService:
             )
             raise RateLimitedError(f"client {client_id!r} exceeded rate limit")
 
+    # --- checkpoint support ------------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-safe snapshot of per-client rate budgets and tallies."""
+        return {
+            "buckets": {
+                client_id: bucket.state()
+                for client_id, bucket in sorted(self._buckets.items())
+            },
+            "requests_served": self.requests_served,
+            "requests_rejected": self.requests_rejected,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state`.
+
+        Buckets are materialized eagerly so a resumed client faces the
+        exact token budget the killed run had left, not a fresh burst.
+        """
+        for client_id, bucket_state in state["buckets"].items():
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(
+                    rate=self._config.requests_per_second,
+                    capacity=self._config.burst_capacity,
+                    time_fn=self._clock.now,
+                    on_reject=lambda tokens: (
+                        self._tokens_rejected_metric.inc()
+                    ),
+                )
+                self._buckets[client_id] = bucket
+            bucket.restore_state(bucket_state)
+        self.requests_served = int(state["requests_served"])
+        self.requests_rejected = int(state["requests_rejected"])
+
     # --- endpoints ---------------------------------------------------------------
 
     def recent_bundles(

@@ -16,7 +16,15 @@ import json
 from pathlib import Path
 
 from repro.errors import ConfigError
-from repro.obs.registry import SNAPSHOT_SCHEMA, MetricsRegistry
+from repro.obs.registry import (
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _HistogramState,
+    _label_key,
+)
 
 #: Metric names whose values come from the wall clock; report renderers
 #: must never include these (snapshot files still carry them).
@@ -51,6 +59,100 @@ def load_snapshot(path: str | Path) -> dict:
             f"(expected {SNAPSHOT_SCHEMA!r})"
         )
     return snapshot
+
+
+def _histogram_bounds(family: dict) -> tuple[float, ...] | None:
+    for entry in family.get("series", []):
+        return tuple(
+            sorted(
+                float(bound)
+                for bound in entry["buckets"]
+                if bound != "+Inf"
+            )
+        )
+    return None
+
+
+def _restore_histogram_series(
+    metric: Histogram, entry: dict
+) -> _HistogramState:
+    state = _HistogramState(len(metric.buckets))
+    cumulative = entry["buckets"]
+    running = 0
+    for index, bound in enumerate(metric.buckets):
+        total = int(cumulative[repr(bound)])
+        state.bucket_counts[index] = total - running
+        running = total
+    state.bucket_counts[-1] = int(entry["count"]) - running
+    state.sum = float(entry["sum"])
+    state.count = int(entry["count"])
+    return state
+
+
+def restore_snapshot_into(
+    registry: MetricsRegistry, snapshot: dict
+) -> int:
+    """Load a snapshot's values into a live registry, overwriting in place.
+
+    Families are created when missing and *mutated* when present, so metric
+    handles components captured at construction keep working — this is how
+    a resumed campaign warm-starts its registry to the checkpointed values.
+    Returns the number of series restored.
+
+    Raises:
+        ConfigError: if a family exists with a different type, or a
+            histogram's bucket bounds disagree with the snapshot's.
+    """
+    if not registry.enabled:
+        return 0
+    restored = 0
+    for name, family in snapshot.get("metrics", {}).items():
+        kind = family.get("type")
+        help_text = family.get("help", "")
+        series = family.get("series", [])
+        if kind == "counter":
+            metric: Counter | Gauge | Histogram = registry.counter(
+                name, help_text
+            )
+        elif kind == "gauge":
+            metric = registry.gauge(name, help_text)
+        elif kind == "histogram":
+            bounds = _histogram_bounds(family)
+            existing = registry.get(name)
+            if existing is None and bounds is None:
+                continue  # empty family; nothing to restore
+            metric = (
+                existing
+                if isinstance(existing, Histogram)
+                else registry.histogram(name, help_text, buckets=bounds)
+            )
+            if not isinstance(metric, Histogram):
+                raise ConfigError(
+                    f"metric {name!r} is {metric.kind}, snapshot says "
+                    "histogram"
+                )
+            if bounds is not None and metric.buckets != bounds:
+                raise ConfigError(
+                    f"histogram {name!r} buckets {metric.buckets} do not "
+                    f"match snapshot buckets {bounds}"
+                )
+        else:
+            raise ConfigError(
+                f"cannot restore metric {name!r} of kind {kind!r}"
+            )
+        metric._series.clear()
+        for entry in series:
+            key = _label_key(
+                {str(k): str(v) for k, v in entry.get("labels", {}).items()}
+            )
+            if isinstance(metric, Histogram):
+                metric._series[key] = _restore_histogram_series(
+                    metric, entry
+                )
+            else:
+                metric._series[key] = float(entry["value"])
+            restored += 1
+    return restored
 
 
 def _format_value(value: float) -> str:
@@ -193,4 +295,19 @@ def render_pipeline_health(snapshot: dict) -> str:
         lines.insert(
             2, f"  coverage            overlap_ratio={overlap:.4f}"
         )
+    archive_rows = _sum_counter(snapshot, "archive_rows_written_total")
+    if archive_rows:
+        flushes = _sum_counter(snapshot, "archive_flushes_total")
+        checkpoints = _sum_counter(snapshot, "archive_checkpoints_total")
+        line = (
+            f"  archive             rows={archive_rows:.0f} "
+            f"flushes={flushes:.0f} checkpoints={checkpoints:.0f}"
+        )
+        last_checkpoint = _gauge_value(
+            snapshot, "archive_last_checkpoint_sim_time"
+        )
+        if checkpoints and last_checkpoint is not None:
+            age = snapshot.get("captured_at", 0.0) - last_checkpoint
+            line += f" checkpoint_age_s={age:.0f}"
+        lines.append(line)
     return "\n".join(lines)

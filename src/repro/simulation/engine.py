@@ -112,6 +112,7 @@ class SimulationEngine:
             downtime=downtime,
         )
         self._block_callbacks: list = []
+        self._wall_started: float | None = None
         self._market_maker = Keypair("market-maker")
         bank.fund(self._market_maker, 10**12)
         self._tip_distributor = (
@@ -188,6 +189,8 @@ class SimulationEngine:
 
     def run_day(self, day: int) -> DayStats:
         """Simulate one day: schedule events, produce blocks."""
+        if self._wall_started is None:
+            self._wall_started = time.perf_counter()
         config = self.config
         world = self.world
         day_rng = self.rng.child(f"day:{day}")
@@ -246,8 +249,18 @@ class SimulationEngine:
         self._days_metric.inc(spike="yes" if is_spike else "no")
         return stats
 
-    def run(self) -> SimulationWorld:
-        """Run the whole campaign and return the finished world.
+    def run_days(self, start_day: int, stop_day: int) -> None:
+        """Simulate days ``start_day`` (inclusive) to ``stop_day`` (exclusive).
+
+        The checkpointed campaign drives the engine through this method so
+        it can persist collector state between days; plain runs use
+        :meth:`run`.
+        """
+        for day in range(start_day, stop_day):
+            self.run_day(day)
+
+    def finish(self) -> SimulationWorld:
+        """Land queued bundles, record throughput, return the world.
 
         Wall-clock throughput lands in the ``sim_wall_seconds`` and
         ``sim_blocks_per_wall_second`` gauges. Those are the one deliberate
@@ -255,16 +268,17 @@ class SimulationEngine:
         *machine*, are nondeterministic by nature, and are excluded from
         report rendering (see :data:`repro.obs.export.WALL_CLOCK_METRICS`).
         """
-        wall_started = time.perf_counter()
-        for day in range(self.config.days):
-            self.run_day(day)
         # Land anything still queued (bundles deferred past the last block).
         self.clock.advance(1.0)
         block = self.world.block_engine.produce_block()
         self._blocks_metric.inc()
         for callback in self._block_callbacks:
             callback(self.world, block)
-        wall_elapsed = time.perf_counter() - wall_started
+        wall_elapsed = (
+            time.perf_counter() - self._wall_started
+            if self._wall_started is not None
+            else 0.0
+        )
         blocks = self.world.block_engine.stats.blocks_produced
         self.metrics.gauge(
             "sim_wall_seconds", "Wall-clock duration of the engine run."
@@ -274,3 +288,8 @@ class SimulationEngine:
             "Engine throughput: blocks produced per wall-clock second.",
         ).set(blocks / wall_elapsed if wall_elapsed > 0 else 0.0)
         return self.world
+
+    def run(self) -> SimulationWorld:
+        """Run the whole campaign and return the finished world."""
+        self.run_days(0, self.config.days)
+        return self.finish()

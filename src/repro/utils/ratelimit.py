@@ -76,6 +76,26 @@ class TokenBucket:
             self._on_reject(tokens)
         return False
 
+    def state(self) -> dict:
+        """JSON-safe snapshot of the bucket's fill level and tallies.
+
+        Campaign checkpoints persist this so a resumed run faces exactly
+        the rate-limit budget the killed run had earned.
+        """
+        return {
+            "tokens": self._tokens,
+            "last_refill": self._last_refill,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state`."""
+        self._tokens = min(self._capacity, float(state["tokens"]))
+        self._last_refill = float(state["last_refill"])
+        self.admitted = int(state["admitted"])
+        self.rejected = int(state["rejected"])
+
     def seconds_until_available(self, tokens: float = 1.0) -> float:
         """How long a caller must wait before ``tokens`` would be admitted.
 

@@ -9,6 +9,7 @@ from a name, so each subsystem owns an isolated, reproducible stream.
 from __future__ import annotations
 
 import hashlib
+import json
 import random
 from typing import Sequence, TypeVar
 
@@ -38,6 +39,18 @@ class DeterministicRNG:
         """Derive an independent substream identified by ``name``."""
         new_path = f"{self._path}/{name}" if self._path else name
         return DeterministicRNG(self._seed, _path=new_path)
+
+    def state_fingerprint(self) -> str:
+        """A short stable hash of this stream's exact generator state.
+
+        Two streams with the same seed, path, and draw history fingerprint
+        identically; any divergence (different code path, different draw
+        count) changes it. Campaign checkpoints record fingerprints so a
+        resume can verify its deterministic replay reproduced the killed
+        run's randomness exactly before continuing.
+        """
+        state = json.dumps(self._random.getstate(), sort_keys=True)
+        return hashlib.sha256(state.encode()).hexdigest()[:16]
 
     # --- thin wrappers over random.Random ---------------------------------
 

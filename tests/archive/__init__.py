@@ -1,0 +1,1 @@
+"""Archive subsystem tests."""

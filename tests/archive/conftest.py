@@ -1,0 +1,81 @@
+"""Shared record builders for archive tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.archive.database import ArchiveDatabase
+from repro.core.events import SandwichEvent
+from repro.core.quantify import QuantifiedSandwich
+from repro.core.trades import TradeLeg
+from repro.explorer.models import BundleRecord, TransactionRecord
+
+
+def make_bundle(i: int, length: int = 1, **overrides) -> BundleRecord:
+    """A small synthetic bundle; fields overridable per test."""
+    fields = {
+        "bundle_id": f"b{i}",
+        "slot": 100 + i,
+        "landed_at": 1_000.0 + i,
+        "tip_lamports": 10_000 * (i + 1),
+        "transaction_ids": tuple(f"t{i}-{j}" for j in range(length)),
+    }
+    fields.update(overrides)
+    return BundleRecord(**fields)
+
+
+def make_detail(tx_id: str, **overrides) -> TransactionRecord:
+    """A small synthetic transaction detail; fields overridable."""
+    fields = {
+        "transaction_id": tx_id,
+        "slot": 100,
+        "block_time": 1_000.0,
+        "signer": "signer-a",
+        "signers": ("signer-a",),
+        "fee_lamports": 5_000,
+        "token_deltas": {"signer-a": {"mintX": 5}},
+        "lamport_deltas": {"signer-a": -5_000},
+        "events": (),
+    }
+    fields.update(overrides)
+    return TransactionRecord(**fields)
+
+
+def make_sandwich(
+    i: int, attacker: str = "atk", victim: str = "vic", **overrides
+) -> QuantifiedSandwich:
+    """A quantified sandwich over a synthetic length-three bundle."""
+    bundle = make_bundle(i, length=3)
+    leg = lambda owner, a_in, a_out: TradeLeg(  # noqa: E731
+        owner=owner,
+        pool="poolA",
+        mint_in="So11111111111111111111111111111111111111112",
+        mint_out="mintX",
+        amount_in=a_in,
+        amount_out=a_out,
+    )
+    event = SandwichEvent(
+        bundle=bundle,
+        attacker=attacker,
+        victim=victim,
+        frontrun=leg(attacker, 1_000, 900),
+        victim_trade=leg(victim, 2_000, 1_500),
+        backrun=leg(attacker, 900, 1_100),
+    )
+    fields = {
+        "event": event,
+        "victim_loss_quote": 100.0 + i,
+        "attacker_gain_quote": 50.0 + i,
+        "victim_loss_usd": 1.5 * (i + 1),
+        "attacker_gain_usd": 0.75 * (i + 1),
+    }
+    fields.update(overrides)
+    return QuantifiedSandwich(**fields)
+
+
+@pytest.fixture
+def db(tmp_path):
+    """A fresh archive database in a temp directory."""
+    database = ArchiveDatabase(tmp_path / "archive.db")
+    yield database
+    database.close()

@@ -1,0 +1,172 @@
+"""Typed query API: filters, ordering, pagination, aggregations."""
+
+import pytest
+
+from repro.archive.query import ArchiveQuery, BundleFilter, SandwichFilter
+from repro.archive.store import ArchiveBundleStore, FlushPolicy
+from repro.core.defensive import DefensiveReport
+from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry
+from tests.archive.conftest import make_bundle, make_detail, make_sandwich
+
+
+@pytest.fixture
+def populated(db):
+    """An archive with ten bundles, two details, three sandwiches."""
+    store = ArchiveBundleStore(db, flush_policy=FlushPolicy(1))
+    store.add_bundles(
+        [make_bundle(i, length=3 if i % 3 == 0 else 1) for i in range(10)]
+    )
+    store.add_details(
+        [make_detail("t0-0"), make_detail("t3-0", signer="signer-b")]
+    )
+    store.record_sandwiches(
+        [
+            make_sandwich(20, attacker="atk-a"),
+            make_sandwich(21, attacker="atk-a"),
+            make_sandwich(22, attacker="atk-b", victim_loss_usd=None),
+        ]
+    )
+    store.record_defensive(
+        DefensiveReport(
+            threshold_lamports=100_000,
+            defensive=[make_bundle(1)],
+            priority=[make_bundle(2)],
+        )
+    )
+    return ArchiveQuery(db)
+
+
+class TestBundleQueries:
+    def test_unfiltered_returns_all_in_seq_order(self, populated):
+        records = populated.bundles()
+        assert [b.bundle_id for b in records] == [f"b{i}" for i in range(10)]
+
+    def test_slot_range_filter(self, populated):
+        where = BundleFilter(slot_min=103, slot_max=105)
+        assert populated.count_bundles(where) == 3
+        assert all(103 <= b.slot <= 105 for b in populated.bundles(where))
+
+    def test_length_filter(self, populated):
+        # Lengths: i in {0, 3, 6, 9} are length-3, the rest length-1.
+        assert populated.count_bundles(BundleFilter(length=3)) == 4
+
+    def test_tip_filter(self, populated):
+        where = BundleFilter(tip_min=90_000)
+        assert populated.count_bundles(where) == 2
+
+    def test_date_filter_matches_everything_on_one_day(self, populated):
+        where = BundleFilter(date_from="1970-01-01", date_to="1970-01-01")
+        assert populated.count_bundles(where) == 10
+
+    def test_ordering_descending(self, populated):
+        tips = [
+            b.tip_lamports
+            for b in populated.bundles(order_by="tip_lamports", descending=True)
+        ]
+        assert tips == sorted(tips, reverse=True)
+
+    def test_pagination(self, populated):
+        page = populated.bundles(order_by="slot", limit=3, offset=4)
+        assert [b.bundle_id for b in page] == ["b4", "b5", "b6"]
+
+    def test_offset_without_limit(self, populated):
+        assert len(populated.bundles(offset=8)) == 2
+
+    def test_unindexed_order_column_rejected(self, populated):
+        with pytest.raises(ConfigError, match="indexed columns"):
+            populated.bundles(order_by="transaction_ids")
+
+    def test_negative_pagination_rejected(self, populated):
+        with pytest.raises(ConfigError):
+            populated.bundles(limit=-1)
+        with pytest.raises(ConfigError):
+            populated.bundles(offset=-1)
+
+    def test_bundle_by_id(self, populated):
+        assert populated.bundle("b7").slot == 107
+        assert populated.bundle("nope") is None
+
+    def test_bundle_of_transaction(self, populated):
+        assert populated.bundle_of_transaction("t3-1").bundle_id == "b3"
+        assert populated.bundle_of_transaction("ghost") is None
+
+
+class TestDetailQueries:
+    def test_details_by_signer(self, populated):
+        assert [
+            d.transaction_id for d in populated.details(signer="signer-b")
+        ] == ["t3-0"]
+
+    def test_details_for_bundle_keeps_bundle_order(self, populated):
+        details = populated.details_for_bundle(populated.bundle("b3"))
+        # Only the archived member is returned, in member order.
+        assert [d.transaction_id for d in details] == ["t3-0"]
+
+
+class TestSandwichQueries:
+    def test_attacker_filter(self, populated):
+        where = SandwichFilter(attacker="atk-a")
+        assert populated.count_sandwiches(where) == 2
+
+    def test_priced_only_filter(self, populated):
+        assert populated.count_sandwiches(SandwichFilter(priced_only=True)) == 2
+
+    def test_rows_round_trip_financials(self, populated):
+        items = populated.sandwiches(order_by="seq")
+        assert items[0].victim_loss_usd == pytest.approx(1.5 * 21)
+        assert items[2].victim_loss_usd is None
+
+    def test_order_by_loss(self, populated):
+        losses = [
+            s.victim_loss_usd
+            for s in populated.sandwiches(
+                SandwichFilter(priced_only=True),
+                order_by="victim_loss_usd",
+                descending=True,
+            )
+        ]
+        assert losses == sorted(losses, reverse=True)
+
+
+class TestAggregations:
+    def test_length_histogram(self, populated):
+        assert populated.length_histogram() == {1: 6, 3: 4}
+
+    def test_bundle_counts_by_day(self, populated):
+        table = populated.bundle_counts_by_day()
+        assert table == {"1970-01-01": {1: 6, 3: 4}}
+
+    def test_tip_histogram_buckets_by_floor(self, populated):
+        histogram = populated.tip_histogram(bucket_lamports=50_000)
+        assert sum(histogram.values()) == 10
+        assert histogram[0] == 4  # tips 10k..40k
+
+    def test_tip_histogram_rejects_zero_bucket(self, populated):
+        with pytest.raises(ConfigError):
+            populated.tip_histogram(bucket_lamports=0)
+
+    def test_sandwiches_per_day_sums_priced_only(self, populated):
+        daily = populated.sandwiches_per_day()
+        day = daily["1970-01-01"]
+        assert day["attacks"] == 3
+        assert day["victim_loss_usd"] == pytest.approx(1.5 * 21 + 1.5 * 22)
+
+    def test_top_attackers_ranked_by_gain(self, populated):
+        ranking = populated.top_attackers()
+        assert ranking[0]["attacker"] == "atk-a"
+        assert ranking[0]["attacks"] == 2
+
+    def test_defensive_summary(self, populated):
+        summary = populated.defensive_summary()
+        assert summary["defensive"]["bundles"] == 1
+        assert summary["priority"]["bundles"] == 1
+
+
+class TestLatencyMetric:
+    def test_queries_record_latency(self, db):
+        registry = MetricsRegistry()
+        query = ArchiveQuery(db, metrics=registry)
+        query.count_bundles()
+        histogram = registry.get("archive_query_seconds")
+        assert histogram.count(query="count_bundles") == 1

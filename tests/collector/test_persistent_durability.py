@@ -1,0 +1,126 @@
+"""Durability of the streaming store: fsync cadence and crash salvage."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.collector.persistent import PersistentBundleStore, _salvage_tail
+from repro.errors import StoreError
+from tests.collector.test_persistent_store import bundle, detail
+
+
+class TestFlushCadence:
+    def test_rejects_nonpositive_flush_every(self, tmp_path):
+        with pytest.raises(StoreError):
+            PersistentBundleStore(tmp_path, flush_every=0)
+
+    def test_counts_unflushed_records(self, tmp_path):
+        store = PersistentBundleStore(tmp_path, flush_every=8)
+        store.add_bundles([bundle(1), bundle(2)])
+        assert store.unflushed == 2
+        store.close()
+
+    def test_threshold_triggers_sync(self, tmp_path):
+        store = PersistentBundleStore(tmp_path, flush_every=3)
+        store.add_bundles([bundle(1), bundle(2)])
+        store.add_details([detail("pt1-0")])
+        assert store.unflushed == 0
+        lines = (tmp_path / "bundles.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        store.close()
+
+    def test_duplicates_do_not_count(self, tmp_path):
+        store = PersistentBundleStore(tmp_path, flush_every=8)
+        store.add_bundles([bundle(1)])
+        store.add_bundles([bundle(1)])
+        assert store.unflushed == 1
+        store.close()
+
+    def test_explicit_sync_resets_counter(self, tmp_path):
+        store = PersistentBundleStore(tmp_path, flush_every=100)
+        store.add_bundles([bundle(1)])
+        store.sync()
+        assert store.unflushed == 0
+        assert (tmp_path / "bundles.jsonl").read_text().count("\n") == 1
+        store.close()
+
+
+class TestTailSalvage:
+    def test_missing_file_is_a_noop(self, tmp_path):
+        assert _salvage_tail(tmp_path / "absent.jsonl") == 0
+
+    def test_intact_file_untouched(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        content = '{"a": 1}\n{"b": 2}\n'
+        path.write_text(content)
+        assert _salvage_tail(path) == 0
+        assert path.read_text() == content
+
+    def test_unterminated_valid_record_kept(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}')
+        assert _salvage_tail(path) == 0
+
+    def test_torn_tail_truncated(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"c": tr')
+        dropped = _salvage_tail(path)
+        assert dropped == len('{"c": tr')
+        assert path.read_text() == '{"a": 1}\n{"b": 2}\n'
+
+    def test_blank_tail_lines_dropped(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text('{"a": 1}\n\n\n')
+        _salvage_tail(path)
+        assert json.loads(path.read_text())
+
+    def test_mid_file_corruption_left_for_loader(self, tmp_path):
+        # Only the tail is repaired: damage elsewhere must stay visible so
+        # loading fails loudly instead of silently dropping records.
+        path = tmp_path / "a.jsonl"
+        path.write_text('{"a": 1}\nGARBAGE\n{"b": 2}\n')
+        assert _salvage_tail(path) == 0
+
+
+class TestKillMidWrite:
+    def test_resume_after_sigkill_mid_write(self, tmp_path):
+        # A child process appends records with a small fsync cadence, then
+        # leaves a torn half-record behind and dies without closing.
+        child = """
+import os, sys
+from repro.collector.persistent import PersistentBundleStore
+from tests.collector.test_persistent_store import bundle, detail
+
+store = PersistentBundleStore(sys.argv[1], flush_every=2)
+store.add_bundles([bundle(i) for i in range(6)])
+store.add_details([detail("pt1-0"), detail("pt2-0")])
+store.sync()
+store._bundles_file.write('{"bundleId": "torn", "slot"')
+store._bundles_file.flush()
+os._exit(1)
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [env.get("PYTHONPATH"), os.getcwd()])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", child, str(tmp_path)],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1, proc.stderr
+
+        store = PersistentBundleStore.resume(tmp_path)
+        assert len(store) == 6
+        assert store.get_bundle("torn") is None
+        assert store.detail_count() == 2
+        # The salvaged store keeps appending cleanly from where it left off.
+        store.add_bundles([bundle(7)])
+        store.close()
+        reopened = PersistentBundleStore.resume(tmp_path)
+        assert len(reopened) == 7
+        reopened.close()
