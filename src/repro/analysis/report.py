@@ -9,6 +9,7 @@ from repro.analysis.figure4 import build_figure4
 from repro.analysis.actors import profile_actors
 from repro.analysis.cost_benefit import compute_cost_benefit
 from repro.analysis.headline import build_headline_comparison
+from repro.analysis.integrity import build_collection_integrity
 from repro.analysis.validators import profile_validators
 from repro.collector.campaign import CampaignResult
 from repro.core.pipeline import AnalysisReport
@@ -54,6 +55,7 @@ def render_campaign_report(
         "Collection — "
         + ", ".join(f"{key}={value}" for key, value in collection.items())
     )
+    sections.append(build_collection_integrity(result).render())
     # Only sim-time-deterministic series are rendered here, so the report
     # stays byte-identical across replays of the same seed.
     sections.append(render_pipeline_health(result.metrics.snapshot()))

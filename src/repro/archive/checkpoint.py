@@ -33,6 +33,7 @@ from repro.collector.detail_fetcher import DetailFetcherConfig
 from repro.collector.poller import PollerConfig
 from repro.errors import ConfigError, StoreError
 from repro.explorer.service import ExplorerConfig
+from repro.faults.plan import FaultPlan
 from repro.obs.export import restore_snapshot_into
 from repro.obs.registry import MetricsRegistry
 from repro.simulation.config import ScenarioConfig
@@ -80,6 +81,7 @@ class CheckpointedCampaign:
         fetcher_config: DetailFetcherConfig | None = None,
         explorer_config: ExplorerConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if checkpoint_every_days < 1:
             raise ConfigError("checkpoint_every_days must be >= 1")
@@ -97,6 +99,7 @@ class CheckpointedCampaign:
             explorer_config=explorer_config,
             metrics=registry,
             store=self.store,
+            fault_plan=fault_plan,
         )
         self.start_day = 0
 
@@ -104,6 +107,19 @@ class CheckpointedCampaign:
 
     def _capture_payload(self, completed_days: int) -> dict:
         engine = self.campaign.engine
+        payload = self._base_payload(engine, completed_days)
+        if self.campaign.faults is not None:
+            # Per-endpoint call counters restore the injector's RNG
+            # schedule; the accumulated log restores its integrity
+            # accounting. The plan fingerprint guards against resuming
+            # under a different fault schedule.
+            payload["faults"] = {
+                "plan_fingerprint": self.campaign.faults.plan.fingerprint(),
+                "state": self.campaign.faults.state(),
+            }
+        return payload
+
+    def _base_payload(self, engine, completed_days: int) -> dict:
         return {
             "version": CHECKPOINT_VERSION,
             "completed_days": completed_days,
@@ -167,6 +183,7 @@ class CheckpointedCampaign:
         fetcher_config: DetailFetcherConfig | None = None,
         explorer_config: ExplorerConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> "CheckpointedCampaign":
         """Rebuild a killed campaign from an archive's latest checkpoint.
 
@@ -190,6 +207,7 @@ class CheckpointedCampaign:
             fetcher_config=fetcher_config,
             explorer_config=explorer_config,
             metrics=metrics,
+            fault_plan=fault_plan,
         )
         payload = self.store.latest_checkpoint()
         if payload is None:
@@ -246,6 +264,27 @@ class CheckpointedCampaign:
         self.campaign.fetcher.restore_state(payload["fetcher"])
         self.campaign.coverage.restore_state(payload["coverage"])
         self.campaign.service.restore_state(payload["explorer"])
+        faults_payload = payload.get("faults")
+        if faults_payload is not None:
+            if self.campaign.faults is None:
+                raise ConfigError(
+                    "checkpoint was collected under fault injection; "
+                    "resume requires the same fault plan"
+                )
+            expected_plan = self.campaign.faults.plan.fingerprint()
+            if faults_payload.get("plan_fingerprint") != expected_plan:
+                raise ConfigError(
+                    "fault plan does not match the one this archive was "
+                    "collected under (fingerprint "
+                    f"{faults_payload.get('plan_fingerprint')} != "
+                    f"{expected_plan})"
+                )
+            self.campaign.faults.restore_state(faults_payload["state"])
+        elif self.campaign.faults is not None:
+            raise ConfigError(
+                "archive was collected without fault injection; resume "
+                "must not introduce a fault plan"
+            )
         restore_snapshot_into(self.campaign.metrics, payload["metrics"])
         self.store.note_resumed_checkpoint(float(payload["sim_time"]))
 

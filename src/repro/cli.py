@@ -11,6 +11,9 @@ Commands:
 - ``query`` — run indexed queries and aggregations against an archive;
 - ``serve`` — simulate a world and serve its Jito Explorer over HTTP;
 - ``scrape`` — collect from a running explorer over HTTP;
+- ``chaos`` — run a fault-injected chaos campaign; every output file is a
+  pure function of ``--seed`` and ``--plan``, so two identical invocations
+  produce byte-identical fault logs and reports;
 - ``metrics`` — render a saved metrics snapshot (table/Prometheus/JSON);
 - ``table1`` — print the worked example sandwich.
 
@@ -183,6 +186,78 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     output.info(
         "cli.campaign",
         f"wrote {out}/bundles.jsonl, transactions.jsonl, report.txt",
+        out=str(out),
+    )
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a fault-injected campaign; all outputs are seed-deterministic.
+
+    Unlike ``campaign``, the summary deliberately carries no wall-clock
+    timing: ``diff -r`` between two runs of the same seed and plan must
+    come back clean, which is how CI verifies chaos replayability.
+    """
+    from repro.analysis.integrity import build_collection_integrity
+    from repro.collector.detail_fetcher import DetailFetcherConfig
+    from repro.faults import load_plan
+
+    progress, output = _build_logs(args)
+    scenario = _scenario_from_args(args)
+    plan = load_plan(args.plan)
+    out = Path(args.out)
+    progress.info(
+        "cli.chaos",
+        f"running {scenario.days}-day chaos campaign "
+        f"(seed {scenario.seed}, plan {plan.name!r})...",
+        days=scenario.days,
+        seed=scenario.seed,
+        plan=plan.name,
+    )
+    campaign = MeasurementCampaign(
+        scenario,
+        # Chaos runs get in-cycle retries so a batch survives transient
+        # storms; the paper-faithful default (retry next slot) stays the
+        # plain campaign's behavior.
+        fetcher_config=DetailFetcherConfig(max_retries=2),
+        fault_plan=plan,
+    )
+    result = campaign.run()
+    report = AnalysisPipeline().analyze_campaign(result)
+    integrity = build_collection_integrity(result)
+    assert result.faults is not None  # fault_plan was passed
+
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "plan.json").write_text(plan.dumps())
+    write_jsonl(out / "fault_log.jsonl", result.faults.fault_log_json())
+    (out / "report.txt").write_text(
+        render_campaign_report(result, report, scenario) + "\n"
+    )
+    summary = {
+        "plan": plan.name,
+        "plan_fingerprint": plan.fingerprint(),
+        "seed": scenario.seed,
+        "days": scenario.days,
+        "requests_intercepted": result.faults.requests_seen,
+        "faults_injected": result.faults.counts_by_kind(),
+        "coverage_gaps": len(integrity.gaps),
+        "gap_seconds": integrity.gap_seconds,
+        "collection": result.summary(),
+        "sandwiches": report.sandwich_count,
+    }
+    (out / "summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    output.info(
+        "cli.chaos",
+        json.dumps(summary, indent=2, sort_keys=True),
+        plan=plan.name,
+        seed=scenario.seed,
+        sandwiches=report.sandwich_count,
+    )
+    output.info(
+        "cli.chaos",
+        f"wrote {out}/plan.json, fault_log.jsonl, report.txt, summary.json",
         out=str(out),
     )
     return 0
@@ -649,6 +724,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append structured events to this JSONL file",
     )
     campaign.set_defaults(func=cmd_campaign)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a fault-injected chaos campaign"
+    )
+    chaos.add_argument("--days", type=int, default=None)
+    chaos.add_argument("--seed", type=int, default=2025)
+    chaos.add_argument("--small", action="store_true")
+    chaos.add_argument(
+        "--plan",
+        default="flaky",
+        help="preset name (calm/flaky/storm/outage/corrupt/skew) or a "
+        "fault-plan JSON file",
+    )
+    chaos.add_argument("--out", default="chaos-output")
+    chaos.add_argument(
+        "--log-jsonl",
+        default=None,
+        help="also append structured events to this JSONL file",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     analyze = sub.add_parser("analyze", help="re-analyze a persisted store")
     analyze.add_argument(

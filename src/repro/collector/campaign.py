@@ -16,11 +16,15 @@ from repro.collector.detail_fetcher import DetailFetcherConfig, TxDetailFetcher
 from repro.collector.poller import BundlePoller, PollerConfig
 from repro.collector.store import BundleStore
 from repro.explorer.service import ExplorerConfig, ExplorerService
+from repro.faults.client import FaultInjectingClient
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.obs.registry import MetricsRegistry
 from repro.simulation.config import ScenarioConfig
 from repro.simulation.downtime import DowntimeSchedule
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.results import SimulationWorld
+from repro.utils.rng import DeterministicRNG
 
 
 def recommended_window_limit(scenario: ScenarioConfig) -> int:
@@ -47,6 +51,7 @@ class CampaignResult:
     poller: BundlePoller
     fetcher: TxDetailFetcher
     metrics: MetricsRegistry
+    faults: FaultInjector | None = None
 
     @property
     def downtime(self) -> DowntimeSchedule:
@@ -83,6 +88,7 @@ class MeasurementCampaign:
         explorer_config: ExplorerConfig | None = None,
         metrics: MetricsRegistry | None = None,
         store: BundleStore | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         # Observability is on by default: recording is passive and every
         # value derives from the shared sim clock, so instrumented and
@@ -116,6 +122,19 @@ class MeasurementCampaign:
             metrics=self.metrics,
         )
         client = InProcessExplorerClient(self.service)
+        # Fault injection sits between the pipeline and the transport, in
+        # the exact seam the real network occupied. Its RNG is a named
+        # child of the scenario seed, so chaos campaigns replay from the
+        # seed alone and the simulation's own streams are unperturbed.
+        self.faults: FaultInjector | None = None
+        if fault_plan is not None:
+            self.faults = FaultInjector(
+                fault_plan,
+                DeterministicRNG(scenario.seed).child("faults"),
+                world.clock,
+                metrics=self.metrics,
+            )
+            client = FaultInjectingClient(client, self.faults)
         # An injected store (e.g. a durable archive-backed one) is used
         # as-is; the default remains the plain in-memory store.
         self.store = (
@@ -167,6 +186,7 @@ class MeasurementCampaign:
             poller=self.poller,
             fetcher=self.fetcher,
             metrics=self.metrics,
+            faults=self.faults,
         )
 
     def run(self) -> CampaignResult:

@@ -21,6 +21,20 @@ class PollPairObservation:
     new_bundles: int
 
 
+@dataclass(frozen=True)
+class CollectionGap:
+    """A maximal run of consecutive failed polls (a hole in the record)."""
+
+    start: float
+    end: float
+    failed_polls: int
+
+    @property
+    def duration(self) -> float:
+        """Seconds between the first and last failure in the run."""
+        return self.end - self.start
+
+
 @dataclass
 class CoverageEstimator:
     """Accumulates overlap observations and poll failures."""
@@ -120,3 +134,22 @@ class CoverageEstimator:
     def missed_pair_times(self) -> list[float]:
         """Poll times where overlap failed (bundles likely missed)."""
         return [p.poll_time for p in self.pairs if not p.overlapped]
+
+    def collection_gaps(self, max_gap_seconds: float) -> list[CollectionGap]:
+        """Group poll failures into maximal gap intervals.
+
+        Failures separated by at most ``max_gap_seconds`` (typically the
+        poll interval, plus slack) belong to the same gap — one outage that
+        spans several poll slots is one hole in the record, not several.
+        """
+        gaps: list[list] = []
+        for failure_time in sorted(self.failure_times):
+            if gaps and failure_time - gaps[-1][1] <= max_gap_seconds:
+                gaps[-1][1] = failure_time
+                gaps[-1][2] += 1
+            else:
+                gaps.append([failure_time, failure_time, 1])
+        return [
+            CollectionGap(start=start, end=end, failed_polls=count)
+            for start, end, count in gaps
+        ]

@@ -20,16 +20,26 @@ from repro.errors import (
     TransportError,
 )
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.utils.backoff import ExponentialBackoff
+from repro.utils.rng import DeterministicRNG
 from repro.utils.simtime import SimClock
 
 
 @dataclass(frozen=True)
 class DetailFetcherConfig:
-    """Which bundles to detail, and how politely."""
+    """Which bundles to detail, and how politely.
+
+    ``max_retries`` defaults to zero — a failed batch is simply retried at
+    the next two-minute slot, which is the paper's polite behavior. Chaos
+    campaigns raise it so a batch survives transient 429/503 storms, with
+    ``retry_budget_seconds`` capping the cumulative backoff per cycle.
+    """
 
     target_length: int = 3
     batch_limit: int = DETAIL_BATCH_LIMIT
     spacing_seconds: float = DETAIL_BATCH_SPACING_SECONDS
+    max_retries: int = 0
+    retry_budget_seconds: float | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on nonsensical settings."""
@@ -39,6 +49,13 @@ class DetailFetcherConfig:
             raise ConfigError("batch_limit must be positive")
         if self.spacing_seconds < 0:
             raise ConfigError("spacing_seconds must be >= 0")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if (
+            self.retry_budget_seconds is not None
+            and self.retry_budget_seconds <= 0
+        ):
+            raise ConfigError("retry_budget_seconds must be positive")
 
 
 @dataclass
@@ -61,19 +78,26 @@ class TxDetailFetcher:
         clock: SimClock,
         config: DetailFetcherConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        rng: DeterministicRNG | None = None,
     ) -> None:
         self.config = config or DetailFetcherConfig()
         self.config.validate()
         self._client = client
         self._store = store
         self._clock = clock
+        self._rng = rng or DeterministicRNG(0).child("fetcher")
         self._next_due = clock.now()
         self.batches_fetched = 0
         self.batches_failed = 0
+        self.fetch_cycles = 0
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._batches_metric = self.metrics.counter(
             "collector_detail_batches_total",
             "Detail-fetch batches, by outcome.",
+        )
+        self._retries_metric = self.metrics.counter(
+            "collector_detail_retries_total",
+            "Request attempts beyond the first within a detail-fetch cycle.",
         )
         self._batch_size_metric = self.metrics.histogram(
             "collector_detail_batch_size",
@@ -99,6 +123,7 @@ class TxDetailFetcher:
             "next_due": self._next_due,
             "batches_fetched": self.batches_fetched,
             "batches_failed": self.batches_failed,
+            "fetch_cycles": self.fetch_cycles,
             "scan_offset": self._scan_offset,
             "incomplete_ids": [
                 bundle.bundle_id for bundle in self._incomplete
@@ -115,6 +140,7 @@ class TxDetailFetcher:
         self._next_due = float(state["next_due"])
         self.batches_fetched = int(state["batches_fetched"])
         self.batches_failed = int(state["batches_failed"])
+        self.fetch_cycles = int(state.get("fetch_cycles", 0))
         self._scan_offset = int(state["scan_offset"])
         self._incomplete = [
             bundle
@@ -150,7 +176,14 @@ class TxDetailFetcher:
         return pending
 
     def fetch_once(self) -> FetchResult:
-        """Fetch one batch (up to the 10,000-transaction cap)."""
+        """Fetch one batch (up to the 10,000-transaction cap).
+
+        Transient errors are retried up to ``max_retries`` times within the
+        cycle, honoring any Retry-After hint and the cycle's time budget.
+        Jitter is drawn from a per-cycle substream named after the cycle
+        number, so checkpointed runs replay the same randomness.
+        """
+        self.fetch_cycles += 1
         self._next_due = self._clock.now() + self.config.spacing_seconds
         pending = self.pending_transaction_ids()
         if not pending:
@@ -158,25 +191,50 @@ class TxDetailFetcher:
             return FetchResult()
         batch = pending[: self.config.batch_limit]
         self._batch_size_metric.observe(len(batch))
+        backoff = ExponentialBackoff(
+            base=2.0,
+            max_delay=60.0,
+            max_attempts=self.config.max_retries + 1,
+            rng=self._rng.child(f"retry:{self.fetch_cycles}"),
+        )
+        last_error: str | None = None
+        retry_after_hint: float | None = None
+        delay_spent = 0.0
         with self.metrics.span("detail.fetch") as fetch_span:
-            try:
-                records = self._client.transactions(batch)
-            except (
-                RateLimitedError,
-                ServiceUnavailableError,
-                TransportError,
-            ) as exc:
-                self.batches_failed += 1
-                self._batches_metric.inc(outcome="failed")
-                fetch_span.fail("failed")
-                return FetchResult(
-                    requested=len(batch), failed=True, error=str(exc)
-                )
-            stored = self._store.add_details(records)
-        self.batches_fetched += 1
-        self._batches_metric.inc(outcome="ok")
-        self._stored_metric.inc(stored)
-        return FetchResult(requested=len(batch), stored=stored)
+            while not backoff.exhausted():
+                retrying = backoff.attempts_made > 0
+                delay = backoff.next_delay()  # budget; sim time doesn't sleep
+                if retrying:
+                    if retry_after_hint is not None:
+                        delay = max(delay, retry_after_hint)
+                    budget = self.config.retry_budget_seconds
+                    if budget is not None and delay_spent + delay > budget:
+                        last_error = (
+                            f"retry budget of {budget}s exhausted: "
+                            f"{last_error}"
+                        )
+                        break
+                    delay_spent += delay
+                    self._retries_metric.inc()
+                try:
+                    records = self._client.transactions(batch)
+                except (
+                    RateLimitedError,
+                    ServiceUnavailableError,
+                    TransportError,
+                ) as exc:
+                    last_error = str(exc)
+                    retry_after_hint = getattr(exc, "retry_after", None)
+                    continue
+                stored = self._store.add_details(records)
+                self.batches_fetched += 1
+                self._batches_metric.inc(outcome="ok")
+                self._stored_metric.inc(stored)
+                return FetchResult(requested=len(batch), stored=stored)
+            fetch_span.fail("failed")
+        self.batches_failed += 1
+        self._batches_metric.inc(outcome="failed")
+        return FetchResult(requested=len(batch), failed=True, error=last_error)
 
     def maybe_fetch(self) -> FetchResult | None:
         """Fetch one batch if spacing allows and work is pending."""

@@ -45,11 +45,18 @@ class PollStatus(enum.Enum):
 
 @dataclass(frozen=True)
 class PollerConfig:
-    """Cadence, window size, and retry policy."""
+    """Cadence, window size, and retry policy.
+
+    ``retry_budget_seconds`` caps the cumulative backoff delay a single
+    poll cycle may accumulate before giving up, on top of the attempt
+    count cap — a storm of Retry-After hints cannot stall a cycle past
+    the budget. ``None`` (the default) disables the time cap.
+    """
 
     poll_interval_seconds: float = POLL_INTERVAL_SECONDS
     window_limit: int = EXPLORER_MAX_RECENT_LIMIT
     max_retries: int = 3
+    retry_budget_seconds: float | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on nonsensical settings."""
@@ -59,6 +66,11 @@ class PollerConfig:
             raise ConfigError("window limit must be positive")
         if self.max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
+        if (
+            self.retry_budget_seconds is not None
+            and self.retry_budget_seconds <= 0
+        ):
+            raise ConfigError("retry_budget_seconds must be positive")
 
 
 @dataclass
@@ -166,13 +178,27 @@ class BundlePoller:
             rng=self._rng.child(f"retry:{self.polls_attempted}"),
         )
         last_error: str | None = None
+        retry_after_hint: float | None = None
+        delay_spent = 0.0
         with self.metrics.span("poll.fetch") as poll_span:
             while not backoff.exhausted():
                 retrying = backoff.attempts_made > 0
-                if retrying:
-                    self._retries_metric.inc()
                 delay = backoff.next_delay()  # budget; sim time does not sleep
                 if retrying:
+                    # Honor the server's Retry-After hint: back off at least
+                    # that long rather than hammering a limiter that already
+                    # said when capacity returns.
+                    if retry_after_hint is not None:
+                        delay = max(delay, retry_after_hint)
+                    budget = self.config.retry_budget_seconds
+                    if budget is not None and delay_spent + delay > budget:
+                        last_error = (
+                            f"retry budget of {budget}s exhausted: "
+                            f"{last_error}"
+                        )
+                        break
+                    delay_spent += delay
+                    self._retries_metric.inc()
                     # The first draw is the initial attempt's budget, not a
                     # retry delay; only actual retries belong in the series.
                     self._backoff_metric.observe(delay)
@@ -188,6 +214,7 @@ class BundlePoller:
                     TransportError,
                 ) as exc:
                     last_error = str(exc)
+                    retry_after_hint = getattr(exc, "retry_after", None)
                     self._errors_metric.inc(kind=_error_kind(exc))
                     continue
                 new_bundles = self._store.add_bundles(records)

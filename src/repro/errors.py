@@ -91,7 +91,18 @@ class ExplorerError(ReproError):
 
 
 class RateLimitedError(ExplorerError):
-    """The client exceeded the endpoint's rate limit (HTTP 429)."""
+    """The client exceeded the endpoint's rate limit (HTTP 429).
+
+    Carries the server's optional ``Retry-After`` hint in seconds; retry
+    policies that honor it back off at least that long instead of hammering
+    a limiter that already told them when capacity returns.
+    """
+
+    def __init__(
+        self, message: str = "", retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ServiceUnavailableError(ExplorerError):
@@ -104,6 +115,10 @@ class BadRequestError(ExplorerError):
 
 class TransportError(ExplorerError):
     """The HTTP transport failed (connection refused, timeout, bad framing)."""
+
+
+class DeadlineExceededError(TransportError):
+    """A request's total time budget elapsed before a response arrived."""
 
 
 # --- Collector --------------------------------------------------------------------

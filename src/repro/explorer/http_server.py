@@ -113,11 +113,13 @@ class ExplorerHttpServer:
             method, target, headers, body = request
             peer = writer.get_extra_info("peername") or ("unknown",)
             client_id = headers.get("x-client-id", str(peer[0]))
-            status, payload = self._dispatch(method, target, body, client_id)
+            status, payload, headers = self._dispatch(
+                method, target, body, client_id
+            )
         except Exception as exc:  # noqa: BLE001 - server must not crash
-            status, payload = 500, {"error": f"internal error: {exc}"}
+            status, payload, headers = 500, {"error": f"internal error: {exc}"}, {}
         try:
-            await self._write_response(writer, status, payload)
+            await self._write_response(writer, status, payload, headers)
         finally:
             writer.close()
             try:
@@ -153,66 +155,88 @@ class ExplorerHttpServer:
 
     def _dispatch(
         self, method: str, target: str, body: bytes, client_id: str
+    ) -> tuple[int, "dict | list | _PlainText", dict[str, str]]:
+        """Route the request, mapping typed errors to statuses and headers.
+
+        A rate-limit rejection carries the service's Retry-After hint both
+        as a ``Retry-After`` header and a ``retryAfter`` body field, so
+        polite clients on either parsing path can honor it.
+        """
+        try:
+            status, payload = self._route(method, target, body, client_id)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}, {}
+        except ExplorerError as exc:
+            payload = {"error": str(exc)}
+            headers: dict[str, str] = {}
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                payload["retryAfter"] = retry_after
+                headers["Retry-After"] = str(int(max(0.0, retry_after)) + 1)
+            return _status_for_error(exc), payload, headers
+        return status, payload, {}
+
+    def _route(
+        self, method: str, target: str, body: bytes, client_id: str
     ) -> tuple[int, "dict | list | _PlainText"]:
         parts = urlsplit(target)
         path = parts.path
-        try:
-            if path == "/healthz":
-                return 200, {"status": "ok"}
-            if path == "/metrics":
-                if method != "GET":
-                    return 405, {"error": "use GET"}
-                text = render_prometheus(self._service.metrics.snapshot())
-                return 200, _PlainText(text)
-            if path == "/api/v1/bundles/recent":
-                if method != "GET":
-                    return 405, {"error": "use GET"}
-                query = parse_qs(parts.query)
-                limit_values = query.get("limit")
-                limit = int(limit_values[0]) if limit_values else None
-                records = self._service.recent_bundles(
-                    limit=limit, client_id=client_id
-                )
-                return 200, {
-                    "bundles": [bundle_record_to_json(r) for r in records]
-                }
-            if path.startswith("/api/v1/bundles/") and path != (
-                "/api/v1/bundles/recent"
-            ):
-                if method != "GET":
-                    return 405, {"error": "use GET"}
-                bundle_id = path.rsplit("/", 1)[-1]
-                record = self._service.bundle(bundle_id, client_id=client_id)
-                if record is None:
-                    return 404, {"error": f"no bundle {bundle_id[:16]}"}
-                return 200, {"bundle": bundle_record_to_json(record)}
-            if path == "/api/v1/transactions":
-                if method != "POST":
-                    return 405, {"error": "use POST"}
-                try:
-                    payload = json.loads(body.decode("utf-8") or "{}")
-                    ids = [str(i) for i in payload["ids"]]
-                except (
-                    json.JSONDecodeError,
-                    KeyError,
-                    TypeError,
-                    UnicodeDecodeError,
-                ) as exc:
-                    raise BadRequestError(f"malformed body: {exc}") from exc
-                records = self._service.transactions(ids, client_id=client_id)
-                return 200, {
-                    "transactions": [
-                        transaction_record_to_json(r) for r in records
-                    ]
-                }
-            return 404, {"error": f"no route {path}"}
-        except ValueError as exc:
-            return 400, {"error": str(exc)}
-        except ExplorerError as exc:
-            return _status_for_error(exc), {"error": str(exc)}
+        if path == "/healthz":
+            return 200, {"status": "ok"}
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            text = render_prometheus(self._service.metrics.snapshot())
+            return 200, _PlainText(text)
+        if path == "/api/v1/bundles/recent":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            query = parse_qs(parts.query)
+            limit_values = query.get("limit")
+            limit = int(limit_values[0]) if limit_values else None
+            records = self._service.recent_bundles(
+                limit=limit, client_id=client_id
+            )
+            return 200, {
+                "bundles": [bundle_record_to_json(r) for r in records]
+            }
+        if path.startswith("/api/v1/bundles/") and path != (
+            "/api/v1/bundles/recent"
+        ):
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            bundle_id = path.rsplit("/", 1)[-1]
+            record = self._service.bundle(bundle_id, client_id=client_id)
+            if record is None:
+                return 404, {"error": f"no bundle {bundle_id[:16]}"}
+            return 200, {"bundle": bundle_record_to_json(record)}
+        if path == "/api/v1/transactions":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            try:
+                payload = json.loads(body.decode("utf-8") or "{}")
+                ids = [str(i) for i in payload["ids"]]
+            except (
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                UnicodeDecodeError,
+            ) as exc:
+                raise BadRequestError(f"malformed body: {exc}") from exc
+            records = self._service.transactions(ids, client_id=client_id)
+            return 200, {
+                "transactions": [
+                    transaction_record_to_json(r) for r in records
+                ]
+            }
+        return 404, {"error": f"no route {path}"}
 
     async def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, payload
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        headers: dict[str, str] | None = None,
     ) -> None:
         if isinstance(payload, _PlainText):
             content_type = "text/plain; version=0.0.4; charset=utf-8"
@@ -220,10 +244,14 @@ class ExplorerHttpServer:
         else:
             content_type = "application/json"
             body = json.dumps(payload).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n"
             f"\r\n"
         ).encode("latin-1")

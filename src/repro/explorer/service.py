@@ -126,7 +126,10 @@ class ExplorerService:
             self._rejected_metric.inc(
                 endpoint=endpoint, reason="rate_limited"
             )
-            raise RateLimitedError(f"client {client_id!r} exceeded rate limit")
+            raise RateLimitedError(
+                f"client {client_id!r} exceeded rate limit",
+                retry_after=bucket.seconds_until_available(),
+            )
 
     # --- checkpoint support ------------------------------------------------------
 

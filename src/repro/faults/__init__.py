@@ -1,0 +1,56 @@
+"""Deterministic fault injection for the collection pipeline.
+
+The paper's measurement campaign survived four months of flaky live
+infrastructure: an undocumented, rate-limited Explorer API that went dark
+for days at a time, changed its interface mid-campaign, and occasionally
+returned partial data. This package makes that failure surface a
+first-class, *testable* part of the reproduction:
+
+- :mod:`repro.faults.model` — the fault taxonomy (:class:`FaultKind`), the
+  probabilistic :class:`FaultSpec`, scheduled :class:`OutageWindow`\\ s, and
+  the :class:`InjectedFault` log record;
+- :mod:`repro.faults.plan` — the :class:`FaultPlan` DSL: named presets,
+  JSON round-tripping, and seeded random plan sampling;
+- :mod:`repro.faults.injector` — :class:`FaultInjector`, which draws every
+  injection decision from the campaign's deterministic RNG so any chaos
+  run replays exactly from its seed, and emits ``repro.obs`` events and
+  metrics (labelled ``injected``) so injected faults are distinguishable
+  from organic ones;
+- :mod:`repro.faults.client` — :class:`FaultInjectingClient`, a transparent
+  :class:`~repro.collector.client.ExplorerClient` wrapper that turns
+  injector decisions into raised errors (429/503/timeouts/corrupt bodies)
+  or response mutations (truncation, reordering, clock skew).
+
+Wire a plan into a campaign with
+``MeasurementCampaign(scenario, fault_plan=plan)`` or run one from the CLI
+with ``repro chaos --seed S --plan storm``.
+"""
+
+from repro.faults.client import FaultInjectingClient
+from repro.faults.injector import FaultDecision, FaultInjector
+from repro.faults.model import (
+    FaultKind,
+    FaultSpec,
+    InjectedFault,
+    OutageWindow,
+)
+from repro.faults.plan import (
+    PRESET_PLANS,
+    FaultPlan,
+    load_plan,
+    preset_plan,
+)
+
+__all__ = [
+    "FaultDecision",
+    "FaultInjectingClient",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "OutageWindow",
+    "PRESET_PLANS",
+    "load_plan",
+    "preset_plan",
+]

@@ -1,0 +1,253 @@
+"""The ``FaultPlan`` DSL: scripted failure scenarios for chaos runs.
+
+A plan is data, not code: a named set of probabilistic
+:class:`~repro.faults.model.FaultSpec` sources plus scheduled
+:class:`~repro.faults.model.OutageWindow`\\ s. Plans round-trip through
+JSON (``repro chaos --plan my-plan.json``), ship as named presets
+(``--plan storm``), and can be sampled from a seed so property tests can
+explore the schedule space deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.faults.model import (
+    KNOWN_ENDPOINTS,
+    FaultKind,
+    FaultSpec,
+    OutageWindow,
+)
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, serializable failure scenario."""
+
+    name: str
+    specs: tuple[FaultSpec, ...] = ()
+    outages: tuple[OutageWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("a fault plan needs a name")
+        object.__setattr__(self, "specs", tuple(self.specs))
+        object.__setattr__(self, "outages", tuple(self.outages))
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this plan injects nothing (the fault-free baseline)."""
+        return not self.specs and not self.outages
+
+    def to_json(self) -> dict:
+        """JSON-safe wire form of the whole plan."""
+        return {
+            "name": self.name,
+            "specs": [spec.to_json() for spec in self.specs],
+            "outages": [window.to_json() for window in self.outages],
+        }
+
+    @classmethod
+    def from_json(cls, record: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output.
+
+        Raises:
+            ConfigError: on a structurally invalid plan document.
+        """
+        try:
+            return cls(
+                name=str(record["name"]),
+                specs=tuple(
+                    FaultSpec.from_json(item)
+                    for item in record.get("specs", [])
+                ),
+                outages=tuple(
+                    OutageWindow.from_json(item)
+                    for item in record.get("outages", [])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed fault plan: {exc}") from exc
+
+    def dumps(self) -> str:
+        """Canonical JSON text (stable key order, for files and hashing)."""
+        return json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        """Parse a plan from JSON text."""
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ConfigError("fault plan JSON must be an object")
+        return cls.from_json(record)
+
+    def fingerprint(self) -> str:
+        """Stable short hash of the canonical plan content.
+
+        Checkpoints store it so a resumed chaos campaign refuses to continue
+        under a different fault schedule than the killed run's.
+        """
+        return hashlib.sha256(self.dumps().encode("utf-8")).hexdigest()[:16]
+
+    @classmethod
+    def sample(
+        cls,
+        rng: DeterministicRNG,
+        total_days: float,
+        max_specs: int = 4,
+        max_outages: int = 2,
+        max_probability: float = 0.4,
+    ) -> "FaultPlan":
+        """Draw a random-but-reproducible plan from a seeded RNG.
+
+        Used by the chaos invariant suite to explore the schedule space:
+        the same RNG stream always yields the same plan.
+        """
+        rng = rng.child("fault-plan")
+        specs: list[FaultSpec] = []
+        kinds = list(FaultKind)
+        kinds.remove(FaultKind.OUTAGE)  # outages are windows, not dice rolls
+        for index in range(rng.randint(0, max_specs)):
+            kind = rng.choice(kinds)
+            endpoints: tuple[str, ...] = ()
+            if rng.bernoulli(0.4):
+                endpoints = (rng.choice(list(KNOWN_ENDPOINTS[:2])),)
+            start = rng.uniform(0.0, max(total_days - 0.5, 0.1))
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    probability=rng.uniform(0.05, max_probability),
+                    endpoints=endpoints,
+                    start_day=start if rng.bernoulli(0.5) else 0.0,
+                    end_day=float("inf"),
+                    retry_after=(
+                        rng.uniform(1.0, 240.0)
+                        if kind is FaultKind.RATE_LIMIT
+                        else None
+                    ),
+                    skew_seconds=(
+                        rng.uniform(-30.0, 30.0)
+                        if kind is FaultKind.CLOCK_SKEW
+                        else 0.0
+                    ),
+                    drop_fraction=(
+                        rng.uniform(0.1, 1.0)
+                        if kind is FaultKind.TRUNCATE
+                        else 0.5
+                    ),
+                )
+            )
+        outages: list[OutageWindow] = []
+        for _ in range(rng.randint(0, max_outages)):
+            start = rng.uniform(0.0, max(total_days - 0.25, 0.05))
+            length = rng.uniform(0.05, max(total_days / 3.0, 0.1))
+            outages.append(
+                OutageWindow(
+                    start_day=start,
+                    end_day=min(start + length, total_days + 1.0),
+                    reason="sampled outage",
+                )
+            )
+        return cls(name="sampled", specs=tuple(specs), outages=tuple(outages))
+
+
+def _calm() -> FaultPlan:
+    return FaultPlan(name="calm")
+
+
+def _flaky() -> FaultPlan:
+    return FaultPlan(
+        name="flaky",
+        specs=(
+            FaultSpec(FaultKind.RATE_LIMIT, 0.08, retry_after=120.0),
+            FaultSpec(FaultKind.UNAVAILABLE, 0.05),
+            FaultSpec(FaultKind.TIMEOUT, 0.04),
+        ),
+    )
+
+
+def _storm() -> FaultPlan:
+    return FaultPlan(
+        name="storm",
+        specs=(
+            FaultSpec(FaultKind.RATE_LIMIT, 0.25, retry_after=60.0),
+            FaultSpec(FaultKind.UNAVAILABLE, 0.15),
+            FaultSpec(FaultKind.TIMEOUT, 0.10),
+            FaultSpec(FaultKind.CORRUPT_BODY, 0.10),
+            FaultSpec(FaultKind.TRUNCATE, 0.10, drop_fraction=0.5),
+        ),
+    )
+
+
+def _outage() -> FaultPlan:
+    return FaultPlan(
+        name="outage",
+        outages=(
+            OutageWindow(0.4, 0.9, reason="interface change"),
+            OutageWindow(1.3, 1.6, reason="transient network error"),
+        ),
+    )
+
+
+def _corrupt() -> FaultPlan:
+    return FaultPlan(
+        name="corrupt",
+        specs=(
+            FaultSpec(FaultKind.CORRUPT_BODY, 0.2),
+            FaultSpec(FaultKind.TRUNCATE, 0.25, drop_fraction=0.7),
+        ),
+    )
+
+
+def _skew() -> FaultPlan:
+    return FaultPlan(
+        name="skew",
+        specs=(
+            FaultSpec(FaultKind.CLOCK_SKEW, 0.3, skew_seconds=17.0),
+            FaultSpec(FaultKind.REORDER, 0.3),
+        ),
+    )
+
+
+#: Named presets available to ``repro chaos --plan <name>`` and tests.
+PRESET_PLANS: dict[str, "FaultPlan"] = {
+    plan.name: plan
+    for plan in (_calm(), _flaky(), _storm(), _outage(), _corrupt(), _skew())
+}
+
+
+def preset_plan(name: str) -> FaultPlan:
+    """Look up a preset plan by name.
+
+    Raises:
+        ConfigError: for unknown names (message lists the valid ones).
+    """
+    plan = PRESET_PLANS.get(name)
+    if plan is None:
+        raise ConfigError(
+            f"unknown fault plan {name!r}; "
+            f"presets: {', '.join(sorted(PRESET_PLANS))}"
+        )
+    return plan
+
+
+def load_plan(source: str | Path) -> FaultPlan:
+    """Resolve a plan from a preset name or a JSON file path."""
+    text = str(source)
+    if text in PRESET_PLANS:
+        return PRESET_PLANS[text]
+    path = Path(source)
+    if path.is_file():
+        return FaultPlan.loads(path.read_text(encoding="utf-8"))
+    raise ConfigError(
+        f"{text!r} is neither a preset plan "
+        f"({', '.join(sorted(PRESET_PLANS))}) nor a readable plan file"
+    )

@@ -1,0 +1,69 @@
+"""Downtime windows must surface as *merged* coverage gaps.
+
+A single outage spanning a poll (and day) boundary fails many consecutive
+polls; the integrity report must group them into exactly one
+``CollectionGap`` per downtime window rather than one gap per failed poll.
+"""
+
+import dataclasses
+
+from repro.analysis.integrity import build_collection_integrity
+from repro.collector.campaign import MeasurementCampaign
+from repro.collector.coverage import CollectionGap
+from repro.simulation.downtime import DowntimeSchedule, DowntimeWindow
+from repro.utils.simtime import SECONDS_PER_DAY
+from tests.conftest import tiny_scenario
+
+
+def run_with_downtime(windows, seed=7, days=3):
+    scenario = dataclasses.replace(tiny_scenario(seed=seed), days=days)
+    campaign = MeasurementCampaign(
+        scenario, downtime=DowntimeSchedule(windows)
+    )
+    return campaign.run()
+
+
+class TestOutageAcrossPollBoundary:
+    def test_one_window_spanning_a_day_boundary_is_one_gap(self):
+        result = run_with_downtime([DowntimeWindow(0.5, 1.5)])
+        integrity = build_collection_integrity(result)
+        assert result.coverage.failed_polls > 0
+        assert len(integrity.gaps) == 1
+        (gap,) = integrity.gaps
+        assert gap.failed_polls == result.coverage.failed_polls
+        # Failure times are absolute sim timestamps; the merged gap must
+        # span less than the one-day window that caused it.
+        assert 0.0 <= gap.duration < SECONDS_PER_DAY
+        assert gap.duration == gap.end - gap.start
+
+    def test_two_separated_windows_are_two_gaps(self):
+        result = run_with_downtime(
+            [DowntimeWindow(0.25, 0.75), DowntimeWindow(2.0, 2.5)]
+        )
+        integrity = build_collection_integrity(result)
+        assert len(integrity.gaps) == 2
+        first, second = integrity.gaps
+        assert first.end < second.start
+        assert first.failed_polls + second.failed_polls == (
+            result.coverage.failed_polls
+        )
+
+    def test_no_downtime_means_no_gaps(self):
+        result = run_with_downtime([])
+        integrity = build_collection_integrity(result)
+        assert result.coverage.failed_polls == 0
+        assert integrity.gaps == ()
+
+
+class TestGapGrouping:
+    def test_collection_gaps_merges_adjacent_failures(self):
+        result = run_with_downtime([DowntimeWindow(0.5, 1.5)])
+        grouped = result.coverage.collection_gaps(max_gap_seconds=1e12)
+        assert len(grouped) == 1
+        assert isinstance(grouped[0], CollectionGap)
+
+    def test_collection_gaps_splits_on_large_separation(self):
+        result = run_with_downtime([DowntimeWindow(0.5, 1.5)])
+        isolated = result.coverage.collection_gaps(max_gap_seconds=0.0)
+        assert len(isolated) == result.coverage.failed_polls
+        assert all(g.failed_polls == 1 for g in isolated)

@@ -1,0 +1,160 @@
+"""Pin the HTTP client's retry, deadline, and Retry-After behavior.
+
+The load-bearing pin: the shared backoff is ``reset()`` on *every* success
+path — a transient error early in a campaign must not permanently shorten
+the transport retry budget of every later request.
+"""
+
+import pytest
+
+from repro.collector.http_client import HttpExplorerClient, _retry_after_hint
+from repro.errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    RateLimitedError,
+    ServiceUnavailableError,
+    TransportError,
+)
+
+OK = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}"
+
+
+def make_client(**kwargs) -> tuple[HttpExplorerClient, list]:
+    """A client that records sleeps instead of sleeping."""
+    sleeps: list[float] = []
+    client = HttpExplorerClient(
+        "localhost", 9, sleep_fn=sleeps.append, **kwargs
+    )
+    return client, sleeps
+
+
+def script_responses(client, outcomes):
+    """Replace the socket round trip with a scripted outcome sequence."""
+    queue = list(outcomes)
+
+    def fake_send_once(payload, deadline_at):
+        outcome = queue.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._send_once = fake_send_once
+    return queue
+
+
+class TestBackoffResetOnSuccess:
+    def test_success_restores_the_full_retry_budget(self):
+        """Request 2 gets as many transport retries as request 1 did."""
+        client, sleeps = make_client(max_retries=2)
+        script_responses(
+            client,
+            [
+                TransportError("blip 1"),
+                TransportError("blip 2"),
+                OK,  # request 1: two retries, then success
+                TransportError("blip 3"),
+                TransportError("blip 4"),
+                OK,  # request 2: must again survive two retries
+            ],
+        )
+        assert client._request("GET", "/a") == {}
+        assert client.transport_retries == 2
+        assert client._request("GET", "/b") == {}
+        assert client.transport_retries == 4
+        assert len(sleeps) == 4
+
+    def test_without_reset_the_second_request_would_be_starved(self):
+        """The failure mode the reset prevents, expressed as exhaustion."""
+        client, _ = make_client(max_retries=1)
+        script_responses(
+            client,
+            [TransportError("a"), OK, TransportError("b"), OK],
+        )
+        client._request("GET", "/a")
+        # With a max_retries=1 budget, a second single blip only survives
+        # because the first success reset the shared backoff.
+        assert client._request("GET", "/b") == {}
+
+    def test_semantic_error_also_resets(self):
+        """A parsed 429/503 means the transport worked: budget comes back."""
+        client, _ = make_client(max_retries=1)
+        rate_limited = (
+            b"HTTP/1.1 429 Too Many Requests\r\n\r\n"
+            b'{"error": "slow down"}'
+        )
+        script_responses(
+            client,
+            [rate_limited, TransportError("blip"), OK],
+        )
+        with pytest.raises(RateLimitedError):
+            client._request("GET", "/a")
+        assert not client._backoff.exhausted()
+        assert client._request("GET", "/b") == {}
+
+    def test_exhaustion_raises_and_resets_for_the_next_request(self):
+        client, _ = make_client(max_retries=1)
+        failures = [TransportError(f"down {i}") for i in range(5)]
+        script_responses(client, failures + [OK])
+        with pytest.raises(TransportError, match="retry budget exhausted"):
+            client._request("GET", "/a")
+        # The exhausted request handed its budget back on the way out.
+        assert not client._backoff.exhausted()
+
+
+class TestRetryAfter:
+    def test_header_hint_lands_on_the_error(self):
+        client, _ = make_client()
+        script_responses(
+            client,
+            [b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 30\r\n\r\n{}"],
+        )
+        with pytest.raises(RateLimitedError) as excinfo:
+            client._request("GET", "/a")
+        assert excinfo.value.retry_after == 30.0
+
+    def test_body_field_wins_over_header(self):
+        headers = {"retry-after": "30"}
+        assert _retry_after_hint(headers, {"retryAfter": 12.5}) == 12.5
+        assert _retry_after_hint(headers, {}) == 30.0
+        assert _retry_after_hint({}, {"retryAfter": "junk"}) is None
+        assert _retry_after_hint({"retry-after": "soon"}, {}) is None
+        assert _retry_after_hint({}, {}) is None
+
+
+class TestSemanticStatuses:
+    @pytest.mark.parametrize(
+        ("response", "expected"),
+        [
+            (b"HTTP/1.1 400 Bad Request\r\n\r\n{}", BadRequestError),
+            (b"HTTP/1.1 503 Unavailable\r\n\r\n{}", ServiceUnavailableError),
+        ],
+    )
+    def test_parsed_statuses_are_never_retried(self, response, expected):
+        client, sleeps = make_client(max_retries=3)
+        queue = script_responses(client, [response, OK, OK, OK])
+        with pytest.raises(expected):
+            client._request("GET", "/a")
+        assert sleeps == []  # no retry happened
+        assert len(queue) == 3  # only one send
+
+
+class TestDeadline:
+    def test_expired_deadline_raises_before_connecting(self):
+        client = HttpExplorerClient(
+            "localhost", 9, deadline=5.0, monotonic_fn=lambda: 100.0
+        )
+        with pytest.raises(DeadlineExceededError):
+            client._send_once(b"", deadline_at=99.0)
+
+    def test_deadline_defaults_to_three_timeouts(self):
+        client = HttpExplorerClient("localhost", 9, timeout=4.0)
+        assert client._deadline == 12.0
+
+    def test_deadline_exceeded_consumes_retry_budget(self):
+        client, sleeps = make_client(max_retries=2)
+        script_responses(
+            client, [DeadlineExceededError("stalled"), OK]
+        )
+        assert client._request("GET", "/a") == {}
+        assert client.transport_retries == 1
+        assert len(sleeps) == 1

@@ -1,0 +1,43 @@
+"""Shared chaos-test helpers: mini campaigns under a fault plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collector.campaign import CampaignResult, MeasurementCampaign
+from repro.collector.detail_fetcher import DetailFetcherConfig
+from repro.core import AnalysisPipeline
+from repro.faults import FaultPlan
+from tests.conftest import tiny_scenario
+
+
+def run_chaos_campaign(
+    plan: FaultPlan | None,
+    seed: int = 11,
+    max_retries: int = 2,
+) -> CampaignResult:
+    """Run the tiny scenario under ``plan`` (None = fault-free baseline)."""
+    campaign = MeasurementCampaign(
+        tiny_scenario(seed=seed),
+        fetcher_config=DetailFetcherConfig(max_retries=max_retries),
+        fault_plan=plan,
+    )
+    return campaign.run()
+
+
+def detected_bundle_ids(result: CampaignResult) -> set[str]:
+    """Bundle ids of every sandwich detection in a campaign's analysis."""
+    report = AnalysisPipeline().analyze_campaign(result)
+    return {item.event.bundle_id for item in report.quantified}
+
+
+@pytest.fixture(scope="session")
+def baseline_result() -> CampaignResult:
+    """The fault-free tiny campaign every invariant compares against."""
+    return run_chaos_campaign(None)
+
+
+@pytest.fixture(scope="session")
+def baseline_detections(baseline_result) -> set[str]:
+    """Sandwich bundle ids detected with no faults injected."""
+    return detected_bundle_ids(baseline_result)

@@ -1,0 +1,100 @@
+"""Mini chaos campaigns: every preset survives, replays, and is accounted.
+
+Each preset plan drives the full pipeline (simulation, explorer, poller,
+detail fetcher, analysis) on the tiny scenario. The campaign must degrade
+gracefully — never crash, never double-count — and two runs from the same
+seed and plan must produce identical fault logs and reports.
+"""
+
+import pytest
+
+from repro.analysis.integrity import build_collection_integrity
+from repro.analysis.report import render_campaign_report
+from repro.core import AnalysisPipeline
+from repro.faults import PRESET_PLANS, preset_plan
+from tests.conftest import tiny_scenario
+from tests.faults.conftest import detected_bundle_ids, run_chaos_campaign
+
+ALL_PRESETS = sorted(PRESET_PLANS)
+
+
+def render(result) -> str:
+    report = AnalysisPipeline().analyze_campaign(result)
+    return render_campaign_report(result, report, tiny_scenario())
+
+
+class TestEveryPreset:
+    @pytest.mark.parametrize("name", ALL_PRESETS)
+    def test_campaign_completes_without_crashing(self, name):
+        result = run_chaos_campaign(preset_plan(name))
+        assert result.world.bundles_landed > 0
+        assert result.coverage.successful_polls + result.coverage.failed_polls > 0
+
+    @pytest.mark.parametrize("name", ALL_PRESETS)
+    def test_no_bundle_double_counted(self, name):
+        result = run_chaos_campaign(preset_plan(name))
+        ids = [record.bundle_id for record in result.store.bundles()]
+        assert len(ids) == len(set(ids))
+        assert len(result.store) <= result.world.bundles_landed
+
+    @pytest.mark.parametrize("name", ALL_PRESETS)
+    def test_replay_is_byte_identical(self, name):
+        first = run_chaos_campaign(preset_plan(name))
+        second = run_chaos_campaign(preset_plan(name))
+        assert (
+            first.faults.fault_log_json() == second.faults.fault_log_json()
+        )
+        assert render(first) == render(second)
+
+    @pytest.mark.parametrize("name", ALL_PRESETS)
+    def test_detections_subset_of_fault_free_run(
+        self, name, baseline_detections
+    ):
+        """Faults can only *remove* evidence, never fabricate sandwiches."""
+        result = run_chaos_campaign(preset_plan(name))
+        assert detected_bundle_ids(result) <= baseline_detections
+
+
+class TestGracefulDegradation:
+    def test_storm_records_damage_but_keeps_polling(self):
+        result = run_chaos_campaign(preset_plan("storm"))
+        # The pipeline took damage...
+        assert result.faults.log
+        # ...and still produced a usable record.
+        assert result.coverage.successful_polls > 0
+        assert len(result.store) > 0
+
+    def test_outage_produces_coverage_gaps(self):
+        result = run_chaos_campaign(preset_plan("outage"))
+        integrity = build_collection_integrity(result)
+        assert result.coverage.failed_polls > 0
+        assert len(integrity.gaps) >= 1
+        assert integrity.gaps == tuple(sorted(integrity.gaps, key=lambda g: g.start))
+
+    def test_calm_plan_collects_like_the_baseline(self, baseline_result):
+        result = run_chaos_campaign(preset_plan("calm"))
+        assert result.faults.log == []
+        assert {r.bundle_id for r in result.store.bundles()} == {
+            r.bundle_id for r in baseline_result.store.bundles()
+        }
+
+
+class TestIntegritySection:
+    def test_report_includes_integrity_section(self):
+        result = run_chaos_campaign(preset_plan("flaky"))
+        text = render(result)
+        assert "Collection integrity" in text
+        assert "fault injection" in text
+
+    def test_integrity_quantifies_injections(self):
+        result = run_chaos_campaign(preset_plan("flaky"))
+        integrity = build_collection_integrity(result)
+        assert integrity.faults_enabled
+        assert integrity.faults_injected == result.faults.counts_by_kind()
+        assert integrity.requests_intercepted == result.faults.requests_seen
+        assert integrity.bundles_dropped >= 0
+
+    def test_baseline_reports_fault_injection_disabled(self, baseline_result):
+        integrity = build_collection_integrity(baseline_result)
+        assert not integrity.faults_enabled
+        assert "fault injection     disabled" in integrity.render()

@@ -1,0 +1,154 @@
+"""FaultInjectingClient: typed errors and response mutations in the seam."""
+
+import pytest
+
+from repro.errors import (
+    RateLimitedError,
+    ServiceUnavailableError,
+    TransportError,
+)
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.faults import (
+    FaultInjectingClient,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.model import OutageWindow
+from repro.utils.rng import DeterministicRNG
+from repro.utils.simtime import SimClock
+
+
+def bundle(i: int, landed_at: float = 100.0) -> BundleRecord:
+    return BundleRecord(
+        bundle_id=f"bundle-{i}",
+        slot=i,
+        landed_at=landed_at,
+        tip_lamports=1_000,
+        transaction_ids=(f"tx-{i}",),
+    )
+
+
+def transaction(i: int, block_time: float = 100.0) -> TransactionRecord:
+    return TransactionRecord(
+        transaction_id=f"tx-{i}",
+        slot=i,
+        block_time=block_time,
+        signer="payer",
+        signers=("payer",),
+        fee_lamports=5_000,
+    )
+
+
+class FakeInner:
+    """A well-behaved inner transport with a fixed response."""
+
+    def __init__(self, bundles=None, txs=None):
+        self._bundles = bundles or [bundle(i) for i in range(10)]
+        self._txs = txs or [transaction(i) for i in range(10)]
+        self.health_calls = 0
+
+    def recent_bundles(self, limit=None):
+        return list(self._bundles)
+
+    def transactions(self, transaction_ids):
+        return list(self._txs)
+
+    def bundle(self, bundle_id):
+        return self._bundles[0]
+
+    def health(self):
+        self.health_calls += 1
+        return True
+
+
+def wrap(plan, seed=5) -> FaultInjectingClient:
+    injector = FaultInjector(
+        plan, DeterministicRNG(seed).child("faults"), SimClock()
+    )
+    return FaultInjectingClient(FakeInner(), injector)
+
+
+def certain(kind, **kwargs) -> FaultPlan:
+    return FaultPlan(
+        name="certain", specs=(FaultSpec(kind, 1.0, **kwargs),)
+    )
+
+
+class TestErrorKinds:
+    def test_rate_limit_raises_with_retry_after(self):
+        client = wrap(certain(FaultKind.RATE_LIMIT, retry_after=45.0))
+        with pytest.raises(RateLimitedError) as excinfo:
+            client.recent_bundles()
+        assert excinfo.value.retry_after == 45.0
+
+    def test_unavailable_raises_503(self):
+        client = wrap(certain(FaultKind.UNAVAILABLE))
+        with pytest.raises(ServiceUnavailableError):
+            client.transactions(["tx-0"])
+
+    def test_timeout_and_corruption_are_transport_errors(self):
+        for kind in (FaultKind.TIMEOUT, FaultKind.CORRUPT_BODY):
+            client = wrap(certain(kind))
+            with pytest.raises(TransportError):
+                client.recent_bundles()
+
+    def test_outage_raises_503(self):
+        plan = FaultPlan(
+            name="outage", outages=(OutageWindow(0.0, 1.0, reason="down"),)
+        )
+        client = wrap(plan)
+        with pytest.raises(ServiceUnavailableError):
+            client.recent_bundles()
+
+    def test_error_faults_never_reach_inner(self):
+        inner = FakeInner()
+        injector = FaultInjector(
+            certain(FaultKind.UNAVAILABLE),
+            DeterministicRNG(5).child("faults"),
+            SimClock(),
+        )
+        client = FaultInjectingClient(inner, injector)
+        with pytest.raises(ServiceUnavailableError):
+            client.recent_bundles()
+        assert client.health() is False
+        assert inner.health_calls == 0
+
+
+class TestMutations:
+    def test_truncate_drops_the_tail(self):
+        client = wrap(certain(FaultKind.TRUNCATE, drop_fraction=0.5))
+        records = client.recent_bundles()
+        assert len(records) == 5
+        assert [r.bundle_id for r in records] == [
+            f"bundle-{i}" for i in range(5)
+        ]
+
+    def test_truncate_full_drop_yields_empty(self):
+        client = wrap(certain(FaultKind.TRUNCATE, drop_fraction=1.0))
+        assert client.recent_bundles() == []
+        assert client.bundle("bundle-0") is None  # no IndexError
+
+    def test_reorder_permutes_without_loss(self):
+        client = wrap(certain(FaultKind.REORDER))
+        records = client.recent_bundles()
+        assert len(records) == 10
+        assert {r.bundle_id for r in records} == {
+            f"bundle-{i}" for i in range(10)
+        }
+
+    def test_clock_skew_shifts_timestamps_only(self):
+        client = wrap(certain(FaultKind.CLOCK_SKEW, skew_seconds=17.0))
+        records = client.recent_bundles()
+        assert all(r.landed_at == 117.0 for r in records)
+        assert {r.bundle_id for r in records} == {
+            f"bundle-{i}" for i in range(10)
+        }
+        details = client.transactions(["tx-0"])
+        assert all(t.block_time == 117.0 for t in details)
+
+    def test_no_fault_passes_through_untouched(self):
+        client = wrap(FaultPlan(name="empty"))
+        assert client.recent_bundles() == FakeInner().recent_bundles()
+        assert client.health() is True

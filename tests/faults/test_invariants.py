@@ -1,0 +1,75 @@
+"""Property invariants over the fault-schedule space.
+
+Hypothesis draws seeds, ``FaultPlan.sample`` turns each into a random but
+reproducible schedule, and every schedule drives a full mini campaign. The
+invariants that must hold for *any* schedule:
+
+1. the campaign never crashes;
+2. no bundle is double-counted, and nothing is collected that never landed;
+3. sandwich detections are a subset of the fault-free run's (faults can
+   only remove evidence, never fabricate it).
+
+The default run keeps a modest example budget so tier-1 stays fast; the
+``slow_chaos``-marked sweep covers 200 schedules for the nightly job.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+from repro.utils.rng import DeterministicRNG
+from tests.faults.conftest import detected_bundle_ids, run_chaos_campaign
+
+plan_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+COMMON_SETTINGS = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def sampled_plan(plan_seed: int) -> FaultPlan:
+    return FaultPlan.sample(DeterministicRNG(plan_seed), total_days=2.0)
+
+
+def check_invariants(plan_seed: int, baseline_detections: set) -> None:
+    plan = sampled_plan(plan_seed)
+    result = run_chaos_campaign(plan)  # invariant 1: completes
+
+    ids = [record.bundle_id for record in result.store.bundles()]
+    assert len(ids) == len(set(ids))  # invariant 2a: no double count
+    landed = {
+        outcome.bundle_id
+        for outcome in result.world.block_engine.bundle_log
+    }
+    assert set(ids) <= landed  # invariant 2b: nothing fabricated
+
+    # invariant 3: detections are a subset of the fault-free run's.
+    assert detected_bundle_ids(result) <= baseline_detections
+
+
+class TestScheduleSpace:
+    @settings(max_examples=25, **COMMON_SETTINGS)
+    @given(plan_seed=plan_seeds)
+    def test_invariants_hold(self, plan_seed, baseline_detections):
+        check_invariants(plan_seed, baseline_detections)
+
+    @pytest.mark.slow_chaos
+    @settings(max_examples=200, **COMMON_SETTINGS)
+    @given(plan_seed=plan_seeds)
+    def test_invariants_hold_across_200_schedules(
+        self, plan_seed, baseline_detections
+    ):
+        check_invariants(plan_seed, baseline_detections)
+
+
+class TestPlanRoundTripProperty:
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    @given(plan_seed=plan_seeds)
+    def test_sampled_plans_round_trip_and_fingerprint_stably(self, plan_seed):
+        plan = sampled_plan(plan_seed)
+        clone = FaultPlan.loads(plan.dumps())
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()

@@ -1,0 +1,105 @@
+"""FaultPlan DSL: presets, files, round-trips, fingerprints, sampling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    PRESET_PLANS,
+    load_plan,
+    preset_plan,
+)
+from repro.utils.rng import DeterministicRNG
+
+
+class TestPresets:
+    def test_all_presets_resolve(self):
+        for name in ("calm", "flaky", "storm", "outage", "corrupt", "skew"):
+            assert preset_plan(name).name == name
+
+    def test_calm_is_empty(self):
+        assert preset_plan("calm").is_empty
+        assert not preset_plan("storm").is_empty
+
+    def test_unknown_preset_lists_valid_names(self):
+        with pytest.raises(ConfigError, match="storm"):
+            preset_plan("hurricane")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(PRESET_PLANS))
+    def test_every_preset_round_trips(self, name):
+        plan = PRESET_PLANS[name]
+        assert FaultPlan.loads(plan.dumps()) == plan
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            FaultPlan.loads("{nope")
+        with pytest.raises(ConfigError, match="object"):
+            FaultPlan.loads("[1, 2]")
+        with pytest.raises(ConfigError, match="malformed"):
+            FaultPlan.from_json({"specs": []})  # no name
+
+    def test_nameless_plan_rejected(self):
+        with pytest.raises(ConfigError, match="name"):
+            FaultPlan(name="")
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert (
+            preset_plan("storm").fingerprint()
+            == FaultPlan.loads(preset_plan("storm").dumps()).fingerprint()
+        )
+
+    def test_differs_between_plans(self):
+        assert (
+            preset_plan("storm").fingerprint()
+            != preset_plan("flaky").fingerprint()
+        )
+
+    def test_sensitive_to_content(self):
+        base = preset_plan("flaky")
+        tweaked = FaultPlan(
+            name=base.name,
+            specs=base.specs + (FaultSpec(FaultKind.REORDER, 0.01),),
+        )
+        assert base.fingerprint() != tweaked.fingerprint()
+
+
+class TestLoadPlan:
+    def test_preset_name_wins(self):
+        assert load_plan("storm") is PRESET_PLANS["storm"]
+
+    def test_json_file_loaded(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(preset_plan("corrupt").dumps())
+        assert load_plan(path) == preset_plan("corrupt")
+
+    def test_nonsense_rejected(self):
+        with pytest.raises(ConfigError, match="neither a preset"):
+            load_plan("no-such-plan-or-file")
+
+
+class TestSample:
+    def test_same_rng_same_plan(self):
+        a = FaultPlan.sample(DeterministicRNG(7), total_days=2.0)
+        b = FaultPlan.sample(DeterministicRNG(7), total_days=2.0)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seeds_explore_the_space(self):
+        plans = {
+            FaultPlan.sample(
+                DeterministicRNG(seed), total_days=2.0
+            ).fingerprint()
+            for seed in range(20)
+        }
+        assert len(plans) > 10
+
+    def test_sampled_plans_serialize(self):
+        for seed in range(10):
+            plan = FaultPlan.sample(DeterministicRNG(seed), total_days=2.0)
+            assert FaultPlan.loads(plan.dumps()) == plan
