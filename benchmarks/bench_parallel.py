@@ -1,0 +1,203 @@
+"""The parallel engine's perf-regression harness.
+
+Builds one large synthetic archive (``BENCH_PARALLEL_BUNDLES`` bundles,
+default 50,000 — CI's perf-smoke job shrinks it), then:
+
+- asserts serial pipeline, in-process engine, and pooled engine produce
+  byte-identical canonical reports — at every job count, always;
+- measures end-to-end analysis throughput (load + detect + quantify +
+  classify + aggregate) serially and at 2/4 jobs, recording bundles/sec
+  into ``BENCH_PERF.json``;
+- asserts the >= 2x speedup at 4 jobs — only on hosts with >= 4 cores and
+  a full-size archive, where the claim is physically meaningful.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import record_perf
+from repro.archive.store import ArchiveBundleStore
+from repro.core.pipeline import AnalysisPipeline
+from repro.core.quantify import LossQuantifier
+from repro.dex.oracle import PriceOracle
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.parallel import ParallelAnalysisEngine
+from repro.parallel.merge import report_bytes
+
+TOTAL_BUNDLES = int(os.environ.get("BENCH_PARALLEL_BUNDLES", "50000"))
+#: Below this size, pool startup dominates and a speedup claim is noise.
+SPEEDUP_FLOOR_BUNDLES = 20_000
+BASE_TIME = 1_739_059_200.0
+
+
+def _swap(tx_id, signer, mint_in, mint_out, amount_in, amount_out):
+    return TransactionRecord(
+        transaction_id=tx_id,
+        slot=1,
+        block_time=BASE_TIME,
+        signer=signer,
+        signers=(signer,),
+        fee_lamports=5_000,
+        token_deltas={signer: {mint_in: -amount_in, mint_out: amount_out}},
+        events=(
+            {
+                "type": "swap",
+                "pool": "POOL",
+                "owner": signer,
+                "mint_in": mint_in,
+                "mint_out": mint_out,
+                "amount_in": amount_in,
+                "amount_out": amount_out,
+            },
+        ),
+    )
+
+
+def _synthetic_rows(total: int):
+    """Yield (bundle, records): ~2% sandwiches, 4% benign triples, 2%
+    forever-pending triples, the rest length-1 tips straddling the
+    defensive threshold. Tenths share a landed_at, forcing tie-breaks."""
+    for i in range(total):
+        kind = i % 100
+        landed = BASE_TIME + (i // 10) * 0.4
+        tip = 10_000 + (i % 7) * 45_000
+        if kind < 2:
+            records = [
+                _swap(f"t{i}f", f"atk{i}", "SOL", "MEME", 1_000, 1_000_000),
+                _swap(f"t{i}v", f"vic{i}", "SOL", "MEME", 10_000, 9_000_000),
+                _swap(f"t{i}b", f"atk{i}", "MEME", "SOL", 1_000_000, 1_100),
+            ]
+            tip = 2_000_000
+        elif kind < 6:
+            records = [
+                _swap(f"t{i}x{j}", f"u{i}x{j}", "SOL", "OTHER", 500, 400_000)
+                for j in range(3)
+            ]
+        elif kind < 8:
+            # Length-3 but details never fetched: stays pending forever.
+            yield (
+                BundleRecord(
+                    bundle_id=f"b{i}",
+                    slot=1_000 + i,
+                    landed_at=landed,
+                    tip_lamports=tip,
+                    transaction_ids=(f"t{i}p0", f"t{i}p1", f"t{i}p2"),
+                ),
+                [],
+            )
+            continue
+        else:
+            records = [
+                _swap(f"t{i}s", f"solo{i}", "SOL", "OTHER", 100, 90_000)
+            ]
+        yield (
+            BundleRecord(
+                bundle_id=f"b{i}",
+                slot=1_000 + i,
+                landed_at=landed,
+                tip_lamports=tip,
+                transaction_ids=tuple(r.transaction_id for r in records),
+            ),
+            records,
+        )
+
+
+@pytest.fixture(scope="module")
+def big_archive(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench-parallel") / "archive.db"
+    store = ArchiveBundleStore(path)
+    bundles, details = [], []
+    for bundle, records in _synthetic_rows(TOTAL_BUNDLES):
+        bundles.append(bundle)
+        details.extend(records)
+        if len(bundles) >= 5_000:
+            store.add_bundles(bundles)
+            store.add_details(details)
+            bundles, details = [], []
+    store.add_bundles(bundles)
+    store.add_details(details)
+    store.flush()
+    store.database.close()
+    return path
+
+
+def _timed_serial(path):
+    started = time.perf_counter()
+    store = ArchiveBundleStore.resume(path)
+    report = AnalysisPipeline().analyze_store(store)
+    elapsed = time.perf_counter() - started
+    store.database.close()
+    return report, elapsed
+
+
+def _timed_engine(path, jobs, chunk_size=2_048):
+    engine = ParallelAnalysisEngine(path, jobs=jobs, chunk_size=chunk_size)
+    started = time.perf_counter()
+    report = engine.analyze(persist=False)
+    elapsed = time.perf_counter() - started
+    engine.database.close()
+    return report, elapsed
+
+
+def test_parallel_output_byte_identical(big_archive):
+    serial, _ = _timed_serial(big_archive)
+    expected = report_bytes(serial)
+    for jobs in (1, 2, 4):
+        report, _ = _timed_engine(big_archive, jobs=jobs)
+        assert report_bytes(report) == expected, (
+            f"parallel output diverged from serial at jobs={jobs}"
+        )
+
+
+def test_end_to_end_throughput_and_speedup(big_archive):
+    serial_report, serial_s = _timed_serial(big_archive)
+    record_perf(
+        "analyze_end_to_end_serial", TOTAL_BUNDLES, serial_s, jobs=1
+    )
+    expected = report_bytes(serial_report)
+    timings = {}
+    for jobs in (2, 4):
+        report, elapsed = _timed_engine(big_archive, jobs=jobs)
+        assert report_bytes(report) == expected
+        timings[jobs] = elapsed
+        record_perf(
+            f"analyze_end_to_end_parallel_{jobs}",
+            TOTAL_BUNDLES,
+            elapsed,
+            jobs=jobs,
+            speedup_vs_serial=round(serial_s / elapsed, 3),
+        )
+    if (os.cpu_count() or 1) >= 4 and TOTAL_BUNDLES >= SPEEDUP_FLOOR_BUNDLES:
+        speedup = serial_s / timings[4]
+        assert speedup >= 2.0, (
+            f"expected >= 2x end-to-end speedup at 4 jobs on "
+            f"{os.cpu_count()} cores, measured {speedup:.2f}x"
+        )
+
+
+def test_detect_and_quantify_throughput(big_archive):
+    store = ArchiveBundleStore.resume(big_archive)
+    pipeline = AnalysisPipeline()
+
+    started = time.perf_counter()
+    events = pipeline.detector.detect_all(store)
+    record_perf(
+        "detect_all", len(store), time.perf_counter() - started, jobs=1
+    )
+    assert events, "synthetic archive produced no sandwiches"
+
+    started = time.perf_counter()
+    quantified = LossQuantifier(PriceOracle()).quantify_all(events)
+    quantify_s = time.perf_counter() - started
+    record_perf(
+        "quantify_all",
+        len(store),
+        quantify_s,
+        jobs=1,
+        sandwiches=len(quantified),
+    )
+    store.database.close()

@@ -9,6 +9,8 @@ the rendered artifact to ``benchmarks/output/``.
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
@@ -17,6 +19,12 @@ from repro import AnalysisPipeline, MeasurementCampaign, paper_scenario
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
+#: Machine-readable throughput records accumulated over the session and
+#: flushed to ``benchmarks/output/BENCH_PERF.json`` at exit. CI uploads
+#: the file as an artifact so perf trends are diffable across commits.
+BENCH_PERF_PATH = OUTPUT_DIR / "BENCH_PERF.json"
+_PERF_RECORDS: dict[str, dict] = {}
+
 
 def save_artifact(name: str, text: str) -> Path:
     """Persist a rendered figure/table for inspection after the run."""
@@ -24,6 +32,36 @@ def save_artifact(name: str, text: str) -> Path:
     path = OUTPUT_DIR / name
     path.write_text(text + "\n", encoding="utf-8")
     return path
+
+
+def record_perf(
+    name: str, bundles: int, seconds: float, **extra: object
+) -> dict:
+    """Record one throughput measurement (bundles/sec) for BENCH_PERF.json."""
+    entry: dict = {
+        "bundles": bundles,
+        "seconds": round(seconds, 6),
+        "bundles_per_sec": (
+            round(bundles / seconds, 2) if seconds > 0 else None
+        ),
+    }
+    entry.update(extra)
+    _PERF_RECORDS[name] = entry
+    return entry
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _PERF_RECORDS:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": "bench-perf/1",
+        "cpu_count": os.cpu_count(),
+        "records": dict(sorted(_PERF_RECORDS.items())),
+    }
+    BENCH_PERF_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

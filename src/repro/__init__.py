@@ -13,6 +13,8 @@ The package is layered bottom-up:
   quantification, defensive-bundling classification;
 - :mod:`repro.baselines` / :mod:`repro.analysis` — comparisons and every
   table/figure of the evaluation;
+- :mod:`repro.parallel` — the sharded multiprocess analysis engine,
+  byte-identical to the serial pipeline at any job count;
 - :mod:`repro.obs` — metrics, span tracing, and structured event telemetry
   across the whole pipeline (deterministic under the sim clock).
 
@@ -33,6 +35,7 @@ from repro.core import (
     SandwichDetector,
 )
 from repro.obs import NULL_REGISTRY, EventLog, MetricsRegistry
+from repro.parallel import DetectorSpec, ParallelAnalysisEngine
 from repro.simulation import (
     ScenarioConfig,
     SimulationEngine,
@@ -45,11 +48,13 @@ __version__ = "1.1.0"
 __all__ = [
     "AnalysisPipeline",
     "DefensiveBundlingClassifier",
+    "DetectorSpec",
     "EventLog",
     "LossQuantifier",
     "MeasurementCampaign",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "ParallelAnalysisEngine",
     "SandwichDetector",
     "ScenarioConfig",
     "SimulationEngine",

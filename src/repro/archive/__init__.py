@@ -23,8 +23,10 @@ from repro.archive.database import (
 )
 from repro.archive.incremental import IncrementalAnalyzer, IncrementalResult
 from repro.archive.query import (
+    ArchiveChunk,
     ArchiveQuery,
     BundleFilter,
+    BundleKey,
     SandwichFilter,
 )
 from repro.archive.schema import SCHEMA_VERSION
@@ -33,9 +35,11 @@ from repro.archive.store import ArchiveBundleStore, FlushPolicy
 __all__ = [
     "ARCHIVE_FILENAME",
     "ArchiveBundleStore",
+    "ArchiveChunk",
     "ArchiveDatabase",
     "ArchiveQuery",
     "BundleFilter",
+    "BundleKey",
     "CHECKPOINT_VERSION",
     "CheckpointedCampaign",
     "FlushPolicy",

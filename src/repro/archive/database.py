@@ -38,16 +38,38 @@ def is_archive_path(path: str | Path) -> bool:
 
 
 class ArchiveDatabase:
-    """A migrated, WAL-mode SQLite handle plus maintenance operations."""
+    """A migrated, WAL-mode SQLite handle plus maintenance operations.
 
-    def __init__(self, path: str | Path) -> None:
+    ``read_only=True`` opens an existing, already-migrated file via SQLite's
+    ``mode=ro`` URI — no directory creation, no migrations, no writes. This
+    is how parallel analysis workers attach: many read-only connections can
+    scan a WAL-mode archive concurrently without ever taking a write lock.
+    """
+
+    def __init__(self, path: str | Path, read_only: bool = False) -> None:
         self._path = Path(path)
+        self._read_only = read_only
         try:
-            self._path.parent.mkdir(parents=True, exist_ok=True)
-            self._conn = sqlite3.connect(str(self._path))
+            if read_only:
+                self._conn = sqlite3.connect(
+                    f"file:{self._path}?mode=ro", uri=True
+                )
+            else:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                self._conn = sqlite3.connect(str(self._path))
         except (OSError, sqlite3.Error) as exc:
             raise StoreError(f"cannot open archive {path}: {exc}") from exc
         self._conn.row_factory = sqlite3.Row
+        if read_only:
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if version != SCHEMA_VERSION:
+                self._conn.close()
+                raise StoreError(
+                    f"read-only archive {self._path} is schema v{version}; "
+                    f"this build needs v{SCHEMA_VERSION} (open it writable "
+                    "once to migrate)"
+                )
+            return
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute("PRAGMA foreign_keys=ON")
@@ -57,6 +79,11 @@ class ArchiveDatabase:
     def path(self) -> Path:
         """Location of the SQLite file."""
         return self._path
+
+    @property
+    def read_only(self) -> bool:
+        """Whether this handle was opened with ``mode=ro``."""
+        return self._read_only
 
     @property
     def connection(self) -> sqlite3.Connection:

@@ -15,13 +15,20 @@ bundles still awaiting transaction details) and each pass:
 
 Detector statistics are merged across passes in the stored state, keeping
 the reported totals equal to what one monolithic pass would have counted.
+
+With ``jobs > 1`` the delta itself is sharded: the carried-over pending
+bundles form one explicit worklist task and the rows past the watermark are
+split into ``seq``-range chunks, all executed by
+:class:`repro.parallel.engine.ParallelAnalysisEngine` and folded back with
+its deterministic reducer — the stored state and rebuilt report are
+identical to a serial pass over the same delta.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.archive.database import ArchiveDatabase
 from repro.archive.query import ArchiveQuery
@@ -34,8 +41,12 @@ from repro.core.detector import DetectionStats, SandwichDetector
 from repro.core.pipeline import AnalysisReport
 from repro.core.quantify import LossQuantifier
 from repro.dex.oracle import PriceOracle
+from repro.errors import ConfigError
 from repro.explorer.models import BundleRecord
 from repro.obs.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # deferred: repro.parallel imports repro.archive
+    from repro.parallel.chunks import DetectorSpec
 
 
 @dataclass
@@ -65,12 +76,25 @@ class IncrementalAnalyzer:
         detector_factory: Callable[[], SandwichDetector] | None = None,
         classifier: DefensiveBundlingClassifier | None = None,
         metrics: MetricsRegistry | None = None,
+        jobs: int = 1,
+        chunk_size: int = 2_048,
+        spec: DetectorSpec | None = None,
     ) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.database = database
         self.consumer = consumer
         self.oracle = oracle or PriceOracle()
+        # Live factories cannot cross a process boundary; parallel passes
+        # describe the stack with a picklable spec instead.
+        self._custom_stack = (
+            detector_factory is not None or classifier is not None
+        )
         self.detector_factory = detector_factory or SandwichDetector
         self.classifier = classifier or DefensiveBundlingClassifier()
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.spec = spec
         self.quantifier = LossQuantifier(self.oracle)
         self.query = ArchiveQuery(database, metrics=metrics)
         # A writer facade over the same database: reuses the store's
@@ -129,12 +153,14 @@ class IncrementalAnalyzer:
     # --- the pass ----------------------------------------------------------
 
     def _slice_store(
-        self, state: dict
+        self, state: dict, detail_lengths: tuple[int, ...] = (3,)
     ) -> tuple[BundleStore, list, int]:
         """The working set: pending bundles plus everything past the mark.
 
         Returns the mini in-memory store, the new bundle rows, and the new
-        high-water ``seq``.
+        high-water ``seq``. ``detail_lengths`` names the bundle lengths the
+        detector will want transaction details for (``(3,)`` for the
+        standard detector, the window lengths for the windowed one).
         """
         last_seq = int(state["last_bundle_seq"])
         rows = self.database.connection.execute(
@@ -150,9 +176,101 @@ class IncrementalAnalyzer:
         mini.add_bundles(pending)
         mini.add_bundles([bundle_from_row(row) for row in rows])
         # Pull whatever details exist for each detection candidate.
-        for bundle in mini.bundles_of_length(3):
-            mini.add_details(self.query.details_for_bundle(bundle))
+        for length in detail_lengths:
+            for bundle in mini.bundles_of_length(length):
+                mini.add_details(self.query.details_for_bundle(bundle))
         return mini, rows, high_seq
+
+    def _serial_delta(
+        self, state: dict
+    ) -> tuple[list, DefensiveReport, DetectionStats, list[str], int, int]:
+        """Analyze the delta in-process (the ``jobs=1`` path)."""
+        detector = self.detector_factory()
+        detail_lengths = tuple(getattr(detector, "lengths", (3,)))
+        mini, new_rows, high_seq = self._slice_store(
+            state, detail_lengths=detail_lengths
+        )
+        events = detector.detect_all(mini)
+        quantified = self.quantifier.quantify_all(events)
+        classification = self.classifier.classify(mini)
+        wanted = set(detail_lengths)
+        pending_ids = [
+            bundle.bundle_id
+            for bundle in mini.bundles()
+            if bundle.num_transactions in wanted
+            and mini.missing_details(bundle)
+        ]
+        return (
+            quantified,
+            classification,
+            detector.stats,
+            pending_ids,
+            len(new_rows),
+            high_seq,
+        )
+
+    def _parallel_delta(
+        self, state: dict
+    ) -> tuple[list, DefensiveReport, DetectionStats, list[str], int, int]:
+        """Shard the delta across the parallel engine's worker pool.
+
+        The carried-over pending bundles become task 0 (an explicit
+        worklist in stored order) and rows past the watermark become
+        ``seq``-range chunk tasks — together exactly the serial working
+        set, in the same collection order.
+        """
+        from repro.parallel.chunks import ChunkTask, DetectorSpec
+        from repro.parallel.engine import ParallelAnalysisEngine
+        from repro.parallel.merge import merge_outcomes
+
+        spec = self.spec
+        if spec is None:
+            if self._custom_stack:
+                raise ConfigError(
+                    "parallel incremental analysis cannot ship a live "
+                    "detector_factory/classifier to workers; describe the "
+                    "stack with a DetectorSpec instead"
+                )
+            spec = DetectorSpec()
+        engine = ParallelAnalysisEngine(
+            self.database,
+            jobs=self.jobs,
+            chunk_size=self.chunk_size,
+            spec=spec,
+            oracle=self.oracle,
+            metrics=self.metrics,
+        )
+        last_seq = int(state["last_bundle_seq"])
+        chunks = list(
+            engine.query.iter_chunks(
+                chunk_size=self.chunk_size, seq_min=last_seq
+            )
+        )
+        tasks = []
+        pending = tuple(state["state"].get("pending_ids", []))
+        if pending:
+            tasks.append(
+                ChunkTask(
+                    index=0,
+                    archive_path=str(self.database.path),
+                    spec=engine.spec,
+                    bundle_ids=pending,
+                )
+            )
+        tasks.extend(engine.tasks_for_chunks(chunks, first_index=1))
+        outcomes = engine.run_tasks(tasks)
+        merged = merge_outcomes(
+            outcomes, threshold_lamports=engine.spec.threshold_lamports
+        )
+        high_seq = chunks[-1].seq_hi if chunks else last_seq
+        return (
+            merged.quantified,
+            merged.defensive_report,
+            merged.stats,
+            list(merged.pending_detail_ids),
+            sum(chunk.count for chunk in chunks),
+            high_seq,
+        )
 
     def _merge_stats(self, accumulated: dict, stats: DetectionStats) -> dict:
         merged = dict(accumulated)
@@ -198,26 +316,21 @@ class IncrementalAnalyzer:
         """
         with self.metrics.span("analysis.incremental"):
             state = self.load_state()
-            mini, new_rows, high_seq = self._slice_store(state)
+            if self.jobs > 1:
+                delta = self._parallel_delta(state)
+            else:
+                delta = self._serial_delta(state)
+            quantified, classification, stats, pending_ids = delta[:4]
+            new_bundles, high_seq = delta[4:]
 
-            detector = self.detector_factory()
-            events = detector.detect_all(mini)
-            quantified = self.quantifier.quantify_all(events)
             if quantified:
                 self._writer.record_sandwiches(quantified)
-
-            fresh_classification = self.classifier.classify(mini)
-            classified = fresh_classification.length_one_total
+            classified = classification.length_one_total
             if classified:
-                self._writer.record_defensive(fresh_classification)
+                self._writer.record_defensive(classification)
 
-            pending_ids = [
-                bundle.bundle_id
-                for bundle in mini.bundles_of_length(3)
-                if mini.missing_details(bundle)
-            ]
             merged_stats = self._merge_stats(
-                state["state"].get("stats", {}), detector.stats
+                state["state"].get("stats", {}), stats
             )
             # Every bundle carried over as pending was counted
             # skipped-incomplete last pass and re-fed this pass (where it
@@ -242,7 +355,7 @@ class IncrementalAnalyzer:
         self._runs_metric.inc()
         return IncrementalResult(
             report=report,
-            new_bundles=len(new_rows),
+            new_bundles=new_bundles,
             new_sandwiches=len(quantified),
             new_classified=classified,
             pending_detail_bundles=carried,

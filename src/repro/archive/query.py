@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.archive.database import ArchiveDatabase
 from repro.archive.schema import (
@@ -99,6 +100,43 @@ class SandwichFilter:
         return (" AND ".join(clauses) or "1=1", params)
 
 
+@dataclass(frozen=True)
+class BundleKey:
+    """A projected bundle row: index columns only, no payload parse.
+
+    Slot-range scans that need ids, slots, or lengths — chunk planning,
+    coverage checks, count-by-length summaries — previously paid a JSON
+    ``transaction_ids`` deserialization per row for data they never read.
+    This projection selects only indexed scalar columns.
+    """
+
+    seq: int
+    bundle_id: str
+    slot: int
+    landed_at: float
+    tip_lamports: int
+    num_transactions: int
+
+
+@dataclass(frozen=True)
+class ArchiveChunk:
+    """One bounded, contiguous slice of the ``bundles`` table.
+
+    Chunks partition the archive by the ``seq`` primary key (collection
+    order), so every bundle falls in exactly one chunk and concatenating
+    chunks in ``index`` order reproduces a full sequential scan. The slot
+    bounds are carried for display and slot-range bookkeeping; ``seq``
+    bounds are what workers query by (indexed, skew-free).
+    """
+
+    index: int
+    seq_lo: int
+    seq_hi: int
+    count: int
+    slot_lo: int
+    slot_hi: int
+
+
 def _order_clause(
     order_by: str, descending: bool, allowed: frozenset[str]
 ) -> str:
@@ -167,6 +205,83 @@ class ArchiveQuery:
             bundle_from_row(row)
             for row in self._timed("bundles", sql, params + page_params)
         ]
+
+    def bundle_index(
+        self,
+        where: BundleFilter | None = None,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> list[BundleKey]:
+        """Projected bundle rows in ``seq`` order, skipping payload parse.
+
+        Use this instead of :meth:`bundles` when only ids/slots/lengths are
+        needed: no ``transaction_ids`` JSON is deserialized, which is the
+        dominant cost of wide slot-range scans.
+        """
+        where = where or BundleFilter()
+        clause, params = where.compile()
+        page, page_params = _page_clause(limit, offset)
+        rows = self._timed(
+            "bundle_index",
+            "SELECT seq, bundle_id, slot, landed_at, tip_lamports, "
+            f"num_transactions FROM bundles WHERE {clause} ORDER BY seq"
+            + page,
+            params + page_params,
+        )
+        return [
+            BundleKey(
+                seq=row["seq"],
+                bundle_id=row["bundle_id"],
+                slot=row["slot"],
+                landed_at=row["landed_at"],
+                tip_lamports=row["tip_lamports"],
+                num_transactions=row["num_transactions"],
+            )
+            for row in rows
+        ]
+
+    def iter_chunks(
+        self,
+        chunk_size: int = 2_048,
+        where: BundleFilter | None = None,
+        seq_min: int | None = None,
+    ) -> Iterator[ArchiveChunk]:
+        """Stream bounded chunk descriptors over the bundle table.
+
+        A keyset cursor walks the ``seq`` primary key in ``chunk_size``
+        steps (optionally restricted by a filter and/or to ``seq >
+        seq_min``, the incremental analyzer's watermark), yielding one
+        :class:`ArchiveChunk` per slice. Only projected index columns are
+        read — planning a 50k-bundle archive touches no JSON payloads and
+        never materializes more than one chunk's keys at a time.
+        """
+        if chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1")
+        where = where or BundleFilter()
+        clause, params = where.compile()
+        cursor = seq_min if seq_min is not None else 0
+        index = 0
+        while True:
+            rows = self._timed(
+                "iter_chunks",
+                "SELECT seq, slot FROM bundles "
+                f"WHERE seq > ? AND {clause} ORDER BY seq LIMIT ?",
+                [cursor] + params + [chunk_size],
+            )
+            if not rows:
+                return
+            seqs = [row["seq"] for row in rows]
+            slots = [row["slot"] for row in rows]
+            yield ArchiveChunk(
+                index=index,
+                seq_lo=seqs[0],
+                seq_hi=seqs[-1],
+                count=len(rows),
+                slot_lo=min(slots),
+                slot_hi=max(slots),
+            )
+            cursor = seqs[-1]
+            index += 1
 
     def count_bundles(self, where: BundleFilter | None = None) -> int:
         """Number of bundles matching the filter."""

@@ -149,7 +149,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     else:
         result = MeasurementCampaign(scenario).run()
-    report = AnalysisPipeline().analyze_campaign(result)
+    if checkpointed is not None and args.jobs is not None and args.jobs > 1:
+        # Archived campaigns can fan post-processing out to the sharded
+        # engine; the report is byte-identical to the serial pipeline's.
+        from repro.parallel import ParallelAnalysisEngine
+
+        checkpointed.store.flush()
+        engine = ParallelAnalysisEngine(
+            checkpointed.store.database,
+            jobs=args.jobs,
+            metrics=result.metrics,
+        )
+        report = engine.analyze(
+            poll_overlap_fraction=result.coverage.overlap_fraction()
+        )
+    else:
+        report = AnalysisPipeline().analyze_campaign(result)
     elapsed = time.time() - started
 
     out.mkdir(parents=True, exist_ok=True)
@@ -287,12 +302,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         threshold_lamports=args.threshold
     )
     if is_archive:
-        from repro.archive import (
-            ArchiveBundleStore,
-            ArchiveDatabase,
-            IncrementalAnalyzer,
+        from repro.archive import ArchiveDatabase, IncrementalAnalyzer
+        from repro.parallel import (
+            DetectorSpec,
+            ParallelAnalysisEngine,
+            default_jobs,
         )
 
+        jobs = args.jobs if args.jobs is not None else default_jobs()
+        spec = DetectorSpec(
+            kind="windowed" if args.windowed else "standard",
+            threshold_lamports=args.threshold,
+        )
         if args.incremental:
             analyzer = IncrementalAnalyzer(
                 ArchiveDatabase(store_path),
@@ -302,25 +323,38 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                     else SandwichDetector
                 ),
                 classifier=classifier,
+                jobs=jobs,
+                chunk_size=args.chunk_size,
+                spec=spec,
             )
             outcome = analyzer.analyze()
             report = outcome.report
             emit(
                 f"incremental pass:   {outcome.new_bundles} new bundles, "
                 f"{outcome.new_sandwiches} new sandwiches, "
-                f"{outcome.pending_detail_bundles} awaiting details",
+                f"{outcome.pending_detail_bundles} awaiting details "
+                f"({jobs} jobs)",
                 new_bundles=outcome.new_bundles,
                 new_sandwiches=outcome.new_sandwiches,
+                jobs=jobs,
             )
             store_size = report.headline.bundles_collected
         else:
-            store = ArchiveBundleStore.resume(store_path)
-            pipeline = AnalysisPipeline(
-                detector=detector, classifier=classifier
+            engine = ParallelAnalysisEngine(
+                ArchiveDatabase(store_path),
+                jobs=jobs,
+                chunk_size=args.chunk_size,
+                spec=spec,
             )
-            report = pipeline.analyze_store(store)
-            store_size = len(store)
+            report = engine.analyze()
+            store_size = report.headline.bundles_collected
     elif (store_path / "bundles.jsonl").is_file():
+        if args.jobs is not None and args.jobs > 1:
+            progress.info(
+                "cli.analyze",
+                "JSONL stores have no chunk cursor; --jobs ignored, "
+                "analyzing serially",
+            )
         if args.incremental:
             progress.error(
                 "cli.analyze",
@@ -719,6 +753,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="days between checkpoints when --archive is set (default 1)",
     )
     campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for post-campaign analysis (archived "
+        "campaigns only; default: analyze serially)",
+    )
+    campaign.add_argument(
         "--log-jsonl",
         default=None,
         help="also append structured events to this JSONL file",
@@ -763,6 +804,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="archive stores only: re-detect only rows newer than the "
         "last analyzed watermark",
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for archive analysis (default: all cores "
+        "but one; 1 analyzes in-process)",
+    )
+    analyze.add_argument(
+        "--chunk-size",
+        type=int,
+        default=2_048,
+        help="bundles per analysis chunk when sharding an archive "
+        "(default 2048)",
     )
     analyze.set_defaults(func=cmd_analyze)
 

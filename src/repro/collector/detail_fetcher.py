@@ -184,11 +184,15 @@ class TxDetailFetcher:
         number, so checkpointed runs replay the same randomness.
         """
         self.fetch_cycles += 1
-        self._next_due = self._clock.now() + self.config.spacing_seconds
         pending = self.pending_transaction_ids()
         if not pending:
+            # No request went out, so the polite inter-batch spacing does
+            # not apply: stay due now instead of sleeping a full interval
+            # while freshly collected bundles queue up.
+            self._next_due = self._clock.now()
             self._batches_metric.inc(outcome="empty")
             return FetchResult()
+        self._next_due = self._clock.now() + self.config.spacing_seconds
         batch = pending[: self.config.batch_limit]
         self._batch_size_metric.observe(len(batch))
         backoff = ExponentialBackoff(

@@ -5,7 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.collector.store import BundleStore
-from repro.core.criteria import BundleView, evaluate_criteria
+from repro.core.criteria import (
+    BundleView,
+    compile_criteria,
+    evaluate_compiled,
+)
 from repro.core.events import SandwichEvent
 from repro.errors import DetectionError
 from repro.explorer.models import BundleRecord
@@ -29,6 +33,8 @@ class SandwichDetector:
 
     def __init__(self, skip_criteria: frozenset[str] | set[str] = frozenset()) -> None:
         self._skip = frozenset(skip_criteria)
+        # The skip set is resolved once here, not per bundle in the hot loop.
+        self._compiled = compile_criteria(self._skip)
         self.stats = DetectionStats()
 
     @property
@@ -39,7 +45,7 @@ class SandwichDetector:
     def detect_view(self, view: BundleView) -> SandwichEvent | None:
         """Evaluate one bundle view; returns the event if all criteria pass."""
         self.stats.bundles_examined += 1
-        results = evaluate_criteria(view, skip=self._skip)
+        results = evaluate_compiled(view, self._compiled)
         failed = next((r for r in results if not r.passed), None)
         if failed is not None:
             self.stats.rejections_by_criterion[failed.name] = (
@@ -162,12 +168,20 @@ class WindowedSandwichDetector(SandwichDetector):
         return None
 
     def detect_all(self, store: BundleStore) -> list[SandwichEvent]:
-        """Scan every fully-detailed bundle of the configured lengths."""
+        """Scan every fully-detailed bundle of the configured lengths.
+
+        Bundles are visited in store insertion (collection) order, not
+        length-major order, so ties in the final ``landed_at`` sort resolve
+        identically whether a store is scanned whole or in sharded chunks —
+        the invariant the parallel engine's merge relies on.
+        """
+        wanted = set(self._lengths)
         events: list[SandwichEvent] = []
-        for length in self._lengths:
-            for bundle in store.bundles_of_length(length):
-                event = self.detect_bundle(bundle, store)
-                if event is not None:
-                    events.append(event)
+        for bundle in store.bundles():
+            if bundle.num_transactions not in wanted:
+                continue
+            event = self.detect_bundle(bundle, store)
+            if event is not None:
+                events.append(event)
         events.sort(key=lambda e: e.landed_at)
         return events

@@ -44,31 +44,51 @@ class TradeLeg:
         return frozenset((self.mint_in, self.mint_out))
 
 
-def extract_trades(record: TransactionRecord) -> list[TradeLeg]:
-    """All swap legs a transaction executed, in program order."""
-    legs: list[TradeLeg] = []
-    for event in record.events:
-        if event.get("type") != "swap":
-            continue
-        legs.append(
-            TradeLeg(
-                owner=str(event["owner"]),
-                pool=str(event["pool"]),
-                mint_in=str(event["mint_in"]),
-                mint_out=str(event["mint_out"]),
-                amount_in=int(event["amount_in"]),
-                amount_out=int(event["amount_out"]),
-            )
+def _memoized_trades(record: TransactionRecord) -> tuple[TradeLeg, ...]:
+    """The record's swap legs, parsed once and cached on the instance.
+
+    Records are immutable, so the parsed legs are stashed in the frozen
+    dataclass's ``__dict__`` (the same trick :class:`~repro.solana.keys.
+    Signature` uses for its base58 form). Detection evaluates several
+    criteria per record, and the windowed detector revisits the same record
+    across overlapping windows — each re-parse of the event payload is pure
+    waste.
+    """
+    cached = record.__dict__.get("_trades")
+    if cached is not None:
+        return cached
+    legs = tuple(
+        TradeLeg(
+            owner=str(event["owner"]),
+            pool=str(event["pool"]),
+            mint_in=str(event["mint_in"]),
+            mint_out=str(event["mint_out"]),
+            amount_in=int(event["amount_in"]),
+            amount_out=int(event["amount_out"]),
         )
+        for event in record.events
+        if event.get("type") == "swap"
+    )
+    object.__setattr__(record, "_trades", legs)
     return legs
 
 
+def extract_trades(record: TransactionRecord) -> list[TradeLeg]:
+    """All swap legs a transaction executed, in program order."""
+    return list(_memoized_trades(record))
+
+
 def traded_mints(record: TransactionRecord) -> frozenset[str]:
-    """The set of mints the transaction's swaps touched."""
+    """The set of mints the transaction's swaps touched (cached per record)."""
+    cached = record.__dict__.get("_mints")
+    if cached is not None:
+        return cached
     mints: set[str] = set()
-    for leg in extract_trades(record):
+    for leg in _memoized_trades(record):
         mints |= leg.mints
-    return frozenset(mints)
+    result = frozenset(mints)
+    object.__setattr__(record, "_mints", result)
+    return result
 
 
 def net_deltas_for(

@@ -1,0 +1,41 @@
+"""repro.parallel: the work-sharded analysis engine.
+
+Detection, quantification, and defensive classification are embarrassingly
+parallel per bundle, so the engine streams an archived campaign in bounded
+``seq``-range chunks (:meth:`repro.archive.query.ArchiveQuery.iter_chunks`),
+fans the chunks out to a ``multiprocessing`` pool whose workers re-open the
+archive read-only, and folds the per-chunk results back together with a
+deterministic, order-independent reducer — serial and parallel runs produce
+byte-identical reports.
+
+- :mod:`repro.parallel.chunks` — picklable task/spec datatypes
+- :mod:`repro.parallel.worker` — per-chunk analysis (pool or in-process)
+- :mod:`repro.parallel.merge` — the deterministic reducer
+- :mod:`repro.parallel.engine` — :class:`ParallelAnalysisEngine`
+
+``jobs=1`` runs every chunk in-process on the caller's connection and never
+imports :mod:`multiprocessing`, keeping tests and single-core hosts
+hermetic.
+"""
+
+from repro.parallel.chunks import ChunkTask, DetectorSpec, plan_chunks
+from repro.parallel.engine import ParallelAnalysisEngine, default_jobs
+from repro.parallel.merge import (
+    MergedAnalysis,
+    merge_outcomes,
+    report_to_jsonable,
+)
+from repro.parallel.worker import ChunkOutcome, analyze_chunk
+
+__all__ = [
+    "ChunkOutcome",
+    "ChunkTask",
+    "DetectorSpec",
+    "MergedAnalysis",
+    "ParallelAnalysisEngine",
+    "analyze_chunk",
+    "default_jobs",
+    "merge_outcomes",
+    "plan_chunks",
+    "report_to_jsonable",
+]

@@ -1,0 +1,239 @@
+"""The work-sharded analysis engine.
+
+:class:`ParallelAnalysisEngine` is the archive-native counterpart of
+:class:`~repro.core.pipeline.AnalysisPipeline`: instead of materializing a
+whole campaign in memory, it streams the archive in bounded chunks, fans
+them out to a process pool (or analyzes them in-process at ``jobs=1``), and
+reduces the results deterministically. Serial and parallel runs emit
+byte-identical reports — see :mod:`repro.parallel.merge` for the argument.
+
+The ``jobs=1`` path never imports :mod:`multiprocessing`; the import lives
+inside :meth:`ParallelAnalysisEngine._run_pool` and only executes when a
+pool is actually wanted.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.archive.database import ArchiveDatabase
+from repro.archive.query import ArchiveQuery
+from repro.archive.store import ArchiveBundleStore
+from repro.core.aggregate import headline_stats, sandwiches_per_day
+from repro.core.pipeline import AnalysisReport
+from repro.dex.oracle import PriceOracle
+from repro.errors import ConfigError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.parallel.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkTask,
+    DetectorSpec,
+    plan_chunks,
+)
+from repro.parallel.merge import MergedAnalysis, merge_outcomes
+from repro.parallel.worker import ChunkOutcome, analyze_chunk, init_worker, run_chunk
+
+#: Histogram buckets for per-chunk wall-clock (seconds).
+_CHUNK_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0)
+
+
+def default_jobs() -> int:
+    """The engine's default worker count: all cores but one, at least 1."""
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
+class ParallelAnalysisEngine:
+    """Chunked, multi-process analysis over one archive database."""
+
+    def __init__(
+        self,
+        database: ArchiveDatabase | str | Path,
+        jobs: int | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        spec: DetectorSpec | None = None,
+        oracle: PriceOracle | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.database = (
+            database
+            if isinstance(database, ArchiveDatabase)
+            else ArchiveDatabase(database)
+        )
+        self.jobs = default_jobs() if jobs is None else jobs
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.oracle = oracle or PriceOracle()
+        spec = spec or DetectorSpec()
+        spec.validate()
+        # Workers rebuild the oracle from the spec; pin the rate so pool
+        # and in-process quantification price events identically.
+        self.spec = (
+            spec
+            if spec.usd_per_sol is not None
+            else replace(spec, usd_per_sol=self.oracle.usd_per_sol)
+        )
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.query = ArchiveQuery(self.database, metrics=self.metrics)
+        self._chunk_seconds = self.metrics.histogram(
+            "parallel_chunk_seconds",
+            "Wall-clock seconds per analyzed chunk, by worker.",
+            buckets=_CHUNK_BUCKETS,
+        )
+        self._chunks_metric = self.metrics.counter(
+            "parallel_chunks_total", "Chunks analyzed by the engine."
+        )
+        self._pending_gauge = self.metrics.gauge(
+            "parallel_chunks_pending",
+            "Chunks submitted to the engine but not yet reduced.",
+        )
+        self._jobs_gauge = self.metrics.gauge(
+            "parallel_jobs", "Worker processes the engine fans out to."
+        )
+        self._cache_hits = self.metrics.counter(
+            "hotpath_cache_hits_total",
+            "Hot-path memo hits observed during chunk analysis, by cache.",
+        )
+        self._cache_misses = self.metrics.counter(
+            "hotpath_cache_misses_total",
+            "Hot-path memo misses observed during chunk analysis, by cache.",
+        )
+
+    # --- task execution ----------------------------------------------------
+
+    def _observe(self, outcome: ChunkOutcome, remaining: int) -> None:
+        self._chunks_metric.inc()
+        self._pending_gauge.set(remaining)
+        self._chunk_seconds.observe(
+            outcome.elapsed_seconds, worker=outcome.worker
+        )
+        for cache, hits, misses in (
+            ("view", outcome.view_cache_hits, outcome.view_cache_misses),
+            ("b58", outcome.b58_cache_hits, outcome.b58_cache_misses),
+        ):
+            if hits:
+                self._cache_hits.inc(hits, cache=cache)
+            if misses:
+                self._cache_misses.inc(misses, cache=cache)
+
+    def _run_in_process(self, tasks: list[ChunkTask]) -> list[ChunkOutcome]:
+        outcomes: list[ChunkOutcome] = []
+        for position, task in enumerate(tasks):
+            outcome = analyze_chunk(self.database, task)
+            self._observe(outcome, remaining=len(tasks) - position - 1)
+            outcomes.append(outcome)
+        return outcomes
+
+    def _run_pool(self, tasks: list[ChunkTask]) -> list[ChunkOutcome]:
+        import multiprocessing
+
+        workers = min(self.jobs, len(tasks))
+        outcomes: list[ChunkOutcome] = []
+        pool = multiprocessing.Pool(
+            processes=workers,
+            initializer=init_worker,
+            initargs=(str(self.database.path),),
+        )
+        try:
+            for outcome in pool.imap_unordered(run_chunk, tasks):
+                self._observe(
+                    outcome, remaining=len(tasks) - len(outcomes) - 1
+                )
+                outcomes.append(outcome)
+        finally:
+            pool.close()
+            pool.join()
+        return outcomes
+
+    def run_tasks(self, tasks: Iterable[ChunkTask]) -> list[ChunkOutcome]:
+        """Analyze chunk tasks with the configured parallelism.
+
+        Also the incremental analyzer's entry point for sharding its
+        delta. Outcomes are returned in completion order; reducers must
+        order by ``outcome.index`` (— :func:`merge_outcomes` does).
+        """
+        tasks = list(tasks)
+        self._jobs_gauge.set(self.jobs)
+        self._pending_gauge.set(len(tasks))
+        if not tasks:
+            return []
+        if self.jobs == 1 or len(tasks) == 1:
+            return self._run_in_process(tasks)
+        return self._run_pool(tasks)
+
+    # --- the full pass -----------------------------------------------------
+
+    def tasks_for_chunks(
+        self, chunks: Iterable, first_index: int = 0
+    ) -> list[ChunkTask]:
+        """Wrap archive chunks in picklable tasks for this engine's spec."""
+        return [
+            ChunkTask(
+                index=first_index + offset,
+                archive_path=str(self.database.path),
+                spec=self.spec,
+                chunk=chunk,
+            )
+            for offset, chunk in enumerate(chunks)
+        ]
+
+    def analyze(
+        self,
+        persist: bool = True,
+        poll_overlap_fraction: float | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> AnalysisReport:
+        """Analyze the whole archive and assemble the campaign report.
+
+        With ``persist`` (the default) the merged detections and
+        classifications are written back to the archive, mirroring what
+        the serial pipeline's ``record_analysis`` hook does.
+        """
+        with self.metrics.span("parallel.analyze"):
+            chunks = plan_chunks(self.query, chunk_size=self.chunk_size)
+            tasks = self.tasks_for_chunks(chunks)
+            outcomes = self.run_tasks(tasks)
+            if progress is not None:
+                progress(len(outcomes), len(tasks))
+            merged = merge_outcomes(
+                outcomes, threshold_lamports=self.spec.threshold_lamports
+            )
+            report = self.build_report(
+                merged, poll_overlap_fraction=poll_overlap_fraction
+            )
+            if persist:
+                self.persist(report)
+        return report
+
+    def build_report(
+        self,
+        merged: MergedAnalysis,
+        poll_overlap_fraction: float | None = None,
+    ) -> AnalysisReport:
+        """Campaign-level aggregation over merged chunk results."""
+        daily = sandwiches_per_day(merged.quantified, self.oracle)
+        headline = headline_stats(
+            merged.quantified,
+            merged.defensive_report,
+            bundles_collected=self.query.count_bundles(),
+            oracle=self.oracle,
+            poll_overlap_fraction=poll_overlap_fraction,
+        )
+        return AnalysisReport(
+            quantified=merged.quantified,
+            defensive=merged.defensive_report,
+            daily=daily,
+            headline=headline,
+            detection_stats=merged.stats,
+        )
+
+    def persist(self, report: AnalysisReport) -> None:
+        """Write detections and classifications back to the archive."""
+        writer = ArchiveBundleStore(self.database, metrics=self.metrics)
+        writer.record_sandwiches(report.quantified)
+        writer.record_defensive(report.defensive)

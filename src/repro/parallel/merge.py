@@ -1,0 +1,108 @@
+"""The deterministic, order-independent reducer.
+
+Chunks complete in whatever order the pool schedules them; the reducer
+first restores chunk order (each outcome carries its plan ``index``), then
+folds the per-chunk lists together. Determinism rests on two invariants:
+
+1. every chunk is analyzed in collection (``seq``) order internally, and
+   chunk ``index`` order equals ``seq`` order across chunks — so the
+   concatenation of per-chunk lists equals the serial pass's pre-sort
+   order; and
+2. the only sort applied afterwards (events by ``landed_at``) is stable,
+   so ties resolve by that same collection order, exactly as they do in
+   :meth:`SandwichDetector.detect_all`.
+
+Together these make the merged quantified list, defensive report, and
+detection stats byte-identical to a single-threaded pass.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.core.defensive import DefensiveReport
+from repro.core.detector import DetectionStats
+from repro.core.pipeline import AnalysisReport
+from repro.core.quantify import QuantifiedSandwich
+from repro.parallel.worker import ChunkOutcome
+
+
+@dataclass
+class MergedAnalysis:
+    """The reducer's output: campaign-wide analysis inputs."""
+
+    quantified: list[QuantifiedSandwich] = field(default_factory=list)
+    defensive_report: DefensiveReport = None  # type: ignore[assignment]
+    stats: DetectionStats = field(default_factory=DetectionStats)
+    pending_detail_ids: list[str] = field(default_factory=list)
+    bundle_count: int = 0
+
+
+def merge_stats(outcomes: list[ChunkOutcome]) -> DetectionStats:
+    """Sum detector bookkeeping across chunk outcomes (in chunk order).
+
+    Rejection criteria keep their first-appearance order across the
+    ordered chunks — the same dict insertion order a serial detector
+    produces.
+    """
+    merged = DetectionStats()
+    for outcome in outcomes:
+        stats = outcome.stats
+        merged.bundles_examined += stats.bundles_examined
+        merged.bundles_detected += stats.bundles_detected
+        merged.bundles_skipped_incomplete += stats.bundles_skipped_incomplete
+        for criterion, count in stats.rejections_by_criterion.items():
+            merged.rejections_by_criterion[criterion] = (
+                merged.rejections_by_criterion.get(criterion, 0) + count
+            )
+    return merged
+
+
+def merge_outcomes(
+    outcomes: list[ChunkOutcome], threshold_lamports: int
+) -> MergedAnalysis:
+    """Fold chunk outcomes into campaign-wide analysis results."""
+    ordered = sorted(outcomes, key=lambda outcome: outcome.index)
+    quantified: list[QuantifiedSandwich] = []
+    report = DefensiveReport(threshold_lamports=threshold_lamports)
+    pending: list[str] = []
+    bundles = 0
+    for outcome in ordered:
+        quantified.extend(outcome.quantified)
+        report.defensive.extend(outcome.defensive)
+        report.priority.extend(outcome.priority)
+        pending.extend(outcome.pending_detail_ids)
+        bundles += outcome.bundle_count
+    # Stable: ties keep collection order, matching the serial detector.
+    quantified.sort(key=lambda item: item.event.landed_at)
+    return MergedAnalysis(
+        quantified=quantified,
+        defensive_report=report,
+        stats=merge_stats(ordered),
+        pending_detail_ids=pending,
+        bundle_count=bundles,
+    )
+
+
+def report_to_jsonable(report: AnalysisReport) -> dict:
+    """A canonical JSON-able form of a report, for byte-identity checks.
+
+    Every nested dataclass is flattened with :func:`dataclasses.asdict`;
+    serializing the result with ``json.dumps(..., sort_keys=True)`` yields
+    a stable byte string two runs can be compared on.
+    """
+    return {
+        "quantified": [asdict(item) for item in report.quantified],
+        "defensive": asdict(report.defensive),
+        "daily": {date: asdict(day) for date, day in report.daily.items()},
+        "headline": asdict(report.headline),
+        "detection_stats": asdict(report.detection_stats),
+    }
+
+
+def report_bytes(report: AnalysisReport) -> bytes:
+    """The canonical serialized report (the byte-identity artifact)."""
+    return json.dumps(
+        report_to_jsonable(report), sort_keys=True, separators=(",", ":")
+    ).encode()

@@ -1,0 +1,150 @@
+"""Per-chunk analysis: the function that runs inside pool workers.
+
+Each worker process opens the archive exactly once, read-only, in its pool
+initializer, then analyzes every chunk it is handed over that connection.
+The same :func:`analyze_chunk` also serves the ``jobs=1`` in-process path —
+the engine calls it directly on its own connection, so single-job runs
+execute byte-for-byte the same analysis code without any
+:mod:`multiprocessing` import.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.archive.database import ArchiveDatabase
+from repro.archive.query import ArchiveQuery
+from repro.archive.schema import bundle_from_row
+from repro.collector.store import BundleStore
+from repro.core.criteria import view_cache_stats
+from repro.core.detector import DetectionStats
+from repro.core.quantify import LossQuantifier, QuantifiedSandwich
+from repro.dex.oracle import PriceOracle
+from repro.explorer.models import BundleRecord
+from repro.parallel.chunks import ChunkTask
+from repro.utils.base58 import b58_cache_stats
+
+#: The worker process's lazily-opened read-only archive handle.
+_WORKER_DB: ArchiveDatabase | None = None
+
+
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """Everything one chunk's analysis produced, ready to merge.
+
+    All fields are picklable; per-chunk lists are already in the chunk's
+    deterministic (collection-order) form, so the reducer only needs to
+    concatenate outcomes by ``index`` and re-sort globally.
+    """
+
+    index: int
+    bundle_count: int
+    quantified: tuple[QuantifiedSandwich, ...]
+    defensive: tuple[BundleRecord, ...]
+    priority: tuple[BundleRecord, ...]
+    stats: DetectionStats
+    pending_detail_ids: tuple[str, ...]
+    elapsed_seconds: float
+    worker: str
+    view_cache_hits: int = 0
+    view_cache_misses: int = 0
+    b58_cache_hits: int = 0
+    b58_cache_misses: int = 0
+
+
+def init_worker(archive_path: str) -> None:
+    """Pool initializer: open the archive read-only, once per process."""
+    global _WORKER_DB
+    _WORKER_DB = ArchiveDatabase(archive_path, read_only=True)
+
+
+def run_chunk(task: ChunkTask) -> ChunkOutcome:
+    """Pool entry point: analyze one chunk on this worker's connection."""
+    global _WORKER_DB
+    if _WORKER_DB is None:  # pragma: no cover - initializer normally ran
+        _WORKER_DB = ArchiveDatabase(task.archive_path, read_only=True)
+    return analyze_chunk(_WORKER_DB, task)
+
+
+def _load_mini_store(database: ArchiveDatabase, task: ChunkTask) -> BundleStore:
+    """The chunk's working set: its bundles plus detection-length details."""
+    query = ArchiveQuery(database)
+    mini = BundleStore()
+    if task.bundle_ids:
+        # Explicit worklist (incremental pending bundles): preserve the
+        # given order — it is the serial analyzer's insertion order.
+        bundles = [
+            bundle
+            for bundle in (
+                query.bundle(bundle_id) for bundle_id in task.bundle_ids
+            )
+            if bundle is not None
+        ]
+    else:
+        chunk = task.chunk
+        rows = database.connection.execute(
+            "SELECT * FROM bundles WHERE seq >= ? AND seq <= ? ORDER BY seq",
+            (chunk.seq_lo, chunk.seq_hi),
+        ).fetchall()
+        bundles = [bundle_from_row(row) for row in rows]
+    mini.add_bundles(bundles)
+    for length in task.spec.detail_lengths:
+        for bundle in mini.bundles_of_length(length):
+            mini.add_details(query.details_for_bundle(bundle))
+    return mini
+
+
+def analyze_chunk(database: ArchiveDatabase, task: ChunkTask) -> ChunkOutcome:
+    """Run the full detection stack over one chunk of the archive.
+
+    This is deliberately the same sequence the serial pipeline runs —
+    detector, quantifier, classifier, in collection order — restricted to
+    the chunk's bundles. Determinism of the merged result follows from
+    each chunk being analyzed in collection order and the reducer
+    preserving chunk order.
+    """
+    task.validate()
+    started = time.perf_counter()
+    views_before = view_cache_stats()
+    b58_before = b58_cache_stats()
+
+    mini = _load_mini_store(database, task)
+    spec = task.spec
+    detector = spec.build_detector()
+    events = detector.detect_all(mini)
+    oracle = (
+        PriceOracle(spec.usd_per_sol)
+        if spec.usd_per_sol is not None
+        else PriceOracle()
+    )
+    quantified = LossQuantifier(oracle).quantify_all(events)
+    classification = spec.build_classifier().classify(mini)
+    # Pending ids are reported in the chunk's collection order, so the
+    # incremental analyzer's merged pending list is order-identical to a
+    # serial pass over the same working set.
+    wanted = set(spec.detail_lengths)
+    pending = tuple(
+        bundle.bundle_id
+        for bundle in mini.bundles()
+        if bundle.num_transactions in wanted and mini.missing_details(bundle)
+    )
+
+    views_after = view_cache_stats()
+    b58_after = b58_cache_stats()
+    return ChunkOutcome(
+        index=task.index,
+        bundle_count=len(mini),
+        quantified=tuple(quantified),
+        defensive=tuple(classification.defensive),
+        priority=tuple(classification.priority),
+        stats=detector.stats,
+        pending_detail_ids=pending,
+        elapsed_seconds=time.perf_counter() - started,
+        worker=f"pid-{os.getpid()}",
+        view_cache_hits=views_after["hits"] - views_before["hits"],
+        view_cache_misses=views_after["misses"] - views_before["misses"],
+        b58_cache_hits=b58_after["hits"] - b58_before["hits"],
+        b58_cache_misses=b58_after["misses"] - b58_before["misses"],
+    )

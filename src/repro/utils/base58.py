@@ -2,20 +2,27 @@
 
 Solana public keys and transaction signatures are conventionally rendered in
 base58. This is a from-scratch implementation with no dependencies.
+
+Both directions are memoized behind bounded LRU caches: the analysis hot
+path decodes the same 32-byte addresses (wallets, mints, pools) millions of
+times per campaign, and the big-integer conversion dominates the cost.
+:func:`b58_cache_stats` exposes the hit/miss tallies so the parallel engine
+can publish cache hit-rate gauges.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 ALPHABET = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
 _INDEX = {char: i for i, char in enumerate(ALPHABET)}
 
+#: Bound on each direction's memo. 64k entries of 32-to-64-byte payloads is
+#: a few MB — enough to hold every address a paper-scale campaign touches.
+CACHE_SIZE = 65_536
 
-def b58encode(data: bytes) -> str:
-    """Encode ``data`` as a base58 string using the Bitcoin alphabet.
 
-    Leading zero bytes are encoded as leading ``'1'`` characters, matching
-    the standard used by Solana for public keys.
-    """
+def _b58encode(data: bytes) -> str:
     leading_zeros = 0
     for byte in data:
         if byte != 0:
@@ -30,12 +37,7 @@ def b58encode(data: bytes) -> str:
     return "1" * leading_zeros + "".join(reversed(digits))
 
 
-def b58decode(encoded: str) -> bytes:
-    """Decode a base58 string back to bytes.
-
-    Raises:
-        ValueError: if ``encoded`` contains characters outside the alphabet.
-    """
+def _b58decode(encoded: str) -> bytes:
     leading_ones = 0
     for char in encoded:
         if char != "1":
@@ -51,3 +53,40 @@ def b58decode(encoded: str) -> bytes:
 
     body = value.to_bytes((value.bit_length() + 7) // 8, "big") if value else b""
     return b"\x00" * leading_ones + body
+
+
+@lru_cache(maxsize=CACHE_SIZE)
+def b58encode(data: bytes) -> str:
+    """Encode ``data`` as a base58 string using the Bitcoin alphabet.
+
+    Leading zero bytes are encoded as leading ``'1'`` characters, matching
+    the standard used by Solana for public keys. Memoized (bounded LRU).
+    """
+    return _b58encode(data)
+
+
+@lru_cache(maxsize=CACHE_SIZE)
+def b58decode(encoded: str) -> bytes:
+    """Decode a base58 string back to bytes. Memoized (bounded LRU).
+
+    Raises:
+        ValueError: if ``encoded`` contains characters outside the alphabet.
+    """
+    return _b58decode(encoded)
+
+
+def b58_cache_stats() -> dict[str, int]:
+    """Combined hit/miss/size tallies of both direction caches."""
+    encode_info = b58encode.cache_info()
+    decode_info = b58decode.cache_info()
+    return {
+        "hits": encode_info.hits + decode_info.hits,
+        "misses": encode_info.misses + decode_info.misses,
+        "entries": encode_info.currsize + decode_info.currsize,
+    }
+
+
+def b58_cache_clear() -> None:
+    """Drop both memos (tests and long-lived processes)."""
+    b58encode.cache_clear()
+    b58decode.cache_clear()

@@ -123,6 +123,30 @@ class TestPacing:
         fetcher, _ = make_fetcher(store)
         assert fetcher.maybe_fetch() is None
 
+    def test_empty_cycle_does_not_consume_a_spacing_slot(self):
+        # An empty cycle sends no request, so the polite spacing must not
+        # apply: work arriving a moment later is fetched immediately
+        # instead of waiting out a full inter-batch interval.
+        store = BundleStore()
+        fetcher, clock = make_fetcher(store, spacing_seconds=120)
+        result = fetcher.fetch_once()
+        assert result.requested == 0 and not result.failed
+        assert fetcher.due()
+        store.add_bundles([bundle(1, 3)])
+        clock.advance(1.0)
+        fetched = fetcher.maybe_fetch()
+        assert fetched is not None and fetched.stored == 3
+
+    def test_nonempty_cycle_still_spaces_batches(self):
+        store = BundleStore()
+        store.add_bundles([bundle(1, 3)])
+        fetcher, clock = make_fetcher(store, spacing_seconds=120)
+        fetcher.fetch_once()
+        store.add_bundles([bundle(2, 3)])
+        assert not fetcher.due()
+        clock.advance(120)
+        assert fetcher.due()
+
 
 class TestFailures:
     def test_failure_reported_not_raised(self):

@@ -1,0 +1,103 @@
+"""Synthetic archive builders for parallel-engine tests.
+
+Campaigns here are described as lists of bundle *descriptors* — small
+tuples a hypothesis strategy can generate — and materialized into archive
+databases. The same descriptor list written to two databases yields
+byte-identical archives, which is what the serial-vs-parallel parity tests
+lean on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.archive.store import ArchiveBundleStore
+from repro.explorer.models import BundleRecord, TransactionRecord
+from tests.core.helpers import MEME, OTHER, SOL, swap_record
+
+_counter = [0]
+
+
+def _next(prefix: str) -> str:
+    _counter[0] += 1
+    return f"{prefix}-{_counter[0]}"
+
+
+def sandwich_records(
+    attacker: str = "ATK", victim: str = "VIC", token: str = MEME
+) -> list[TransactionRecord]:
+    """Three records the detector accepts as a canonical sandwich."""
+    return [
+        swap_record(attacker, SOL, token, 1_000, 1_000_000),
+        swap_record(victim, SOL, token, 10_000, 9_000_000),
+        swap_record(attacker, token, SOL, 1_000_000, 1_100),
+    ]
+
+
+def benign_records(count: int = 3) -> list[TransactionRecord]:
+    """Distinct-signer swaps the detector rejects (criterion one)."""
+    return [
+        swap_record(f"user-{_next('u')}", SOL, OTHER, 500, 400_000)
+        for _ in range(count)
+    ]
+
+
+def descriptor_rows(
+    descriptors: list[tuple],
+) -> list[tuple[BundleRecord, list[TransactionRecord]]]:
+    """Materialize descriptors into (bundle, detail-records) rows.
+
+    A descriptor is ``(kind, landed_offset, tip_lamports)`` with kind one
+    of ``"sandwich"``, ``"benign3"``, ``"undetailed3"`` (a length-3 bundle
+    whose details never arrived — stays pending), ``"plain"`` (length 1),
+    ``"long"`` (length 4, details included so windowed detection can scan
+    it), or ``"pair"`` (length 2, never detailed). ``landed_offset`` is
+    added to a fixed base time, so equal offsets produce landed-at ties.
+    """
+    rows = []
+    base = 1_739_059_200.0
+    for position, (kind, landed_offset, tip) in enumerate(descriptors):
+        landed = base + float(landed_offset)
+        slot = 1_000 + position
+        if kind == "sandwich":
+            records = sandwich_records(
+                attacker=f"atk-{position}", victim=f"vic-{position}"
+            )
+        elif kind == "benign3":
+            records = benign_records(3)
+        elif kind == "undetailed3":
+            records = benign_records(3)
+        elif kind == "long":
+            records = benign_records(4)
+        elif kind == "pair":
+            records = benign_records(2)
+        else:  # plain length-1
+            records = benign_records(1)
+        bundle = BundleRecord(
+            bundle_id=_next("bundle"),
+            slot=slot,
+            landed_at=landed,
+            tip_lamports=tip,
+            transaction_ids=tuple(r.transaction_id for r in records),
+        )
+        detailed = kind not in {"undetailed3", "pair"}
+        rows.append((bundle, records if detailed else []))
+    return rows
+
+
+def write_rows(
+    path: Path, rows: list[tuple[BundleRecord, list[TransactionRecord]]]
+) -> None:
+    """Append materialized rows to an archive database."""
+    store = ArchiveBundleStore(path)
+    store.add_bundles([bundle for bundle, _ in rows])
+    store.add_details(
+        [record for _, records in rows for record in records]
+    )
+    store.flush()
+    store.database.close()
+
+
+def build_archive(path: Path, descriptors: list[tuple]) -> None:
+    """Materialize a descriptor campaign into a fresh archive database."""
+    write_rows(path, descriptor_rows(descriptors))

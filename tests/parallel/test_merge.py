@@ -1,0 +1,114 @@
+"""The reducer: order independence, stats folding, canonical bytes."""
+
+import random
+
+from repro.core.detector import DetectionStats
+from repro.parallel.merge import merge_outcomes, merge_stats
+from repro.parallel.worker import ChunkOutcome
+from tests.archive.conftest import make_bundle, make_sandwich
+
+
+def outcome(index: int, landed: list[float], **overrides) -> ChunkOutcome:
+    fields = {
+        "index": index,
+        "bundle_count": len(landed),
+        "quantified": tuple(
+            _sandwich(index * 100 + n, at) for n, at in enumerate(landed)
+        ),
+        "defensive": (make_bundle(index * 100 + 50, length=1),),
+        "priority": (),
+        "stats": DetectionStats(
+            bundles_examined=len(landed),
+            bundles_detected=len(landed),
+            rejections_by_criterion={"same_mint_set": index + 1},
+        ),
+        "pending_detail_ids": (f"pending-{index}",),
+        "elapsed_seconds": 0.01,
+        "worker": "pid-test",
+    }
+    fields.update(overrides)
+    return ChunkOutcome(**fields)
+
+
+def _sandwich(i: int, landed_at: float):
+    sandwich = make_sandwich(i)
+    bundle = sandwich.event.bundle
+    object.__setattr__(bundle, "landed_at", landed_at)
+    return sandwich
+
+
+class TestMergeOutcomes:
+    def test_completion_order_does_not_matter(self):
+        outcomes = [outcome(i, [10.0 + i, 20.0 + i]) for i in range(5)]
+        shuffled = outcomes[:]
+        random.Random(7).shuffle(shuffled)
+        merged_a = merge_outcomes(outcomes, threshold_lamports=100_000)
+        merged_b = merge_outcomes(shuffled, threshold_lamports=100_000)
+        ids_a = [q.event.bundle_id for q in merged_a.quantified]
+        ids_b = [q.event.bundle_id for q in merged_b.quantified]
+        assert ids_a == ids_b
+        assert merged_a.pending_detail_ids == merged_b.pending_detail_ids
+        assert merged_a.bundle_count == merged_b.bundle_count == 10
+
+    def test_events_sorted_by_landed_at_with_stable_ties(self):
+        # Chunk 0 and chunk 1 both contain a landed_at=50 event; the
+        # earlier chunk's event must come first (collection order).
+        merged = merge_outcomes(
+            [outcome(1, [50.0]), outcome(0, [50.0, 40.0])],
+            threshold_lamports=100_000,
+        )
+        landed = [q.event.bundle.landed_at for q in merged.quantified]
+        assert landed == [40.0, 50.0, 50.0]
+        ties = [
+            q.event.bundle_id
+            for q in merged.quantified
+            if q.event.bundle.landed_at == 50.0
+        ]
+        assert ties == ["b0", "b100"]  # chunk 0's event before chunk 1's
+
+    def test_pending_ids_keep_chunk_order(self):
+        merged = merge_outcomes(
+            [outcome(2, []), outcome(0, []), outcome(1, [])],
+            threshold_lamports=100_000,
+        )
+        assert merged.pending_detail_ids == [
+            "pending-0",
+            "pending-1",
+            "pending-2",
+        ]
+
+    def test_defensive_report_carries_threshold(self):
+        merged = merge_outcomes([outcome(0, [])], threshold_lamports=42)
+        assert merged.defensive_report.threshold_lamports == 42
+        assert len(merged.defensive_report.defensive) == 1
+
+
+class TestMergeStats:
+    def test_counts_sum_across_chunks(self):
+        stats = merge_stats([outcome(0, [1.0]), outcome(1, [2.0, 3.0])])
+        assert stats.bundles_examined == 3
+        assert stats.bundles_detected == 3
+        assert stats.rejections_by_criterion == {"same_mint_set": 3}
+
+    def test_rejection_order_is_first_appearance(self):
+        first = outcome(
+            0,
+            [],
+            stats=DetectionStats(
+                rejections_by_criterion={"alpha": 1, "beta": 2}
+            ),
+        )
+        second = outcome(
+            1,
+            [],
+            stats=DetectionStats(
+                rejections_by_criterion={"gamma": 1, "alpha": 1}
+            ),
+        )
+        stats = merge_stats([first, second])
+        assert list(stats.rejections_by_criterion) == [
+            "alpha",
+            "beta",
+            "gamma",
+        ]
+        assert stats.rejections_by_criterion["alpha"] == 2

@@ -82,6 +82,43 @@ class TestAnalyzeAutoDetect:
         second = capsys.readouterr().out
         assert "0 new bundles" in second
 
+    def test_jobs_flag_matches_serial_output(self, archived_campaign, capsys):
+        _out, db = archived_campaign
+        capsys.readouterr()
+        assert main(["analyze", "--store", str(db), "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "analyze",
+                    "--store",
+                    str(db),
+                    "--jobs",
+                    "2",
+                    "--chunk-size",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_incremental_accepts_jobs(self, archived_campaign, capsys):
+        _out, db = archived_campaign
+        capsys.readouterr()
+        code = main(
+            ["analyze", "--store", str(db), "--incremental", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "incremental pass" in capsys.readouterr().out
+
+    def test_jobs_ignored_for_jsonl(self, archived_campaign, capsys):
+        out, _db = archived_campaign
+        capsys.readouterr()
+        assert main(["analyze", "--store", str(out), "--jobs", "4"]) == 0
+        assert "sandwiches" in capsys.readouterr().out
+
     def test_incremental_rejected_for_jsonl(self, archived_campaign, capsys):
         out, _db = archived_campaign
         capsys.readouterr()
