@@ -1,0 +1,64 @@
+"""Perf smoke for the conformance tier itself.
+
+The quick selftest is part of every CI push, so its own wall-clock is a
+budget: this bench runs the battery once at CI size, records throughput
+into ``BENCH_PERF.json``, and gates a ceiling generous enough for slow
+runners but tight enough to catch an accidentally quadratic oracle or a
+scenario generator that starts re-running the pipeline per comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import record_perf
+from repro.conformance.golden import bless_corpus
+from repro.conformance.oracle import default_configs, run_differential
+from repro.conformance.scenarios import generate_rows, selftest_scenario
+from repro.conformance.selftest import run_selftest
+
+#: Generous ceiling for one quick selftest (seconds); the observed time on
+#: a developer laptop is well under one second.
+QUICK_SELFTEST_BUDGET_S = 60.0
+
+
+def test_quick_selftest_wall_clock(tmp_path):
+    corpus = tmp_path / "corpus"
+    bless_corpus(corpus)
+    started = time.perf_counter()
+    report = run_selftest(
+        level="quick",
+        seeds=(11,),
+        corpus_dir=corpus,
+        jobs=2,
+        workdir=tmp_path / "scratch",
+    )
+    elapsed = time.perf_counter() - started
+    assert report.passed, report.render()
+    record_perf(
+        "conformance_selftest_quick",
+        bundles=120,
+        seconds=elapsed,
+        checks=len(report.checks),
+    )
+    assert elapsed < QUICK_SELFTEST_BUDGET_S, (
+        f"quick selftest took {elapsed:.1f}s; "
+        f"budget is {QUICK_SELFTEST_BUDGET_S:.0f}s"
+    )
+
+
+def test_differential_matrix_throughput(tmp_path):
+    scenario = selftest_scenario(11, bundles=200)
+    rows = generate_rows(scenario)
+    started = time.perf_counter()
+    result = run_differential(
+        scenario, tmp_path, configs=default_configs(jobs=2)
+    )
+    elapsed = time.perf_counter() - started
+    assert result.identical, result.render()
+    record_perf(
+        "conformance_differential_matrix",
+        bundles=len(rows) * len(default_configs()),
+        seconds=elapsed,
+        configs=len(default_configs()),
+    )

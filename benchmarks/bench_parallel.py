@@ -3,8 +3,10 @@
 Builds one large synthetic archive (``BENCH_PARALLEL_BUNDLES`` bundles,
 default 50,000 — CI's perf-smoke job shrinks it), then:
 
-- asserts serial pipeline, in-process engine, and pooled engine produce
-  byte-identical canonical reports — at every job count, always;
+- checks serial pipeline, in-process engine, and pooled engine produce
+  byte-identical canonical reports — at every job count, always; parity
+  failures raise :class:`~repro.errors.ConformanceError` carrying the
+  structured field diff instead of a kilobyte-long bytes repr;
 - measures end-to-end analysis throughput (load + detect + quantify +
   classify + aggregate) serially and at 2/4 jobs, recording bundles/sec
   into ``BENCH_PERF.json``;
@@ -21,12 +23,12 @@ import pytest
 
 from benchmarks.conftest import record_perf
 from repro.archive.store import ArchiveBundleStore
+from repro.conformance.oracle import ensure_reports_identical
 from repro.core.pipeline import AnalysisPipeline
 from repro.core.quantify import LossQuantifier
 from repro.dex.oracle import PriceOracle
 from repro.explorer.models import BundleRecord, TransactionRecord
 from repro.parallel import ParallelAnalysisEngine
-from repro.parallel.merge import report_bytes
 
 TOTAL_BUNDLES = int(os.environ.get("BENCH_PARALLEL_BUNDLES", "50000"))
 #: Below this size, pool startup dominates and a speedup claim is noise.
@@ -145,11 +147,10 @@ def _timed_engine(path, jobs, chunk_size=2_048):
 
 def test_parallel_output_byte_identical(big_archive):
     serial, _ = _timed_serial(big_archive)
-    expected = report_bytes(serial)
     for jobs in (1, 2, 4):
         report, _ = _timed_engine(big_archive, jobs=jobs)
-        assert report_bytes(report) == expected, (
-            f"parallel output diverged from serial at jobs={jobs}"
+        ensure_reports_identical(
+            serial, report, "serial", f"parallel-j{jobs}", mode="exact"
         )
 
 
@@ -158,11 +159,12 @@ def test_end_to_end_throughput_and_speedup(big_archive):
     record_perf(
         "analyze_end_to_end_serial", TOTAL_BUNDLES, serial_s, jobs=1
     )
-    expected = report_bytes(serial_report)
     timings = {}
     for jobs in (2, 4):
         report, elapsed = _timed_engine(big_archive, jobs=jobs)
-        assert report_bytes(report) == expected
+        ensure_reports_identical(
+            serial_report, report, "serial", f"parallel-j{jobs}", mode="exact"
+        )
         timings[jobs] = elapsed
         record_perf(
             f"analyze_end_to_end_parallel_{jobs}",

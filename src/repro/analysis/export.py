@@ -2,7 +2,9 @@
 
 Each figure's underlying series is written as a plain CSV so the paper's
 plots can be regenerated with any plotting stack; nothing in this module
-renders pixels.
+renders pixels. Float cells go through :func:`repro.conformance.canon.
+fmt_fixed`, the same canonical rendering golden digests use, so exported
+CSVs are byte-stable across platforms (no ``-0.000000000`` cells).
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from repro.analysis.figure1 import Figure1
 from repro.analysis.figure2 import Figure2
 from repro.analysis.figure3 import Figure3
 from repro.analysis.figure4 import Figure4
+from repro.conformance.canon import fmt_fixed
 from repro.errors import ConfigError
 
 
@@ -49,8 +52,8 @@ def export_figure2(figure: Figure2, path: str | Path) -> Path:
             date,
             attacks,
             defensive,
-            f"{loss:.9f}",
-            f"{gain:.9f}",
+            fmt_fixed(loss, 9),
+            fmt_fixed(gain, 9),
             1 if date in figure.downtime_dates else 0,
         ]
         for date, attacks, defensive, loss, gain in zip(
@@ -78,7 +81,7 @@ def export_figure2(figure: Figure2, path: str | Path) -> Path:
 def export_figure3(figure: Figure3, path: str | Path, points: int = 200) -> Path:
     """Figure 3 as CSV: (loss_usd, cumulative_fraction) points."""
     rows = [
-        [f"{value:.6f}", f"{fraction:.6f}"]
+        [fmt_fixed(value, 6), fmt_fixed(fraction, 6)]
         for value, fraction in figure.cdf.log_points(points)
     ]
     return _write_csv(Path(path), ["loss_usd", "cumulative_fraction"], rows)
@@ -99,7 +102,7 @@ def export_figure4(figure: Figure4, path: str | Path, points: int = 200) -> Path
         groups.append(("sandwich", figure.sandwiches))
     for name, cdf in groups:
         for value, fraction in cdf.log_points(points):
-            rows.append([name, f"{value:.1f}", f"{fraction:.6f}"])
+            rows.append([name, fmt_fixed(value, 1), fmt_fixed(fraction, 6)])
     return _write_csv(
         Path(path), ["group", "tip_lamports", "cumulative_fraction"], rows
     )

@@ -60,20 +60,32 @@ class ArchiveDatabase:
         except (OSError, sqlite3.Error) as exc:
             raise StoreError(f"cannot open archive {path}: {exc}") from exc
         self._conn.row_factory = sqlite3.Row
-        if read_only:
-            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
-            if version != SCHEMA_VERSION:
-                self._conn.close()
-                raise StoreError(
-                    f"read-only archive {self._path} is schema v{version}; "
-                    f"this build needs v{SCHEMA_VERSION} (open it writable "
-                    "once to migrate)"
-                )
-            return
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA foreign_keys=ON")
-        self._migrate()
+        try:
+            if read_only:
+                version = self._conn.execute(
+                    "PRAGMA user_version"
+                ).fetchone()[0]
+                if version != SCHEMA_VERSION:
+                    raise StoreError(
+                        f"read-only archive {self._path} is schema "
+                        f"v{version}; this build needs v{SCHEMA_VERSION} "
+                        "(open it writable once to migrate)"
+                    )
+                return
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA foreign_keys=ON")
+            self._migrate()
+        except sqlite3.Error as exc:
+            # A truncated or non-SQLite file connects fine but explodes on
+            # the first statement; surface that as our own error type.
+            self._conn.close()
+            raise StoreError(
+                f"archive {self._path} is unreadable or corrupt: {exc}"
+            ) from exc
+        except StoreError:
+            self._conn.close()
+            raise
 
     @property
     def path(self) -> Path:

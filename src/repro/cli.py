@@ -15,6 +15,9 @@ Commands:
   pure function of ``--seed`` and ``--plan``, so two identical invocations
   produce byte-identical fault logs and reports;
 - ``metrics`` — render a saved metrics snapshot (table/Prometheus/JSON);
+- ``selftest`` — run the conformance battery (golden corpus, differential
+  oracle, metamorphic invariants) against fixed seeds; ``--bless``
+  regenerates the golden corpus explicitly;
 - ``table1`` — print the worked example sandwich.
 
 All progress and result output flows through the structured event log
@@ -43,6 +46,7 @@ from repro.collector import (
 )
 from repro.collector.poller import PollerConfig
 from repro.core import DefensiveBundlingClassifier, SandwichDetector
+from repro.errors import ConfigError, ReproError
 from repro.obs import (
     ConsoleSink,
     EventLog,
@@ -294,6 +298,22 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         "cli.analyze", message, **fields
     )
     store_path = Path(args.store)
+    if not store_path.exists():
+        # Guard before is_archive_path: opening a missing path as SQLite
+        # would silently create an empty archive and "analyze" zero rows.
+        progress.error(
+            "cli.analyze",
+            f"store {store_path} does not exist (expected an archive "
+            "database or a JSONL store directory)",
+            store=str(store_path),
+        )
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        # Validated up front so a bad --jobs fails the same way on JSONL
+        # stores (which otherwise ignore the flag) as on archives.
+        raise ConfigError(f"jobs must be >= 1, got {args.jobs}")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        raise ConfigError(f"chunk_size must be >= 1, got {args.chunk_size}")
     is_archive = is_archive_path(store_path)
     detector = (
         WindowedSandwichDetector() if args.windowed else SandwichDetector()
@@ -706,6 +726,55 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_selftest(args: argparse.Namespace) -> int:
+    """Run the conformance battery; optionally re-bless the golden corpus.
+
+    Exit code 0 when every check passes, 1 on any failing check; config
+    mistakes (unknown level, empty corpus) surface as :class:`ReproError`
+    one-liners via :func:`main`.
+    """
+    from repro.conformance.golden import bless_corpus, default_corpus_dir
+    from repro.conformance.selftest import DEFAULT_SEEDS, run_selftest
+
+    progress, output = _build_logs(args)
+    corpus = Path(args.corpus) if args.corpus else default_corpus_dir()
+    seeds = tuple(args.seed) if args.seed else DEFAULT_SEEDS
+    if args.bless:
+        written = bless_corpus(corpus)
+        for path in written:
+            progress.info(
+                "cli.selftest", f"blessed {path}", fixture=str(path)
+            )
+    metrics = MetricsRegistry()
+    report = run_selftest(
+        level=args.level,
+        seeds=seeds,
+        corpus_dir=corpus,
+        jobs=args.jobs,
+        metrics=metrics,
+        emit=lambda line: output.info("cli.selftest", line),
+    )
+    if args.metrics_out:
+        save_snapshot(metrics, args.metrics_out)
+        progress.info(
+            "cli.selftest",
+            f"wrote metrics snapshot to {args.metrics_out}",
+            path=str(args.metrics_out),
+        )
+    verdict = "PASS" if report.passed else "FAIL"
+    output.info(
+        "cli.selftest",
+        f"selftest: {verdict} "
+        f"({len(report.checks) - len(report.failures)}/"
+        f"{len(report.checks)} checks passed)",
+        level=report.level,
+        passed=report.passed,
+        checks=len(report.checks),
+        failures=len(report.failures),
+    )
+    return 0 if report.passed else 1
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     """Print the paper's Table 1, executed for real."""
     _progress, output = _build_logs(args)
@@ -944,6 +1013,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.set_defaults(func=cmd_metrics)
 
+    selftest = sub.add_parser(
+        "selftest", help="run the pipeline conformance battery"
+    )
+    selftest.add_argument(
+        "--level",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick: CI-sized campaigns; full: adds large and stress "
+        "scenarios (nightly)",
+    )
+    selftest.add_argument(
+        "--seed",
+        type=int,
+        action="append",
+        default=None,
+        help="differential/metamorphic seed (repeatable; default: "
+        "11, 77, 20250806)",
+    )
+    selftest.add_argument(
+        "--corpus",
+        default=None,
+        help="golden corpus directory (default: tests/golden, or "
+        "$REPRO_GOLDEN_DIR)",
+    )
+    selftest.add_argument(
+        "--bless",
+        action="store_true",
+        help="regenerate every golden fixture before checking — the only "
+        "way frozen expectations ever change",
+    )
+    selftest.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the sharded leg of the differential "
+        "matrix (default 4)",
+    )
+    selftest.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the selftest's metrics snapshot (JSON) to this path",
+    )
+    selftest.add_argument(
+        "--log-jsonl",
+        default=None,
+        help="also append structured events to this JSONL file",
+    )
+    selftest.set_defaults(func=cmd_selftest)
+
     table1 = sub.add_parser("table1", help="print the example sandwich")
     table1.add_argument("--victim-sol", type=float, default=25.0)
     table1.add_argument("--slippage-bps", type=int, default=200)
@@ -958,6 +1076,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ReproError as exc:
+        # Operator mistakes (bad flags, missing/corrupt stores, empty
+        # corpus) get a one-line diagnostic, never a traceback.
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; exit quietly like a good
         # unix citizen.

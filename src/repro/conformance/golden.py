@@ -1,0 +1,204 @@
+"""Golden-master fixtures: frozen expected outputs for known campaigns.
+
+A golden fixture is one JSON file pairing a scenario recipe with the
+canonicalized analysis payload it must produce: the detections, financial
+figures, detector statistics, and a SHA-256 digest of the canonical bytes.
+``check`` re-runs the pipeline and diffs; ``bless`` rewrites the frozen
+expectations — an *explicit* action (``repro selftest --bless``), never a
+side effect of a failing check.
+
+Fixtures live in ``tests/golden/`` (override with ``--corpus`` or the
+``REPRO_GOLDEN_DIR`` environment variable) and are written with canon
+rounding (:mod:`repro.conformance.canon`), so they are stable across
+platforms and Python patch versions while still pinning every figure to 12
+significant digits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.conformance.canon import canon_jsonable, canonical_json_bytes, digest
+from repro.conformance.oracle import comparable_payload, diff_jsonable
+from repro.conformance.scenarios import (
+    CORPUS_SCENARIOS,
+    SyntheticScenario,
+    build_store,
+    generate_rows,
+)
+from repro.core.pipeline import AnalysisPipeline
+from repro.errors import ConfigError, ConformanceError, StoreError
+
+#: Fixture format version; bump when the payload shape changes.
+GOLDEN_FORMAT = 1
+
+#: Environment override for the corpus directory.
+GOLDEN_DIR_ENV = "REPRO_GOLDEN_DIR"
+
+
+def default_corpus_dir() -> Path:
+    """``tests/golden`` relative to the repository root (env-overridable)."""
+    override = os.environ.get(GOLDEN_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def fixture_path(corpus_dir: str | Path, name: str) -> Path:
+    """Return the on-disk path of the named fixture inside a corpus."""
+    return Path(corpus_dir) / f"{name}.json"
+
+
+def expected_payload(scenario: SyntheticScenario) -> dict:
+    """Run the serial pipeline over the scenario; return the canon payload."""
+    store = build_store(generate_rows(scenario))
+    report = AnalysisPipeline().analyze_store(store)
+    return canon_jsonable(comparable_payload(report))
+
+
+def build_fixture(scenario: SyntheticScenario) -> dict:
+    """The full fixture document for one scenario."""
+    payload = expected_payload(scenario)
+    return {
+        "format": GOLDEN_FORMAT,
+        "scenario": scenario.to_json(),
+        "scenario_fingerprint": scenario.fingerprint(),
+        "digest": digest(payload),
+        "expected": payload,
+    }
+
+
+def write_fixture(scenario: SyntheticScenario, corpus_dir: str | Path) -> Path:
+    """Bless one scenario: (re)write its fixture file."""
+    target = fixture_path(corpus_dir, scenario.name)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = build_fixture(scenario)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_fixture(path: str | Path) -> dict:
+    """Parse and sanity-check one fixture file."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise StoreError(f"cannot read golden fixture {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"golden fixture {path} is not JSON: {exc}") from exc
+    for key in ("format", "scenario", "digest", "expected"):
+        if key not in document:
+            raise StoreError(f"golden fixture {path} lacks {key!r}")
+    if document["format"] != GOLDEN_FORMAT:
+        raise StoreError(
+            f"golden fixture {path} is format v{document['format']}; "
+            f"this build reads v{GOLDEN_FORMAT} (re-bless the corpus)"
+        )
+    return document
+
+
+@dataclass
+class GoldenCheck:
+    """The outcome of verifying one fixture against a fresh pipeline run."""
+
+    name: str
+    passed: bool
+    reason: str = ""
+    differences: list = field(default_factory=list)
+
+    def render(self) -> str:
+        """Return a one-line human-readable verdict for this fixture."""
+        status = "ok" if self.passed else "FAIL"
+        suffix = f" — {self.reason}" if self.reason else ""
+        return f"golden[{self.name}]: {status}{suffix}"
+
+
+def check_fixture(path: str | Path) -> GoldenCheck:
+    """Re-run the pipeline for one fixture and compare against its freeze."""
+    document = load_fixture(path)
+    scenario = SyntheticScenario.from_json(document["scenario"])
+    recorded_fingerprint = document.get("scenario_fingerprint")
+    if (
+        recorded_fingerprint
+        and recorded_fingerprint != scenario.fingerprint()
+    ):
+        return GoldenCheck(
+            name=scenario.name,
+            passed=False,
+            reason=(
+                "scenario fingerprint drifted "
+                f"({recorded_fingerprint} != {scenario.fingerprint()}); "
+                "the recipe no longer matches its frozen vectors"
+            ),
+        )
+    actual = expected_payload(scenario)
+    actual_digest = digest(actual)
+    if actual_digest == document["digest"]:
+        return GoldenCheck(name=scenario.name, passed=True)
+    differences = diff_jsonable(document["expected"], actual)
+    return GoldenCheck(
+        name=scenario.name,
+        passed=False,
+        reason=(
+            f"digest {actual_digest[:12]} != frozen "
+            f"{document['digest'][:12]} "
+            f"({len(differences)} field difference(s))"
+        ),
+        differences=differences,
+    )
+
+
+def corpus_fixtures(corpus_dir: str | Path) -> list[Path]:
+    """All fixture files in a corpus directory, sorted by name."""
+    corpus = Path(corpus_dir)
+    if not corpus.is_dir():
+        return []
+    return sorted(corpus.glob("*.json"))
+
+
+def check_corpus(corpus_dir: str | Path) -> list[GoldenCheck]:
+    """Verify every fixture in the corpus.
+
+    Raises:
+        ConfigError: when the corpus has no fixtures at all — an empty
+            corpus silently passing would defeat the whole tier.
+    """
+    fixtures = corpus_fixtures(corpus_dir)
+    if not fixtures:
+        raise ConfigError(
+            f"golden corpus {corpus_dir} has no fixtures; generate them "
+            "with: repro selftest --bless"
+        )
+    return [check_fixture(path) for path in fixtures]
+
+
+def bless_corpus(
+    corpus_dir: str | Path,
+    scenarios: tuple[SyntheticScenario, ...] = CORPUS_SCENARIOS,
+) -> list[Path]:
+    """(Re)write the full corpus from the canonical scenario list."""
+    return [write_fixture(scenario, corpus_dir) for scenario in scenarios]
+
+
+def verify_fixture_bytes(path: str | Path) -> None:
+    """Assert a fixture's digest matches its own embedded payload.
+
+    A cheap self-consistency check (no pipeline run): catches a fixture
+    edited by hand without re-blessing.
+    """
+    document = load_fixture(path)
+    embedded = digest(document["expected"])
+    if embedded != document["digest"]:
+        raise ConformanceError(
+            f"golden fixture {path} is self-inconsistent: embedded payload "
+            f"hashes to {embedded[:12]}, digest field says "
+            f"{document['digest'][:12]} — was it hand-edited? "
+            "Re-bless with: repro selftest --bless"
+        )
+    canonical_json_bytes(document["expected"])  # must stay canon-clean

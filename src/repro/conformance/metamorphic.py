@@ -1,0 +1,346 @@
+"""Metamorphic invariants over the detection pipeline.
+
+Each invariant states how a *transformed* campaign's analysis must relate
+to the original's — no frozen expectations required, so these catch bug
+classes goldens cannot (goldens only pin behavior on inputs someone thought
+to freeze). The transformations:
+
+- **interleave-benign** — splicing non-sandwich bundles between existing
+  bundles never changes the set of detected sandwiches or their figures;
+- **scale-amounts** — multiplying every swap amount by a power of two
+  scales quote-denominated losses/gains by exactly that factor (powers of
+  two keep IEEE-754 multiplication exact, so the comparison is ``==``,
+  not ``isclose``);
+- **permute-slots** — slot numbers carry no detection semantics; renaming
+  them is a no-op on detections and financials;
+- **shift-time** — rigidly translating every timestamp preserves the
+  detection set, figures, and relative order (only dates may change);
+- **drop-benign-details** — deleting the transaction details of bundles
+  that were *not* detected cannot create or destroy detections.
+
+The suite runs two ways: `tests/conformance/test_metamorphic.py` drives it
+through hypothesis with random campaigns, and ``repro selftest`` evaluates
+every invariant on fixed seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.conformance.oracle import FieldDiff, diff_jsonable
+from repro.conformance.scenarios import (
+    Row,
+    SyntheticScenario,
+    build_store,
+    generate_rows,
+)
+from repro.core.pipeline import AnalysisPipeline, AnalysisReport
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.utils.rng import DeterministicRNG
+
+
+def analyze_rows(rows: list[Row]) -> AnalysisReport:
+    """Serial analysis of materialized rows (fresh pipeline, fresh store)."""
+    return AnalysisPipeline().analyze_store(build_store(rows))
+
+
+# --- transformations ----------------------------------------------------------------
+
+
+def interleave_benign(
+    rows: list[Row], seed: int, every: int = 3
+) -> list[Row]:
+    """Splice fresh non-sandwich bundles between existing rows.
+
+    The injected bundles reuse each neighbor's ``landed_at`` (maximum tie
+    pressure) but carry unique ids, signers, and mints, so they can never
+    complete a sandwich pattern themselves.
+    """
+    rng = DeterministicRNG(seed).child("metamorphic/interleave")
+    result: list[Row] = []
+    for position, row in enumerate(rows):
+        result.append(row)
+        if position % every:
+            continue
+        bundle, _ = row
+        noise_id = f"noise-{seed}-{position}"
+        record = TransactionRecord(
+            transaction_id=f"{noise_id}-t0",
+            slot=bundle.slot,
+            block_time=bundle.landed_at,
+            signer=f"noise-signer-{seed}-{position}",
+            signers=(f"noise-signer-{seed}-{position}",),
+            fee_lamports=5_000,
+            token_deltas={},
+            events=(
+                {
+                    "type": "swap",
+                    "pool": f"NOISE-POOL-{position}",
+                    "owner": f"noise-signer-{seed}-{position}",
+                    "mint_in": f"NOISE-IN-{position}",
+                    "mint_out": f"NOISE-OUT-{position}",
+                    "amount_in": rng.randint(1, 1_000),
+                    "amount_out": rng.randint(1, 1_000),
+                },
+            ),
+        )
+        result.append(
+            (
+                BundleRecord(
+                    bundle_id=noise_id,
+                    slot=bundle.slot,
+                    landed_at=bundle.landed_at,
+                    tip_lamports=rng.randint(1_000, 3_000_000),
+                    transaction_ids=(record.transaction_id,),
+                ),
+                [record],
+            )
+        )
+    return result
+
+
+def scale_amounts(rows: list[Row], factor: int) -> list[Row]:
+    """Multiply every swap amount and token delta by ``factor``.
+
+    With ``factor`` a power of two, every derived float (rates, losses,
+    gains, USD conversions) scales exactly.
+    """
+    scaled: list[Row] = []
+    for bundle, records in rows:
+        scaled.append(
+            (bundle, [_scale_record(record, factor) for record in records])
+        )
+    return scaled
+
+
+def _scale_record(record: TransactionRecord, factor: int) -> TransactionRecord:
+    events = tuple(
+        {
+            **event,
+            "amount_in": int(event["amount_in"]) * factor,
+            "amount_out": int(event["amount_out"]) * factor,
+        }
+        if event.get("type") == "swap"
+        else event
+        for event in record.events
+    )
+    deltas = {
+        owner: {mint: value * factor for mint, value in mints.items()}
+        for owner, mints in record.token_deltas.items()
+    }
+    return replace(record, events=events, token_deltas=deltas)
+
+
+def permute_slots(rows: list[Row], seed: int) -> list[Row]:
+    """Deterministically shuffle which slot number each bundle carries.
+
+    Bundle/record pairing and collection order are untouched — only the
+    slot labels move, which detection must be blind to.
+    """
+    rng = DeterministicRNG(seed).child("metamorphic/slots")
+    slots = [bundle.slot for bundle, _ in rows]
+    rng.shuffle(slots)
+    permuted: list[Row] = []
+    for (bundle, records), slot in zip(rows, slots):
+        permuted.append(
+            (
+                replace(bundle, slot=slot),
+                [replace(record, slot=slot) for record in records],
+            )
+        )
+    return permuted
+
+
+def shift_time(rows: list[Row], delta_seconds: float) -> list[Row]:
+    """Rigidly translate every landed_at / block_time by ``delta_seconds``."""
+    shifted: list[Row] = []
+    for bundle, records in rows:
+        shifted.append(
+            (
+                replace(bundle, landed_at=bundle.landed_at + delta_seconds),
+                [
+                    replace(
+                        record,
+                        block_time=record.block_time + delta_seconds,
+                    )
+                    for record in records
+                ],
+            )
+        )
+    return shifted
+
+
+def drop_benign_details(
+    rows: list[Row], detected_ids: set[str]
+) -> list[Row]:
+    """Strip details from every length-3 bundle that was *not* detected.
+
+    The stripped bundles become skipped-incomplete instead of rejected,
+    but they can neither add nor remove detections.
+    """
+    stripped: list[Row] = []
+    for bundle, records in rows:
+        if (
+            bundle.num_transactions == 3
+            and bundle.bundle_id not in detected_ids
+        ):
+            stripped.append((bundle, []))
+        else:
+            stripped.append((bundle, records))
+    return stripped
+
+
+# --- invariant evaluation -----------------------------------------------------------
+
+
+def detection_signature(report: AnalysisReport) -> list[dict]:
+    """Detections in canonical order: the part every invariant preserves."""
+    ordered = sorted(
+        report.quantified,
+        key=lambda item: (item.event.landed_at, item.event.bundle_id),
+    )
+    return [
+        {
+            "bundle_id": item.event.bundle_id,
+            "attacker": item.event.attacker,
+            "victim": item.event.victim,
+            "victim_loss_quote": item.victim_loss_quote,
+            "attacker_gain_quote": item.attacker_gain_quote,
+            "victim_loss_usd": item.victim_loss_usd,
+            "attacker_gain_usd": item.attacker_gain_usd,
+        }
+        for item in ordered
+    ]
+
+
+def _ids(signature: list[dict]) -> list[str]:
+    return [entry["bundle_id"] for entry in signature]
+
+
+@dataclass
+class InvariantResult:
+    """One invariant evaluated on one campaign."""
+
+    name: str
+    passed: bool
+    detections: int
+    detail: str = ""
+    differences: list[FieldDiff] | None = None
+
+    def render(self) -> str:
+        """Return a one-line human-readable verdict for this invariant."""
+        status = "ok" if self.passed else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return (
+            f"metamorphic[{self.name}]: {status} "
+            f"({self.detections} detections){suffix}"
+        )
+
+
+def _compare(
+    name: str, base: list[dict], transformed: list[dict]
+) -> InvariantResult:
+    differences = diff_jsonable(base, transformed)
+    if not differences:
+        return InvariantResult(
+            name=name, passed=True, detections=len(base)
+        )
+    return InvariantResult(
+        name=name,
+        passed=False,
+        detections=len(base),
+        detail=f"{len(differences)} signature difference(s)",
+        differences=differences,
+    )
+
+
+def check_interleave_benign(rows: list[Row], seed: int) -> InvariantResult:
+    """Interleaving benign bundles must leave detections unchanged."""
+    base = detection_signature(analyze_rows(rows))
+    transformed = detection_signature(
+        analyze_rows(interleave_benign(rows, seed))
+    )
+    return _compare("interleave-benign", base, transformed)
+
+
+def check_scale_amounts(
+    rows: list[Row], factor: int = 4
+) -> InvariantResult:
+    """Scaling every amount by a power of two must scale losses exactly.
+
+    ``factor`` must be a power of two so the expected figures are exact
+    under IEEE-754 (multiplying by 2**k only shifts the exponent).
+    """
+    base = detection_signature(analyze_rows(rows))
+    transformed = detection_signature(
+        analyze_rows(scale_amounts(rows, factor))
+    )
+    expected = [
+        {
+            **entry,
+            "victim_loss_quote": entry["victim_loss_quote"] * factor,
+            "attacker_gain_quote": entry["attacker_gain_quote"] * factor,
+            "victim_loss_usd": (
+                None
+                if entry["victim_loss_usd"] is None
+                else entry["victim_loss_usd"] * factor
+            ),
+            "attacker_gain_usd": (
+                None
+                if entry["attacker_gain_usd"] is None
+                else entry["attacker_gain_usd"] * factor
+            ),
+        }
+        for entry in base
+    ]
+    return _compare(f"scale-amounts-x{factor}", expected, transformed)
+
+
+def check_permute_slots(rows: list[Row], seed: int) -> InvariantResult:
+    """Permuting whole-slot blocks must leave detections unchanged."""
+    base = detection_signature(analyze_rows(rows))
+    transformed = detection_signature(
+        analyze_rows(permute_slots(rows, seed))
+    )
+    return _compare("permute-slots", base, transformed)
+
+
+def check_shift_time(
+    rows: list[Row], delta_seconds: float = 86_400.0
+) -> InvariantResult:
+    """Shifting all timestamps by a constant must not change detections."""
+    base = detection_signature(analyze_rows(rows))
+    transformed = detection_signature(
+        analyze_rows(shift_time(rows, delta_seconds))
+    )
+    return _compare("shift-time", base, transformed)
+
+
+def check_drop_benign_details(rows: list[Row]) -> InvariantResult:
+    """Dropping details of undetected bundles must not change detections."""
+    base_report = analyze_rows(rows)
+    base = detection_signature(base_report)
+    detected = set(_ids(base))
+    transformed = detection_signature(
+        analyze_rows(drop_benign_details(rows, detected))
+    )
+    return _compare("drop-benign-details", base, transformed)
+
+
+#: The full invariant battery, as (name, runner(rows, seed)) pairs.
+INVARIANTS: tuple[tuple[str, Callable[[list[Row], int], InvariantResult]], ...] = (
+    ("interleave-benign", lambda rows, seed: check_interleave_benign(rows, seed)),
+    ("scale-amounts", lambda rows, seed: check_scale_amounts(rows, factor=4)),
+    ("permute-slots", lambda rows, seed: check_permute_slots(rows, seed)),
+    ("shift-time", lambda rows, seed: check_shift_time(rows)),
+    ("drop-benign-details", lambda rows, seed: check_drop_benign_details(rows)),
+)
+
+
+def run_invariants(
+    scenario: SyntheticScenario,
+) -> list[InvariantResult]:
+    """Evaluate every invariant on one scenario's campaign."""
+    rows = generate_rows(scenario)
+    return [runner(rows, scenario.seed) for _, runner in INVARIANTS]

@@ -1,0 +1,359 @@
+"""Deterministic synthetic campaigns for conformance testing.
+
+A :class:`SyntheticScenario` is a small, self-describing parameter set —
+attacker density, victim sizing, tip regime, bundle-length mix, pending
+fraction, optional fault preset — that expands into a fully materialized
+campaign (bundle records plus transaction details) via one seeded
+:class:`~repro.utils.rng.DeterministicRNG`. The same scenario always
+produces byte-identical rows, which is the property every golden vector
+and differential run rests on.
+
+Scenarios round-trip through JSON so golden fixtures can embed the exact
+recipe they were generated from, and :func:`SyntheticScenario.fingerprint`
+lets a checker refuse a fixture whose recipe drifted from its vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.archive.store import ArchiveBundleStore
+from repro.collector.store import BundleStore
+from repro.errors import ConfigError
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.solana.tokens import SOL_MINT
+from repro.utils.rng import DeterministicRNG
+from repro.utils.serialization import dumps
+
+import hashlib
+
+#: The real SOL mint address — sandwiches quoting it are USD-priced.
+SOL_ADDRESS = SOL_MINT.address.to_base58()
+
+#: Campaign epoch shared with the simulator-facing tests (2025-02-09 UTC).
+BASE_TIME = 1_739_059_200.0
+
+#: Tip ranges (lamports) per regime, straddling or avoiding the 100k
+#: defensive threshold so the classifier sees meaningful mixes.
+TIP_REGIMES: dict[str, tuple[int, int]] = {
+    "low": (2_000, 90_000),
+    "mixed": (10_000, 400_000),
+    "high": (150_000, 5_000_000),
+}
+
+#: Row kinds a non-sandwich bundle can take, by length.
+_LENGTHS = (1, 2, 3, 4, 5)
+
+
+@dataclass(frozen=True)
+class SyntheticScenario:
+    """A parameterized, reproducible synthetic campaign.
+
+    Everything the generator draws derives from ``seed`` through named RNG
+    substreams, so two processes (or platforms) expanding the same scenario
+    produce identical rows in identical order.
+    """
+
+    name: str
+    seed: int = 11
+    bundles: int = 160
+    #: Fraction of bundles that are canonical length-three sandwiches.
+    attacker_density: float = 0.08
+    #: Fraction of *sandwiches* attacking a non-SOL pair (unpriced in USD).
+    non_sol_fraction: float = 0.25
+    #: Multiplier on victim trade sizing (losses scale with it).
+    victim_scale: float = 1.0
+    #: One of :data:`TIP_REGIMES`.
+    tip_regime: str = "mixed"
+    #: Relative weights for non-sandwich bundle lengths 1..5.
+    length_mix: tuple[float, ...] = (0.50, 0.08, 0.24, 0.12, 0.06)
+    #: Fraction of length-3+ non-sandwich bundles left forever undetailed.
+    pending_fraction: float = 0.10
+    #: Bundles per shared ``landed_at`` tick — ties stress merge stability.
+    tie_every: int = 4
+    #: Optional fault-plan preset name (chaos-differential scenarios).
+    fault_preset: str | None = None
+    description: str = ""
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on out-of-range parameters."""
+        if not self.name:
+            raise ConfigError("a synthetic scenario needs a name")
+        if self.bundles < 1:
+            raise ConfigError(f"bundles must be >= 1, got {self.bundles}")
+        for label, fraction in (
+            ("attacker_density", self.attacker_density),
+            ("non_sol_fraction", self.non_sol_fraction),
+            ("pending_fraction", self.pending_fraction),
+        ):
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigError(f"{label} must be in [0, 1], got {fraction}")
+        if self.victim_scale <= 0:
+            raise ConfigError("victim_scale must be positive")
+        if self.tip_regime not in TIP_REGIMES:
+            raise ConfigError(
+                f"tip_regime must be one of {sorted(TIP_REGIMES)}, "
+                f"got {self.tip_regime!r}"
+            )
+        if len(self.length_mix) != 5 or any(w < 0 for w in self.length_mix):
+            raise ConfigError("length_mix needs 5 non-negative weights")
+        if sum(self.length_mix) <= 0:
+            raise ConfigError("length_mix weights must not all be zero")
+        if self.tie_every < 1:
+            raise ConfigError("tie_every must be >= 1")
+
+    def to_json(self) -> dict:
+        """JSON-safe recipe (embedded verbatim in golden fixtures)."""
+        record = asdict(self)
+        record["length_mix"] = list(self.length_mix)
+        return record
+
+    @classmethod
+    def from_json(cls, record: dict) -> "SyntheticScenario":
+        """Rebuild a scenario from :meth:`to_json` output."""
+        try:
+            known = dict(record)
+            known["length_mix"] = tuple(known.get("length_mix", ()))
+            scenario = cls(**known)
+        except TypeError as exc:
+            raise ConfigError(f"malformed scenario record: {exc}") from exc
+        scenario.validate()
+        return scenario
+
+    def fingerprint(self) -> str:
+        """Short stable hash of the full recipe."""
+        return hashlib.sha256(dumps(self.to_json()).encode()).hexdigest()[:16]
+
+
+Row = tuple[BundleRecord, list[TransactionRecord]]
+
+
+def _swap_event(
+    owner: str,
+    mint_in: str,
+    mint_out: str,
+    amount_in: int,
+    amount_out: int,
+    pool: str,
+) -> dict:
+    return {
+        "type": "swap",
+        "pool": pool,
+        "owner": owner,
+        "mint_in": mint_in,
+        "mint_out": mint_out,
+        "amount_in": amount_in,
+        "amount_out": amount_out,
+    }
+
+
+def _swap_record(
+    tx_id: str,
+    signer: str,
+    mint_in: str,
+    mint_out: str,
+    amount_in: int,
+    amount_out: int,
+    pool: str,
+    block_time: float,
+    slot: int,
+) -> TransactionRecord:
+    return TransactionRecord(
+        transaction_id=tx_id,
+        slot=slot,
+        block_time=block_time,
+        signer=signer,
+        signers=(signer,),
+        fee_lamports=5_000,
+        token_deltas={signer: {mint_in: -amount_in, mint_out: amount_out}},
+        events=(
+            _swap_event(signer, mint_in, mint_out, amount_in, amount_out, pool),
+        ),
+    )
+
+
+def _sandwich_row(
+    scenario: SyntheticScenario,
+    index: int,
+    rng: DeterministicRNG,
+    landed: float,
+    slot: int,
+) -> Row:
+    """One canonical sandwich: all five criteria pass, loss is positive."""
+    prefix = f"{scenario.name}-b{index:05d}"
+    quote = (
+        SOL_ADDRESS
+        if not rng.bernoulli(scenario.non_sol_fraction)
+        else f"QUOTE-{scenario.name}"
+    )
+    token = f"MEME-{index % 7}"
+    pool = f"POOL-{index % 5}"
+    attacker = f"atk-{scenario.name}-{index % 11}"
+    victim = f"vic-{scenario.name}-{index}"
+    # Victim pays a worse rate than the attacker's front-run, and the
+    # attacker's sell leg nets a positive quote position: criteria 3 + 4.
+    front_in = rng.randint(500, 2_000)
+    front_out = front_in * 1_000
+    victim_in = int(10_000 * scenario.victim_scale * rng.uniform(0.8, 1.6))
+    victim_out = victim_in * 900
+    back_in = front_out
+    back_out = front_in + rng.randint(50, 400)
+    records = [
+        _swap_record(
+            f"{prefix}-f", attacker, quote, token, front_in, front_out,
+            pool, landed, slot,
+        ),
+        _swap_record(
+            f"{prefix}-v", victim, quote, token, victim_in, victim_out,
+            pool, landed, slot,
+        ),
+        _swap_record(
+            f"{prefix}-b", attacker, token, quote, back_in, back_out,
+            pool, landed, slot,
+        ),
+    ]
+    bundle = BundleRecord(
+        bundle_id=prefix,
+        slot=slot,
+        landed_at=landed,
+        tip_lamports=500_000 + rng.randint(0, 1_500_000),
+        transaction_ids=tuple(r.transaction_id for r in records),
+    )
+    return bundle, records
+
+
+def _benign_row(
+    scenario: SyntheticScenario,
+    index: int,
+    rng: DeterministicRNG,
+    landed: float,
+    slot: int,
+) -> Row:
+    """One non-sandwich bundle of a length drawn from the mix."""
+    prefix = f"{scenario.name}-b{index:05d}"
+    length = rng.choices(_LENGTHS, weights=scenario.length_mix, k=1)[0]
+    lo, hi = TIP_REGIMES[scenario.tip_regime]
+    records = [
+        _swap_record(
+            f"{prefix}-x{position}",
+            f"user-{scenario.name}-{index}-{position}",
+            SOL_ADDRESS,
+            f"ALT-{index % 9}",
+            rng.randint(100, 900),
+            rng.randint(50_000, 500_000),
+            f"POOL-{index % 5}",
+            landed,
+            slot,
+        )
+        for position in range(length)
+    ]
+    bundle = BundleRecord(
+        bundle_id=prefix,
+        slot=slot,
+        landed_at=landed,
+        tip_lamports=rng.randint(lo, hi),
+        transaction_ids=tuple(r.transaction_id for r in records),
+    )
+    detailed = not (
+        length >= 3 and rng.bernoulli(scenario.pending_fraction)
+    )
+    return bundle, records if detailed else []
+
+
+def generate_rows(scenario: SyntheticScenario) -> list[Row]:
+    """Expand a scenario into its deterministic campaign rows.
+
+    Rows come out in collection order: ``landed_at`` is non-decreasing with
+    ties every ``tie_every`` bundles, ``slot`` strictly increases, and every
+    draw flows from named substreams of the scenario seed.
+    """
+    scenario.validate()
+    root = DeterministicRNG(scenario.seed).child(f"conformance/{scenario.name}")
+    kind_rng = root.child("kind")
+    sandwich_rng = root.child("sandwich")
+    benign_rng = root.child("benign")
+    rows: list[Row] = []
+    for index in range(scenario.bundles):
+        landed = BASE_TIME + (index // scenario.tie_every) * 2.0
+        slot = 1_000 + index
+        if kind_rng.bernoulli(scenario.attacker_density):
+            rows.append(
+                _sandwich_row(scenario, index, sandwich_rng, landed, slot)
+            )
+        else:
+            rows.append(
+                _benign_row(scenario, index, benign_rng, landed, slot)
+            )
+    return rows
+
+
+def build_store(rows: list[Row]) -> BundleStore:
+    """Materialize rows into a fresh in-memory store (collection order)."""
+    store = BundleStore()
+    store.add_bundles([bundle for bundle, _ in rows])
+    store.add_details([record for _, records in rows for record in records])
+    return store
+
+
+def write_archive(rows: list[Row], path: str | Path) -> Path:
+    """Materialize rows into an archive database at ``path``."""
+    store = ArchiveBundleStore(path)
+    store.add_bundles([bundle for bundle, _ in rows])
+    store.add_details([record for _, records in rows for record in records])
+    store.flush()
+    database_path = store.database.path
+    store.database.close()
+    return database_path
+
+
+def selftest_scenario(seed: int, bundles: int = 160) -> SyntheticScenario:
+    """The differential-oracle scenario ``repro selftest`` runs per seed."""
+    return SyntheticScenario(
+        name=f"selftest-{seed}",
+        seed=seed,
+        bundles=bundles,
+        attacker_density=0.10,
+        tie_every=3,
+        description="selftest differential scenario",
+    )
+
+
+#: The checked-in golden corpus recipes (see ``tests/golden/``). Regenerate
+#: with ``repro selftest --bless`` after any intentional pipeline change.
+CORPUS_SCENARIOS: tuple[SyntheticScenario, ...] = (
+    SyntheticScenario(
+        name="baseline-mixed",
+        seed=101,
+        bundles=180,
+        description="mixed tips, moderate attacker density, ties every 4",
+    ),
+    SyntheticScenario(
+        name="dense-attackers",
+        seed=202,
+        bundles=140,
+        attacker_density=0.30,
+        non_sol_fraction=0.4,
+        tip_regime="high",
+        tie_every=2,
+        description="attack-heavy, tie-heavy, high-tip regime",
+    ),
+    SyntheticScenario(
+        name="quiet-defensive",
+        seed=303,
+        bundles=150,
+        attacker_density=0.0,
+        tip_regime="low",
+        length_mix=(0.8, 0.05, 0.1, 0.03, 0.02),
+        description="no sandwiches at all; defensive classification only",
+    ),
+    SyntheticScenario(
+        name="pending-heavy",
+        seed=404,
+        bundles=120,
+        attacker_density=0.12,
+        pending_fraction=0.5,
+        victim_scale=3.0,
+        description="half the triples forever undetailed; large victims",
+    ),
+)

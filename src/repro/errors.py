@@ -137,3 +137,21 @@ class StoreError(CollectorError):
 
 class DetectionError(ReproError):
     """The sandwich-detection pipeline was fed malformed input."""
+
+
+# --- Conformance --------------------------------------------------------------------
+
+
+class ConformanceError(ReproError):
+    """Two pipeline runs that must agree produced different results.
+
+    Raised by the differential oracle (and the parity guards built on it)
+    when reports that the determinism contract requires to be identical
+    diverge. ``diff`` carries the structured report diff when one is
+    available — callers can render it, serialize it, or inspect individual
+    field differences programmatically.
+    """
+
+    def __init__(self, message: str, diff: object | None = None) -> None:
+        super().__init__(message)
+        self.diff = diff

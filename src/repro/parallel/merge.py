@@ -25,6 +25,7 @@ from repro.core.defensive import DefensiveReport
 from repro.core.detector import DetectionStats
 from repro.core.pipeline import AnalysisReport
 from repro.core.quantify import QuantifiedSandwich
+from repro.errors import ConformanceError
 from repro.parallel.worker import ChunkOutcome
 
 
@@ -62,8 +63,27 @@ def merge_stats(outcomes: list[ChunkOutcome]) -> DetectionStats:
 def merge_outcomes(
     outcomes: list[ChunkOutcome], threshold_lamports: int
 ) -> MergedAnalysis:
-    """Fold chunk outcomes into campaign-wide analysis results."""
+    """Fold chunk outcomes into campaign-wide analysis results.
+
+    Raises:
+        ConformanceError: when the outcomes' plan indexes are not
+            contiguous — a duplicated or dropped chunk would silently
+            break the byte-identity guarantee, so it fails loudly
+            instead. (The sequence need not start at 0: incremental
+            deltas reserve index 0 for the pending-detail worklist and
+            omit it when that worklist is empty.)
+    """
     ordered = sorted(outcomes, key=lambda outcome: outcome.index)
+    indexes = [outcome.index for outcome in ordered]
+    start = indexes[0] if indexes else 0
+    expected = list(range(start, start + len(indexes)))
+    if indexes != expected:
+        raise ConformanceError(
+            "merge received a broken chunk sequence (expected contiguous "
+            f"indexes {expected}, got {indexes}); a duplicated or "
+            "dropped chunk would corrupt the deterministic merge",
+            diff={"expected": expected, "actual": indexes},
+        )
     quantified: list[QuantifiedSandwich] = []
     report = DefensiveReport(threshold_lamports=threshold_lamports)
     pending: list[str] = []

@@ -1,0 +1,86 @@
+"""Canonical float/JSON forms: the layer golden digests stand on."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.conformance.canon import (
+    CANON_SIG_DIGITS,
+    canon_float,
+    canon_jsonable,
+    canonical_json_bytes,
+    digest,
+    fmt_fixed,
+)
+
+
+def test_canon_float_normalizes_negative_zero():
+    assert canon_float(-0.0) == 0.0
+    assert math.copysign(1.0, canon_float(-0.0)) == 1.0
+
+
+def test_canon_float_rounds_to_sig_digits():
+    # 1/3 has no finite binary representation; canon keeps 12 significant
+    # digits, so two values differing only past digit 12 collapse.
+    assert canon_float(1 / 3) == canon_float(0.333333333333 + 1e-16)
+    assert canon_float(123456.789) == 123456.789
+
+
+def test_fmt_fixed_never_emits_minus_zero():
+    assert fmt_fixed(-0.0, 9) == "0.000000000"
+    assert fmt_fixed(-1e-12, 6) == "0.000000"
+    assert fmt_fixed(2.5, 2) == "2.50"
+
+
+def test_canonical_json_bytes_sorts_keys_and_compacts():
+    left = canonical_json_bytes({"b": 1, "a": [1.0, {"z": 2, "y": 3}]})
+    right = canonical_json_bytes({"a": [1.0, {"y": 3, "z": 2}], "b": 1})
+    assert left == right
+    assert b" " not in left
+
+
+def test_canonical_json_bytes_rejects_nan():
+    with pytest.raises(ValueError):
+        canonical_json_bytes({"x": float("nan")})
+
+
+def test_canon_jsonable_handles_tuples_and_nested_floats():
+    value = canon_jsonable({"t": (1, 2), "f": -0.0, "n": {"x": (0.1,)}})
+    assert value["t"] == [1, 2]
+    assert value["f"] == 0.0
+    assert value["n"]["x"] == [canon_float(0.1)]
+
+
+def test_digest_is_stable_and_order_insensitive():
+    a = digest({"x": 1.0, "y": [1, 2, 3]})
+    b = digest({"y": [1, 2, 3], "x": 1.0})
+    assert a == b
+    assert len(a) == 64
+    assert digest({"x": 1.0000001, "y": [1, 2, 3]}) != a
+
+
+@given(
+    st.floats(
+        allow_nan=False, allow_infinity=False, min_value=-1e18, max_value=1e18
+    )
+)
+def test_canon_float_is_idempotent(value):
+    once = canon_float(value)
+    assert canon_float(once) == once
+
+
+@given(
+    st.floats(
+        allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+    )
+)
+def test_canon_float_is_close_to_input(value):
+    rounded = canon_float(value)
+    if value != 0:
+        assert abs(rounded - value) <= abs(value) * 10.0 ** (
+            1 - CANON_SIG_DIGITS
+        )

@@ -1,0 +1,99 @@
+"""Metamorphic invariants, driven two ways: fixed seeds and hypothesis.
+
+The hypothesis leg generates random scenario *recipes* (not raw rows), so
+every example is a plausible campaign — sandwiches, benign noise, ties,
+pending bundles — and the invariants must hold on all of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.conformance.metamorphic import (
+    INVARIANTS,
+    analyze_rows,
+    detection_signature,
+    interleave_benign,
+    run_invariants,
+    scale_amounts,
+)
+from repro.conformance.scenarios import (
+    SyntheticScenario,
+    generate_rows,
+    selftest_scenario,
+)
+
+pytestmark = pytest.mark.metamorphic
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+scenario_recipes = st.builds(
+    SyntheticScenario,
+    name=st.just("hypothesis"),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    bundles=st.integers(min_value=10, max_value=40),
+    attacker_density=st.sampled_from((0.0, 0.1, 0.3)),
+    non_sol_fraction=st.sampled_from((0.0, 0.25, 1.0)),
+    tip_regime=st.sampled_from(("low", "mixed", "high")),
+    pending_fraction=st.sampled_from((0.0, 0.2, 0.5)),
+    tie_every=st.integers(min_value=1, max_value=5),
+)
+
+
+def test_all_invariants_hold_on_fixed_seeds():
+    for seed in (11, 77, 20250806):
+        results = run_invariants(selftest_scenario(seed, bundles=80))
+        assert len(results) == len(INVARIANTS)
+        for result in results:
+            assert result.passed, result.render()
+
+
+def test_fixed_seed_campaign_has_detections_to_protect():
+    # An invariant suite over empty detection sets proves nothing; the
+    # scenarios it runs on must actually contain sandwiches.
+    rows = generate_rows(selftest_scenario(11, bundles=80))
+    assert detection_signature(analyze_rows(rows))
+
+
+@given(scenario=scenario_recipes)
+@SETTINGS
+def test_invariants_hold_on_random_scenarios(scenario):
+    rows = generate_rows(scenario)
+    for name, runner in INVARIANTS:
+        result = runner(rows, scenario.seed)
+        assert result.passed, f"{name}: {result.render()}"
+
+
+@given(
+    scenario=scenario_recipes,
+    factor=st.sampled_from((2, 8, 64)),
+)
+@SETTINGS
+def test_scaling_is_exact_for_any_power_of_two(scenario, factor):
+    rows = generate_rows(scenario)
+    base = detection_signature(analyze_rows(rows))
+    scaled = detection_signature(analyze_rows(scale_amounts(rows, factor)))
+    assert len(scaled) == len(base)
+    for before, after in zip(base, scaled):
+        assert after["victim_loss_quote"] == before["victim_loss_quote"] * factor
+        assert (
+            after["attacker_gain_quote"]
+            == before["attacker_gain_quote"] * factor
+        )
+
+
+@given(scenario=scenario_recipes, every=st.integers(1, 4))
+@SETTINGS
+def test_interleaving_never_changes_detections(scenario, every):
+    rows = generate_rows(scenario)
+    base = detection_signature(analyze_rows(rows))
+    noisy = detection_signature(
+        analyze_rows(interleave_benign(rows, scenario.seed, every=every))
+    )
+    assert noisy == base

@@ -1,0 +1,188 @@
+"""Table-driven financial-impact tests pinned to hand-computed values.
+
+Every case builds a :class:`SandwichEvent` from explicit trade legs and
+asserts the quantifier's four figures against numbers worked out by hand
+(the arithmetic is spelled out next to each case). The oracle is fixed at
+$250/SOL so the USD expectations are exact decimal fractions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import LAMPORTS_PER_SOL
+from repro.core.events import SandwichEvent
+from repro.core.quantify import LossQuantifier
+from repro.core.trades import TradeLeg
+from repro.dex.oracle import PriceOracle
+from repro.explorer.models import BundleRecord
+from repro.solana.tokens import SOL_MINT
+
+SOL = SOL_MINT.address.to_base58()
+USD_PER_SOL = 250.0
+
+
+def _usd(lamports: float) -> float:
+    """Hand-computed lamports -> USD, with the quantifier's exact float ops."""
+    return lamports / LAMPORTS_PER_SOL * USD_PER_SOL
+
+
+def _leg(owner, mint_in, mint_out, amount_in, amount_out):
+    return TradeLeg(
+        owner=owner,
+        pool="POOL",
+        mint_in=mint_in,
+        mint_out=mint_out,
+        amount_in=amount_in,
+        amount_out=amount_out,
+    )
+
+
+def _event(front, victim, back, attacker="atk", victim_name="vic", tip=1_000_000):
+    return SandwichEvent(
+        bundle=BundleRecord(
+            bundle_id="b-table",
+            slot=7,
+            landed_at=1_739_059_200.0,
+            tip_lamports=tip,
+            transaction_ids=("t0", "t1", "t2"),
+        ),
+        attacker=attacker,
+        victim=victim_name,
+        frontrun=front,
+        victim_trade=victim,
+        backrun=back,
+    )
+
+
+# Each case: (name, event, loss_quote, gain_quote, loss_usd, gain_usd).
+CASES = [
+    (
+        # rate_A = 1000/1_000_000 = 0.001 SOL-lamports per MEME unit;
+        # would_have_paid = 0.001 * 9_000_000 = 9_000; loss = 10_000 - 9_000
+        # = 1_000 lamports (~$0.00025 at $250/SOL).
+        # gain = backrun out - frontrun in = 1_100 - 1_000 = 100 lamports.
+        "canonical-sol-quote",
+        _event(
+            _leg("atk", SOL, "MEME", 1_000, 1_000_000),
+            _leg("vic", SOL, "MEME", 10_000, 9_000_000),
+            _leg("atk", "MEME", SOL, 1_000_000, 1_100),
+        ),
+        1_000.0,
+        100,
+        _usd(1_000.0),
+        _usd(100),
+    ),
+    (
+        # Zero tip changes nothing financially: the tip is rent paid to
+        # Jito, not part of the victim-loss / attacker-gain arithmetic.
+        "zero-tip-sandwich",
+        _event(
+            _leg("atk", SOL, "MEME", 1_000, 1_000_000),
+            _leg("vic", SOL, "MEME", 10_000, 9_000_000),
+            _leg("atk", "MEME", SOL, 1_000_000, 1_100),
+            tip=0,
+        ),
+        1_000.0,
+        100,
+        _usd(1_000.0),
+        _usd(100),
+    ),
+    (
+        # Self-sandwich (attacker's own trade in the middle): identities do
+        # not enter the arithmetic. rate_A = 100/1_000 = 0.1;
+        # would_have_paid = 0.1 * 4_000 = 400; loss = 500 - 400 = 100;
+        # gain = 120 - 100 = 20.
+        "self-sandwich",
+        _event(
+            _leg("self", SOL, "TOK", 100, 1_000),
+            _leg("self", SOL, "TOK", 500, 4_000),
+            _leg("self", "TOK", SOL, 5_000, 120),
+            attacker="self",
+            victim_name="self",
+        ),
+        100.0,
+        20,
+        _usd(100.0),
+        _usd(20),
+    ),
+    (
+        # Multi-hop victim: the victim sells MEME *for* SOL, so the quote
+        # currency is MEME and SOL sits on the output side. rate_A =
+        # 2_000/1_000 = 2.0 MEME per lamport; would_have_paid = 2.0 * 4_000
+        # = 8_000; loss = 10_000 - 8_000 = 2_000 MEME. Conversion uses the
+        # victim's realized rate 4_000/10_000 = 0.4 lamports per MEME:
+        # 2_000 * 0.4 = 800 lamports (~$0.0002). gain = 2_400 - 2_000 =
+        # 400 MEME -> 160 lamports (~$0.00004).
+        "multi-hop-victim-sol-output",
+        _event(
+            _leg("atk", "MEME", SOL, 2_000, 1_000),
+            _leg("vic", "MEME", SOL, 10_000, 4_000),
+            _leg("atk", SOL, "MEME", 1_000, 2_400),
+        ),
+        2_000.0,
+        400,
+        _usd(2_000.0 * (4_000 / 10_000)),
+        _usd(400 * (4_000 / 10_000)),
+    ),
+    (
+        # Non-SOL pair: counted, never priced (paper Section 3.2). rate_A =
+        # 50/100 = 0.5; would_have_paid = 0.5 * 800 = 400; loss = 600 - 400
+        # = 200; gain = 70 - 50 = 20; both USD figures None.
+        "non-sol-pair-unpriced",
+        _event(
+            _leg("atk", "USDC", "MEME", 50, 100),
+            _leg("vic", "USDC", "MEME", 600, 800),
+            _leg("atk", "MEME", "USDC", 900, 70),
+        ),
+        200.0,
+        20,
+        None,
+        None,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,event,loss_quote,gain_quote,loss_usd,gain_usd",
+    CASES,
+    ids=[case[0] for case in CASES],
+)
+def test_quantifier_matches_hand_computed_values(
+    name, event, loss_quote, gain_quote, loss_usd, gain_usd
+):
+    quantifier = LossQuantifier(PriceOracle(usd_per_sol=USD_PER_SOL))
+    result = quantifier.quantify(event)
+    assert result.victim_loss_quote == loss_quote
+    assert result.attacker_gain_quote == gain_quote
+    assert result.victim_loss_usd == loss_usd
+    assert result.attacker_gain_usd == gain_usd
+    assert result.priced == (loss_usd is not None)
+
+
+def test_zero_tip_and_default_tip_quantify_identically():
+    front = _leg("atk", SOL, "MEME", 1_000, 1_000_000)
+    victim = _leg("vic", SOL, "MEME", 10_000, 9_000_000)
+    back = _leg("atk", "MEME", SOL, 1_000_000, 1_100)
+    quantifier = LossQuantifier(PriceOracle(usd_per_sol=USD_PER_SOL))
+    tipped = quantifier.quantify(_event(front, victim, back, tip=2_000_000))
+    untipped = quantifier.quantify(_event(front, victim, back, tip=0))
+    assert tipped.victim_loss_quote == untipped.victim_loss_quote
+    assert tipped.attacker_gain_quote == untipped.attacker_gain_quote
+    assert tipped.victim_loss_usd == untipped.victim_loss_usd
+    assert tipped.attacker_gain_usd == untipped.attacker_gain_usd
+
+
+def test_zero_amount_victim_input_is_unpriceable_not_a_crash():
+    # SOL-as-output with a zero victim amount_in cannot derive a realized
+    # rate; the quantifier must return None rather than divide by zero.
+    event = _event(
+        _leg("atk", "MEME", SOL, 2_000, 1_000),
+        _leg("vic", "MEME", SOL, 0, 4_000),
+        _leg("atk", SOL, "MEME", 1_000, 2_400),
+    )
+    result = LossQuantifier(PriceOracle(usd_per_sol=USD_PER_SOL)).quantify(
+        event
+    )
+    assert result.victim_loss_usd is None
+    assert result.attacker_gain_usd is None

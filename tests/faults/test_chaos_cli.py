@@ -2,10 +2,7 @@
 
 import json
 
-import pytest
-
 from repro.cli import main
-from repro.errors import ConfigError
 
 ARTIFACTS = ("plan.json", "fault_log.jsonl", "report.txt", "summary.json")
 
@@ -72,6 +69,22 @@ class TestArtifacts:
             tmp_path / "b" / "fault_log.jsonl"
         ).read_bytes()
 
-    def test_unknown_plan_is_rejected(self, tmp_path):
-        with pytest.raises(ConfigError, match="no-such-plan"):
-            run_chaos(tmp_path / "out", plan="no-such-plan")
+    def test_unknown_plan_is_rejected(self, tmp_path, capsys):
+        # main() converts the ConfigError into a one-line exit-2
+        # diagnostic; run_chaos asserts exit 0, so call main() directly.
+        code = main(
+            [
+                "chaos",
+                "--small",
+                "--days",
+                "2",
+                "--plan",
+                "no-such-plan",
+                "--out",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no-such-plan" in err
+        assert "Traceback" not in err

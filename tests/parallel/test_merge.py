@@ -112,3 +112,44 @@ class TestMergeStats:
             "gamma",
         ]
         assert stats.rejections_by_criterion["alpha"] == 2
+
+
+class TestChunkSequenceGuard:
+    def test_duplicate_index_raises_conformance_error(self):
+        import pytest
+
+        from repro.errors import ConformanceError
+
+        with pytest.raises(ConformanceError) as excinfo:
+            merge_outcomes(
+                [outcome(0, [1.0]), outcome(0, [2.0])],
+                threshold_lamports=100_000,
+            )
+        assert excinfo.value.diff == {"expected": [0, 1], "actual": [0, 0]}
+
+    def test_missing_chunk_raises_conformance_error(self):
+        import pytest
+
+        from repro.errors import ConformanceError
+
+        with pytest.raises(ConformanceError, match="chunk sequence"):
+            merge_outcomes(
+                [outcome(0, [1.0]), outcome(2, [2.0])],
+                threshold_lamports=100_000,
+            )
+
+    def test_contiguous_indexes_pass(self):
+        merged = merge_outcomes(
+            [outcome(1, [2.0]), outcome(0, [1.0])],
+            threshold_lamports=100_000,
+        )
+        assert merged.bundle_count == 2
+
+    def test_nonzero_start_passes(self):
+        # Incremental deltas omit chunk 0 when the pending-detail
+        # worklist is empty; contiguity from any start is acceptable.
+        merged = merge_outcomes(
+            [outcome(2, [2.0]), outcome(1, [1.0]), outcome(3, [3.0])],
+            threshold_lamports=100_000,
+        )
+        assert merged.bundle_count == 3

@@ -1,0 +1,120 @@
+"""CLI error paths: every operator mistake gets one line and a non-zero exit.
+
+The contract under test: no raw traceback ever reaches the terminal for a
+predictable mistake — a missing or corrupt store, a bad flag value, an
+empty golden corpus. ``main()`` converts :class:`~repro.errors.ReproError`
+into a one-line stderr diagnostic with exit code 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.conformance.golden import bless_corpus
+
+
+def _stderr_lines(capsys) -> list[str]:
+    return [
+        line for line in capsys.readouterr().err.splitlines() if line.strip()
+    ]
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    from repro.conformance.scenarios import (
+        generate_rows,
+        selftest_scenario,
+        write_archive,
+    )
+
+    path = tmp_path / "good.db"
+    write_archive(generate_rows(selftest_scenario(11, bundles=20)), path)
+    return path
+
+
+class TestAnalyzeErrors:
+    def test_missing_store_exits_2_without_creating_it(self, tmp_path, capsys):
+        missing = tmp_path / "nope.db"
+        assert main(["analyze", "--store", str(missing)]) == 2
+        assert not missing.exists(), "analyze must never create its input"
+        lines = _stderr_lines(capsys)
+        assert len(lines) == 1
+        assert "does not exist" in lines[0]
+
+    def test_corrupt_archive_is_one_line(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.db"
+        corrupt.write_bytes(b"SQLite format 3\x00" + b"garbage" * 4)
+        assert main(["analyze", "--store", str(corrupt)]) == 2
+        lines = _stderr_lines(capsys)
+        assert len(lines) == 1
+        assert "corrupt" in lines[0]
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_jobs_zero_is_one_line(self, archive, capsys):
+        assert main(["analyze", "--store", str(archive), "--jobs", "0"]) == 2
+        lines = _stderr_lines(capsys)
+        assert len(lines) == 1
+        assert "jobs" in lines[0]
+
+    def test_negative_chunk_size_is_one_line(self, archive, capsys):
+        assert (
+            main(
+                ["analyze", "--store", str(archive), "--chunk-size", "-5"]
+            )
+            == 2
+        )
+        lines = _stderr_lines(capsys)
+        assert len(lines) == 1
+        assert "chunk_size" in lines[0]
+
+    def test_valid_archive_still_analyzes(self, archive, capsys):
+        assert main(["analyze", "--store", str(archive), "--jobs", "1"]) == 0
+        assert "sandwiches:" in capsys.readouterr().out
+
+
+class TestSelftestErrors:
+    def test_empty_corpus_fails_with_diagnostic(self, tmp_path, capsys):
+        code = main(
+            [
+                "selftest",
+                "--corpus",
+                str(tmp_path / "empty"),
+                "--seed",
+                "11",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no fixtures" in out
+        assert "FAIL" in out
+
+    def test_blessed_corpus_passes(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        bless_corpus(corpus)
+        code = main(
+            ["selftest", "--corpus", str(corpus), "--seed", "11", "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selftest: PASS" in out
+        assert "serial == parallel-j2 (exact): identical" in out
+        assert "serial == incremental (contract): identical" in out
+        assert "serial == resume-sigkill (contract): identical" in out
+
+    def test_bless_writes_fixtures(self, tmp_path, capsys):
+        corpus = tmp_path / "fresh"
+        code = main(
+            [
+                "selftest",
+                "--bless",
+                "--corpus",
+                str(corpus),
+                "--seed",
+                "11",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert sorted(p.name for p in corpus.glob("*.json"))

@@ -122,10 +122,13 @@ class TestCampaignObservability:
         parsed = json.loads(capsys.readouterr().out)
         assert parsed["schema"] == "repro.obs/v1"
 
-    def test_metrics_rejects_non_snapshot(self, tmp_path):
+    def test_metrics_rejects_non_snapshot(self, tmp_path, capsys):
         bogus = tmp_path / "bogus.json"
         bogus.write_text('{"schema": "nope"}')
-        from repro.errors import ConfigError
-
-        with pytest.raises(ConfigError):
-            main(["metrics", "--snapshot", str(bogus)])
+        # main() converts the ConfigError into a one-line exit-2
+        # diagnostic instead of letting the traceback escape.
+        code = main(["metrics", "--snapshot", str(bogus)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "not a metrics snapshot" in err
+        assert "Traceback" not in err
