@@ -295,17 +295,13 @@ class IncrementalAnalyzer:
         report = DefensiveReport(
             threshold_lamports=self.classifier.threshold_lamports
         )
-        rows = self.database.connection.execute(
-            "SELECT d.classification, b.* FROM defensive d "
-            "JOIN bundles b ON b.bundle_id = d.bundle_id ORDER BY b.seq"
-        ).fetchall()
-        for row in rows:
+        for classification, bundle in self.query.defensive_records():
             bucket = (
                 report.defensive
-                if row["classification"] == "defensive"
+                if classification == "defensive"
                 else report.priority
             )
-            bucket.append(bundle_from_row(row))
+            bucket.append(bundle)
         return report
 
     def analyze(self, sim_time: float = 0.0) -> IncrementalResult:

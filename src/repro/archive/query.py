@@ -119,6 +119,32 @@ class BundleKey:
 
 
 @dataclass(frozen=True)
+class ArchiveWatermark:
+    """The archive's read-side version: how much data any reader can see.
+
+    A watermark is the tuple of high-water ``seq`` values of the appended
+    tables plus the defensive row count (that table has no sequence). Two
+    reads of an archive return identical results iff their watermarks are
+    equal, which is what the serving tier's response cache keys on: the
+    token changes exactly when the collector lands new rows or an
+    incremental analysis pass appends detections.
+    """
+
+    bundle_seq: int
+    transaction_seq: int
+    sandwich_seq: int
+    defensive_rows: int
+
+    @property
+    def token(self) -> str:
+        """Compact opaque form, embedded in ETags and cache keys."""
+        return (
+            f"b{self.bundle_seq}.t{self.transaction_seq}."
+            f"s{self.sandwich_seq}.d{self.defensive_rows}"
+        )
+
+
+@dataclass(frozen=True)
 class ArchiveChunk:
     """One bounded, contiguous slice of the ``bundles`` table.
 
@@ -140,12 +166,24 @@ class ArchiveChunk:
 def _order_clause(
     order_by: str, descending: bool, allowed: frozenset[str]
 ) -> str:
+    """ORDER BY with a ``seq`` tiebreaker, so pagination is total-ordered.
+
+    SQL leaves the order of rows with equal sort keys unspecified, which
+    would let a row slip between two pages of a paginated scan. Every
+    non-``seq`` ordering therefore breaks ties on ``seq`` in the same
+    direction — within a tie, ascending reads come back in collection
+    order, exactly the order the serial pipeline consumes bundles in.
+    """
     if order_by not in allowed:
         raise ConfigError(
             f"cannot order by {order_by!r}; "
             f"indexed columns are {sorted(allowed)}"
         )
-    return f" ORDER BY {order_by} {'DESC' if descending else 'ASC'}"
+    direction = "DESC" if descending else "ASC"
+    clause = f" ORDER BY {order_by} {direction}"
+    if order_by != "seq":
+        clause += f", seq {direction}"
+    return clause
 
 
 def _page_clause(limit: int | None, offset: int) -> tuple[str, list]:
@@ -332,6 +370,15 @@ class ArchiveQuery:
             for row in self._timed("details", sql, params + page_params)
         ]
 
+    def count_transactions(self) -> int:
+        """Number of archived transaction details."""
+        rows = self._timed(
+            "count_transactions",
+            "SELECT COUNT(*) AS n FROM transactions",
+            [],
+        )
+        return rows[0]["n"]
+
     def details_for_bundle(self, bundle: BundleRecord) -> list[TransactionRecord]:
         """Details of a bundle's member transactions, in bundle order."""
         found = {
@@ -370,6 +417,18 @@ class ArchiveQuery:
             sandwich_from_row(row)
             for row in self._timed("sandwiches", sql, params + page_params)
         ]
+
+    def sandwich_for_bundle(self, bundle_id: str) -> QuantifiedSandwich | None:
+        """The detection recorded for one attacked bundle, if any.
+
+        Bundle ids are unique in the archive, so at most one row matches.
+        """
+        rows = self._timed(
+            "sandwich_for_bundle",
+            "SELECT * FROM sandwiches WHERE bundle_id = ?",
+            [bundle_id],
+        )
+        return sandwich_from_row(rows[0]) if rows else None
 
     def count_sandwiches(self, where: SandwichFilter | None = None) -> int:
         """Number of detections matching the filter."""
@@ -465,6 +524,60 @@ class ArchiveQuery:
             }
             for row in rows
         ]
+
+    def defensive_records(self) -> list[tuple[str, BundleRecord]]:
+        """Every classified bundle with its label, in collection order.
+
+        The join restores the full bundle record, so rebuilding a
+        :class:`~repro.core.defensive.DefensiveReport` from archive rows
+        (incremental analysis, the serving tier's financial aggregates)
+        sees exactly what the in-memory classifier appended.
+        """
+        rows = self._timed(
+            "defensive_records",
+            "SELECT d.classification, b.* FROM defensive d "
+            "JOIN bundles b ON b.bundle_id = d.bundle_id ORDER BY b.seq",
+            [],
+        )
+        return [(row["classification"], bundle_from_row(row)) for row in rows]
+
+    def pending_detail_count(self, min_length: int = 3) -> int:
+        """Bundles of ``min_length``+ still missing member details.
+
+        The archive-level analogue of the report's "details missing"
+        integrity line: detection candidates the fetcher never completed,
+        exposed by the serving tier's status endpoint.
+        """
+        rows = self._timed(
+            "pending_detail_count",
+            "SELECT COUNT(*) AS n FROM bundles b "
+            "WHERE b.num_transactions >= ? AND "
+            "(SELECT COUNT(*) FROM bundle_transactions m "
+            " JOIN transactions t ON t.transaction_id = m.transaction_id "
+            " WHERE m.bundle_id = b.bundle_id) < b.num_transactions",
+            [min_length],
+        )
+        return rows[0]["n"]
+
+    def watermark(self) -> ArchiveWatermark:
+        """The archive's current read-side version (three MAX, one COUNT)."""
+        rows = self._timed(
+            "watermark",
+            "SELECT "
+            "(SELECT COALESCE(MAX(seq), 0) FROM bundles) AS bundle_seq, "
+            "(SELECT COALESCE(MAX(seq), 0) FROM transactions) "
+            "  AS transaction_seq, "
+            "(SELECT COALESCE(MAX(seq), 0) FROM sandwiches) AS sandwich_seq, "
+            "(SELECT COUNT(*) FROM defensive) AS defensive_rows",
+            [],
+        )
+        row = rows[0]
+        return ArchiveWatermark(
+            bundle_seq=row["bundle_seq"],
+            transaction_seq=row["transaction_seq"],
+            sandwich_seq=row["sandwich_seq"],
+            defensive_rows=row["defensive_rows"],
+        )
 
     def defensive_summary(self) -> dict[str, dict[str, float]]:
         """Counts and tip totals by defensive/priority classification."""

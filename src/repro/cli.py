@@ -9,7 +9,11 @@ Commands:
   JSONL store directory or an archive database (auto-detected);
 - ``archive`` — maintain an archive database (import/export/stats/vacuum);
 - ``query`` — run indexed queries and aggregations against an archive;
-- ``serve`` — simulate a world and serve its Jito Explorer over HTTP;
+- ``serve`` — simulate a world and serve its Jito Explorer over HTTP (the
+  *data source* a collector scrapes; for serving measurement *results*,
+  see ``api``);
+- ``api`` — serve a campaign archive's detections, financial aggregates,
+  and integrity status over the versioned ``/v1/`` read API;
 - ``scrape`` — collect from a running explorer over HTTP;
 - ``chaos`` — run a fault-injected chaos campaign; every output file is a
   pure function of ``--seed`` and ``--plan``, so two identical invocations
@@ -598,11 +602,14 @@ def cmd_query(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Simulate a world, then serve its explorer over HTTP until killed.
 
-    The server exposes ``GET /metrics``, so the registry wired here is
-    scrapeable for the lifetime of the process.
+    This is the *data source* side of the pipeline — the simulated Jito
+    Explorer a collector scrapes. Measurement *results* are served by
+    ``repro api`` instead. The server exposes ``GET /metrics``, so the
+    registry wired here is scrapeable for the lifetime of the process.
     """
     from repro.explorer.http_server import ThreadedExplorerServer
     from repro.explorer.service import ExplorerConfig, ExplorerService
+    from repro.serve.runner import run_until_interrupt
 
     progress, output = _build_logs(args)
     scenario = _scenario_from_args(args)
@@ -622,21 +629,75 @@ def cmd_serve(args: argparse.Namespace) -> int:
         metrics=metrics,
     )
     server = ThreadedExplorerServer(service, host=args.host, port=args.port)
-    server.start()
-    output.info(
-        "cli.serve",
-        f"explorer serving {world.bundles_landed} bundles on "
-        f"http://{args.host}:{server.port} (Ctrl-C to stop)",
-        bundles=world.bundles_landed,
-        port=server.port,
+
+    def announce(port: int) -> None:
+        output.info(
+            "cli.serve",
+            f"simulated explorer (data source) serving "
+            f"{world.bundles_landed} bundles on "
+            f"http://{args.host}:{port} (Ctrl-C to stop)",
+            bundles=world.bundles_landed,
+            port=port,
+        )
+
+    run_until_interrupt(server, announce)
+    return 0
+
+
+def cmd_api(args: argparse.Namespace) -> int:
+    """Serve a campaign archive's results over the ``/v1/`` read API.
+
+    The counterpart to ``repro serve``: where that command serves the
+    *simulated data source*, this one serves the *measurement results* —
+    detections, financial aggregates, paper-figure series, and
+    collection-integrity status — from an archive database, read-only.
+    A collector or incremental analyzer may keep writing to the same
+    archive; responses pick up new rows the moment the watermark moves.
+    """
+    from repro.serve import ApiConfig, ArchiveApiApp, ThreadedApiServer
+    from repro.serve.runner import run_until_interrupt
+
+    progress, output = _build_logs(args)
+    db_path = Path(args.db)
+    if not db_path.exists():
+        progress.error(
+            "cli.api",
+            f"archive {db_path} does not exist (build one with "
+            "'repro campaign --archive ...')",
+            db=str(db_path),
+        )
+        return 2
+    metrics = MetricsRegistry()
+    app = ArchiveApiApp(
+        ApiConfig(
+            db_path=db_path,
+            host=args.host,
+            port=args.port,
+            requests_per_second=args.rps,
+            burst_capacity=args.burst if args.burst else max(args.rps * 4, 4),
+            cache_entries=args.cache_entries,
+        ),
+        metrics=metrics,
     )
-    try:
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.stop()
+    server = ThreadedApiServer(app)
+
+    def announce(port: int) -> None:
+        output.info(
+            "cli.api",
+            f"archive api (results) serving {db_path} on "
+            f"http://{args.host}:{port} (Ctrl-C to stop)",
+            db=str(db_path),
+            port=port,
+        )
+
+    run_until_interrupt(server, announce)
+    if args.metrics_out:
+        save_snapshot(metrics, args.metrics_out)
+        progress.info(
+            "cli.api",
+            f"wrote metrics snapshot to {args.metrics_out}",
+            path=str(args.metrics_out),
+        )
     return 0
 
 
@@ -974,7 +1035,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
     query.set_defaults(func=cmd_query)
 
-    serve = sub.add_parser("serve", help="serve a simulated explorer")
+    serve = sub.add_parser(
+        "serve",
+        help="serve a simulated Jito explorer (the data source; "
+        "for serving campaign results, see 'api')",
+        description="Simulate a world and serve its Jito Explorer over "
+        "HTTP — the data source a collector scrapes. To serve measurement "
+        "results from a campaign archive, use 'repro api' instead.",
+    )
     serve.add_argument("--days", type=int, default=None)
     serve.add_argument("--seed", type=int, default=2025)
     serve.add_argument("--small", action="store_true")
@@ -982,6 +1050,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--rps", type=float, default=100.0)
     serve.set_defaults(func=cmd_serve)
+
+    api = sub.add_parser(
+        "api",
+        help="serve a campaign archive's results over the /v1/ read API",
+        description="Serve detections, financial aggregates, and "
+        "collection-integrity status from a campaign archive over a "
+        "versioned read-only HTTP API. The counterpart to 'repro serve', "
+        "which serves the simulated data source.",
+    )
+    api.add_argument("--db", required=True, help="archive database path")
+    api.add_argument("--host", default="127.0.0.1")
+    api.add_argument("--port", type=int, default=0)
+    api.add_argument(
+        "--rps",
+        type=float,
+        default=50.0,
+        help="per-client sustained requests/second (token-bucket rate)",
+    )
+    api.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="per-client burst capacity (default: 4x --rps)",
+    )
+    api.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1_024,
+        help="response-cache capacity (entries per watermark generation)",
+    )
+    api.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the API's metrics snapshot (JSON) to this path on exit",
+    )
+    api.add_argument(
+        "--log-jsonl",
+        default=None,
+        help="also append structured events to this JSONL file",
+    )
+    api.set_defaults(func=cmd_api)
 
     scrape = sub.add_parser("scrape", help="collect from a live explorer")
     scrape.add_argument("--host", default="127.0.0.1")

@@ -1,6 +1,9 @@
 """An asyncio HTTP/1.1 front end for the explorer service.
 
-Exposes the endpoints the paper scraped, over a real socket, plus two
+This server simulates the *data source* the paper scraped — the Jito
+Explorer feed of landed bundles — not the measurement results (those are
+served by ``repro api``, the :mod:`repro.serve` tier). It exposes the
+endpoints the paper's collector polled, over a real socket, plus two
 operational endpoints:
 
 - ``GET /api/v1/bundles/recent?limit=N`` — recent bundle listing
@@ -10,6 +13,11 @@ operational endpoints:
 - ``GET /metrics`` — the service's metrics registry in Prometheus text
   format (never rate-limited: operators must be able to see a struggling
   server)
+
+``HEAD`` is answered on every GET route with the headers (including
+``Content-Length``) the GET would have carried and no body; request
+parsing and response framing are shared with the archive-API server via
+:mod:`repro.serve.httpcommon`.
 
 Typed service errors map onto HTTP statuses (400 / 429 / 503), which the
 collector's HTTP client maps back into the same typed errors — so the
@@ -35,28 +43,11 @@ from repro.errors import (
 from repro.explorer.service import ExplorerService
 from repro.explorer.wire import bundle_record_to_json, transaction_record_to_json
 from repro.obs.export import render_prometheus
-
-_MAX_HEADER_BYTES = 64 * 1024
-_MAX_BODY_BYTES = 16 * 1024 * 1024
-
-_STATUS_TEXT = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-
-class _PlainText:
-    """Marks a dispatch payload as pre-rendered text, not JSON."""
-
-    __slots__ = ("text",)
-
-    def __init__(self, text: str) -> None:
-        self.text = text
+from repro.serve.httpcommon import (
+    PlainText as _PlainText,
+    read_request,
+    write_response,
+)
 
 
 def _status_for_error(error: ExplorerError) -> int:
@@ -106,11 +97,13 @@ class ExplorerHttpServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        head_only = False
         try:
-            request = await self._read_request(reader)
+            request = await read_request(reader)
             if request is None:
                 return
             method, target, headers, body = request
+            head_only = method == "HEAD"
             peer = writer.get_extra_info("peername") or ("unknown",)
             client_id = headers.get("x-client-id", str(peer[0]))
             status, payload, headers = self._dispatch(
@@ -119,7 +112,9 @@ class ExplorerHttpServer:
         except Exception as exc:  # noqa: BLE001 - server must not crash
             status, payload, headers = 500, {"error": f"internal error: {exc}"}, {}
         try:
-            await self._write_response(writer, status, payload, headers)
+            await write_response(
+                writer, status, payload, headers, head_only=head_only
+            )
         finally:
             writer.close()
             try:
@@ -127,43 +122,23 @@ class ExplorerHttpServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, dict[str, str], bytes] | None:
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
-            return None
-        if len(head) > _MAX_HEADER_BYTES:
-            return None
-        lines = head.decode("latin-1").split("\r\n")
-        request_line = lines[0].split(" ")
-        if len(request_line) != 3:
-            return None
-        method, target, _version = request_line
-        headers: dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length < 0 or length > _MAX_BODY_BYTES:
-            return None
-        body = await reader.readexactly(length) if length else b""
-        return method.upper(), target, headers, body
-
     def _dispatch(
         self, method: str, target: str, body: bytes, client_id: str
     ) -> tuple[int, "dict | list | _PlainText", dict[str, str]]:
         """Route the request, mapping typed errors to statuses and headers.
+
+        ``HEAD`` routes exactly like ``GET`` — the connection handler strips
+        the body at write time, so the headers (Content-Length included)
+        match what the GET would have sent.
 
         A rate-limit rejection carries the service's Retry-After hint both
         as a ``Retry-After`` header and a ``retryAfter`` body field, so
         polite clients on either parsing path can honor it.
         """
         try:
-            status, payload = self._route(method, target, body, client_id)
+            status, payload = self._route(
+                "GET" if method == "HEAD" else method, target, body, client_id
+            )
         except ValueError as exc:
             return 400, {"error": str(exc)}, {}
         except ExplorerError as exc:
@@ -230,34 +205,6 @@ class ExplorerHttpServer:
                 ]
             }
         return 404, {"error": f"no route {path}"}
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload,
-        headers: dict[str, str] | None = None,
-    ) -> None:
-        if isinstance(payload, _PlainText):
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-            body = payload.text.encode("utf-8")
-        else:
-            content_type = "application/json"
-            body = json.dumps(payload).encode("utf-8")
-        extra = "".join(
-            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
-        )
-        head = (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"{extra}"
-            f"Connection: close\r\n"
-            f"\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
-
 
 class ThreadedExplorerServer:
     """Runs an :class:`ExplorerHttpServer` on a daemon thread.

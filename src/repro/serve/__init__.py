@@ -1,0 +1,40 @@
+"""``repro.serve`` — the public query/serving tier over a campaign archive.
+
+Where :mod:`repro.explorer` simulates the *data source* the paper scraped
+(a Jito-Explorer-shaped feed of landed bundles), this package serves the
+*results*: detections, financial aggregates, collection-integrity status,
+and the paper-figure aggregations, read straight from a WAL-mode SQLite
+campaign archive and exposed to many concurrent HTTP clients.
+
+The tier is layered the way production read APIs are:
+
+- :mod:`repro.serve.models` — dataclass response models with canonical
+  (:func:`repro.conformance.canon.fmt_fixed`) money rendering;
+- :mod:`repro.serve.repositories` — typed repositories wrapping
+  :class:`repro.archive.query.ArchiveQuery` with pagination and filtering;
+- :mod:`repro.serve.routes` — the versioned ``/v1/`` route table;
+- :mod:`repro.serve.cache` — a watermark-keyed response cache with strong
+  ETags (invalidated the moment the archive watermark advances, so
+  incremental re-analysis is immediately visible);
+- :mod:`repro.serve.limits` — per-client token buckets reusing
+  :class:`repro.utils.ratelimit.TokenBucket`;
+- :mod:`repro.serve.app` / :mod:`repro.serve.server` — the dispatch core
+  and the asyncio HTTP front end (``repro api``).
+"""
+
+from repro.serve.app import ApiConfig, ArchiveApiApp
+from repro.serve.cache import CacheEntry, ResponseCache
+from repro.serve.limits import ClientRateLimiter
+from repro.serve.repositories import PageParams
+from repro.serve.server import ApiHttpServer, ThreadedApiServer
+
+__all__ = [
+    "ApiConfig",
+    "ApiHttpServer",
+    "ArchiveApiApp",
+    "CacheEntry",
+    "ClientRateLimiter",
+    "PageParams",
+    "ResponseCache",
+    "ThreadedApiServer",
+]

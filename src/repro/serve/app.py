@@ -1,0 +1,306 @@
+"""The archive API's dispatch core, independent of any socket.
+
+:class:`ArchiveApiApp` owns the whole request lifecycle — rate limiting,
+routing, the watermark-keyed cache, ETag validation, error mapping, and
+request metrics — as one synchronous ``handle()`` call, so every behavior
+is testable without binding a port. The asyncio front end
+(:mod:`repro.serve.server`) is a thin framing shell around it.
+
+Request flow, in order:
+
+1. resolve the route (404 unknown path, 405 wrong method; ``HEAD`` routes
+   as ``GET``),
+2. admit through the per-client token bucket unless the route is exempt
+   (``/healthz``, ``/metrics`` must answer while saturated),
+3. read the archive watermark and look up the response cache — a hit
+   serves the stored canonical bytes, a miss runs the repository handler
+   and caches the result,
+4. compare the strong ETag against ``If-None-Match`` (304 on match),
+5. record per-route latency, status, and cache-outcome metrics.
+
+The app is single-threaded by contract: the SQLite connection, the cache,
+and the limiter are all touched only from the thread that called
+:meth:`open` (the serving event loop's thread).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.archive.database import ArchiveDatabase
+from repro.archive.query import ArchiveQuery
+from repro.conformance.canon import canonical_json_bytes
+from repro.errors import ConfigError
+from repro.obs.export import render_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.serve.cache import CacheEntry, ResponseCache, make_etag
+from repro.serve.httpcommon import JSON_CONTENT_TYPE, PlainText, RawBody
+from repro.serve.limits import ClientRateLimiter
+from repro.serve.repositories import (
+    AggregateRepository,
+    BundleRepository,
+    DetectionRepository,
+    StatusRepository,
+)
+from repro.serve.routes import RouteMatch, Router
+
+#: API version segment; bump on breaking payload changes.
+API_VERSION = "v1"
+
+
+@dataclass(frozen=True)
+class ApiConfig:
+    """Tunables for one API instance."""
+
+    db_path: str | Path
+    host: str = "127.0.0.1"
+    port: int = 0
+    requests_per_second: float = 50.0
+    burst_capacity: float = 200.0
+    cache_entries: int = 1_024
+    time_fn: Callable[[], float] | None = None
+
+
+class ArchiveApiApp:
+    """Routes archive-API requests to repositories; socket-free."""
+
+    def __init__(
+        self, config: ApiConfig, metrics: MetricsRegistry | None = None
+    ) -> None:
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._requests_metric = self.metrics.counter(
+            "serve_requests_total",
+            "API requests served, by route and status code.",
+        )
+        self._latency_metric = self.metrics.histogram(
+            "serve_request_seconds",
+            "Wall-clock API request latency, by route.",
+            buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+        )
+        self._cache_metric = self.metrics.counter(
+            "serve_cache_events_total",
+            "Response-cache lookups, by outcome (hit/miss/bypass).",
+        )
+        self._reject_metric = self.metrics.counter(
+            "serve_ratelimit_rejections_total",
+            "API requests rejected by per-client rate limiting.",
+        )
+        self.cache = ResponseCache(capacity=config.cache_entries)
+        self.limiter = ClientRateLimiter(
+            rate=config.requests_per_second,
+            burst=config.burst_capacity,
+            time_fn=config.time_fn,
+        )
+        self._db: ArchiveDatabase | None = None
+        self.query: ArchiveQuery | None = None
+        self._router = Router()
+
+    # --- lifecycle ---------------------------------------------------------
+
+    def open(self) -> None:
+        """Open the archive read-only and build the route table.
+
+        Must be called on the thread that will serve requests: SQLite
+        connections are thread-bound, and the read-only open also verifies
+        the schema version before the first request can arrive.
+        """
+        self._db = ArchiveDatabase(self.config.db_path, read_only=True)
+        self.query = ArchiveQuery(self._db, metrics=self.metrics)
+        bundles = BundleRepository(self.query)
+        detections = DetectionRepository(self.query)
+        aggregates = AggregateRepository(self.query)
+        status = StatusRepository(self.query)
+
+        def no_query(fn: Callable[[], dict]) -> Callable:
+            def handler(path_params: dict, query: dict) -> dict:
+                if query:
+                    raise ValueError(
+                        "this endpoint takes no query parameters"
+                    )
+                return fn()
+
+            return handler
+
+        add = self._router.add
+        add("GET", "/healthz", self._handle_healthz, "healthz",
+            cacheable=False, exempt=True)
+        add("GET", "/metrics", self._handle_metrics, "metrics",
+            cacheable=False, exempt=True)
+        add("GET", "/", self._handle_index, "index", cacheable=False)
+        add("GET", f"/{API_VERSION}/status",
+            no_query(status.status), "status")
+        add("GET", f"/{API_VERSION}/bundles",
+            lambda pp, q: bundles.page(q), "bundles")
+        add("GET", f"/{API_VERSION}/bundles/{{bundle_id}}",
+            self._detail(bundles.detail), "bundle")
+        add("GET", f"/{API_VERSION}/detections",
+            lambda pp, q: detections.page(q), "detections")
+        add("GET", f"/{API_VERSION}/detections/{{bundle_id}}",
+            self._detail(detections.detail), "detection")
+        add("GET", f"/{API_VERSION}/financials",
+            no_query(aggregates.financials), "financials")
+        add("GET", f"/{API_VERSION}/aggregates/daily",
+            no_query(aggregates.daily), "aggregates.daily")
+        add("GET", f"/{API_VERSION}/aggregates/lengths",
+            no_query(aggregates.lengths), "aggregates.lengths")
+        add("GET", f"/{API_VERSION}/aggregates/tips",
+            lambda pp, q: aggregates.tips(q), "aggregates.tips")
+        add("GET", f"/{API_VERSION}/aggregates/attackers",
+            lambda pp, q: aggregates.attackers(q), "aggregates.attackers")
+        add("GET", f"/{API_VERSION}/aggregates/defensive",
+            no_query(aggregates.defensive), "aggregates.defensive")
+
+    def close(self) -> None:
+        """Close the archive connection (same thread as :meth:`open`)."""
+        if self._db is not None:
+            self._db.close()
+            self._db = None
+            self.query = None
+
+    # --- fixed handlers ----------------------------------------------------
+
+    @staticmethod
+    def _detail(fn: Callable[[str], dict | None]) -> Callable:
+        def handler(path_params: dict, query: dict) -> dict | None:
+            if query:
+                raise ValueError("this endpoint takes no query parameters")
+            return fn(path_params["bundle_id"])
+
+        return handler
+
+    def _handle_healthz(self, path_params: dict, query: dict) -> dict:
+        return {"status": "ok"}
+
+    def _handle_metrics(self, path_params: dict, query: dict) -> PlainText:
+        return PlainText(render_prometheus(self.metrics.snapshot()))
+
+    def _handle_index(self, path_params: dict, query: dict) -> dict:
+        return {
+            "service": "repro archive api",
+            "version": API_VERSION,
+            "routes": sorted(
+                route.pattern for route in self._router.routes()
+            ),
+        }
+
+    # --- dispatch ----------------------------------------------------------
+
+    @staticmethod
+    def _query_params(raw_query: str) -> dict[str, str]:
+        """Flatten the query string; repeated keys are a client error."""
+        params: dict[str, str] = {}
+        for key, values in parse_qs(
+            raw_query, keep_blank_values=True
+        ).items():
+            if len(values) > 1:
+                raise ValueError(f"duplicate query parameter: {key}")
+            params[key] = values[0]
+        return params
+
+    def handle(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        client_id: str,
+    ) -> tuple[int, object, dict[str, str]]:
+        """One request in, one ``(status, payload, headers)`` out.
+
+        ``headers`` must carry lower-cased names (the shared request parser
+        guarantees this). The payload is ready for
+        :func:`repro.serve.httpcommon.write_response`.
+        """
+        if self.query is None:
+            raise ConfigError("ArchiveApiApp.handle() before open()")
+        started = time.perf_counter()
+        route_name = "unmatched"
+        status = 500
+        try:
+            parts = urlsplit(target)
+            resolved = self._router.resolve(method, parts.path)
+            if not isinstance(resolved, RouteMatch):
+                status, message = resolved
+                return status, {"error": message}, {}
+            route = resolved.route
+            route_name = route.name
+            if not route.exempt:
+                admission = self.limiter.admit(client_id)
+                if not admission.allowed:
+                    self._reject_metric.inc()
+                    retry = max(0.0, admission.retry_after or 0.0)
+                    status = 429
+                    return (
+                        429,
+                        {
+                            "error": "rate limit exceeded",
+                            "retryAfter": retry,
+                        },
+                        {"Retry-After": str(int(retry) + 1)},
+                    )
+            try:
+                query_params = self._query_params(parts.query)
+                if route.cacheable:
+                    status, payload, extra = self._cached(
+                        resolved, query_params, headers
+                    )
+                else:
+                    self._cache_metric.inc(outcome="bypass")
+                    result = route.handler(resolved.params, query_params)
+                    status, payload, extra = 200, result, {}
+            except (ValueError, ConfigError) as exc:
+                status = 400
+                return 400, {"error": str(exc)}, {}
+            return status, payload, extra
+        finally:
+            self._requests_metric.inc(
+                route=route_name, status=str(status)
+            )
+            self._latency_metric.observe(
+                time.perf_counter() - started, route=route_name
+            )
+
+    def _cached(
+        self,
+        match: RouteMatch,
+        query_params: dict[str, str],
+        headers: dict[str, str],
+    ) -> tuple[int, object, dict[str, str]]:
+        """Serve a cacheable route: watermark, cache, ETag, 304."""
+        assert self.query is not None
+        token = self.query.watermark().token
+        key = match.route.method + " " + match.route.pattern + "|" + "|".join(
+            f"{k}={v}"
+            for k, v in sorted(
+                list(query_params.items()) + list(match.params.items())
+            )
+        )
+        entry = self.cache.get(token, key)
+        if entry is None:
+            self._cache_metric.inc(outcome="miss")
+            result = match.route.handler(match.params, query_params)
+            if result is None:
+                # Absence is watermark-dependent too, but a 404 is cheap
+                # to recompute and caching it would complicate the
+                # hit-implies-200 invariant; don't cache.
+                return 404, {"error": "not found"}, {}
+            body = canonical_json_bytes(result)
+            entry = CacheEntry(
+                body=body,
+                content_type=JSON_CONTENT_TYPE,
+                etag=make_etag(token, body),
+            )
+            self.cache.put(token, key, entry)
+        else:
+            self._cache_metric.inc(outcome="hit")
+        extra = {
+            "ETag": entry.etag,
+            "X-Archive-Watermark": token,
+        }
+        if headers.get("if-none-match") == entry.etag:
+            return 304, None, extra
+        return 200, RawBody(entry.body, entry.content_type), extra

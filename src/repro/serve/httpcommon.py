@@ -1,0 +1,138 @@
+"""HTTP/1.1 plumbing shared by the explorer and archive-API servers.
+
+Both asyncio servers in this repository speak the same minimal dialect:
+one request per connection, explicit ``Content-Length``, ``Connection:
+close``. Request parsing and response writing live here so the two servers
+cannot drift — in particular, both answer ``HEAD`` with the exact headers
+(including ``Content-Length``) their ``GET`` would have sent, minus the
+body, which is what polite cache-validating clients rely on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+#: Request head larger than this is dropped without a response.
+MAX_HEADER_BYTES = 64 * 1024
+#: Bodies larger than this are dropped without a response.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+STATUS_TEXT = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+JSON_CONTENT_TYPE = "application/json"
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class PlainText:
+    """Marks a dispatch payload as pre-rendered text, not JSON."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+
+class RawBody:
+    """A pre-encoded response body with an explicit content type.
+
+    The archive API renders canonical JSON bytes once (they feed the ETag)
+    and hands the same bytes to the writer, so the digest a client
+    validates against is computed over exactly what went on the wire.
+    """
+
+    __slots__ = ("content", "content_type")
+
+    def __init__(self, content: bytes, content_type: str) -> None:
+        self.content = content
+        self.content_type = content_type
+
+
+def encode_payload(payload) -> tuple[bytes, str]:
+    """Encode a dispatch payload into (body bytes, content type)."""
+    if isinstance(payload, RawBody):
+        return payload.content, payload.content_type
+    if isinstance(payload, PlainText):
+        return payload.text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+    if payload is None:
+        return b"", JSON_CONTENT_TYPE
+    return json.dumps(payload).encode("utf-8"), JSON_CONTENT_TYPE
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Parse one request; None on framing errors (connection is dropped).
+
+    Header names come back lower-cased; the method upper-cased. The body is
+    read to exactly ``Content-Length`` bytes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+        return None
+    if len(head) > MAX_HEADER_BYTES:
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    request_line = lines[0].split(" ")
+    if len(request_line) != 3:
+        return None
+    method, target, _version = request_line
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        return None
+    if length < 0 or length > MAX_BODY_BYTES:
+        return None
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        return None
+    return method.upper(), target, headers, body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload,
+    headers: dict[str, str] | None = None,
+    head_only: bool = False,
+) -> None:
+    """Write one framed response and flush.
+
+    ``head_only`` sends the status line and headers — including the
+    ``Content-Length`` the full response would have carried — without the
+    body, which is the HEAD contract. A 304 is always sent bodiless.
+    """
+    body, content_type = encode_payload(payload)
+    if status == 304:
+        head_only = True
+        content_type = JSON_CONTENT_TYPE
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
+    head = (
+        f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {0 if status == 304 else len(body)}\r\n"
+        f"{extra}"
+        f"Connection: close\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    writer.write(head if head_only else head + body)
+    await writer.drain()

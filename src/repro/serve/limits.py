@@ -1,0 +1,89 @@
+"""Per-client rate limiting for the archive API.
+
+One :class:`repro.utils.ratelimit.TokenBucket` per client id (the
+``X-Client-Id`` header when present, else the peer address), LRU-capped so
+an open service scanning client ids cannot grow the map without bound.
+The same bucket implementation throttles the simulated explorer and the
+collector — the whole pipeline shares one admission-control idiom.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.utils.ratelimit import TokenBucket
+
+#: Client buckets kept before least-recently-seen eviction.
+DEFAULT_MAX_CLIENTS = 4_096
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One admission decision; ``retry_after`` is set on rejection."""
+
+    allowed: bool
+    retry_after: float | None = None
+
+
+class ClientRateLimiter:
+    """Token buckets keyed by client id, with LRU eviction.
+
+    An evicted client's next request gets a fresh (full) bucket — strictly
+    more permissive than remembering it, so eviction can never turn into a
+    denial-of-service against a legitimate quiet client.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        time_fn: Callable[[], float] | None = None,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+    ) -> None:
+        if max_clients < 1:
+            raise ConfigError(
+                f"max_clients must be >= 1, got {max_clients}"
+            )
+        # Bucket constructor validates rate/burst.
+        self._rate = rate
+        self._burst = burst
+        self._time_fn = time_fn or time.monotonic
+        self._max_clients = max_clients
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self.rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def _bucket(self, client_id: str) -> TokenBucket:
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(
+                rate=self._rate,
+                capacity=self._burst,
+                time_fn=self._time_fn,
+            )
+            self._buckets[client_id] = bucket
+        self._buckets.move_to_end(client_id)
+        while len(self._buckets) > self._max_clients:
+            self._buckets.popitem(last=False)
+        return bucket
+
+    def admit(self, client_id: str) -> Admission:
+        """Admit or reject one request from ``client_id``.
+
+        A rejection carries the bucket's earliest-admission estimate so the
+        server can send an honest ``Retry-After``.
+        """
+        bucket = self._bucket(client_id)
+        if bucket.try_acquire():
+            return Admission(allowed=True)
+        self.rejections += 1
+        return Admission(
+            allowed=False,
+            retry_after=bucket.seconds_until_available(),
+        )

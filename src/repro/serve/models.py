@@ -1,0 +1,190 @@
+"""Response models for the archive API.
+
+Dataclasses, not a schema framework: each model knows how to render itself
+as a JSON-able dict with **canonical** money strings. USD amounts go
+through :func:`repro.conformance.canon.fmt_fixed` — the same helper the
+batch report's CSV exports use — so an API payload and a ``repro analyze``
+run over the same archive render the same figures byte-for-byte (the
+differential test pins this).
+
+Precision follows the repository's existing canon: per-event amounts at 6
+places, campaign totals at 2 (dollars-and-cents), defensive spend at 4
+(the report prints it that way), and dimensionless fractions at 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.conformance.canon import fmt_fixed
+from repro.core.aggregate import HeadlineStats
+from repro.core.quantify import QuantifiedSandwich
+from repro.explorer.models import BundleRecord
+from repro.explorer.wire import bundle_record_to_json
+
+#: Decimal places for per-event quote/USD amounts.
+EVENT_PLACES = 6
+#: Decimal places for campaign-level USD totals.
+TOTAL_PLACES = 2
+#: Decimal places for defensive-spend figures.
+DEFENSIVE_PLACES = 4
+#: Decimal places for dimensionless fractions.
+FRACTION_PLACES = 6
+
+
+def money(value: float | None, places: int) -> str | None:
+    """Canonical money rendering; ``None`` stays ``None`` (unpriced)."""
+    return None if value is None else fmt_fixed(value, places)
+
+
+@dataclass(frozen=True)
+class PageMeta:
+    """Pagination envelope: what slice this page is and how much exists."""
+
+    limit: int
+    offset: int
+    returned: int
+    total: int
+
+    def to_json(self) -> dict[str, int]:
+        """The ``page`` object of the list-endpoint envelope."""
+        return {
+            "limit": self.limit,
+            "offset": self.offset,
+            "returned": self.returned,
+            "total": self.total,
+        }
+
+
+def page_payload(items: list[Any], meta: PageMeta) -> dict[str, Any]:
+    """The uniform list-endpoint shape: ``{"items": [...], "page": {...}}``."""
+    return {"items": items, "page": meta.to_json()}
+
+
+def bundle_to_json(record: BundleRecord) -> dict[str, Any]:
+    """A bundle in the explorer's wire shape plus its derived length."""
+    payload = bundle_record_to_json(record)
+    payload["numTransactions"] = record.num_transactions
+    return payload
+
+
+def detection_to_json(item: QuantifiedSandwich) -> dict[str, Any]:
+    """One detected sandwich with canonical financial strings.
+
+    USD fields are ``None`` for non-SOL pairs (the paper counts them but
+    excludes them from financial totals); quote amounts are always present.
+    """
+    event = item.event
+    return {
+        "bundleId": event.bundle_id,
+        "slot": event.bundle.slot,
+        "landedAt": event.landed_at,
+        "tipLamports": event.tip_lamports,
+        "attacker": event.attacker,
+        "victim": event.victim,
+        "involvesSol": event.involves_sol,
+        "victimLossQuote": money(item.victim_loss_quote, EVENT_PLACES),
+        "attackerGainQuote": money(item.attacker_gain_quote, EVENT_PLACES),
+        "victimLossUsd": money(item.victim_loss_usd, EVENT_PLACES),
+        "attackerGainUsd": money(item.attacker_gain_usd, EVENT_PLACES),
+    }
+
+
+@dataclass(frozen=True)
+class FinancialSummary:
+    """The campaign's headline financial figures, canonically rendered.
+
+    Built from the same :class:`~repro.core.aggregate.HeadlineStats` the
+    batch pipeline computes, over the same archive-row ordering the
+    incremental analyzer uses — so the strings here match a ``repro
+    analyze`` run byte-for-byte.
+    """
+
+    sandwich_count: int
+    non_sol_sandwiches: int
+    non_sol_fraction: str
+    victim_loss_usd: str
+    attacker_gain_usd: str
+    median_victim_loss_usd: str | None
+    bundles_collected: int
+    sandwich_bundle_fraction: str
+    defensive_bundles: int
+    defensive_fraction_of_length_one: str
+    defensive_spend_usd: str
+    average_defensive_tip_usd: str
+
+    @classmethod
+    def from_headline(cls, headline: HeadlineStats) -> "FinancialSummary":
+        return cls(
+            sandwich_count=headline.sandwich_count,
+            non_sol_sandwiches=headline.non_sol_sandwiches,
+            non_sol_fraction=fmt_fixed(
+                headline.non_sol_fraction(), FRACTION_PLACES
+            ),
+            victim_loss_usd=fmt_fixed(
+                headline.victim_loss_usd, TOTAL_PLACES
+            ),
+            attacker_gain_usd=fmt_fixed(
+                headline.attacker_gain_usd, TOTAL_PLACES
+            ),
+            median_victim_loss_usd=money(
+                headline.median_victim_loss_usd, TOTAL_PLACES
+            ),
+            bundles_collected=headline.bundles_collected,
+            sandwich_bundle_fraction=fmt_fixed(
+                headline.sandwich_bundle_fraction, FRACTION_PLACES
+            ),
+            defensive_bundles=headline.defensive_bundles,
+            defensive_fraction_of_length_one=fmt_fixed(
+                headline.defensive_fraction_of_length_one, FRACTION_PLACES
+            ),
+            defensive_spend_usd=fmt_fixed(
+                headline.defensive_spend_usd, DEFENSIVE_PLACES
+            ),
+            average_defensive_tip_usd=fmt_fixed(
+                headline.average_defensive_tip_usd, DEFENSIVE_PLACES
+            ),
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """The ``/v1/financials`` wire object (camelCase keys)."""
+        return {
+            "sandwichCount": self.sandwich_count,
+            "nonSolSandwiches": self.non_sol_sandwiches,
+            "nonSolFraction": self.non_sol_fraction,
+            "victimLossUsd": self.victim_loss_usd,
+            "attackerGainUsd": self.attacker_gain_usd,
+            "medianVictimLossUsd": self.median_victim_loss_usd,
+            "bundlesCollected": self.bundles_collected,
+            "sandwichBundleFraction": self.sandwich_bundle_fraction,
+            "defensiveBundles": self.defensive_bundles,
+            "defensiveFractionOfLengthOne": (
+                self.defensive_fraction_of_length_one
+            ),
+            "defensiveSpendUsd": self.defensive_spend_usd,
+            "averageDefensiveTipUsd": self.average_defensive_tip_usd,
+        }
+
+
+@dataclass(frozen=True)
+class StatusModel:
+    """Collection-integrity status: what the archive holds right now."""
+
+    bundles: int
+    transactions: int
+    sandwiches: int
+    defensive: int
+    pending_details: int
+    watermark: str
+
+    def to_json(self) -> dict[str, Any]:
+        """The ``/v1/status`` wire object."""
+        return {
+            "bundles": self.bundles,
+            "transactions": self.transactions,
+            "sandwiches": self.sandwiches,
+            "defensive": self.defensive,
+            "pendingDetails": self.pending_details,
+            "watermark": self.watermark,
+        }

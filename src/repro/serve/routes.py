@@ -1,0 +1,121 @@
+"""The archive API's versioned route table.
+
+Routes are declared as segment patterns (``/v1/detections/{bundle_id}``)
+and resolved by exact segment match, with ``{param}`` segments captured
+into a dict. Resolution distinguishes "no such path" (404) from "path
+exists, wrong method" (405) so clients get the honest status. ``HEAD``
+resolves like ``GET``; the server strips the body at write time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Route:
+    """One registered endpoint.
+
+    ``cacheable`` marks responses that may enter the watermark-keyed cache
+    and carry ETags; ``exempt`` marks operational endpoints that bypass
+    rate limiting (health probes and metrics scrapes must work while the
+    service is saturated).
+    """
+
+    method: str
+    pattern: str
+    handler: Callable[..., object]
+    name: str
+    cacheable: bool = True
+    exempt: bool = False
+    segments: tuple[str, ...] = field(default=(), compare=False)
+
+
+@dataclass(frozen=True)
+class RouteMatch:
+    """A resolved route plus its captured path parameters."""
+
+    route: Route
+    params: dict[str, str]
+
+
+def _split(path: str) -> tuple[str, ...]:
+    return tuple(segment for segment in path.split("/") if segment)
+
+
+class Router:
+    """Segment-matching router with 404/405 discrimination."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(
+        self,
+        method: str,
+        pattern: str,
+        handler: Callable[..., object],
+        name: str,
+        cacheable: bool = True,
+        exempt: bool = False,
+    ) -> None:
+        """Register one endpoint; patterns must be unique per method."""
+        segments = _split(pattern)
+        for route in self._routes:
+            if route.method == method and route.segments == segments:
+                raise ConfigError(
+                    f"duplicate route {method} {pattern}"
+                )
+        self._routes.append(
+            Route(
+                method=method,
+                pattern=pattern,
+                handler=handler,
+                name=name,
+                cacheable=cacheable,
+                exempt=exempt,
+                segments=segments,
+            )
+        )
+
+    def routes(self) -> list[Route]:
+        """All registered routes, in registration order."""
+        return list(self._routes)
+
+    @staticmethod
+    def _match(
+        segments: tuple[str, ...], pattern: tuple[str, ...]
+    ) -> dict[str, str] | None:
+        if len(segments) != len(pattern):
+            return None
+        params: dict[str, str] = {}
+        for actual, expected in zip(segments, pattern):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif actual != expected:
+                return None
+        return params
+
+    def resolve(
+        self, method: str, path: str
+    ) -> RouteMatch | tuple[int, str]:
+        """The matching route, or ``(status, message)`` for 404/405.
+
+        ``HEAD`` is routed as ``GET`` — per the shared response-writing
+        contract, the server sends the GET's headers without its body.
+        """
+        lookup = "GET" if method == "HEAD" else method
+        segments = _split(path)
+        allowed: set[str] = set()
+        for route in self._routes:
+            params = self._match(segments, route.segments)
+            if params is None:
+                continue
+            if route.method == lookup:
+                return RouteMatch(route=route, params=params)
+            allowed.add(route.method)
+        if allowed:
+            return 405, f"use {' or '.join(sorted(allowed))}"
+        return 404, f"no route {path}"

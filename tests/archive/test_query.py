@@ -170,3 +170,128 @@ class TestLatencyMetric:
         query.count_bundles()
         histogram = registry.get("archive_query_seconds")
         assert histogram.count(query="count_bundles") == 1
+
+
+class TestPaginationEdgeCases:
+    """Pinned behaviors the serving tier's repositories rely on."""
+
+    def test_empty_result_set(self, populated):
+        where = BundleFilter(slot_min=10_000)
+        assert populated.bundles(where, limit=10) == []
+        assert populated.count_bundles(where) == 0
+
+    def test_final_partial_page(self, populated):
+        # 10 rows in pages of 4: the last page holds exactly 2.
+        last = populated.bundles(limit=4, offset=8)
+        assert [b.bundle_id for b in last] == ["b8", "b9"]
+
+    def test_offset_past_end_is_empty_not_error(self, populated):
+        assert populated.bundles(limit=4, offset=100) == []
+        assert populated.sandwiches(limit=4, offset=100) == []
+
+    def test_pages_tile_the_collection_exactly_once(self, populated):
+        seen = []
+        offset = 0
+        while True:
+            page = populated.bundles(limit=3, offset=offset)
+            seen.extend(b.bundle_id for b in page)
+            offset += 3
+            if len(page) < 3:
+                break
+        assert seen == [f"b{i}" for i in range(10)]
+
+    def test_equal_sort_keys_ordered_by_seq_ascending(self, populated):
+        # Every bundle shares landed_date (and single-day landed_at ties are
+        # possible); ordering by a non-unique column must still be total.
+        one_page = populated.bundles(order_by="num_transactions")
+        paged = [
+            b
+            for offset in range(0, 10, 2)
+            for b in populated.bundles(
+                order_by="num_transactions", limit=2, offset=offset
+            )
+        ]
+        assert [b.bundle_id for b in paged] == [
+            b.bundle_id for b in one_page
+        ]
+        # Within a tied key, rows come back in collection (seq) order.
+        length_one = [b.bundle_id for b in one_page if b.num_transactions == 1]
+        assert length_one == sorted(
+            length_one, key=lambda bid: int(bid[1:])
+        )
+
+    def test_equal_sort_keys_ordered_by_seq_descending(self, populated):
+        one_page = populated.bundles(
+            order_by="num_transactions", descending=True
+        )
+        paged = [
+            b
+            for offset in range(0, 10, 3)
+            for b in populated.bundles(
+                order_by="num_transactions",
+                descending=True,
+                limit=3,
+                offset=offset,
+            )
+        ]
+        assert [b.bundle_id for b in paged] == [
+            b.bundle_id for b in one_page
+        ]
+        # Ties break on seq in the same (descending) direction.
+        length_one = [b.bundle_id for b in one_page if b.num_transactions == 1]
+        assert length_one == sorted(
+            length_one, key=lambda bid: int(bid[1:]), reverse=True
+        )
+
+    def test_sandwich_pages_tile_under_equal_landed_at(self, populated):
+        one_page = populated.sandwiches(order_by="landed_at")
+        paged = [
+            s
+            for offset in range(0, 3, 1)
+            for s in populated.sandwiches(
+                order_by="landed_at", limit=1, offset=offset
+            )
+        ]
+        assert [s.event.bundle_id for s in paged] == [
+            s.event.bundle_id for s in one_page
+        ]
+
+
+class TestServingQueries:
+    """The watermark, defensive join, and integrity counts the API serves."""
+
+    def test_watermark_token_reflects_every_table(self, populated):
+        mark = populated.watermark()
+        assert mark.bundle_seq == 10
+        assert mark.sandwich_seq == 3
+        assert mark.defensive_rows == 2
+        assert mark.token == (
+            f"b{mark.bundle_seq}.t{mark.transaction_seq}."
+            f"s{mark.sandwich_seq}.d{mark.defensive_rows}"
+        )
+
+    def test_watermark_of_empty_archive_is_zeros(self, db):
+        mark = ArchiveQuery(db).watermark()
+        assert mark.token == "b0.t0.s0.d0"
+
+    def test_defensive_records_join_in_seq_order(self, populated):
+        records = populated.defensive_records()
+        assert [(c, b.bundle_id) for c, b in records] == [
+            ("defensive", "b1"),
+            ("priority", "b2"),
+        ]
+
+    def test_sandwich_for_bundle(self, populated):
+        found = populated.sandwich_for_bundle("b21")
+        assert found is not None
+        assert found.event.attacker == "atk-a"
+        assert populated.sandwich_for_bundle("b0") is None
+
+    def test_count_transactions(self, populated):
+        assert populated.count_transactions() == 2
+
+    def test_pending_detail_count(self, populated):
+        # Four length-3 bundles; only b0 has any archived detail, and only
+        # one of its three members — all four candidates are incomplete.
+        assert populated.pending_detail_count() == 4
+        assert populated.pending_detail_count(min_length=99) == 0

@@ -167,3 +167,62 @@ class TestRawProtocol:
             ][0]
         )
         assert declared == len(body)
+
+
+class TestHeadRequests:
+    """HEAD answers with the GET's headers (Content-Length included), no body."""
+
+    def _raw(self, port: int, payload: bytes) -> tuple[bytes, bytes]:
+        with socket.create_connection(("127.0.0.1", port), timeout=5) as conn:
+            conn.sendall(payload)
+            chunks = bytearray()
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                chunks.extend(chunk)
+        head, _, body = bytes(chunks).partition(b"\r\n\r\n")
+        return head, body
+
+    def _content_length(self, head: bytes) -> int:
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length"):
+                return int(line.split(b":")[1])
+        raise AssertionError(f"no Content-Length in {head!r}")
+
+    def test_head_matches_get_content_length_with_empty_body(
+        self, http_world
+    ):
+        _, server, _ = http_world
+        get_head, get_body = self._raw(
+            server.port, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        head_head, head_body = self._raw(
+            server.port, b"HEAD /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert b"200" in head_head.split(b"\r\n")[0]
+        assert head_body == b""
+        assert self._content_length(head_head) == len(get_body)
+        assert self._content_length(get_head) == len(get_body)
+
+    def test_head_on_listing_route(self, http_world):
+        _, server, _ = http_world
+        get_head, get_body = self._raw(
+            server.port,
+            b"GET /api/v1/bundles/recent?limit=3 HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        head_head, head_body = self._raw(
+            server.port,
+            b"HEAD /api/v1/bundles/recent?limit=3 HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        assert head_body == b""
+        assert self._content_length(head_head) == len(get_body)
+
+    def test_head_on_missing_route_is_bodiless_404(self, http_world):
+        _, server, _ = http_world
+        head, body = self._raw(
+            server.port, b"HEAD /nope HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert b"404" in head.split(b"\r\n")[0]
+        assert body == b""
+        assert self._content_length(head) > 0

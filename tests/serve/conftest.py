@@ -1,0 +1,74 @@
+"""Shared fixtures for the serving-tier tests.
+
+The heavyweight fixture is a golden-corpus archive with detections
+persisted (one batch analysis pass); it is module-scoped where read-only
+access suffices and function-scoped where a test mutates the archive
+mid-session (the cache-invalidation contract).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.archive.database import ArchiveDatabase
+from repro.conformance.scenarios import (
+    CORPUS_SCENARIOS,
+    generate_rows,
+    write_archive,
+)
+from repro.parallel.engine import ParallelAnalysisEngine
+
+
+def build_corpus_archive(path: Path) -> None:
+    """Write a golden-corpus archive and persist one analysis pass."""
+    rows = generate_rows(CORPUS_SCENARIOS[0])
+    write_archive(rows, path)
+    engine = ParallelAnalysisEngine(ArchiveDatabase(path), jobs=1)
+    engine.analyze()
+    engine.database.close()
+
+
+@pytest.fixture(scope="module")
+def corpus_archive(tmp_path_factory) -> Path:
+    """A read-shared analyzed archive (module-scoped: analysis is slow)."""
+    path = tmp_path_factory.mktemp("serve-corpus") / "archive.db"
+    build_corpus_archive(path)
+    return path
+
+
+def http_request(
+    port: int,
+    path: str,
+    method: str = "GET",
+    headers: dict[str, str] | None = None,
+) -> tuple[int, dict[str, str], bytes]:
+    """One request against a local API server; returns (status, headers, body).
+
+    A fresh connection per call matches the server's one-request-per-
+    connection contract.
+    """
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request(method, path, headers=headers or {})
+        response = conn.getresponse()
+        body = response.read()
+        return (
+            response.status,
+            {name.lower(): value for name, value in response.getheaders()},
+            body,
+        )
+    finally:
+        conn.close()
+
+
+def http_json(
+    port: int, path: str, headers: dict[str, str] | None = None
+) -> dict:
+    """GET a JSON endpoint, asserting a 200."""
+    status, _headers, body = http_request(port, path, headers=headers)
+    assert status == 200, f"{path}: {status} {body[:200]!r}"
+    return json.loads(body)

@@ -1,0 +1,126 @@
+"""Response models: canonical money strings and envelope shapes."""
+
+from repro.core.aggregate import HeadlineStats
+from repro.serve.models import (
+    FinancialSummary,
+    PageMeta,
+    StatusModel,
+    bundle_to_json,
+    detection_to_json,
+    money,
+    page_payload,
+)
+from tests.archive.conftest import make_bundle, make_sandwich
+
+
+class TestMoney:
+    def test_renders_fixed_places(self):
+        assert money(1.5, 2) == "1.50"
+
+    def test_none_passes_through(self):
+        assert money(None, 2) is None
+
+    def test_negative_zero_normalized(self):
+        assert money(-0.0, 6) == "0.000000"
+        assert money(-1e-12, 6) == "0.000000"
+
+
+class TestPageEnvelope:
+    def test_meta_to_json(self):
+        meta = PageMeta(limit=10, offset=20, returned=5, total=25)
+        assert meta.to_json() == {
+            "limit": 10,
+            "offset": 20,
+            "returned": 5,
+            "total": 25,
+        }
+
+    def test_payload_shape(self):
+        payload = page_payload(
+            [1, 2], PageMeta(limit=2, offset=0, returned=2, total=9)
+        )
+        assert payload["items"] == [1, 2]
+        assert payload["page"]["total"] == 9
+
+
+class TestBundleJson:
+    def test_wire_shape_plus_length(self):
+        payload = bundle_to_json(make_bundle(1, length=3))
+        assert payload["bundleId"] == "b1"
+        assert payload["numTransactions"] == 3
+        assert payload["transactionIds"] == ["t1-0", "t1-1", "t1-2"]
+
+
+class TestDetectionJson:
+    def test_priced_event_renders_usd_strings(self):
+        payload = detection_to_json(make_sandwich(5, attacker="atk-x"))
+        assert payload["attacker"] == "atk-x"
+        assert payload["bundleId"] == "b5"
+        assert isinstance(payload["victimLossUsd"], str)
+        assert "." in payload["victimLossUsd"]
+
+    def test_unpriced_event_keeps_usd_null(self):
+        item = make_sandwich(
+            6, victim_loss_usd=None, attacker_gain_usd=None
+        )
+        payload = detection_to_json(item)
+        assert payload["victimLossUsd"] is None
+        assert payload["attackerGainUsd"] is None
+        # Quote amounts exist regardless of pricing.
+        assert isinstance(payload["victimLossQuote"], str)
+
+
+class TestFinancialSummary:
+    def _headline(self) -> HeadlineStats:
+        return HeadlineStats(
+            sandwich_count=4,
+            non_sol_sandwiches=1,
+            victim_loss_usd=123.456,
+            attacker_gain_usd=100.0,
+            median_victim_loss_usd=None,
+            bundles_collected=100,
+            sandwich_bundle_fraction=0.04,
+            defensive_bundles=7,
+            defensive_fraction_of_length_one=0.5,
+            defensive_spend_usd=1.23456,
+            average_defensive_tip_usd=0.1,
+        )
+
+    def test_totals_at_two_places(self):
+        summary = FinancialSummary.from_headline(self._headline())
+        assert summary.victim_loss_usd == "123.46"
+        assert summary.attacker_gain_usd == "100.00"
+
+    def test_defensive_spend_at_four_places(self):
+        summary = FinancialSummary.from_headline(self._headline())
+        assert summary.defensive_spend_usd == "1.2346"
+
+    def test_median_none_survives(self):
+        payload = FinancialSummary.from_headline(self._headline()).to_json()
+        assert payload["medianVictimLossUsd"] is None
+        assert payload["sandwichCount"] == 4
+
+    def test_fractions_at_six_places(self):
+        summary = FinancialSummary.from_headline(self._headline())
+        assert summary.non_sol_fraction == "0.250000"
+        assert summary.sandwich_bundle_fraction == "0.040000"
+
+
+class TestStatusModel:
+    def test_to_json_keys(self):
+        payload = StatusModel(
+            bundles=1,
+            transactions=2,
+            sandwiches=3,
+            defensive=4,
+            pending_details=5,
+            watermark="b1.t2.s3.d4",
+        ).to_json()
+        assert payload == {
+            "bundles": 1,
+            "transactions": 2,
+            "sandwiches": 3,
+            "defensive": 4,
+            "pendingDetails": 5,
+            "watermark": "b1.t2.s3.d4",
+        }

@@ -1,0 +1,68 @@
+"""The route table: matching, capture, and 404/405 discrimination."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.routes import RouteMatch, Router
+
+
+def handler(path_params, query):
+    return {"ok": True}
+
+
+@pytest.fixture
+def router():
+    r = Router()
+    r.add("GET", "/v1/things", handler, "things")
+    r.add("GET", "/v1/things/{thing_id}", handler, "thing")
+    r.add("POST", "/v1/things", handler, "things.create")
+    return r
+
+
+class TestResolution:
+    def test_exact_match(self, router):
+        match = router.resolve("GET", "/v1/things")
+        assert isinstance(match, RouteMatch)
+        assert match.route.name == "things"
+        assert match.params == {}
+
+    def test_param_capture(self, router):
+        match = router.resolve("GET", "/v1/things/abc-123")
+        assert isinstance(match, RouteMatch)
+        assert match.params == {"thing_id": "abc-123"}
+
+    def test_trailing_slash_is_equivalent(self, router):
+        match = router.resolve("GET", "/v1/things/")
+        assert isinstance(match, RouteMatch)
+        assert match.route.name == "things"
+
+    def test_head_routes_as_get(self, router):
+        match = router.resolve("HEAD", "/v1/things/abc")
+        assert isinstance(match, RouteMatch)
+        assert match.route.name == "thing"
+
+
+class TestErrors:
+    def test_unknown_path_is_404(self, router):
+        status, message = router.resolve("GET", "/v1/nope")
+        assert status == 404
+        assert "/v1/nope" in message
+
+    def test_wrong_method_is_405_naming_alternatives(self, router):
+        status, message = router.resolve("DELETE", "/v1/things")
+        assert status == 405
+        assert "GET" in message and "POST" in message
+
+    def test_extra_segment_is_404(self, router):
+        status, _ = router.resolve("GET", "/v1/things/a/b")
+        assert status == 404
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self, router):
+        with pytest.raises(ConfigError, match="duplicate route"):
+            router.add("GET", "/v1/things", handler, "again")
+
+    def test_same_pattern_other_method_allowed(self, router):
+        router.add("DELETE", "/v1/things/{thing_id}", handler, "rm")
+        assert len(router.routes()) == 4

@@ -1,0 +1,233 @@
+"""End-to-end archive-API tests over real sockets.
+
+Covers the serving tier's externally visible contracts: pagination
+correctness against direct queries, conditional GETs (ETag/304), the
+cache-invalidation acceptance criterion (an ``IncrementalAnalyzer`` pass
+mid-session makes fresh data visible immediately), rate limiting, HEAD
+semantics, and the metrics endpoint.
+"""
+
+import json
+
+import pytest
+
+from repro.archive.database import ArchiveDatabase
+from repro.archive.incremental import IncrementalAnalyzer
+from repro.archive.query import ArchiveQuery
+from repro.conformance.scenarios import (
+    CORPUS_SCENARIOS,
+    generate_rows,
+    write_archive,
+)
+from repro.serve import ApiConfig, ArchiveApiApp, ThreadedApiServer
+from tests.serve.conftest import http_json, http_request
+
+
+@pytest.fixture(scope="module")
+def server(corpus_archive):
+    """A read-only API over the analyzed corpus (permissive rate limit)."""
+    app = ArchiveApiApp(
+        ApiConfig(
+            db_path=corpus_archive,
+            requests_per_second=10_000.0,
+            burst_capacity=10_000.0,
+        )
+    )
+    with ThreadedApiServer(app) as srv:
+        yield srv
+
+
+class TestEndpoints:
+    def test_status_matches_archive(self, server, corpus_archive):
+        payload = http_json(server.port, "/v1/status")["status"]
+        db = ArchiveDatabase(corpus_archive, read_only=True)
+        try:
+            query = ArchiveQuery(db)
+            assert payload["bundles"] == query.count_bundles()
+            assert payload["sandwiches"] == query.count_sandwiches()
+            assert payload["watermark"] == query.watermark().token
+        finally:
+            db.close()
+
+    def test_pagination_covers_collection_exactly_once(
+        self, server, corpus_archive
+    ):
+        seen = []
+        offset = 0
+        while True:
+            payload = http_json(
+                server.port, f"/v1/bundles?limit=64&offset={offset}"
+            )
+            seen.extend(b["bundleId"] for b in payload["items"])
+            offset += 64
+            if payload["page"]["returned"] < 64:
+                break
+        db = ArchiveDatabase(corpus_archive, read_only=True)
+        try:
+            expected = [b.bundle_id for b in ArchiveQuery(db).bundles()]
+        finally:
+            db.close()
+        assert seen == expected
+
+    def test_detection_filter_roundtrip(self, server):
+        detections = http_json(server.port, "/v1/detections")["items"]
+        assert detections
+        attacker = detections[0]["attacker"]
+        mine = http_json(
+            server.port, f"/v1/detections?attacker={attacker}"
+        )
+        assert mine["page"]["total"] >= 1
+        assert all(d["attacker"] == attacker for d in mine["items"])
+        detail = http_json(
+            server.port, f"/v1/detections/{detections[0]['bundleId']}"
+        )
+        assert detail["detection"] == detections[0]
+
+    def test_unknown_route_404(self, server):
+        status, _, body = http_request(server.port, "/v1/nope")
+        assert status == 404
+        assert b"no route" in body
+
+    def test_wrong_method_405(self, server):
+        status, _, _ = http_request(server.port, "/v1/status", method="POST")
+        assert status == 405
+
+    def test_unknown_param_400(self, server):
+        status, _, body = http_request(server.port, "/v1/bundles?bogus=1")
+        assert status == 400
+        assert b"unknown query parameter" in body
+
+    def test_missing_detail_404(self, server):
+        status, _, _ = http_request(server.port, "/v1/bundles/zzz")
+        assert status == 404
+
+
+class TestConditionalGet:
+    def test_etag_stable_and_304_on_match(self, server):
+        status1, headers1, body1 = http_request(server.port, "/v1/financials")
+        status2, headers2, body2 = http_request(server.port, "/v1/financials")
+        assert (status1, status2) == (200, 200)
+        assert headers1["etag"] == headers2["etag"]
+        assert body1 == body2
+        status3, headers3, body3 = http_request(
+            server.port,
+            "/v1/financials",
+            headers={"If-None-Match": headers1["etag"]},
+        )
+        assert status3 == 304
+        assert body3 == b""
+        assert headers3["etag"] == headers1["etag"]
+
+    def test_stale_etag_gets_full_response(self, server):
+        status, _, body = http_request(
+            server.port,
+            "/v1/financials",
+            headers={"If-None-Match": '"stale"'},
+        )
+        assert status == 200
+        assert body
+
+
+class TestHead:
+    def test_head_has_get_content_length_and_no_body(self, server):
+        get_status, get_headers, get_body = http_request(
+            server.port, "/v1/status"
+        )
+        head_status, head_headers, head_body = http_request(
+            server.port, "/v1/status", method="HEAD"
+        )
+        assert (get_status, head_status) == (200, 200)
+        assert head_body == b""
+        assert head_headers["content-length"] == str(len(get_body))
+        assert head_headers["etag"] == get_headers["etag"]
+
+
+class TestMetricsEndpoint:
+    def test_request_metrics_visible(self, server):
+        http_json(server.port, "/v1/status")
+        status, headers, body = http_request(server.port, "/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        text = body.decode()
+        assert "serve_requests_total" in text
+        assert "serve_request_seconds" in text
+        assert "serve_cache_events_total" in text
+
+
+class TestRateLimit:
+    def test_429_with_retry_after(self, tmp_path, corpus_archive):
+        app = ArchiveApiApp(
+            ApiConfig(
+                db_path=corpus_archive,
+                requests_per_second=0.001,
+                burst_capacity=1.0,
+            )
+        )
+        with ThreadedApiServer(app) as srv:
+            first = http_request(
+                srv.port, "/v1/status", headers={"X-Client-Id": "greedy"}
+            )
+            second = http_request(
+                srv.port, "/v1/status", headers={"X-Client-Id": "greedy"}
+            )
+            assert first[0] == 200
+            assert second[0] == 429
+            assert int(second[1]["retry-after"]) >= 1
+            assert json.loads(second[2])["error"] == "rate limit exceeded"
+            # A different client is unaffected.
+            other = http_request(
+                srv.port, "/v1/status", headers={"X-Client-Id": "patient"}
+            )
+            assert other[0] == 200
+            # Operational endpoints bypass the limiter entirely.
+            assert http_request(
+                srv.port, "/healthz", headers={"X-Client-Id": "greedy"}
+            )[0] == 200
+            assert http_request(
+                srv.port, "/metrics", headers={"X-Client-Id": "greedy"}
+            )[0] == 200
+
+
+class TestCacheInvalidation:
+    def test_incremental_pass_mid_session_advances_watermark(self, tmp_path):
+        """The acceptance criterion: 304 until the watermark moves.
+
+        The server holds a read-only connection; an
+        :class:`IncrementalAnalyzer` writes through its own connection on
+        this (main) thread. WAL mode lets both proceed, and the very next
+        request must see the new detections under a new ETag.
+        """
+        db_path = tmp_path / "archive.db"
+        rows = generate_rows(CORPUS_SCENARIOS[0])
+        write_archive(rows, db_path)
+
+        app = ArchiveApiApp(ApiConfig(db_path=db_path))
+        with ThreadedApiServer(app) as srv:
+            status1, headers1, body1 = http_request(srv.port, "/v1/status")
+            assert status1 == 200
+            assert json.loads(body1)["status"]["sandwiches"] == 0
+            etag = headers1["etag"]
+            # Unchanged archive: conditional GET revalidates.
+            assert http_request(
+                srv.port, "/v1/status", headers={"If-None-Match": etag}
+            )[0] == 304
+
+            writer = ArchiveDatabase(db_path)
+            try:
+                result = IncrementalAnalyzer(writer).analyze()
+            finally:
+                writer.close()
+            assert result.new_sandwiches > 0
+
+            # Same validator now misses: fresh data, fresh ETag.
+            status2, headers2, body2 = http_request(
+                srv.port, "/v1/status", headers={"If-None-Match": etag}
+            )
+            assert status2 == 200
+            assert headers2["etag"] != etag
+            payload = json.loads(body2)["status"]
+            assert payload["sandwiches"] == result.new_sandwiches
+            assert (
+                headers2["x-archive-watermark"]
+                != headers1["x-archive-watermark"]
+            )

@@ -1,0 +1,74 @@
+"""CLI ``api`` command test: boot the server process and probe it."""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+from tests.serve.conftest import build_corpus_archive
+
+
+def test_api_boots_and_serves_archive(tmp_path):
+    db_path = tmp_path / "archive.db"
+    build_corpus_archive(db_path)
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "api",
+            "--db",
+            str(db_path),
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        deadline = time.time() + 60
+        line = ""
+        while time.time() < deadline:
+            line = process.stdout.readline()
+            if "archive api" in line:
+                break
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no address announced: {line!r}"
+        host, port = match.group(1), int(match.group(2))
+
+        base = f"http://{host}:{port}"
+        with urllib.request.urlopen(f"{base}/healthz", timeout=5) as resp:
+            assert resp.status == 200
+        with urllib.request.urlopen(f"{base}/v1/status", timeout=5) as resp:
+            status = json.load(resp)["status"]
+        assert status["bundles"] > 0
+        assert status["sandwiches"] > 0
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=15)
+
+
+def test_api_missing_archive_fails_fast(tmp_path):
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "api",
+            "--db",
+            str(tmp_path / "nope.db"),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 2
+    assert "does not exist" in result.stderr

@@ -35,7 +35,7 @@ def test_serve_boots_and_answers():
         line = ""
         while time.time() < deadline:
             line = process.stdout.readline()
-            if "explorer serving" in line:
+            if "explorer" in line and "http://" in line:
                 break
         match = re.search(r"http://([\d.]+):(\d+)", line)
         assert match, f"no address announced: {line!r}"
