@@ -58,6 +58,9 @@ class IncrementalResult:
     new_sandwiches: int
     new_classified: int
     pending_detail_bundles: int
+    #: True when the pass found nothing past the watermark and touched
+    #: neither the archive's analysis tables nor the watermark row.
+    no_op: bool = False
 
 
 class IncrementalAnalyzer:
@@ -116,12 +119,14 @@ class IncrementalAnalyzer:
         ).fetchone()
         if row is None:
             return {
+                "exists": False,
                 "last_bundle_seq": 0,
                 "last_detail_seq": 0,
                 "updated_sim_time": 0.0,
                 "state": {"pending_ids": [], "stats": {}},
             }
         return {
+            "exists": True,
             "last_bundle_seq": row["last_bundle_seq"],
             "last_detail_seq": row["last_detail_seq"],
             "updated_sim_time": row["updated_sim_time"],
@@ -304,6 +309,27 @@ class IncrementalAnalyzer:
             bucket.append(bundle)
         return report
 
+    def _is_no_op(self, state: dict) -> bool:
+        """Whether a pass over ``state`` would find nothing to analyze.
+
+        Requires an existing watermark (a first pass must establish state
+        even over an empty archive) and no bundle rows past the mark.
+        Carried-over pending bundles only force a pass when new
+        transaction details have landed since — without fresh details a
+        re-feed would count each pending bundle skipped again and subtract
+        the same amount via ``carried_skipped``, a provable wash.
+        """
+        if not state["exists"]:
+            return False
+        if self.database.max_seq("bundles") > int(state["last_bundle_seq"]):
+            return False
+        if state["state"].get("pending_ids", []):
+            return (
+                self.database.max_seq("transactions")
+                <= int(state["last_detail_seq"])
+            )
+        return True
+
     def analyze(self, sim_time: float = 0.0) -> IncrementalResult:
         """Run one incremental pass and rebuild the full report.
 
@@ -312,6 +338,26 @@ class IncrementalAnalyzer:
         """
         with self.metrics.span("analysis.incremental"):
             state = self.load_state()
+            if self._is_no_op(state):
+                # Zero new bundles and nothing carried over: rebuild the
+                # report from what the archive already holds, write
+                # nothing (no analysis rows, no watermark bump).
+                report = self._build_report(state["state"].get("stats", {}))
+                self.metrics.counter(
+                    "archive_incremental_noop_total",
+                    "Incremental passes that found nothing new.",
+                ).inc()
+                self._runs_metric.inc()
+                return IncrementalResult(
+                    report=report,
+                    new_bundles=0,
+                    new_sandwiches=0,
+                    new_classified=0,
+                    pending_detail_bundles=len(
+                        state["state"].get("pending_ids", [])
+                    ),
+                    no_op=True,
+                )
             if self.jobs > 1:
                 delta = self._parallel_delta(state)
             else:

@@ -127,7 +127,46 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
     started = time.time()
     checkpointed = None
-    if args.archive:
+    streaming = None
+    report = None
+    if args.stream:
+        if args.resume:
+            progress.error(
+                "cli.campaign",
+                "--stream cannot resume a checkpointed campaign; finish "
+                "the batch resume first or start a fresh streaming run",
+            )
+            return 2
+        from repro.obs.registry import MetricsRegistry
+        from repro.stream import StreamConfig, StreamingCampaign
+
+        # One registry shared by collection, the archive writer, and the
+        # streaming stages, so the report's pipeline-health section sees
+        # the whole run (store dedup, archive flushes, stream_* series).
+        stream_metrics = MetricsRegistry()
+        stream_store = None
+        if args.archive:
+            from repro.archive import ArchiveBundleStore
+
+            stream_store = ArchiveBundleStore(
+                args.archive, metrics=stream_metrics
+            )
+        streaming = StreamingCampaign(
+            scenario,
+            metrics=stream_metrics,
+            store=stream_store,
+            stream_config=StreamConfig(queue_size=args.queue_size),
+        )
+        result, report = streaming.run()
+        progress.info(
+            "cli.campaign",
+            f"streaming report ready: "
+            f"{streaming.builder.candidates_judged} candidates judged "
+            f"across {streaming.builder.deltas_applied} deltas",
+            candidates_judged=streaming.builder.candidates_judged,
+            deltas=streaming.builder.deltas_applied,
+        )
+    elif args.archive:
         from repro.archive import CheckpointedCampaign
 
         if args.resume:
@@ -157,7 +196,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     else:
         result = MeasurementCampaign(scenario).run()
-    if checkpointed is not None and args.jobs is not None and args.jobs > 1:
+    if streaming is not None:
+        pass  # the report streamed in alongside collection
+    elif checkpointed is not None and args.jobs is not None and args.jobs > 1:
         # Archived campaigns can fan post-processing out to the sharded
         # engine; the report is byte-identical to the serial pipeline's.
         from repro.parallel import ParallelAnalysisEngine
@@ -193,6 +234,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
     if checkpointed is not None:
         checkpointed.store.close()
+        progress.info(
+            "cli.campaign",
+            f"archive committed at {args.archive}",
+            archive=str(args.archive),
+        )
+    if streaming is not None and args.archive:
+        streaming.campaign.store.close()
         progress.info(
             "cli.campaign",
             f"archive committed at {args.archive}",
@@ -353,15 +401,22 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             )
             outcome = analyzer.analyze()
             report = outcome.report
-            emit(
-                f"incremental pass:   {outcome.new_bundles} new bundles, "
-                f"{outcome.new_sandwiches} new sandwiches, "
-                f"{outcome.pending_detail_bundles} awaiting details "
-                f"({jobs} jobs)",
-                new_bundles=outcome.new_bundles,
-                new_sandwiches=outcome.new_sandwiches,
-                jobs=jobs,
-            )
+            if outcome.no_op:
+                emit(
+                    "incremental pass:   no new rows past the watermark; "
+                    "archive left untouched (no-op)",
+                    no_op=True,
+                )
+            else:
+                emit(
+                    f"incremental pass:   {outcome.new_bundles} new "
+                    f"bundles, {outcome.new_sandwiches} new sandwiches, "
+                    f"{outcome.pending_detail_bundles} awaiting details "
+                    f"({jobs} jobs)",
+                    new_bundles=outcome.new_bundles,
+                    new_sandwiches=outcome.new_sandwiches,
+                    jobs=jobs,
+                )
             store_size = report.headline.bundles_collected
         else:
             engine = ParallelAnalysisEngine(
@@ -416,6 +471,83 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         f"threshold {args.threshold:,} lamports)"
     )
     emit(f"defensive spend:    ${headline.defensive_spend_usd:,.4f}")
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Attach-mode streaming: replay an archive through the online analyzer.
+
+    Reads an existing archive database in insertion (``seq``) order,
+    streams it through the bounded-queue pipeline, and prints the same
+    headline figures as ``repro analyze`` — byte-identically, which
+    ``--report-out`` makes checkable: it writes the canonical report JSON
+    (the exact bytes the conformance oracle compares).
+    """
+    from repro.archive.database import is_archive_path
+    from repro.parallel import DetectorSpec
+    from repro.parallel.merge import report_bytes
+    from repro.stream import StreamConfig, analyze_archive_stream
+
+    progress, output = _build_logs(args)
+    emit = lambda message, **fields: output.info(  # noqa: E731
+        "cli.stream", message, **fields
+    )
+    db_path = Path(args.db)
+    if not db_path.exists() or not is_archive_path(db_path):
+        progress.error(
+            "cli.stream",
+            f"{db_path} is not an archive database (expected a SQLite "
+            "file such as archive.db)",
+            db=str(db_path),
+        )
+        return 2
+    spec = DetectorSpec(
+        kind="windowed" if args.windowed else "standard",
+        threshold_lamports=args.threshold,
+    )
+    config = StreamConfig(
+        queue_size=args.queue_size, batch_bundles=args.batch_size
+    )
+
+    def on_delta(delta) -> None:
+        if delta.verdicts or delta.final:
+            progress.info(
+                "cli.stream",
+                f"delta: {delta.candidates_judged}/"
+                f"{delta.candidates_registered} candidates judged, "
+                f"{delta.sandwiches} sandwiches"
+                + (" (final)" if delta.final else ""),
+                judged=delta.candidates_judged,
+                registered=delta.candidates_registered,
+                sandwiches=delta.sandwiches,
+                final=delta.final,
+            )
+
+    report = analyze_archive_stream(
+        db_path, spec=spec, config=config, on_delta=on_delta
+    )
+    if args.report_out:
+        Path(args.report_out).write_bytes(report_bytes(report))
+        progress.info(
+            "cli.stream",
+            f"wrote canonical report to {args.report_out}",
+            path=str(args.report_out),
+        )
+    headline = report.headline
+    emit(
+        f"bundles:            {headline.bundles_collected}",
+        bundles=headline.bundles_collected,
+    )
+    emit(
+        f"sandwiches:         {headline.sandwich_count}",
+        sandwiches=headline.sandwich_count,
+    )
+    emit(f"victim losses:      ${headline.victim_loss_usd:,.2f}")
+    emit(f"attacker gains:     ${headline.attacker_gain_usd:,.2f}")
+    emit(
+        f"defensive bundles:  {headline.defensive_bundles} "
+        f"(threshold {args.threshold:,} lamports)"
+    )
     return 0
 
 
@@ -890,6 +1022,19 @@ def build_parser() -> argparse.ArgumentParser:
         "campaigns only; default: analyze serially)",
     )
     campaign.add_argument(
+        "--stream",
+        action="store_true",
+        help="analyze while collecting: run detection over the live "
+        "stream so the report is ready the moment collection ends "
+        "(byte-identical to the batch pipeline)",
+    )
+    campaign.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bounded stream-queue capacity with --stream (default 64)",
+    )
+    campaign.add_argument(
         "--log-jsonl",
         default=None,
         help="also append structured events to this JSONL file",
@@ -950,6 +1095,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 2048)",
     )
     analyze.set_defaults(func=cmd_analyze)
+
+    stream = sub.add_parser(
+        "stream",
+        help="stream an existing archive through the online analyzer",
+    )
+    stream.add_argument(
+        "--db", required=True, help="archive database to replay"
+    )
+    stream.add_argument("--threshold", type=int, default=100_000)
+    stream.add_argument(
+        "--windowed",
+        action="store_true",
+        help="scan lengths 3-5 with the windowed detector",
+    )
+    stream.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bounded stream-queue capacity (default 64)",
+    )
+    stream.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="archive rows per published batch (default 256)",
+    )
+    stream.add_argument(
+        "--report-out",
+        default=None,
+        help="write the canonical report JSON (oracle byte format) here",
+    )
+    stream.add_argument(
+        "--log-jsonl",
+        default=None,
+        help="also append structured events to this JSONL file",
+    )
+    stream.set_defaults(func=cmd_stream)
 
     archive = sub.add_parser("archive", help="maintain an archive database")
     archive_sub = archive.add_subparsers(dest="archive_command", required=True)

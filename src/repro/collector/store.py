@@ -37,6 +37,7 @@ class BundleStore:
         self._details: dict[str, TransactionRecord] = {}
         self._tx_to_bundle: dict[str, str] = {}
         self._by_length: dict[int, list[BundleRecord]] = {}
+        self._taps: list = []
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._bundles_added = self.metrics.counter(
             "store_bundles_added_total", "New bundle records stored."
@@ -53,11 +54,32 @@ class BundleStore:
             "Transaction details skipped as already stored.",
         )
 
+    # --- publish taps -----------------------------------------------------------
+
+    def attach_tap(self, tap) -> None:
+        """Register an observer notified of genuinely-new records.
+
+        A tap is any object with ``bundles_added(records)`` and
+        ``details_added(records)`` methods; each is called synchronously
+        from :meth:`add_bundles` / :meth:`add_details` with only the
+        records that survived deduplication, in insertion order. This is
+        the collector's publish hook: the streaming pipeline taps the
+        store the poller and detail fetcher already write through, so
+        collection code needs no changes to feed an online consumer.
+        """
+        self._taps.append(tap)
+
+    def detach_tap(self, tap) -> None:
+        """Unregister a previously attached tap (no-op when absent)."""
+        if tap in self._taps:
+            self._taps.remove(tap)
+
     # --- bundles ----------------------------------------------------------------
 
     def add_bundles(self, records: list[BundleRecord]) -> int:
         """Insert records, ignoring already-seen bundle ids; returns #new."""
         added = 0
+        fresh: list[BundleRecord] = []
         for record in records:
             if record.bundle_id in self._bundles:
                 continue
@@ -67,12 +89,16 @@ class BundleStore:
             self._by_length.setdefault(record.num_transactions, []).append(
                 record
             )
+            fresh.append(record)
             added += 1
         if added:
             self._bundles_added.inc(added)
         duplicates = len(records) - added
         if duplicates:
             self._bundle_dedup.inc(duplicates)
+        if fresh:
+            for tap in self._taps:
+                tap.bundles_added(fresh)
         return added
 
     def __len__(self) -> int:
@@ -130,15 +156,20 @@ class BundleStore:
     def add_details(self, records: list[TransactionRecord]) -> int:
         """Insert transaction details; returns the number newly stored."""
         added = 0
+        fresh: list[TransactionRecord] = []
         for record in records:
             if record.transaction_id not in self._details:
                 self._details[record.transaction_id] = record
+                fresh.append(record)
                 added += 1
         if added:
             self._details_added.inc(added)
         duplicates = len(records) - added
         if duplicates:
             self._detail_dedup.inc(duplicates)
+        if fresh:
+            for tap in self._taps:
+                tap.details_added(fresh)
         return added
 
     def detail_count(self) -> int:

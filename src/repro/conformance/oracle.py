@@ -41,6 +41,7 @@ from repro.errors import ConfigError, ConformanceError
 from repro.parallel.chunks import DEFAULT_CHUNK_SIZE
 from repro.parallel.engine import ParallelAnalysisEngine
 from repro.parallel.merge import report_bytes, report_to_jsonable
+from repro.stream.pipeline import StreamConfig, analyze_archive_stream
 
 #: Diff entries rendered before truncating (full list stays on the object).
 RENDER_LIMIT = 12
@@ -305,7 +306,7 @@ def ensure_reports_identical(
 
 # --- pipeline configurations --------------------------------------------------------
 
-CONFIG_MODES = ("serial", "parallel", "incremental", "resume")
+CONFIG_MODES = ("serial", "parallel", "incremental", "resume", "stream")
 
 
 @dataclass(frozen=True)
@@ -343,11 +344,11 @@ class PipelineConfig:
     @property
     def exact_comparable(self) -> bool:
         """Whether this config's report is byte-comparable to serial."""
-        return self.mode in ("serial", "parallel")
+        return self.mode in ("serial", "parallel", "stream")
 
 
 def default_configs(jobs: int = 4) -> tuple[PipelineConfig, ...]:
-    """The acceptance matrix: serial, sharded, incremental, kill/resume."""
+    """The acceptance matrix: serial, sharded, incremental, resume, stream."""
     return (
         PipelineConfig(name="serial", mode="serial"),
         PipelineConfig(
@@ -358,6 +359,7 @@ def default_configs(jobs: int = 4) -> tuple[PipelineConfig, ...]:
         ),
         PipelineConfig(name="incremental", mode="incremental"),
         PipelineConfig(name="resume-sigkill", mode="resume"),
+        PipelineConfig(name="stream", mode="stream", chunk_size=32),
     )
 
 
@@ -391,6 +393,17 @@ def run_config(
         report = engine.analyze(persist=False)
         engine.database.close()
         return report
+    if config.mode == "stream":
+        # Attach-mode streaming: replay the archive through the online
+        # pipeline in small batches over a deliberately tight queue, so
+        # the byte-identity check also exercises backpressure paths.
+        write_archive(rows, path)
+        return analyze_archive_stream(
+            path,
+            config=StreamConfig(
+                queue_size=4, batch_bundles=config.chunk_size
+            ),
+        )
     if config.mode == "incremental":
         write_archive(rows, path)
         analyzer = IncrementalAnalyzer(

@@ -5,16 +5,17 @@ Three check families, each independently reported:
 1. **golden** — every fixture in the corpus re-runs and must reproduce its
    frozen digest;
 2. **differential** — for each seed, the full config matrix (serial,
-   ``--jobs N`` sharded, incremental, killed-and-resumed) analyzes the
-   same campaign, and the oracle demands byte identity where the contract
-   promises it and contract identity everywhere else;
+   ``--jobs N`` sharded, incremental, killed-and-resumed, streaming)
+   analyzes the same campaign, and the oracle demands byte identity where
+   the contract promises it and contract identity everywhere else;
 3. **metamorphic** — the invariant battery runs over each seed's campaign;
 4. **oracle-sensitivity** — the oracle must *detect* an injected
    divergence (a tampered financial figure); a diff engine that cannot
    fail is not evidence of anything.
 
 ``--level quick`` runs the matrix at modest campaign sizes; ``--level
-full`` adds larger campaigns and a chaos-preset scenario. Everything is
+full`` adds larger campaigns, a chaos-preset scenario, and a
+streaming-vs-batch equivalence fixture over a storm chaos campaign. Everything is
 instrumented through :mod:`repro.obs` (``conformance_checks_total``,
 ``conformance_check_seconds``), and the structured result serializes for
 CI logs.
@@ -241,6 +242,45 @@ def _oracle_sensitivity_check(
     return check
 
 
+def _stream_equivalence_check(seed: int) -> Callable[[], tuple[bool, str]]:
+    """Full-level fixture: a streaming chaos campaign must byte-match batch.
+
+    Runs the same fault-injected scenario twice — once collect-then-analyze,
+    once through the analyze-while-collecting pipeline — and demands byte
+    identity of the canonical report, proving the online path holds its
+    contract even when outages stall and drain the stream queues.
+    """
+
+    def check() -> tuple[bool, str]:
+        from repro.collector.campaign import MeasurementCampaign
+        from repro.core.pipeline import AnalysisPipeline
+        from repro.faults.plan import preset_plan
+        from repro.parallel.merge import report_bytes
+        from repro.simulation.scenario import small_scenario
+        from repro.stream import StreamConfig, StreamingCampaign
+
+        batch_result = MeasurementCampaign(
+            small_scenario(seed=seed, days=2), fault_plan=preset_plan("storm")
+        ).run()
+        batch = AnalysisPipeline().analyze_campaign(batch_result)
+        _, streamed = StreamingCampaign(
+            small_scenario(seed=seed, days=2),
+            fault_plan=preset_plan("storm"),
+            stream_config=StreamConfig(queue_size=8),
+        ).run()
+        if report_bytes(batch) != report_bytes(streamed):
+            return False, (
+                "streaming chaos campaign diverged from the batch "
+                "pipeline over the same scenario"
+            )
+        return True, (
+            f"streaming == batch over storm chaos campaign "
+            f"({len(batch_result.store)} bundles)"
+        )
+
+    return check
+
+
 def run_selftest(
     level: str = "quick",
     seeds: tuple[int, ...] = DEFAULT_SEEDS,
@@ -315,6 +355,11 @@ def run_selftest(
                             stress, scratch_root / "stress", jobs
                         ),
                     )
+                runner.run(
+                    "stream",
+                    f"chaos-equivalence-seed-{seeds[0]}",
+                    _stream_equivalence_check(seeds[0]),
+                )
     finally:
         if workdir is None:
             cleanup_workdir(scratch_root)

@@ -187,8 +187,18 @@ class SimulationEngine:
 
     # --- the run loop --------------------------------------------------------
 
-    def run_day(self, day: int) -> DayStats:
-        """Simulate one day: schedule events, produce blocks."""
+    def iter_day_blocks(self, day: int):
+        """Generator form of :meth:`run_day`: yield after every block.
+
+        Each yielded value is the freshly produced block, *after* the block
+        callbacks and pool rebalancing have run — the point where one
+        block's collection side effects are complete and the next has not
+        started. Cooperative consumers (the streaming campaign's asyncio
+        producer) use this seam to hand control to the event loop between
+        blocks; exhausting the generator performs the same end-of-day
+        bookkeeping as :meth:`run_day`, which is a plain consuming wrapper
+        around it.
+        """
         if self._wall_started is None:
             self._wall_started = time.perf_counter()
         config = self.config
@@ -238,6 +248,7 @@ class SimulationEngine:
             for callback in self._block_callbacks:
                 callback(world, block)
             self._rebalance_pools()
+            yield block
 
         if (
             self._tip_distributor is not None
@@ -247,7 +258,12 @@ class SimulationEngine:
 
         world.day_stats.append(stats)
         self._days_metric.inc(spike="yes" if is_spike else "no")
-        return stats
+
+    def run_day(self, day: int) -> DayStats:
+        """Simulate one day: schedule events, produce blocks."""
+        for _block in self.iter_day_blocks(day):
+            pass
+        return self.world.day_stats[-1]
 
     def run_days(self, start_day: int, stop_day: int) -> None:
         """Simulate days ``start_day`` (inclusive) to ``stop_day`` (exclusive).

@@ -1,0 +1,49 @@
+"""repro.stream — the analyze-while-collecting streaming pipeline.
+
+Collapses the repo's collect → archive → analyze sequence into one online
+path: an asyncio producer/consumer graph with bounded queues and explicit
+backpressure, a streaming detector over sliding slot windows, and an
+incremental report builder that folds monotone deltas so the final report
+is ready the moment collection ends — byte-identical to the batch
+pipeline over the same data (see ``docs/STREAMING.md``).
+"""
+
+from repro.stream.campaign import CollectorTap, StreamingCampaign
+from repro.stream.deltas import (
+    IncrementalReportBuilder,
+    ReportDelta,
+    VerdictRecord,
+)
+from repro.stream.detector import StreamingDetector
+from repro.stream.events import END_OF_STREAM, StreamBatch
+from repro.stream.pipeline import (
+    StreamConfig,
+    analyze_archive_stream,
+    archive_producer,
+    run_stages,
+)
+from repro.stream.queues import (
+    BoundedStreamQueue,
+    StreamClosedError,
+    StreamStallError,
+)
+from repro.stream.windows import SlidingSlotWindows
+
+__all__ = [
+    "END_OF_STREAM",
+    "BoundedStreamQueue",
+    "CollectorTap",
+    "IncrementalReportBuilder",
+    "ReportDelta",
+    "SlidingSlotWindows",
+    "StreamBatch",
+    "StreamClosedError",
+    "StreamConfig",
+    "StreamStallError",
+    "StreamingCampaign",
+    "StreamingDetector",
+    "VerdictRecord",
+    "analyze_archive_stream",
+    "archive_producer",
+    "run_stages",
+]

@@ -1,0 +1,209 @@
+"""Analyze-while-collecting: a measurement campaign on the streaming graph.
+
+Wraps :class:`~repro.collector.campaign.MeasurementCampaign` without
+changing its collection behaviour: a tap on the campaign's
+:class:`~repro.collector.store.BundleStore` buffers every genuinely-new
+record, and the producer stage drives the simulation block by block
+(via :meth:`~repro.simulation.engine.SimulationEngine.iter_day_blocks`),
+publishing one :class:`~repro.stream.events.StreamBatch` per block onto
+the bounded queue. Because the producer *awaits* the put, a slow detector
+stage exerts backpressure straight onto the simulation/collection loop —
+collection pacing stretches rather than memory growing without bound.
+
+The detector and builder stages run concurrently, so the final report is
+ready the moment the campaign's last drain completes — and it is
+byte-identical to what the batch path would compute over the same store,
+a contract the conformance oracle's ``stream`` column enforces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.collector.campaign import CampaignResult, MeasurementCampaign
+from repro.collector.detail_fetcher import DetailFetcherConfig
+from repro.collector.poller import PollerConfig
+from repro.collector.store import BundleStore
+from repro.core.pipeline import AnalysisReport
+from repro.dex.oracle import PriceOracle
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.explorer.service import ExplorerConfig
+from repro.faults.plan import FaultPlan
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.chunks import DetectorSpec
+from repro.simulation.config import ScenarioConfig
+from repro.simulation.downtime import DowntimeSchedule
+from repro.stream.deltas import IncrementalReportBuilder
+from repro.stream.detector import StreamingDetector
+from repro.stream.events import StreamBatch
+from repro.stream.pipeline import DeltaObserver, StreamConfig, run_stages
+from repro.stream.queues import BoundedStreamQueue
+
+
+class CollectorTap:
+    """Buffers a store's genuinely-new records between publish points.
+
+    Attached via :meth:`~repro.collector.store.BundleStore.attach_tap`;
+    the store invokes :meth:`bundles_added` / :meth:`details_added` after
+    dedup, so every record crosses the tap exactly once and in insertion
+    order. :meth:`take` hands the buffer over as one immutable batch.
+    """
+
+    def __init__(self) -> None:
+        self._bundles: list[BundleRecord] = []
+        self._details: list[TransactionRecord] = []
+
+    def bundles_added(self, records: list[BundleRecord]) -> None:
+        """Store callback: freshly inserted bundles."""
+        self._bundles.extend(records)
+
+    def details_added(self, records: list[TransactionRecord]) -> None:
+        """Store callback: freshly inserted transaction details."""
+        self._details.extend(records)
+
+    def take(self) -> StreamBatch | None:
+        """Drain the buffer into a batch; ``None`` when nothing arrived."""
+        if not self._bundles and not self._details:
+            return None
+        batch = StreamBatch(
+            bundles=tuple(self._bundles), details=tuple(self._details)
+        )
+        self._bundles.clear()
+        self._details.clear()
+        return batch
+
+
+class StreamingCampaign:
+    """A measurement campaign whose analysis runs while it collects."""
+
+    def __init__(
+        self,
+        scenario: ScenarioConfig,
+        downtime: DowntimeSchedule | None = None,
+        poller_config: PollerConfig | None = None,
+        fetcher_config: DetailFetcherConfig | None = None,
+        explorer_config: ExplorerConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        store: BundleStore | None = None,
+        fault_plan: FaultPlan | None = None,
+        spec: DetectorSpec | None = None,
+        oracle: PriceOracle | None = None,
+        stream_config: StreamConfig | None = None,
+        on_delta: DeltaObserver | None = None,
+    ) -> None:
+        self.campaign = MeasurementCampaign(
+            scenario,
+            downtime=downtime,
+            poller_config=poller_config,
+            fetcher_config=fetcher_config,
+            explorer_config=explorer_config,
+            metrics=metrics,
+            store=store,
+            fault_plan=fault_plan,
+        )
+        self.stream_config = stream_config or StreamConfig()
+        self.stream_config.validate()
+        self.on_delta = on_delta
+        self.detector = StreamingDetector(
+            spec=spec,
+            oracle=oracle,
+            window_slots=self.stream_config.window_slots,
+            metrics=self.campaign.metrics,
+        )
+        self.builder = IncrementalReportBuilder(
+            spec=self.detector.spec, oracle=self.detector.oracle
+        )
+        self.tap = CollectorTap()
+        # Attached after construction (and after any resume-time load), so
+        # only records collected by *this* run flow through the stream.
+        self.campaign.store.attach_tap(self.tap)
+        self.result: CampaignResult | None = None
+        self.report: AnalysisReport | None = None
+
+    async def _produce(self, queue: BoundedStreamQueue) -> None:
+        """Drive the simulation block by block, publishing after each.
+
+        The ``await`` on every put is the backpressure seam: when the
+        detector stage falls behind, the producer — and with it the
+        simulated poller cadence — stalls until capacity frees, so queue
+        depth (and memory) stays bounded no matter how bursty collection
+        gets.
+        """
+        campaign = self.campaign
+        for day in range(campaign.scenario.days):
+            for _block in campaign.engine.iter_day_blocks(day):
+                batch = self.tap.take()
+                if batch is not None:
+                    await queue.put(batch)
+        # The final sweep (finish + last poll + detail drain) lands the
+        # tail of the data; publish it as the closing batch.
+        self.result = campaign.finalize()
+        batch = self.tap.take()
+        if batch is not None:
+            await queue.put(batch)
+
+    def _publish_detection_metrics(self, report: AnalysisReport) -> None:
+        """Mirror the batch pipeline's detection counters for the report.
+
+        The campaign report's "Pipeline health" section reads the same
+        ``detector_*``/``defensive_*`` counter names the batch
+        :class:`~repro.core.pipeline.AnalysisPipeline` publishes; the
+        merged report carries identical tallies, so publishing from it
+        keeps the rendered section truthful for streamed runs.
+        """
+        metrics = self.campaign.metrics
+        stats = report.detection_stats
+        metrics.counter(
+            "detector_bundles_examined_total",
+            "Bundles evaluated against the five criteria.",
+        ).inc(stats.bundles_examined)
+        metrics.counter(
+            "detector_sandwiches_total", "Bundles confirmed as sandwiches."
+        ).inc(len(report.quantified))
+        rejections = metrics.counter(
+            "detector_rejections_total",
+            "Bundles rejected during detection, by failing criterion.",
+        )
+        for criterion, count in sorted(
+            stats.rejections_by_criterion.items()
+        ):
+            if count:
+                rejections.inc(count, criterion=criterion)
+        defensive = metrics.counter(
+            "defensive_bundles_total",
+            "Length-one bundles classified, defensive vs priority.",
+        )
+        defensive.inc(
+            len(report.defensive.defensive), classification="defensive"
+        )
+        defensive.inc(
+            len(report.defensive.priority), classification="priority"
+        )
+
+    async def run_async(self) -> tuple[CampaignResult, AnalysisReport]:
+        """Run collection and analysis concurrently on the current loop."""
+        await run_stages(
+            self._produce,
+            self.detector,
+            self.builder,
+            config=self.stream_config,
+            metrics=self.campaign.metrics,
+            on_delta=self.on_delta,
+        )
+        assert self.result is not None  # producer completed
+        report = self.builder.build(
+            poll_overlap_fraction=self.result.coverage.overlap_fraction()
+        )
+        self._publish_detection_metrics(report)
+        # Mirror the batch pipeline's duck-typed persistence so an
+        # archive-backed streaming campaign leaves the same analysis
+        # tables behind.
+        recorder = getattr(self.campaign.store, "record_analysis", None)
+        if recorder is not None:
+            recorder(report)
+        self.report = report
+        return self.result, report
+
+    def run(self) -> tuple[CampaignResult, AnalysisReport]:
+        """Blocking wrapper around :meth:`run_async`."""
+        return asyncio.run(self.run_async())

@@ -1,0 +1,199 @@
+"""Monotone report deltas and the incremental report builder.
+
+The streaming detector judges each detection candidate exactly once and
+emits the verdicts as :class:`ReportDelta` messages whose counters only
+ever grow. :class:`IncrementalReportBuilder` folds the deltas as they
+arrive, so the moment the final delta lands the full report is one
+(cheap) merge away — there is no end-of-campaign detection pass at all.
+
+Byte-identity with the batch path is inherited, not re-proven: every
+judged candidate becomes a single-candidate
+:class:`~repro.parallel.worker.ChunkOutcome` in candidate (collection)
+order, and the builder hands them to the parallel tier's
+:func:`~repro.parallel.merge.merge_outcomes` — the same deterministic
+reducer that already guarantees sharded analysis is byte-identical to
+serial. A trailing outcome carries the defensive classification and the
+campaign bundle count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregate import headline_stats, sandwiches_per_day
+from repro.core.detector import DetectionStats
+from repro.core.pipeline import AnalysisReport
+from repro.core.quantify import QuantifiedSandwich
+from repro.dex.oracle import PriceOracle
+from repro.errors import ConformanceError
+from repro.explorer.models import BundleRecord
+from repro.parallel.chunks import DetectorSpec
+from repro.parallel.merge import merge_outcomes
+from repro.parallel.worker import ChunkOutcome
+
+
+@dataclass(frozen=True)
+class VerdictRecord:
+    """One candidate bundle's final judgement.
+
+    ``stats`` is the candidate's exact contribution to the batch
+    detector's bookkeeping (captured from a fresh detector, so windowed
+    multi-window examinations and skipped-incomplete counts match a
+    monolithic pass to the digit); ``quantified`` holds the priced event
+    when the candidate was a sandwich; ``pending`` marks candidates whose
+    details never arrived.
+    """
+
+    index: int
+    bundle_id: str
+    stats: DetectionStats
+    quantified: tuple[QuantifiedSandwich, ...] = ()
+    pending: bool = False
+
+
+@dataclass(frozen=True)
+class ReportDelta:
+    """One ingest step's newly judged work plus cumulative progress.
+
+    The cumulative counters are monotone by construction — each delta's
+    values are >= its predecessor's — so any consumer (a progress line,
+    a live dashboard) can render the latest delta alone without
+    replaying history.
+    """
+
+    verdicts: tuple[VerdictRecord, ...] = ()
+    new_defensive: tuple[BundleRecord, ...] = ()
+    new_priority: tuple[BundleRecord, ...] = ()
+    bundles_seen: int = 0
+    candidates_registered: int = 0
+    candidates_judged: int = 0
+    sandwiches: int = 0
+    final: bool = False
+
+    @property
+    def empty(self) -> bool:
+        """Whether this delta carries no new verdicts or classifications."""
+        return not (
+            self.verdicts or self.new_defensive or self.new_priority
+        )
+
+
+class IncrementalReportBuilder:
+    """Folds report deltas into the final campaign report.
+
+    ``apply`` is cheap (list appends and counter updates); ``build``
+    performs the single deterministic merge. The builder never inspects
+    bundle contents — everything report-shaped was already decided by the
+    detector stage.
+    """
+
+    def __init__(
+        self,
+        spec: DetectorSpec | None = None,
+        oracle: PriceOracle | None = None,
+    ) -> None:
+        self.spec = spec or DetectorSpec()
+        if oracle is None:
+            oracle = (
+                PriceOracle(self.spec.usd_per_sol)
+                if self.spec.usd_per_sol is not None
+                else PriceOracle()
+            )
+        self.oracle = oracle
+        self._verdicts: dict[int, VerdictRecord] = {}
+        self._defensive: list[BundleRecord] = []
+        self._priority: list[BundleRecord] = []
+        self.bundles_seen = 0
+        self.candidates_registered = 0
+        self.sandwiches = 0
+        self.deltas_applied = 0
+        self.finalized = False
+
+    def apply(self, delta: ReportDelta) -> None:
+        """Fold one delta; duplicate candidate verdicts fail loudly."""
+        for verdict in delta.verdicts:
+            if verdict.index in self._verdicts:
+                raise ConformanceError(
+                    f"candidate {verdict.index} judged twice "
+                    f"(bundle {verdict.bundle_id}); the stream would "
+                    "double-count its stats"
+                )
+            self._verdicts[verdict.index] = verdict
+        self._defensive.extend(delta.new_defensive)
+        self._priority.extend(delta.new_priority)
+        self.bundles_seen = max(self.bundles_seen, delta.bundles_seen)
+        self.candidates_registered = max(
+            self.candidates_registered, delta.candidates_registered
+        )
+        self.sandwiches = max(self.sandwiches, delta.sandwiches)
+        self.deltas_applied += 1
+        if delta.final:
+            self.finalized = True
+
+    @property
+    def candidates_judged(self) -> int:
+        """Candidates folded so far."""
+        return len(self._verdicts)
+
+    def build(
+        self, poll_overlap_fraction: float | None = None
+    ) -> AnalysisReport:
+        """Merge every folded verdict into the campaign report.
+
+        The output is byte-identical (per
+        :func:`repro.parallel.merge.report_bytes`) to
+        ``AnalysisPipeline().analyze_store(store)`` over the same
+        collected store: candidate outcomes are contiguous in collection
+        order, the trailing outcome carries the classifier's output in
+        arrival order, and ``merge_outcomes`` restores the serial sort
+        and stats-accumulation order.
+        """
+        outcomes = [
+            ChunkOutcome(
+                index=verdict.index,
+                bundle_count=0,
+                quantified=verdict.quantified,
+                defensive=(),
+                priority=(),
+                stats=verdict.stats,
+                pending_detail_ids=(
+                    (verdict.bundle_id,) if verdict.pending else ()
+                ),
+                elapsed_seconds=0.0,
+                worker="stream",
+            )
+            for verdict in sorted(
+                self._verdicts.values(), key=lambda v: v.index
+            )
+        ]
+        outcomes.append(
+            ChunkOutcome(
+                index=len(outcomes),
+                bundle_count=self.bundles_seen,
+                quantified=(),
+                defensive=tuple(self._defensive),
+                priority=tuple(self._priority),
+                stats=DetectionStats(),
+                pending_detail_ids=(),
+                elapsed_seconds=0.0,
+                worker="stream",
+            )
+        )
+        merged = merge_outcomes(
+            outcomes, threshold_lamports=self.spec.threshold_lamports
+        )
+        daily = sandwiches_per_day(merged.quantified, self.oracle)
+        headline = headline_stats(
+            merged.quantified,
+            merged.defensive_report,
+            bundles_collected=merged.bundle_count,
+            oracle=self.oracle,
+            poll_overlap_fraction=poll_overlap_fraction,
+        )
+        return AnalysisReport(
+            quantified=merged.quantified,
+            defensive=merged.defensive_report,
+            daily=daily,
+            headline=headline,
+            detection_stats=merged.stats,
+        )

@@ -1,0 +1,230 @@
+"""The streaming detector: judge candidates as their details land.
+
+Consumes :class:`~repro.stream.events.StreamBatch` messages and produces
+:class:`~repro.stream.deltas.ReportDelta` messages. The design invariant
+that makes streaming byte-identical to batch analysis:
+
+- every bundle of a detection length becomes a *candidate* with a
+  monotonically increasing index — candidate order is store insertion
+  order, the exact order ``detect_all`` iterates;
+- a candidate is judged exactly once, by a **fresh detector** built from
+  the shared :class:`~repro.parallel.chunks.DetectorSpec`, the moment its
+  transaction details are complete (or at finalize if they never are) —
+  the fresh detector's stats are precisely the candidate's contribution
+  to a monolithic pass's bookkeeping;
+- length-one bundles are classified on arrival, in arrival order — the
+  order ``DefensiveBundlingClassifier.classify`` iterates.
+
+Sliding slot windows (:class:`~repro.stream.windows.SlidingSlotWindows`)
+keep the incremental work proportional to change: an ingest step sweeps
+only windows whose membership changed, so candidates from quiet slots are
+never revisited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantify import LossQuantifier, QuantifiedSandwich
+from repro.dex.oracle import PriceOracle
+from repro.explorer.models import BundleRecord, TransactionRecord
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.parallel.chunks import DetectorSpec
+from repro.stream.deltas import ReportDelta, VerdictRecord
+from repro.stream.events import StreamBatch
+from repro.stream.windows import SlidingSlotWindows
+
+
+@dataclass
+class _Candidate:
+    """One unjudged detection candidate and the details it still needs."""
+
+    index: int
+    bundle: BundleRecord
+    missing: set[str]
+
+
+class StreamingDetector:
+    """Online sandwich detection over a stream of collected records.
+
+    The detector doubles as the detail-lookup object handed to
+    ``SandwichDetector.detect_bundle`` (it exposes :meth:`get_detail`),
+    so judging a candidate runs the unchanged batch detection code
+    against the stream's accumulated details.
+    """
+
+    def __init__(
+        self,
+        spec: DetectorSpec | None = None,
+        oracle: PriceOracle | None = None,
+        window_slots: int = 32,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.spec = spec or DetectorSpec()
+        self.spec.validate()
+        if oracle is None:
+            oracle = (
+                PriceOracle(self.spec.usd_per_sol)
+                if self.spec.usd_per_sol is not None
+                else PriceOracle()
+            )
+        self.oracle = oracle
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._quantifier = LossQuantifier(oracle)
+        self._classifier = self.spec.build_classifier()
+        self._wanted = set(self.spec.detail_lengths)
+        self.windows = SlidingSlotWindows(
+            window_slots=window_slots, metrics=self.metrics
+        )
+        self._details: dict[str, TransactionRecord] = {}
+        self._tx_to_candidate: dict[str, int] = {}
+        self._candidates: dict[int, _Candidate] = {}
+        self.bundles_seen = 0
+        self.candidates_registered = 0
+        self.candidates_judged = 0
+        self.sandwiches = 0
+        self._defensive_seen = 0
+        self._priority_seen = 0
+        self._ingested_metric = self.metrics.counter(
+            "stream_bundles_ingested_total",
+            "Bundles the streaming detector has consumed.",
+        )
+        self._judged_metric = self.metrics.counter(
+            "stream_candidates_judged_total",
+            "Detection candidates judged, by completeness.",
+        )
+        self._lag_gauge = self.metrics.gauge(
+            "stream_detector_lag_candidates",
+            "Registered candidates still awaiting judgement.",
+        )
+
+    # --- detail lookup (the store protocol detect_bundle needs) ------------
+
+    def get_detail(self, tx_id: str) -> TransactionRecord | None:
+        """Resolve a transaction detail from the stream's accumulation."""
+        return self._details.get(tx_id)
+
+    # --- ingest ------------------------------------------------------------
+
+    def ingest(self, batch: StreamBatch) -> ReportDelta:
+        """Consume one batch; judge candidates whose windows went dirty."""
+        new_defensive: list[BundleRecord] = []
+        new_priority: list[BundleRecord] = []
+        for bundle in batch.bundles:
+            self.bundles_seen += 1
+            self._ingested_metric.inc()
+            if bundle.num_transactions == 1:
+                if self._classifier.is_defensive(bundle):
+                    new_defensive.append(bundle)
+                    self._defensive_seen += 1
+                else:
+                    new_priority.append(bundle)
+                    self._priority_seen += 1
+            if bundle.num_transactions in self._wanted:
+                self._register(bundle)
+        for record in batch.details:
+            if record.transaction_id not in self._details:
+                self._details[record.transaction_id] = record
+            index = self._tx_to_candidate.get(record.transaction_id)
+            if index is not None:
+                candidate = self._candidates.get(index)
+                if candidate is not None:
+                    candidate.missing.discard(record.transaction_id)
+                    self.windows.touch(candidate.bundle.slot)
+        verdicts = self._sweep()
+        return self._delta(verdicts, new_defensive, new_priority)
+
+    def _register(self, bundle: BundleRecord) -> None:
+        index = self.candidates_registered
+        self.candidates_registered += 1
+        missing = {
+            tx_id
+            for tx_id in bundle.transaction_ids
+            if tx_id not in self._details
+        }
+        self._candidates[index] = _Candidate(
+            index=index, bundle=bundle, missing=missing
+        )
+        for tx_id in bundle.transaction_ids:
+            self._tx_to_candidate[tx_id] = index
+        self.windows.add(bundle.slot, index)
+
+    def _sweep(self) -> list[VerdictRecord]:
+        """Judge every complete candidate in a dirty window."""
+        verdicts: list[VerdictRecord] = []
+        for _key, members in self.windows.sweep_dirty():
+            for index in members:
+                candidate = self._candidates.get(index)
+                if candidate is None or candidate.missing:
+                    continue
+                verdicts.append(self._judge(candidate, pending=False))
+        return verdicts
+
+    def _judge(self, candidate: _Candidate, pending: bool) -> VerdictRecord:
+        """Run the batch detection stack over one candidate, once.
+
+        A fresh per-candidate detector captures exactly the stats a
+        monolithic detector would have accumulated for this bundle —
+        including multi-window examinations (windowed kind) and the
+        one-increment skipped-incomplete bookkeeping for bundles whose
+        details never arrived.
+        """
+        detector = self.spec.build_detector()
+        event = detector.detect_bundle(candidate.bundle, self)
+        quantified: tuple[QuantifiedSandwich, ...] = ()
+        if event is not None:
+            quantified = (self._quantifier.quantify(event),)
+            self.sandwiches += 1
+        self.candidates_judged += 1
+        self._judged_metric.inc(
+            status="pending" if pending else "complete"
+        )
+        self._lag_gauge.set(
+            self.candidates_registered - self.candidates_judged
+        )
+        del self._candidates[candidate.index]
+        for tx_id in candidate.bundle.transaction_ids:
+            if self._tx_to_candidate.get(tx_id) == candidate.index:
+                del self._tx_to_candidate[tx_id]
+        self.windows.discard(candidate.bundle.slot, candidate.index)
+        return VerdictRecord(
+            index=candidate.index,
+            bundle_id=candidate.bundle.bundle_id,
+            stats=detector.stats,
+            quantified=quantified,
+            pending=pending,
+        )
+
+    def finalize(self) -> ReportDelta:
+        """Judge every still-unjudged candidate; emit the final delta.
+
+        Candidates with missing details get the batch path's treatment:
+        examined, counted skipped-incomplete, carried as pending. After
+        this the stream's cumulative verdict set covers every candidate
+        index exactly once.
+        """
+        verdicts: list[VerdictRecord] = []
+        for index in sorted(self._candidates):
+            candidate = self._candidates[index]
+            verdicts.append(
+                self._judge(candidate, pending=bool(candidate.missing))
+            )
+        return self._delta(verdicts, [], [], final=True)
+
+    def _delta(
+        self,
+        verdicts: list[VerdictRecord],
+        new_defensive: list[BundleRecord],
+        new_priority: list[BundleRecord],
+        final: bool = False,
+    ) -> ReportDelta:
+        return ReportDelta(
+            verdicts=tuple(verdicts),
+            new_defensive=tuple(new_defensive),
+            new_priority=tuple(new_priority),
+            bundles_seen=self.bundles_seen,
+            candidates_registered=self.candidates_registered,
+            candidates_judged=self.candidates_judged,
+            sandwiches=self.sandwiches,
+            final=final,
+        )

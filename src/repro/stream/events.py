@@ -1,0 +1,48 @@
+"""Messages that flow between the streaming pipeline's stages.
+
+The producer publishes :class:`StreamBatch` messages (the genuinely-new
+bundles and transaction details one collection step landed, in insertion
+order); the detector stage turns each batch into a
+:class:`~repro.stream.deltas.ReportDelta`. End of stream is signalled by
+closing the queue, which hands every waiting consumer the
+:data:`END_OF_STREAM` sentinel once the buffered items drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.explorer.models import BundleRecord, TransactionRecord
+
+
+class _EndOfStream:
+    """Singleton sentinel a closed queue yields once its items drain."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<END_OF_STREAM>"
+
+
+#: The one end-of-stream marker every consumer compares against by identity.
+END_OF_STREAM = _EndOfStream()
+
+
+@dataclass(frozen=True)
+class StreamBatch:
+    """One publish step's worth of freshly collected records.
+
+    Records appear exactly once across the lifetime of a stream (the
+    store's dedup runs before the tap fires) and in store insertion
+    order — the order every batch-path analysis iterates, which is what
+    the byte-identity contract rests on.
+    """
+
+    bundles: tuple[BundleRecord, ...] = field(default_factory=tuple)
+    details: tuple[TransactionRecord, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.bundles) + len(self.details)
+
+    @property
+    def empty(self) -> bool:
+        """Whether this batch carries no records at all."""
+        return not self.bundles and not self.details

@@ -1,0 +1,204 @@
+"""The bounded, closeable asyncio queue the streaming stages share.
+
+``asyncio.Queue`` has no close signal: the usual workaround (putting a
+sentinel) deadlocks when the queue is full at shutdown — exactly the state
+an injected outage leaves it in. :class:`BoundedStreamQueue` keeps the
+bounded-buffer semantics but adds:
+
+- a synchronous :meth:`close` that wakes every waiter — blocked getters
+  drain the remaining items and then receive
+  :data:`~repro.stream.events.END_OF_STREAM`, blocked putters raise
+  :class:`StreamClosedError` instead of sleeping forever;
+- a timeout guard on :meth:`put` (:class:`StreamStallError`) so a wedged
+  consumer can never hang the producer indefinitely;
+- queue-health metrics (``stream_queue_depth``, ``_high_water``,
+  ``_put_stalls_total``, ``_put_wait_seconds``, ``_items_total``) through
+  the shared :mod:`repro.obs` registry, labelled by queue name.
+
+Backpressure contract: ``put`` suspends (never drops, never buffers past
+``maxsize``) while the queue is full, so a producer awaiting ``put``
+between simulation blocks is paced by its slowest consumer and memory
+stays bounded by ``maxsize`` plus one in-flight batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+
+from repro.errors import ConfigError, ReproError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+
+_WAIT_BUCKETS = (0.001, 0.01, 0.1, 0.5, 2.0, 10.0)
+
+
+class StreamClosedError(ReproError):
+    """A put raced a queue that closed (producer-side shutdown signal)."""
+
+
+class StreamStallError(ReproError):
+    """A put waited longer than the stall timeout for queue capacity."""
+
+
+class BoundedStreamQueue:
+    """A bounded single-loop producer/consumer queue with explicit close.
+
+    All waiting is cooperative (futures on the running event loop); the
+    queue is not thread-safe, matching the single-threaded asyncio design
+    of the streaming pipeline.
+    """
+
+    def __init__(
+        self,
+        maxsize: int,
+        name: str = "stream",
+        metrics: MetricsRegistry | None = None,
+        put_timeout: float | None = None,
+    ) -> None:
+        if maxsize < 1:
+            raise ConfigError(f"queue maxsize must be >= 1, got {maxsize}")
+        if put_timeout is not None and put_timeout <= 0:
+            raise ConfigError("put_timeout must be positive (or None)")
+        self.name = name
+        self.maxsize = maxsize
+        self.put_timeout = put_timeout
+        self._items: deque = deque()
+        self._closed = False
+        self._getters: deque[asyncio.Future] = deque()
+        self._putters: deque[asyncio.Future] = deque()
+        self.high_water = 0
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._depth_gauge = metrics.gauge(
+            "stream_queue_depth", "Items currently buffered, by queue."
+        )
+        self._high_water_gauge = metrics.gauge(
+            "stream_queue_high_water",
+            "Deepest the queue has been, by queue.",
+        )
+        self._stalls_metric = metrics.counter(
+            "stream_queue_put_stalls_total",
+            "Puts that had to wait for capacity, by queue.",
+        )
+        self._wait_metric = metrics.histogram(
+            "stream_queue_put_wait_seconds",
+            "Wall-clock seconds puts spent waiting for capacity.",
+            buckets=_WAIT_BUCKETS,
+        )
+        self._items_metric = metrics.counter(
+            "stream_queue_items_total", "Items accepted, by queue."
+        )
+        self._depth_gauge.set(0, queue=name)
+        self._high_water_gauge.set(0, queue=name)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    # --- internal waiter plumbing -----------------------------------------
+
+    @staticmethod
+    def _wake_first(waiters: deque) -> None:
+        while waiters:
+            waiter = waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+
+    @staticmethod
+    async def _wait(waiters: deque, timeout: float | None) -> bool:
+        """Park on a fresh future; returns False when the wait timed out."""
+        waiter = asyncio.get_running_loop().create_future()
+        waiters.append(waiter)
+        try:
+            await asyncio.wait_for(waiter, timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+        finally:
+            if waiter in waiters:
+                waiters.remove(waiter)
+
+    def _note_depth(self) -> None:
+        depth = len(self._items)
+        self._depth_gauge.set(depth, queue=self.name)
+        if depth > self.high_water:
+            self.high_water = depth
+            self._high_water_gauge.set(depth, queue=self.name)
+
+    # --- the queue API -----------------------------------------------------
+
+    async def put(self, item) -> None:
+        """Enqueue ``item``, waiting (bounded) for capacity.
+
+        Raises:
+            StreamClosedError: the queue closed before the item landed.
+            StreamStallError: capacity did not free up within
+                ``put_timeout`` seconds — the timeout guard that keeps a
+                dead consumer from deadlocking its producer.
+        """
+        if self._closed:
+            raise StreamClosedError(
+                f"queue {self.name!r} is closed; item refused"
+            )
+        stalled = False
+        started = time.perf_counter()
+        while len(self._items) >= self.maxsize and not self._closed:
+            if not stalled:
+                stalled = True
+                self._stalls_metric.inc(queue=self.name)
+            if not await self._wait(self._putters, self.put_timeout):
+                raise StreamStallError(
+                    f"queue {self.name!r} full for over "
+                    f"{self.put_timeout}s (consumer stalled?)"
+                )
+        if self._closed:
+            raise StreamClosedError(
+                f"queue {self.name!r} closed while a put waited"
+            )
+        if stalled:
+            self._wait_metric.observe(
+                time.perf_counter() - started, queue=self.name
+            )
+        self._items.append(item)
+        self._items_metric.inc(queue=self.name)
+        self._note_depth()
+        self._wake_first(self._getters)
+
+    async def get(self):
+        """Dequeue the next item, or :data:`END_OF_STREAM` once drained.
+
+        Blocks while the queue is open and empty. After :meth:`close`,
+        buffered items are still handed out in order (drain-on-close);
+        only then does every subsequent get return the sentinel.
+        """
+        from repro.stream.events import END_OF_STREAM
+
+        while not self._items:
+            if self._closed:
+                return END_OF_STREAM
+            await self._wait(self._getters, None)
+        item = self._items.popleft()
+        self._note_depth()
+        self._wake_first(self._putters)
+        return item
+
+    def close(self) -> None:
+        """Close the queue and wake every waiter (idempotent, synchronous).
+
+        Safe to call from ``finally`` blocks and cancellation handlers:
+        it never awaits, so a cancelled producer can always signal its
+        consumers on the way out.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for waiters in (self._getters, self._putters):
+            while waiters:
+                waiter = waiters.popleft()
+                if not waiter.done():
+                    waiter.set_result(None)

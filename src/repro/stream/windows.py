@@ -1,0 +1,107 @@
+"""Sliding slot windows: re-evaluate only where membership changed.
+
+The streaming detector groups its detection candidates by slot window
+(``slot // window_slots``). Every arriving record dirties exactly the
+windows it touches — a new candidate dirties its own window, a
+transaction detail dirties the window of the candidate it completes — and
+each ingest step sweeps only the dirty windows. Candidates leave their
+window once judged, so a quiet window costs nothing no matter how long
+the stream runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+
+
+class SlidingSlotWindows:
+    """Dirty-tracked candidate membership, bucketed by slot window."""
+
+    def __init__(
+        self,
+        window_slots: int = 32,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if window_slots < 1:
+            raise ConfigError(
+                f"window_slots must be >= 1, got {window_slots}"
+            )
+        self.window_slots = window_slots
+        self._members: dict[int, set[int]] = {}
+        self._dirty: set[int] = set()
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._dirty_metric = metrics.counter(
+            "stream_windows_dirtied_total",
+            "Window dirty-markings (membership or detail changes).",
+        )
+        self._swept_metric = metrics.counter(
+            "stream_windows_swept_total",
+            "Dirty windows re-evaluated by the streaming detector.",
+        )
+        self._open_gauge = metrics.gauge(
+            "stream_windows_open",
+            "Windows still holding unjudged candidates.",
+        )
+
+    def key_for(self, slot: int) -> int:
+        """The window key a slot falls into."""
+        return slot // self.window_slots
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def add(self, slot: int, candidate: int) -> None:
+        """Register a candidate in its slot window and mark it dirty."""
+        key = self.key_for(slot)
+        self._members.setdefault(key, set()).add(candidate)
+        self._mark_dirty(key)
+        self._open_gauge.set(len(self._members))
+
+    def touch(self, slot: int) -> None:
+        """Mark a slot's window dirty (a detail for it arrived)."""
+        key = self.key_for(slot)
+        if key in self._members:
+            self._mark_dirty(key)
+
+    def _mark_dirty(self, key: int) -> None:
+        if key not in self._dirty:
+            self._dirty.add(key)
+            self._dirty_metric.inc()
+
+    def discard(self, slot: int, candidate: int) -> None:
+        """Drop a judged candidate; empty windows are retired entirely."""
+        key = self.key_for(slot)
+        members = self._members.get(key)
+        if members is None:
+            return
+        members.discard(candidate)
+        if not members:
+            del self._members[key]
+            self._dirty.discard(key)
+            self._open_gauge.set(len(self._members))
+
+    def sweep_dirty(self) -> list[tuple[int, list[int]]]:
+        """Take the dirty windows: ``(key, sorted candidates)`` pairs.
+
+        Keys come out sorted so a sweep visits windows (and candidates
+        within them) in one deterministic order; the dirty set is cleared.
+        """
+        if not self._dirty:
+            return []
+        keys = sorted(self._dirty)
+        self._dirty.clear()
+        swept = [
+            (key, sorted(self._members.get(key, ())))
+            for key in keys
+            if self._members.get(key)
+        ]
+        self._swept_metric.inc(len(swept))
+        return swept
+
+    def remaining(self) -> list[int]:
+        """Every unjudged candidate, across all windows, sorted."""
+        out: set[int] = set()
+        for members in self._members.values():
+            out.update(members)
+        return sorted(out)

@@ -115,16 +115,18 @@ def test_pipeline_config_validation():
 
 def test_default_configs_cover_the_matrix():
     names = [config.mode for config in default_configs(jobs=2)]
-    assert names == ["serial", "parallel", "incremental", "resume"]
+    assert names == [
+        "serial", "parallel", "incremental", "resume", "stream",
+    ]
     exact = [c for c in default_configs() if c.exact_comparable]
-    assert {c.mode for c in exact} == {"serial", "parallel"}
+    assert {c.mode for c in exact} == {"serial", "parallel", "stream"}
 
 
 def test_run_differential_matrix_is_identical(tmp_path):
     result = run_differential(SCENARIO, tmp_path, configs=default_configs(jobs=2))
     assert result.identical, result.render()
     # One diff per non-baseline config, each against the serial baseline.
-    assert len(result.diffs) == 3
+    assert len(result.diffs) == 4
     result.raise_on_divergence()
 
 

@@ -1,0 +1,201 @@
+"""Backpressure contract: slow consumers pace producers, memory stays flat.
+
+Two layers of coverage:
+
+1. pipeline-level — a deliberately slowed consumer stage forces the
+   producer to stall; the high-water mark stays bounded by queue capacity
+   (never unbounded buffering) while every item still arrives;
+2. property-level (hypothesis) — any interleaving of producer batch
+   splits and queue capacities yields the same final store contents and
+   the same report bytes, so no timing accident can leak into results.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collector.store import BundleStore
+from repro.conformance.scenarios import (
+    build_store,
+    generate_rows,
+    selftest_scenario,
+)
+from repro.core.pipeline import AnalysisPipeline
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.merge import report_bytes
+from repro.stream import (
+    END_OF_STREAM,
+    BoundedStreamQueue,
+    CollectorTap,
+    IncrementalReportBuilder,
+    StreamBatch,
+    StreamConfig,
+    StreamingDetector,
+    run_stages,
+)
+
+ROWS = generate_rows(selftest_scenario(313, bundles=80))
+
+
+def test_slow_consumer_paces_producer_not_memory():
+    metrics = MetricsRegistry()
+
+    async def scenario():
+        q = BoundedStreamQueue(3, name="bp", metrics=metrics)
+        produced = 40
+
+        async def produce():
+            try:
+                for i in range(produced):
+                    await q.put(i)
+            finally:
+                q.close()
+
+        async def consume():
+            got = []
+            while True:
+                item = await q.get()
+                if item is END_OF_STREAM:
+                    return got
+                await asyncio.sleep(0)  # slow: one item per loop tick
+                got.append(item)
+
+        _, got = await asyncio.gather(produce(), consume())
+        return got
+
+    got = asyncio.run(scenario())
+    assert got == list(range(40))
+    # Queue depth never exceeded capacity: producer was paced, not
+    # buffered without bound.
+    high = metrics.gauge("stream_queue_high_water", "").value(queue="bp")
+    assert 1 <= high <= 3
+    assert (
+        metrics.counter("stream_queue_put_stalls_total", "").value(
+            queue="bp"
+        )
+        > 0
+    )
+    # The stall wait histogram recorded the stretched pacing.
+    assert (
+        metrics.histogram(
+            "stream_queue_put_wait_seconds", ""
+        ).count(queue="bp")
+        > 0
+    )
+
+
+def test_pipeline_backpressure_with_tiny_queue():
+    """A queue of one: maximal contention, identical output."""
+    serial = AnalysisPipeline().analyze_store(build_store(ROWS))
+
+    metrics = MetricsRegistry()
+    detector = StreamingDetector(metrics=metrics)
+    builder = IncrementalReportBuilder(
+        spec=detector.spec, oracle=detector.oracle
+    )
+
+    async def produce(queue):
+        for bundle, details in ROWS:
+            await queue.put(
+                StreamBatch(bundles=(bundle,), details=tuple(details))
+            )
+
+    asyncio.run(
+        run_stages(
+            produce,
+            detector,
+            builder,
+            config=StreamConfig(queue_size=1),
+            metrics=metrics,
+        )
+    )
+    assert report_bytes(builder.build()) == report_bytes(serial)
+
+
+def _chunked(records, sizes):
+    """Split ``records`` into chunks following the drawn ``sizes`` cycle."""
+    chunks, index, cursor = [], 0, 0
+    while cursor < len(records):
+        size = sizes[index % len(sizes)]
+        chunks.append(records[cursor : cursor + size])
+        cursor += size
+        index += 1
+    return chunks
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    queue_size=st.integers(min_value=1, max_value=8),
+    bundle_sizes=st.lists(
+        st.integers(min_value=1, max_value=17), min_size=1, max_size=5
+    ),
+    detail_sizes=st.lists(
+        st.integers(min_value=1, max_value=29), min_size=1, max_size=5
+    ),
+    details_first=st.booleans(),
+)
+def test_any_interleaving_yields_same_store_and_report(
+    queue_size, bundle_sizes, detail_sizes, details_first
+):
+    """Producer/consumer interleaving invariance.
+
+    However the records are grouped into batches, whichever side of each
+    (bundles, details) pair is published first, and however small the
+    queue, the tap-fed store and the streamed report must come out the
+    same.
+    """
+    bundles = [bundle for bundle, _ in ROWS]
+    details = [record for _, records in ROWS for record in records]
+
+    # Reference: one-shot store + serial analysis.
+    reference = BundleStore()
+    reference.add_bundles(bundles)
+    reference.add_details(details)
+    serial = AnalysisPipeline().analyze_store(reference)
+
+    # Rebuild a store through the tap with the drawn chunking, checking
+    # the tap reports each record exactly once, in insertion order.
+    store = BundleStore()
+    tap = CollectorTap()
+    store.attach_tap(tap)
+    bundle_chunks = _chunked(bundles, bundle_sizes)
+    detail_chunks = _chunked(details, detail_sizes)
+    ordered = (
+        detail_chunks + bundle_chunks
+        if details_first
+        else bundle_chunks + detail_chunks
+    )
+    batches = []
+    for chunk in ordered:
+        if chunk and hasattr(chunk[0], "bundle_id"):
+            store.add_bundles(list(chunk))
+        else:
+            store.add_details(list(chunk))
+        batch = tap.take()
+        if batch is not None:
+            batches.append(batch)
+    tapped_bundles = [b for batch in batches for b in batch.bundles]
+    tapped_details = [d for batch in batches for d in batch.details]
+    assert tapped_bundles == bundles
+    assert tapped_details == details
+
+    # Stream those exact batches through the pipeline.
+    detector = StreamingDetector()
+    builder = IncrementalReportBuilder(
+        spec=detector.spec, oracle=detector.oracle
+    )
+
+    async def produce(queue):
+        for batch in batches:
+            await queue.put(batch)
+
+    asyncio.run(
+        run_stages(
+            produce,
+            detector,
+            builder,
+            config=StreamConfig(queue_size=queue_size),
+        )
+    )
+    assert report_bytes(builder.build()) == report_bytes(serial)

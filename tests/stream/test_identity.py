@@ -1,0 +1,80 @@
+"""The hard contract: streaming output is byte-identical to batch output.
+
+Attach-mode streaming over every golden-corpus scenario — standard and
+windowed detector stacks, tight queues and odd batch sizes — must yield
+the exact ``report_bytes`` the serial pipeline produces over the same
+archive.
+"""
+
+import pytest
+
+from repro.archive.store import ArchiveBundleStore
+from repro.conformance.scenarios import (
+    CORPUS_SCENARIOS,
+    generate_rows,
+    selftest_scenario,
+    write_archive,
+)
+from repro.core.detector import WindowedSandwichDetector
+from repro.core.pipeline import AnalysisPipeline
+from repro.parallel.chunks import DetectorSpec
+from repro.parallel.merge import report_bytes
+from repro.stream import StreamConfig, analyze_archive_stream
+
+
+def _serial_bytes(path, windowed=False):
+    store = ArchiveBundleStore.resume(path)
+    detector = WindowedSandwichDetector() if windowed else None
+    report = AnalysisPipeline(detector=detector).analyze_store(store)
+    store.database.close()
+    return report_bytes(report)
+
+
+@pytest.mark.parametrize(
+    "scenario", CORPUS_SCENARIOS, ids=lambda s: s.name
+)
+def test_stream_matches_serial_over_corpus(scenario, tmp_path):
+    path = tmp_path / "corpus.db"
+    write_archive(generate_rows(scenario), path)
+    expected = _serial_bytes(path)
+    streamed = analyze_archive_stream(
+        path, config=StreamConfig(queue_size=4, batch_bundles=33)
+    )
+    assert report_bytes(streamed) == expected
+
+
+@pytest.mark.parametrize(
+    "scenario", CORPUS_SCENARIOS, ids=lambda s: s.name
+)
+def test_stream_matches_serial_windowed(scenario, tmp_path):
+    path = tmp_path / "corpus.db"
+    write_archive(generate_rows(scenario), path)
+    expected = _serial_bytes(path, windowed=True)
+    streamed = analyze_archive_stream(
+        path,
+        spec=DetectorSpec(kind="windowed"),
+        config=StreamConfig(queue_size=2, batch_bundles=11),
+    )
+    assert report_bytes(streamed) == expected
+
+
+@pytest.mark.parametrize("queue_size,batch", [(1, 1), (2, 7), (64, 512)])
+def test_stream_identity_is_batching_invariant(queue_size, batch, tmp_path):
+    """Queue capacity and batch granularity must never leak into output."""
+    path = tmp_path / "sized.db"
+    write_archive(generate_rows(selftest_scenario(77, bundles=120)), path)
+    expected = _serial_bytes(path)
+    streamed = analyze_archive_stream(
+        path,
+        config=StreamConfig(queue_size=queue_size, batch_bundles=batch),
+    )
+    assert report_bytes(streamed) == expected
+
+
+def test_stream_report_reaches_archive(tmp_path):
+    """Attach-mode leaves the source archive untouched (read-only open)."""
+    path = tmp_path / "ro.db"
+    write_archive(generate_rows(selftest_scenario(11, bundles=60)), path)
+    before = path.read_bytes()
+    analyze_archive_stream(path)
+    assert path.read_bytes() == before

@@ -1,0 +1,199 @@
+"""Unit tests for the bounded, closeable stream queue.
+
+The shutdown tests here are the regression suite for the classic
+sentinel-deadlock: a producer cancelled while an injected outage has the
+queue full must never hang, and consumers must drain every buffered item
+before seeing end-of-stream.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry
+from repro.stream.events import END_OF_STREAM
+from repro.stream.queues import (
+    BoundedStreamQueue,
+    StreamClosedError,
+    StreamStallError,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_rejects_bad_configuration():
+    with pytest.raises(ConfigError):
+        BoundedStreamQueue(0)
+    with pytest.raises(ConfigError):
+        BoundedStreamQueue(1, put_timeout=0)
+
+
+def test_fifo_order_and_depth():
+    async def scenario():
+        q = BoundedStreamQueue(4)
+        for i in range(3):
+            await q.put(i)
+        assert len(q) == 3
+        assert q.high_water == 3
+        got = [await q.get() for _ in range(3)]
+        assert got == [0, 1, 2]
+        assert len(q) == 0
+
+    run(scenario())
+
+
+def test_put_blocks_at_capacity_until_get():
+    async def scenario():
+        q = BoundedStreamQueue(1)
+        await q.put("a")
+        putter = asyncio.create_task(q.put("b"))
+        await asyncio.sleep(0)
+        assert not putter.done()  # parked: queue full
+        assert await q.get() == "a"
+        await putter
+        assert await q.get() == "b"
+
+    run(scenario())
+
+
+def test_get_blocks_until_put():
+    async def scenario():
+        q = BoundedStreamQueue(2)
+        getter = asyncio.create_task(q.get())
+        await asyncio.sleep(0)
+        assert not getter.done()
+        await q.put("x")
+        assert await getter == "x"
+
+    run(scenario())
+
+
+def test_close_drains_then_signals_end_of_stream():
+    async def scenario():
+        q = BoundedStreamQueue(4)
+        await q.put(1)
+        await q.put(2)
+        q.close()
+        assert await q.get() == 1
+        assert await q.get() == 2
+        assert await q.get() is END_OF_STREAM
+        assert await q.get() is END_OF_STREAM  # idempotent
+
+    run(scenario())
+
+
+def test_close_wakes_blocked_getter():
+    async def scenario():
+        q = BoundedStreamQueue(1)
+        getter = asyncio.create_task(q.get())
+        await asyncio.sleep(0)
+        q.close()
+        assert await getter is END_OF_STREAM
+
+    run(scenario())
+
+
+def test_close_wakes_blocked_putter_with_error():
+    async def scenario():
+        q = BoundedStreamQueue(1)
+        await q.put("a")
+        putter = asyncio.create_task(q.put("b"))
+        await asyncio.sleep(0)
+        q.close()
+        with pytest.raises(StreamClosedError):
+            await putter
+        # The buffered item is still drainable.
+        assert await q.get() == "a"
+        assert await q.get() is END_OF_STREAM
+
+    run(scenario())
+
+
+def test_put_on_closed_queue_raises():
+    async def scenario():
+        q = BoundedStreamQueue(1)
+        q.close()
+        with pytest.raises(StreamClosedError):
+            await q.put("x")
+
+    run(scenario())
+
+
+def test_put_timeout_raises_stall_error():
+    async def scenario():
+        q = BoundedStreamQueue(1, put_timeout=0.02)
+        await q.put("a")
+        with pytest.raises(StreamStallError):
+            await q.put("b")  # nobody consumes: stall guard fires
+
+    run(scenario())
+
+
+def test_producer_cancellation_with_full_queue_does_not_deadlock():
+    """The outage-shutdown regression: cancel a producer parked on a
+    full queue, close from its cleanup path, and verify consumers still
+    drain every item and terminate."""
+
+    async def scenario():
+        q = BoundedStreamQueue(2)
+        await q.put(1)
+        await q.put(2)
+
+        async def produce_forever():
+            try:
+                i = 3
+                while True:
+                    await q.put(i)  # parks: queue is full
+                    i += 1
+            finally:
+                q.close()  # drain-on-cancel: synchronous, never awaits
+
+        producer = asyncio.create_task(produce_forever())
+        await asyncio.sleep(0)
+        producer.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await producer
+        # Consumers drain the buffered items, then get the sentinel —
+        # no item dropped, nobody blocked.
+        drained = []
+        while True:
+            item = await asyncio.wait_for(q.get(), timeout=1.0)
+            if item is END_OF_STREAM:
+                break
+            drained.append(item)
+        assert drained == [1, 2]
+
+    run(scenario())
+
+
+def test_queue_metrics_track_stalls_and_high_water():
+    metrics = MetricsRegistry()
+
+    async def scenario():
+        q = BoundedStreamQueue(2, name="test", metrics=metrics)
+
+        async def consume_slowly():
+            seen = []
+            while True:
+                item = await q.get()
+                if item is END_OF_STREAM:
+                    return seen
+                await asyncio.sleep(0.001)
+                seen.append(item)
+
+        consumer = asyncio.create_task(consume_slowly())
+        for i in range(20):
+            await q.put(i)
+        q.close()
+        assert await consumer == list(range(20))
+
+    run(scenario())
+    items = metrics.counter("stream_queue_items_total", "")
+    stalls = metrics.counter("stream_queue_put_stalls_total", "")
+    high = metrics.gauge("stream_queue_high_water", "")
+    assert items.value(queue="test") == 20
+    assert stalls.value(queue="test") >= 1
+    assert 1 <= high.value(queue="test") <= 2

@@ -1,0 +1,77 @@
+"""Unit tests for the sliding slot-window dirty tracker."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry
+from repro.stream.windows import SlidingSlotWindows
+
+
+def test_rejects_bad_window_size():
+    with pytest.raises(ConfigError):
+        SlidingSlotWindows(window_slots=0)
+
+
+def test_key_for_buckets_by_slot():
+    w = SlidingSlotWindows(window_slots=10)
+    assert w.key_for(0) == 0
+    assert w.key_for(9) == 0
+    assert w.key_for(10) == 1
+    assert w.key_for(25) == 2
+
+
+def test_add_marks_dirty_and_sweep_clears():
+    w = SlidingSlotWindows(window_slots=10)
+    w.add(5, 0)
+    w.add(6, 1)
+    w.add(15, 2)
+    assert len(w) == 2
+    swept = w.sweep_dirty()
+    assert swept == [(0, [0, 1]), (1, [2])]
+    # Nothing changed since: a second sweep visits nothing.
+    assert w.sweep_dirty() == []
+
+
+def test_touch_only_dirties_existing_windows():
+    w = SlidingSlotWindows(window_slots=10)
+    w.add(5, 0)
+    w.sweep_dirty()
+    w.touch(99)  # no candidates there: stays clean
+    assert w.sweep_dirty() == []
+    w.touch(7)  # same window as candidate 0
+    assert w.sweep_dirty() == [(0, [0])]
+
+
+def test_discard_retires_empty_windows():
+    w = SlidingSlotWindows(window_slots=10)
+    w.add(5, 0)
+    w.add(6, 1)
+    w.discard(5, 0)
+    assert len(w) == 1
+    w.discard(6, 1)
+    assert len(w) == 0
+    # Retired windows are also removed from the dirty set.
+    assert w.sweep_dirty() == []
+    assert w.remaining() == []
+
+
+def test_remaining_spans_all_windows():
+    w = SlidingSlotWindows(window_slots=10)
+    w.add(5, 3)
+    w.add(50, 1)
+    w.add(500, 2)
+    assert w.remaining() == [1, 2, 3]
+
+
+def test_window_metrics():
+    metrics = MetricsRegistry()
+    w = SlidingSlotWindows(window_slots=10, metrics=metrics)
+    w.add(1, 0)
+    w.add(2, 1)  # same window: dirtied counted once per marking
+    w.sweep_dirty()
+    w.touch(1)
+    assert (
+        metrics.counter("stream_windows_dirtied_total", "").value() == 2
+    )
+    assert metrics.counter("stream_windows_swept_total", "").value() == 1
+    assert metrics.gauge("stream_windows_open", "").value() == 1

@@ -77,10 +77,12 @@ class TestAnalyzeAutoDetect:
         assert main(["analyze", "--store", str(db), "--incremental"]) == 0
         first = capsys.readouterr().out
         assert "incremental pass" in first
-        # Second pass sees nothing new but reports the same campaign totals.
+        # Second pass sees nothing new: the no-op fast path reports the
+        # same campaign totals without touching the archive.
         assert main(["analyze", "--store", str(db), "--incremental"]) == 0
         second = capsys.readouterr().out
-        assert "0 new bundles" in second
+        assert "no-op" in second
+        assert "sandwiches" in second
 
     def test_jobs_flag_matches_serial_output(self, archived_campaign, capsys):
         _out, db = archived_campaign
