@@ -82,9 +82,14 @@ class IncrementalAnalyzer:
         jobs: int = 1,
         chunk_size: int = 2_048,
         spec: DetectorSpec | None = None,
+        engine: str = "object",
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if engine not in {"object", "columnar"}:
+            raise ConfigError(
+                f"engine must be object or columnar, got {engine!r}"
+            )
         self.database = database
         self.consumer = consumer
         self.oracle = oracle or PriceOracle()
@@ -98,6 +103,7 @@ class IncrementalAnalyzer:
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.spec = spec
+        self.engine = engine
         self.quantifier = LossQuantifier(self.oracle)
         self.query = ArchiveQuery(database, metrics=metrics)
         # A writer facade over the same database: reuses the store's
@@ -244,6 +250,7 @@ class IncrementalAnalyzer:
             spec=spec,
             oracle=self.oracle,
             metrics=self.metrics,
+            engine=self.engine,
         )
         last_seq = int(state["last_bundle_seq"])
         chunks = list(
@@ -260,6 +267,7 @@ class IncrementalAnalyzer:
                     archive_path=str(self.database.path),
                     spec=engine.spec,
                     bundle_ids=pending,
+                    engine=self.engine,
                 )
             )
         tasks.extend(engine.tasks_for_chunks(chunks, first_index=1))
@@ -358,7 +366,9 @@ class IncrementalAnalyzer:
                     ),
                     no_op=True,
                 )
-            if self.jobs > 1:
+            if self.jobs > 1 or self.engine == "columnar":
+                # The columnar path always routes through the chunked
+                # delta — at jobs=1 it runs in-process, just vectorized.
                 delta = self._parallel_delta(state)
             else:
                 delta = self._serial_delta(state)

@@ -398,6 +398,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 jobs=jobs,
                 chunk_size=args.chunk_size,
                 spec=spec,
+                engine=args.engine,
             )
             outcome = analyzer.analyze()
             report = outcome.report
@@ -424,6 +425,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 jobs=jobs,
                 chunk_size=args.chunk_size,
                 spec=spec,
+                engine=args.engine,
             )
             report = engine.analyze()
             store_size = report.headline.bundles_collected
@@ -433,6 +435,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 "cli.analyze",
                 "JSONL stores have no chunk cursor; --jobs ignored, "
                 "analyzing serially",
+            )
+        if args.engine != "object":
+            progress.info(
+                "cli.analyze",
+                "JSONL stores have no columnar projections; --engine "
+                "ignored, analyzing with the object pipeline",
             )
         if args.incremental:
             progress.error(
@@ -1093,6 +1101,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=2_048,
         help="bundles per analysis chunk when sharding an archive "
         "(default 2048)",
+    )
+    analyze.add_argument(
+        "--engine",
+        choices=("object", "columnar"),
+        default="object",
+        help="archive chunk analyzer: per-bundle objects (default) or "
+        "the vectorized columnar path (needs numpy; byte-identical "
+        "reports either way)",
     )
     analyze.set_defaults(func=cmd_analyze)
 

@@ -1,0 +1,594 @@
+"""Struct-of-arrays blocks loaded from archive projections.
+
+A :class:`BundleBlock` holds one chunk's bundle scalars as parallel Python
+lists (SQLite already returns typed Python values; keeping them avoids a
+numpy round-trip for fields that end up in output records). Member
+transaction ids stay as raw JSON text and are parsed lazily — most bundles
+in a mixed archive are length-one singles whose single id has a fast
+string-slice parse.
+
+Per-transaction features (:class:`TxFeatures`) are extracted from the
+``json_each`` projections: swap legs, traded mint sets, the tip-only flag,
+and long-form token deltas. SQLite's JSON parser does the heavy lifting in
+C; Python only regroups rows.
+
+Precision: ``json_each`` degrades JSON integers beyond 64 bits to REAL.
+Any extracted number that looks degraded (a float that is integral or has
+magnitude >= 2**53) flags its transaction for a raw-JSON refetch parsed
+with Python's arbitrary-precision ``json`` — so columnar results match the
+object path even on adversarial integer amounts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.archive.query import ArchiveQuery
+from repro.explorer.models import BundleRecord
+from repro.jito.tips import is_tip_account
+
+try:  # numpy is optional; blocks degrade to pure-python containers
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via columnar_available
+    _np = None
+
+#: Above this magnitude a float returned by ``json_each`` may be a
+#: degraded JSON integer (float64 has 53 bits of mantissa).
+_DEGRADED_FLOAT = 2**53
+
+#: First-leg amounts at or below this bound make int64 vector math
+#: bit-identical to Python scalar math (see :mod:`repro.columnar.criteria`
+#: for the argument); larger amounts switch the block to object-dtype
+#: arrays whose elementwise ops *are* Python's.
+EXACT_INT64_LIMIT = 2**52
+
+
+def obj_array(values: Sequence) -> "_np.ndarray":
+    """A 1-D object array that never treats elements as nested sequences."""
+    array = _np.empty(len(values), dtype=object)
+    array[:] = list(values)
+    return array
+
+
+def num_array(values: Sequence) -> "_np.ndarray":
+    """Numeric column: int64 when every value fits, else object dtype.
+
+    Object dtype keeps Python's arbitrary-precision arithmetic (numpy
+    elementwise ops on object arrays call the operands' own ``__op__``),
+    which is exactly what the byte-identity contract needs for amounts
+    beyond the int64 fast path.
+    """
+    try:
+        return _np.array(list(values), dtype=_np.int64)
+    except (OverflowError, ValueError, TypeError):
+        return obj_array(values)
+
+
+def _parse_txids(raw: str) -> tuple[str, ...]:
+    """Parse a ``transaction_ids`` JSON array, fast-pathing single ids."""
+    if raw.startswith('["') and raw.endswith('"]'):
+        inner = raw[2:-2]
+        if '"' not in inner and "\\" not in inner:
+            return (inner,)
+    return tuple(json.loads(raw))
+
+
+@dataclass
+class BundleBlock:
+    """One chunk's bundles in struct-of-arrays form (collection order)."""
+
+    seqs: list[int]
+    bundle_ids: list[str]
+    slots: list[int]
+    landed_at: list[float]
+    tips: list[int]
+    lengths: list[int]
+    txids_raw: list[str | None]
+    _txids: list[tuple[str, ...] | None] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        """Prepare the lazy parsed-ids cache."""
+        if self._txids is None:
+            self._txids = [None] * len(self.bundle_ids)
+
+    def __len__(self) -> int:
+        """Bundles in the block."""
+        return len(self.bundle_ids)
+
+    def transaction_ids(self, index: int) -> tuple[str, ...]:
+        """Member transaction ids of bundle ``index`` (parsed lazily)."""
+        ids = self._txids[index]
+        if ids is None:
+            ids = _parse_txids(self.txids_raw[index])
+            self._txids[index] = ids
+        return ids
+
+    def record(self, index: int) -> BundleRecord:
+        """Materialize one bundle as the object path's record type."""
+        return BundleRecord(
+            bundle_id=self.bundle_ids[index],
+            slot=self.slots[index],
+            landed_at=self.landed_at[index],
+            tip_lamports=self.tips[index],
+            transaction_ids=self.transaction_ids(index),
+        )
+
+    def to_records(self) -> list[BundleRecord]:
+        """Materialize every bundle, in block order (round-trip helper)."""
+        return [self.record(index) for index in range(len(self))]
+
+    @classmethod
+    def from_rows(cls, rows: Sequence) -> "BundleBlock":
+        """Transpose projection rows (see ``ArchiveQuery.bundle_columns``)."""
+        if not rows:
+            return cls([], [], [], [], [], [], [])
+        seqs, ids, slots, landed, tips, lengths, raw = map(
+            list, zip(*rows)
+        )
+        return cls(seqs, ids, slots, landed, tips, lengths, raw)
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[BundleRecord]
+    ) -> "BundleBlock":
+        """Build a block from object-path records (round-trip helper)."""
+        block = cls(
+            seqs=list(range(1, len(records) + 1)),
+            bundle_ids=[r.bundle_id for r in records],
+            slots=[r.slot for r in records],
+            landed_at=[r.landed_at for r in records],
+            tips=[r.tip_lamports for r in records],
+            lengths=[r.num_transactions for r in records],
+            txids_raw=[None] * len(records),
+        )
+        block._txids = [tuple(r.transaction_ids) for r in records]
+        return block
+
+    def lengths_array(self) -> "_np.ndarray":
+        """Bundle lengths as an int64 column."""
+        return _np.array(self.lengths, dtype=_np.int64)
+
+    def tips_array(self) -> "_np.ndarray":
+        """Tip lamports as a numeric column."""
+        return num_array(self.tips)
+
+
+def load_bundle_block(
+    query: ArchiveQuery, seq_lo: int, seq_hi: int
+) -> BundleBlock:
+    """Load one contiguous ``seq`` range as a block."""
+    return BundleBlock.from_rows(query.bundle_columns(seq_lo, seq_hi))
+
+
+def load_bundle_block_for_ids(
+    query: ArchiveQuery, bundle_ids: Sequence[str]
+) -> BundleBlock:
+    """Load an explicit worklist as a block, preserving worklist order.
+
+    Ids the archive does not hold are dropped — exactly what the object
+    path's per-id lookups do for the incremental analyzer's pending list.
+    """
+    by_id = {
+        row[1]: row for row in query.bundle_columns_for_ids(bundle_ids)
+    }
+    rows = [by_id[b] for b in bundle_ids if b in by_id]
+    return BundleBlock.from_rows(rows)
+
+
+@dataclass
+class TxFeatures:
+    """Everything detection needs from one transaction, pre-extracted.
+
+    ``legs`` are ``(owner, pool, mint_in, mint_out, amount_in, amount_out)``
+    tuples in event order with the object path's coercions applied
+    (``str`` on identities, ``int`` on amounts); ``deltas`` is the
+    long-form ``(owner, mint, value)`` list in JSON storage order.
+    """
+
+    signer: str
+    legs: tuple[tuple, ...]
+    mints: frozenset[str]
+    tip_only: bool
+    deltas: tuple[tuple, ...]
+
+
+def _suspect(value) -> bool:
+    """Whether a ``json_each`` number may be a degraded big integer."""
+    return isinstance(value, float) and (
+        value.is_integer() or abs(value) >= _DEGRADED_FLOAT
+    )
+
+
+def _features_from_parts(
+    signer: str, events: Sequence, delta_rows: Sequence[tuple]
+) -> TxFeatures:
+    """Assemble one transaction's features from decomposed event tuples.
+
+    ``events`` rows are ``(type, owner, pool, mint_in, mint_out,
+    amount_in, amount_out, dest)`` in event order.
+    """
+    legs = []
+    mints: set[str] = set()
+    has_swap = has_token_transfer = has_transfer = False
+    all_tip = True
+    for etype, owner, pool, mint_in, mint_out, a_in, a_out, dest in events:
+        if etype == "swap":
+            has_swap = True
+            leg = (
+                str(owner),
+                str(pool),
+                str(mint_in),
+                str(mint_out),
+                int(a_in),
+                int(a_out),
+            )
+            legs.append(leg)
+            mints.add(leg[2])
+            mints.add(leg[3])
+        elif etype == "token_transfer":
+            has_token_transfer = True
+        elif etype == "transfer":
+            has_transfer = True
+            if not is_tip_account(str(dest if dest is not None else "")):
+                all_tip = False
+    tip_only = (
+        not has_swap and not has_token_transfer and has_transfer and all_tip
+    )
+    return TxFeatures(
+        signer=signer,
+        legs=tuple(legs),
+        mints=frozenset(mints),
+        tip_only=tip_only,
+        deltas=tuple(delta_rows),
+    )
+
+
+def load_tx_features(
+    query: ArchiveQuery,
+    tx_ids: Sequence[str],
+    delta_ids: Sequence[str],
+) -> dict[str, TxFeatures]:
+    """Extract features for ``tx_ids`` through the columnar projections.
+
+    ``delta_ids`` names the subset whose token deltas matter (the
+    attacker-side edge transactions); the others skip the nested
+    ``json_each`` walk entirely. Transactions with degraded big-integer
+    extractions are transparently refetched as raw JSON.
+    """
+    tx_ids = list(dict.fromkeys(tx_ids))
+    delta_wanted = set(delta_ids)
+    signers = dict(query.detail_signers(tx_ids))
+
+    events_by_tx: dict[str, list] = {tx: [] for tx in signers}
+    suspects: set[str] = set()
+    for row in query.event_columns(list(signers)):
+        tx, ordinal = row[0], row[1]
+        etype, a_in, a_out = row[2], row[7], row[8]
+        if etype == "swap" and (_suspect(a_in) or _suspect(a_out)):
+            suspects.add(tx)
+        events_by_tx[tx].append((ordinal, row[2:]))
+
+    deltas_by_tx: dict[str, list] = {tx: [] for tx in signers}
+    wanted = [tx for tx in signers if tx in delta_wanted]
+    for tx, owner, mint, value in query.token_delta_columns(wanted):
+        if _suspect(value):
+            suspects.add(tx)
+        deltas_by_tx[tx].append((owner, mint, value))
+
+    if suspects:
+        _refetch_raw(query, suspects, events_by_tx, deltas_by_tx)
+
+    features: dict[str, TxFeatures] = {}
+    for tx, signer in signers.items():
+        rows = events_by_tx[tx]
+        rows.sort(key=lambda item: item[0])
+        features[tx] = _features_from_parts(
+            signer, [row for _, row in rows], deltas_by_tx[tx]
+        )
+    return features
+
+
+def _refetch_raw(
+    query: ArchiveQuery,
+    suspects: set[str],
+    events_by_tx: dict[str, list],
+    deltas_by_tx: dict[str, list],
+) -> None:
+    """Replace suspect transactions' extractions with exact JSON parses."""
+    for tx, events_json, deltas_json in query.raw_payloads(list(suspects)):
+        events_by_tx[tx] = [
+            (
+                ordinal,
+                (
+                    event.get("type"),
+                    event.get("owner"),
+                    event.get("pool"),
+                    event.get("mint_in"),
+                    event.get("mint_out"),
+                    event.get("amount_in"),
+                    event.get("amount_out"),
+                    event.get("dest"),
+                ),
+            )
+            for ordinal, event in enumerate(json.loads(events_json))
+        ]
+        deltas_by_tx[tx] = [
+            (owner, mint, value)
+            for owner, mint_map in json.loads(deltas_json).items()
+            for mint, value in mint_map.items()
+        ]
+
+
+@dataclass
+class CandidateBlock:
+    """Complete length-three candidates as parallel columns.
+
+    ``indexes`` point back into the source :class:`BundleBlock`;
+    ``features`` holds each candidate's three member :class:`TxFeatures`
+    in bundle order. Everything else is a derived column, built once and
+    cached — criteria and quantification share the same arrays, and the
+    hot comparisons run on interned int64 *code* columns (equal strings
+    or mint sets get equal codes) rather than object-dtype elementwise
+    Python calls.
+    """
+
+    block: BundleBlock
+    indexes: list[int]
+    features: list[tuple[TxFeatures, TxFeatures, TxFeatures]]
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        """Candidates in the block."""
+        return len(self.indexes)
+
+    def first_leg(self, candidate: int, position: int) -> tuple | None:
+        """First swap leg tuple of member ``position`` (None if no swap)."""
+        legs = self.features[candidate][position].legs
+        return legs[0] if legs else None
+
+    def prepare(self) -> "CandidateBlock":
+        """Materialize every derived column (the load-phase hook).
+
+        After this, :func:`~repro.columnar.criteria.evaluate_block` and
+        :func:`~repro.columnar.quantify.quantify_block` touch cached
+        primitive arrays only — the boundary the detection-core
+        benchmarks measure. Returns ``self`` for chaining.
+        """
+        for position in range(3):
+            self.leg_columns(position)
+        self.signer_code_columns()
+        self.mint_set_code_columns()
+        self.leg_code_columns()
+        self.tip_only_tail_column()
+        self.attacker_delta_columns(self.leg_columns(0)[0])
+        self.landed_column()
+        self.needs_exact_math()
+        return self
+
+    def signer_columns(self) -> tuple:
+        """Object arrays of the three member signers."""
+        if "signers" not in self._cache:
+            self._cache["signers"] = tuple(
+                obj_array([f[pos].signer for f in self.features])
+                for pos in range(3)
+            )
+        return self._cache["signers"]
+
+    def signer_code_columns(self) -> tuple:
+        """Int64 code columns of the member signers (one intern table).
+
+        Interning assigns equal strings equal codes, so ``==``/``!=``
+        over codes decide exactly what they decide over the strings —
+        at int64 vector speed.
+        """
+        if "signer_codes" not in self._cache:
+            codes: dict[str, int] = {}
+            self._cache["signer_codes"] = tuple(
+                _np.array(
+                    [
+                        codes.setdefault(f[pos].signer, len(codes))
+                        for f in self.features
+                    ],
+                    dtype=_np.int64,
+                )
+                for pos in range(3)
+            )
+        return self._cache["signer_codes"]
+
+    def mint_set_columns(self) -> tuple:
+        """Object arrays of the three members' traded mint sets."""
+        if "mint_sets" not in self._cache:
+            self._cache["mint_sets"] = tuple(
+                obj_array([f[pos].mints for f in self.features])
+                for pos in range(3)
+            )
+        return self._cache["mint_sets"]
+
+    def mint_set_code_columns(self) -> tuple:
+        """Interned mint-set columns: ``(codes, nonempty)`` triples.
+
+        ``codes`` are int64 columns where equal frozensets share a code;
+        ``nonempty`` are bool columns marking members that traded at all
+        (the empty set gets its own code, so equality still works, but
+        criterion 2 additionally demands non-emptiness).
+        """
+        if "mint_set_codes" not in self._cache:
+            interned: dict[frozenset, int] = {}
+            codes = []
+            nonempty = []
+            for pos in range(3):
+                sets = [f[pos].mints for f in self.features]
+                codes.append(
+                    _np.array(
+                        [interned.setdefault(s, len(interned)) for s in sets],
+                        dtype=_np.int64,
+                    )
+                )
+                nonempty.append(
+                    _np.array([bool(s) for s in sets], dtype=bool)
+                )
+            self._cache["mint_set_codes"] = (tuple(codes), tuple(nonempty))
+        return self._cache["mint_set_codes"]
+
+    def leg_code_columns(self) -> tuple:
+        """Per-position ``(mint_in, mint_out)`` int64 code pairs.
+
+        One intern table spans all six columns, so cross-position mint
+        comparisons (criterion 3's pair check) are plain int64 equality.
+        Missing legs carry the sentinel ``""`` code — callers mask by
+        presence exactly as with :meth:`leg_columns`.
+        """
+        if "leg_codes" not in self._cache:
+            codes: dict[str, int] = {}
+            pairs = []
+            for position in range(3):
+                _, mint_in, mint_out, _, _ = self.leg_columns(position)
+                pairs.append(
+                    tuple(
+                        _np.array(
+                            [codes.setdefault(m, len(codes)) for m in col],
+                            dtype=_np.int64,
+                        )
+                        for col in (mint_in, mint_out)
+                    )
+                )
+            self._cache["leg_codes"] = tuple(pairs)
+        return self._cache["leg_codes"]
+
+    def leg_columns(self, position: int) -> tuple:
+        """Decomposed first-leg columns of member ``position``.
+
+        Returns ``(present, mint_in, mint_out, amount_in, amount_out)``:
+        a bool array plus object/numeric columns with sentinel values
+        (empty string / 1) where the member has no swap leg — callers
+        must mask by ``present``. The amount sentinel is 1, not 0, so
+        masked lanes never divide by zero. Built once per position and
+        cached: criteria and quantification read the same arrays.
+        """
+        key = ("legs", position)
+        if key in self._cache:
+            return self._cache[key]
+        present, mint_in, mint_out, a_in, a_out = [], [], [], [], []
+        for candidate in range(len(self)):
+            leg = self.first_leg(candidate, position)
+            if leg is None:
+                present.append(False)
+                mint_in.append("")
+                mint_out.append("")
+                a_in.append(1)
+                a_out.append(1)
+            else:
+                present.append(True)
+                mint_in.append(leg[2])
+                mint_out.append(leg[3])
+                a_in.append(leg[4])
+                a_out.append(leg[5])
+        columns = (
+            _np.array(present, dtype=bool),
+            obj_array(mint_in),
+            obj_array(mint_out),
+            num_array(a_in),
+            num_array(a_out),
+        )
+        self._cache[key] = columns
+        return columns
+
+    def tip_only_tail_column(self) -> "_np.ndarray":
+        """Bool array: the last member only tips a validator."""
+        if "tip_only" not in self._cache:
+            self._cache["tip_only"] = _np.array(
+                [f[2].tip_only for f in self.features], dtype=bool
+            )
+        return self._cache["tip_only"]
+
+    def attacker_delta_columns(self, front_present: Sequence[bool]) -> tuple:
+        """Per-candidate net attacker deltas in the front leg's two mints.
+
+        Mirrors :func:`repro.core.trades.net_deltas_for` over members 0 and
+        2 restricted to the attacker (member 0's signer) and the front
+        leg's ``mint_in`` / ``mint_out`` — the only entries criterion 4
+        reads. Candidates without a front leg get zeros (masked upstream).
+        Cached: ``front_present`` always equals front-leg presence (both
+        derive from the same features), so one result fits every call.
+        """
+        if "deltas" in self._cache:
+            return self._cache["deltas"]
+        quote, token = [], []
+        for candidate, f in enumerate(self.features):
+            leg = self.first_leg(candidate, 0)
+            if leg is None or not front_present[candidate]:
+                quote.append(0)
+                token.append(0)
+                continue
+            attacker = f[0].signer
+            quote_mint, token_mint = leg[2], leg[3]
+            totals: dict = {}
+            for member in (f[0], f[2]):
+                for owner, mint, value in member.deltas:
+                    if owner == attacker and (
+                        mint == quote_mint or mint == token_mint
+                    ):
+                        totals[mint] = totals.get(mint, 0) + value
+            quote.append(totals.get(quote_mint, 0))
+            token.append(totals.get(token_mint, 0))
+        columns = num_array(quote), num_array(token)
+        self._cache["deltas"] = columns
+        return columns
+
+    def landed_column(self) -> "_np.ndarray":
+        """Candidate ``landed_at`` values (float column)."""
+        if "landed" not in self._cache:
+            self._cache["landed"] = _np.array(
+                [self.block.landed_at[i] for i in self.indexes],
+                dtype=_np.float64,
+            )
+        return self._cache["landed"]
+
+    def needs_exact_math(self) -> bool:
+        """Whether any first-leg amount exceeds the int64 fast-path bound."""
+        if "exact" not in self._cache:
+            self._cache["exact"] = self._scan_exact_math()
+        return self._cache["exact"]
+
+    def _scan_exact_math(self) -> bool:
+        """Scan every first-leg amount against the fast-path bound."""
+        for candidate in range(len(self)):
+            for position in range(3):
+                leg = self.first_leg(candidate, position)
+                if leg is not None and (
+                    abs(leg[4]) > EXACT_INT64_LIMIT
+                    or abs(leg[5]) > EXACT_INT64_LIMIT
+                ):
+                    return True
+        return False
+
+
+def split_candidates(
+    block: BundleBlock,
+    features: dict[str, TxFeatures],
+    candidate_indexes: Sequence[int],
+) -> tuple[CandidateBlock, int, tuple[str, ...]]:
+    """Partition candidates into a complete block plus pending bookkeeping.
+
+    Returns ``(candidates, skipped_incomplete, pending_bundle_ids)`` with
+    pending ids in block (collection) order, matching the object worker's
+    accounting exactly: a candidate with any undetailed member counts
+    skipped once and appears once in the pending list.
+    """
+    complete: list[int] = []
+    triples: list[tuple] = []
+    pending: list[str] = []
+    for index in candidate_indexes:
+        members = block.transaction_ids(index)
+        if all(tx in features for tx in members):
+            complete.append(index)
+            triples.append(tuple(features[tx] for tx in members))
+        else:
+            pending.append(block.bundle_ids[index])
+    return (
+        CandidateBlock(block=block, indexes=complete, features=triples),
+        len(pending),
+        tuple(pending),
+    )

@@ -1,0 +1,144 @@
+"""The columnar chunk analyzer: a drop-in for the object worker.
+
+:func:`analyze_chunk_columnar` accepts the same
+:class:`~repro.parallel.chunks.ChunkTask` and produces the same
+:class:`~repro.parallel.worker.ChunkOutcome` as
+:func:`repro.parallel.worker.analyze_chunk` — byte-identically, on any
+archive — so the parallel tier's deterministic merge, the incremental
+analyzer, and the differential oracle apply without modification.
+Vectorization therefore *multiplies* with ``--jobs`` sharding: each worker
+analyzes its chunks columnar-style, and the reducer cannot tell the
+difference.
+
+Only the standard length-three detector is supported; the windowed
+detector's overlapping-window scan has no columnar formulation yet and
+asking for one raises :class:`~repro.errors.ConfigError` up front.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.archive.database import ArchiveDatabase
+from repro.archive.query import ArchiveQuery
+from repro.columnar import require_columnar
+from repro.columnar.blocks import (
+    load_bundle_block,
+    load_bundle_block_for_ids,
+    load_tx_features,
+    split_candidates,
+)
+from repro.columnar.criteria import evaluate_block
+from repro.columnar.quantify import quantify_block
+from repro.core.criteria import view_cache_stats
+from repro.core.detector import DetectionStats
+from repro.dex.oracle import PriceOracle
+from repro.errors import ConfigError
+from repro.parallel.chunks import ChunkTask, DetectorSpec
+from repro.parallel.worker import ChunkOutcome
+from repro.utils.base58 import b58_cache_stats
+
+
+def require_columnar_spec(spec: DetectorSpec) -> None:
+    """Validate that ``spec`` describes a columnar-capable stack."""
+    require_columnar()
+    spec.validate()
+    if spec.kind != "standard":
+        raise ConfigError(
+            "the columnar engine supports the standard length-three "
+            f"detector only, not kind={spec.kind!r}; use --engine object"
+        )
+
+
+def analyze_chunk_columnar(
+    database: ArchiveDatabase, task: ChunkTask
+) -> ChunkOutcome:
+    """Analyze one chunk through the columnar path.
+
+    The sequence mirrors the object worker exactly — candidates in
+    collection order, detected events stable-sorted by ``landed_at``,
+    length-one bundles classified in collection order, pending ids in
+    collection order — so the merged report is byte-identical.
+    """
+    task.validate()
+    require_columnar_spec(task.spec)
+    started = time.perf_counter()
+    views_before = view_cache_stats()
+    b58_before = b58_cache_stats()
+
+    query = ArchiveQuery(database)
+    if task.bundle_ids:
+        block = load_bundle_block_for_ids(query, task.bundle_ids)
+    else:
+        block = load_bundle_block(
+            query, task.chunk.seq_lo, task.chunk.seq_hi
+        )
+    spec = task.spec
+
+    candidate_indexes = [
+        index
+        for index, length in enumerate(block.lengths)
+        if length == 3
+    ]
+    member_ids: list[str] = []
+    edge_ids: list[str] = []
+    for index in candidate_indexes:
+        members = block.transaction_ids(index)
+        member_ids.extend(members)
+        edge_ids.append(members[0])
+        edge_ids.append(members[2])
+    features = load_tx_features(query, member_ids, edge_ids)
+    candidates, skipped, pending = split_candidates(
+        block, features, candidate_indexes
+    )
+    # Column materialization (interning included) belongs to the load
+    # phase; evaluation below touches cached primitive arrays only.
+    candidates.prepare()
+
+    verdicts = evaluate_block(candidates, skip=spec.skip_criteria)
+    landed = candidates.landed_column()
+    event_order = sorted(
+        verdicts.detected_indexes, key=lambda index: landed[index]
+    )
+    oracle = (
+        PriceOracle(spec.usd_per_sol)
+        if spec.usd_per_sol is not None
+        else PriceOracle()
+    )
+    quantified = quantify_block(
+        candidates, event_order, usd_per_sol=oracle.usd_per_sol
+    )
+
+    defensive = []
+    priority = []
+    threshold = spec.threshold_lamports
+    for index, length in enumerate(block.lengths):
+        if length != 1:
+            continue
+        target = defensive if block.tips[index] <= threshold else priority
+        target.append(block.record(index))
+
+    stats = DetectionStats(
+        bundles_examined=verdicts.examined,
+        bundles_detected=len(verdicts.detected_indexes),
+        bundles_skipped_incomplete=skipped,
+        rejections_by_criterion=verdicts.rejections,
+    )
+    views_after = view_cache_stats()
+    b58_after = b58_cache_stats()
+    return ChunkOutcome(
+        index=task.index,
+        bundle_count=len(block),
+        quantified=tuple(quantified),
+        defensive=tuple(defensive),
+        priority=tuple(priority),
+        stats=stats,
+        pending_detail_ids=pending,
+        elapsed_seconds=time.perf_counter() - started,
+        worker=f"pid-{os.getpid()}",
+        view_cache_hits=views_after["hits"] - views_before["hits"],
+        view_cache_misses=views_after["misses"] - views_before["misses"],
+        b58_cache_hits=b58_after["hits"] - b58_before["hits"],
+        b58_cache_misses=b58_after["misses"] - b58_before["misses"],
+    )

@@ -1,0 +1,127 @@
+"""Vectorized financial quantification of detected sandwiches.
+
+Mirrors :class:`repro.core.quantify.LossQuantifier` operation for
+operation: the victim's loss is ``amount_in - rate_A * amount_out`` in the
+quote currency, the attacker's gain is the integer difference
+``backrun.amount_out - frontrun.amount_in``, and USD conversion happens
+only when the attacked pair touches SOL. Lamport math runs on integer
+arrays; floats appear exactly where the scalar quantifier produces them
+(rate division, loss subtraction, USD conversion) and in the same
+operation order, so results are bit-identical. The attacker gain is kept
+as a Python ``int`` — the canonical report serializes ints and floats
+differently, and byte identity hinges on preserving that distinction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.columnar.blocks import CandidateBlock
+from repro.constants import LAMPORTS_PER_SOL
+from repro.core.events import SandwichEvent
+from repro.core.quantify import QuantifiedSandwich
+from repro.core.trades import TradeLeg
+from repro.errors import DetectionError
+from repro.solana.tokens import SOL_MINT
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via columnar_available
+    _np = None
+
+_SOL_ADDRESS = SOL_MINT.address.to_base58()
+
+
+def quantify_block(
+    cand: CandidateBlock,
+    detected_indexes: Sequence[int],
+    usd_per_sol: float,
+) -> list[QuantifiedSandwich]:
+    """Quantify detected candidates, preserving the given (event) order.
+
+    ``detected_indexes`` index into ``cand`` and must already be in the
+    detector's output order (stable-sorted by ``landed_at``).
+
+    Raises:
+        DetectionError: on a detected front-run with non-positive output —
+            reachable only under criterion ablation, and exactly where the
+            scalar quantifier raises.
+    """
+    if not detected_indexes:
+        return []
+    sel = _np.array(list(detected_indexes), dtype=_np.intp)
+    exact = cand.needs_exact_math()
+
+    _, _, _, f_in, f_out = cand.leg_columns(0)
+    _, v_mint_in, v_mint_out, v_in, v_out = cand.leg_columns(1)
+    b_out = cand.leg_columns(2)[4]
+    f_in, f_out = f_in[sel], f_out[sel]
+    v_in, v_out = v_in[sel], v_out[sel]
+    v_mint_in, v_mint_out = v_mint_in[sel], v_mint_out[sel]
+    b_out = b_out[sel]
+    if exact:
+        f_in, f_out = f_in.astype(object), f_out.astype(object)
+        v_in, v_out = v_in.astype(object), v_out.astype(object)
+        b_out = b_out.astype(object)
+
+    bad = _np.asarray(f_out <= 0, dtype=bool)
+    if bad.any():
+        value = f_out[int(_np.flatnonzero(bad)[0])]
+        raise DetectionError(f"swap with non-positive output: {value}")
+
+    attacker_rate = f_in / f_out
+    would_have_paid = attacker_rate * v_out
+    loss_quote = v_in - would_have_paid
+    gains = b_out - f_in
+
+    involves_sol = _np.asarray(
+        (v_mint_in == _SOL_ADDRESS) | (v_mint_out == _SOL_ADDRESS),
+        dtype=bool,
+    )
+    quote_is_sol = _np.asarray(v_mint_in == _SOL_ADDRESS, dtype=bool)
+    nonzero_v_in = _np.asarray(v_in != 0, dtype=bool)
+    ratio = _np.where(nonzero_v_in, v_out, 1) / _np.where(
+        nonzero_v_in, v_in, 1
+    )
+    loss_lamports = _np.where(quote_is_sol, loss_quote, loss_quote * ratio)
+    gain_lamports = _np.where(quote_is_sol, gains, gains * ratio)
+    loss_usd = loss_lamports / LAMPORTS_PER_SOL * usd_per_sol
+    gain_usd = gain_lamports / LAMPORTS_PER_SOL * usd_per_sol
+    priced = involves_sol & (quote_is_sol | nonzero_v_in)
+
+    # Materialization reads every lane once: scalarize the columns in one
+    # C pass each (``tolist`` is bit-exact — float64 lanes become the
+    # same Python floats, int64/object lanes the same ints) instead of
+    # paying a numpy scalar indexing round-trip per event field.
+    loss_list = loss_quote.tolist()
+    gain_list = gains.tolist()
+    loss_usd_list = loss_usd.tolist()
+    gain_usd_list = gain_usd.tolist()
+    priced_list = priced.tolist()
+
+    quantified: list[QuantifiedSandwich] = []
+    for position, candidate in enumerate(detected_indexes):
+        features = cand.features[candidate]
+        event = SandwichEvent(
+            bundle=cand.block.record(cand.indexes[candidate]),
+            attacker=features[0].signer,
+            victim=features[1].signer,
+            frontrun=TradeLeg(*cand.first_leg(candidate, 0)),
+            victim_trade=TradeLeg(*cand.first_leg(candidate, 1)),
+            backrun=TradeLeg(*cand.first_leg(candidate, 2)),
+        )
+        is_priced = priced_list[position]
+        quantified.append(
+            QuantifiedSandwich(
+                event=event,
+                victim_loss_quote=float(loss_list[position]),
+                attacker_gain_quote=int(gain_list[position]),
+                victim_loss_usd=(
+                    float(loss_usd_list[position]) if is_priced else None
+                ),
+                attacker_gain_usd=(
+                    float(gain_usd_list[position]) if is_priced else None
+                ),
+            )
+        )
+    return quantified

@@ -28,13 +28,19 @@ from repro.dex.oracle import PriceOracle
 from repro.errors import ConfigError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.parallel.chunks import (
+    CHUNK_ENGINES,
     DEFAULT_CHUNK_SIZE,
     ChunkTask,
     DetectorSpec,
     plan_chunks,
 )
 from repro.parallel.merge import MergedAnalysis, merge_outcomes
-from repro.parallel.worker import ChunkOutcome, analyze_chunk, init_worker, run_chunk
+from repro.parallel.worker import (
+    ChunkOutcome,
+    dispatch_chunk,
+    init_worker,
+    run_chunk,
+)
 
 #: Histogram buckets for per-chunk wall-clock (seconds).
 _CHUNK_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0)
@@ -56,6 +62,7 @@ class ParallelAnalysisEngine:
         spec: DetectorSpec | None = None,
         oracle: PriceOracle | None = None,
         metrics: MetricsRegistry | None = None,
+        engine: str = "object",
     ) -> None:
         self.database = (
             database
@@ -71,6 +78,17 @@ class ParallelAnalysisEngine:
         self.oracle = oracle or PriceOracle()
         spec = spec or DetectorSpec()
         spec.validate()
+        if engine not in CHUNK_ENGINES:
+            raise ConfigError(
+                f"engine must be one of {CHUNK_ENGINES}, got {engine!r}"
+            )
+        if engine == "columnar":
+            # Fail fast, in the parent process, with an actionable message
+            # — not lazily inside a pool worker.
+            from repro.columnar.engine import require_columnar_spec
+
+            require_columnar_spec(spec)
+        self.engine = engine
         # Workers rebuild the oracle from the spec; pin the rate so pool
         # and in-process quantification price events identically.
         self.spec = (
@@ -124,7 +142,7 @@ class ParallelAnalysisEngine:
     def _run_in_process(self, tasks: list[ChunkTask]) -> list[ChunkOutcome]:
         outcomes: list[ChunkOutcome] = []
         for position, task in enumerate(tasks):
-            outcome = analyze_chunk(self.database, task)
+            outcome = dispatch_chunk(self.database, task)
             self._observe(outcome, remaining=len(tasks) - position - 1)
             outcomes.append(outcome)
         return outcomes
@@ -178,6 +196,7 @@ class ParallelAnalysisEngine:
                 archive_path=str(self.database.path),
                 spec=self.spec,
                 chunk=chunk,
+                engine=self.engine,
             )
             for offset, chunk in enumerate(chunks)
         ]

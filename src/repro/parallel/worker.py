@@ -65,7 +65,20 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
     global _WORKER_DB
     if _WORKER_DB is None:  # pragma: no cover - initializer normally ran
         _WORKER_DB = ArchiveDatabase(task.archive_path, read_only=True)
-    return analyze_chunk(_WORKER_DB, task)
+    return dispatch_chunk(_WORKER_DB, task)
+
+
+def dispatch_chunk(database: ArchiveDatabase, task: ChunkTask) -> ChunkOutcome:
+    """Route one task to the engine it names (object or columnar).
+
+    The columnar import is deferred so object-only runs never touch
+    :mod:`repro.columnar` (or numpy) at all.
+    """
+    if task.engine == "columnar":
+        from repro.columnar.engine import analyze_chunk_columnar
+
+        return analyze_chunk_columnar(database, task)
+    return analyze_chunk(database, task)
 
 
 def _load_mini_store(database: ArchiveDatabase, task: ChunkTask) -> BundleStore:

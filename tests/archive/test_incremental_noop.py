@@ -7,6 +7,8 @@ archive already holds and says so.
 
 import dataclasses
 
+import pytest
+
 from repro.archive.database import ArchiveDatabase
 from repro.archive.incremental import IncrementalAnalyzer
 from repro.archive.store import ArchiveBundleStore
@@ -107,6 +109,80 @@ def test_new_details_for_pending_bundles_defeat_the_noop(tmp_path):
     result = analyzer.analyze()
     assert not result.no_op
     analyzer.database.close()
+
+
+def test_rerun_with_jobs_is_still_a_noop(tmp_path):
+    """``--incremental --jobs N`` on an empty delta takes the same
+    watermark-aware fast path as the serial analyzer: zero writes, the
+    no-op metric ticks, and the rebuilt report is byte-identical."""
+    metrics = MetricsRegistry()
+    database = ArchiveDatabase(_fresh_archive(tmp_path))
+    first = IncrementalAnalyzer(database).analyze()
+    analyzer = IncrementalAnalyzer(database, jobs=4, metrics=metrics)
+    state_before = analyzer.load_state()
+    counts_before = database.table_counts()
+
+    second = analyzer.analyze()
+    assert second.no_op
+    assert second.new_bundles == 0
+    assert report_bytes(second.report) == report_bytes(first.report)
+    assert analyzer.load_state() == state_before
+    assert database.table_counts() == counts_before
+    assert (
+        metrics.counter("archive_incremental_noop_total", "").value() == 1
+    )
+    database.close()
+
+
+def test_rerun_with_columnar_engine_is_still_a_noop(tmp_path):
+    """The columnar engine routes through the chunked delta, but an empty
+    delta must still short-circuit before any chunk planning happens."""
+    pytest.importorskip("numpy")
+    metrics = MetricsRegistry()
+    database = ArchiveDatabase(_fresh_archive(tmp_path))
+    first = IncrementalAnalyzer(database).analyze()
+    analyzer = IncrementalAnalyzer(
+        database, jobs=2, engine="columnar", metrics=metrics
+    )
+    counts_before = database.table_counts()
+
+    second = analyzer.analyze()
+    assert second.no_op
+    assert report_bytes(second.report) == report_bytes(first.report)
+    assert database.table_counts() == counts_before
+    assert (
+        metrics.counter("archive_incremental_noop_total", "").value() == 1
+    )
+    database.close()
+
+
+def test_cli_incremental_rerun_with_jobs_is_a_noop(tmp_path, capsys):
+    """The CLI path: a second ``analyze --incremental --jobs 4`` run must
+    report the no-op and leave every table untouched."""
+    from repro.cli import main
+
+    path = _fresh_archive(tmp_path)
+    assert main(["analyze", "--store", str(path), "--incremental"]) == 0
+    database = ArchiveDatabase(path)
+    counts_before = database.table_counts()
+    database.close()
+
+    capsys.readouterr()
+    code = main(
+        [
+            "analyze",
+            "--store",
+            str(path),
+            "--incremental",
+            "--jobs",
+            "4",
+        ]
+    )
+    assert code == 0
+    assert "no-op" in capsys.readouterr().out
+    database = ArchiveDatabase(path)
+    assert database.table_counts() == counts_before
+    database.close()
 
 
 def test_noop_requires_established_watermark(tmp_path):

@@ -1,0 +1,1 @@
+"""Columnar engine tests: blocks, parity, properties, boundaries."""

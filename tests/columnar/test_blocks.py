@@ -1,0 +1,138 @@
+"""Unit coverage for the struct-of-arrays blocks and their loaders."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.archive.database import ArchiveDatabase  # noqa: E402
+from repro.archive.query import ArchiveQuery  # noqa: E402
+from repro.columnar.blocks import (  # noqa: E402
+    BundleBlock,
+    _parse_txids,
+    _suspect,
+    load_bundle_block,
+    load_bundle_block_for_ids,
+    load_tx_features,
+    num_array,
+    obj_array,
+)
+from tests.columnar.helpers import build_archive, descriptor_rows  # noqa: E402
+
+pytestmark = pytest.mark.columnar
+
+MIXED = [
+    ("sandwich", 0, 500_000),
+    ("plain", 0, 20_000),
+    ("benign3", 1, 90_000),
+    ("undetailed3", 2, 110_000),
+    ("pair", 2, 400_000),
+    ("bigint_sandwich", 3, 750_000),
+]
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    return build_archive(tmp_path / "blocks.db", MIXED)
+
+
+def test_round_trip_records_block_records():
+    records = [bundle for bundle, _ in descriptor_rows(MIXED)]
+    block = BundleBlock.from_records(records)
+    assert block.to_records() == records
+    assert [block.transaction_ids(i) for i in range(len(block))] == [
+        r.transaction_ids for r in records
+    ]
+
+
+def test_load_bundle_block_matches_archive_rows(archive):
+    database = ArchiveDatabase(archive, read_only=True)
+    query = ArchiveQuery(database)
+    block = load_bundle_block(query, 1, 10_000)
+    from repro.archive.schema import bundle_from_row
+
+    rows = database.connection.execute(
+        "SELECT * FROM bundles ORDER BY seq"
+    ).fetchall()
+    assert block.to_records() == [bundle_from_row(row) for row in rows]
+    assert block.lengths == [3, 1, 3, 3, 2, 3]
+    database.close()
+
+
+def test_load_block_for_ids_preserves_worklist_order(archive):
+    database = ArchiveDatabase(archive, read_only=True)
+    query = ArchiveQuery(database)
+    full = load_bundle_block(query, 1, 10_000)
+    worklist = (
+        full.bundle_ids[3],
+        "never-collected",
+        full.bundle_ids[0],
+    )
+    block = load_bundle_block_for_ids(query, worklist)
+    # Missing ids are dropped; the rest keep worklist (not seq) order.
+    assert block.bundle_ids == [full.bundle_ids[3], full.bundle_ids[0]]
+    database.close()
+
+
+def test_parse_txids_fast_path_and_fallback():
+    assert _parse_txids('["only-one"]') == ("only-one",)
+    assert _parse_txids('["a","b"]') == ("a", "b")
+    assert _parse_txids("[]") == ()
+    # Escapes defeat the slice fast path but not correctness.
+    assert _parse_txids('["a\\"b"]') == ('a"b',)
+
+
+def test_num_array_falls_back_to_object_dtype():
+    fast = num_array([1, 2, 3])
+    assert fast.dtype == np.int64
+    big = num_array([1, 2**64, 3])
+    assert big.dtype == object
+    assert big[1] == 2**64
+    # Object arrays keep Python arithmetic: no wraparound, no rounding.
+    assert (big * 2)[1] == 2**65
+
+
+def test_obj_array_never_nests_sequences():
+    sets = [frozenset({"a"}), frozenset({"b", "c"})]
+    array = obj_array(sets)
+    assert array.shape == (2,)
+    assert array[1] == frozenset({"b", "c"})
+
+
+def test_suspect_flags_degraded_json_numbers():
+    assert _suspect(1.0)  # integral float: int degraded by json_each
+    assert _suspect(float(2**63))
+    assert not _suspect(7)
+    assert not _suspect(0.25)
+
+
+def test_big_integer_amounts_survive_feature_extraction(archive):
+    """Amounts past 2**63 degrade through json_each; the raw-JSON refetch
+    must restore them exactly."""
+    database = ArchiveDatabase(archive, read_only=True)
+    query = ArchiveQuery(database)
+    block = load_bundle_block(query, 1, 10_000)
+    bigint_index = block.lengths.index(3, 5)  # the bigint_sandwich bundle
+    members = block.transaction_ids(bigint_index)
+    features = load_tx_features(query, list(members), list(members))
+    front = features[members[0]].legs[0]
+    assert front[4] == 2**52 + 3
+    assert front[5] == 2**63 + 7
+    assert isinstance(front[5], int)
+    # Token deltas round-trip exactly too.
+    deltas = {
+        (owner, mint): value
+        for owner, mint, value in features[members[0]].deltas
+    }
+    assert set(deltas.values()) == {-(2**52 + 3), 2**63 + 7}
+    database.close()
+
+
+def test_features_skip_deltas_outside_the_edge_set(archive):
+    database = ArchiveDatabase(archive, read_only=True)
+    query = ArchiveQuery(database)
+    block = load_bundle_block(query, 1, 10_000)
+    members = block.transaction_ids(0)
+    features = load_tx_features(query, list(members), [members[0]])
+    assert features[members[0]].deltas
+    assert features[members[1]].deltas == ()
+    database.close()

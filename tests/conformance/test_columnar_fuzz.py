@@ -1,0 +1,103 @@
+"""Differential fuzz: columnar vs object byte identity beyond the corpus.
+
+Twenty-five seeded mini-campaigns — twenty-three synthetic scenarios
+sweeping attacker density, tip regime, pending fraction, and tie density,
+plus two chaos campaigns collected under the ``flaky`` and ``storm`` fault
+presets — each analyzed by both engines over byte-identical archives. The
+canonical reports must match byte for byte, extending the four golden
+fixtures with a rolling nightly sweep (the job selects ``-m slow``).
+"""
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.archive.store import ArchiveBundleStore  # noqa: E402
+from repro.conformance.scenarios import (  # noqa: E402
+    SyntheticScenario,
+    generate_rows,
+    write_archive,
+)
+from repro.parallel.engine import ParallelAnalysisEngine  # noqa: E402
+from repro.parallel.merge import report_bytes  # noqa: E402
+
+pytestmark = [pytest.mark.slow, pytest.mark.columnar]
+
+#: Twenty-three synthetic seeds with parameters swept deterministically.
+FUZZ_SEEDS = tuple(range(9_000, 9_023))
+
+TIP_REGIMES = ("low", "mixed", "high")
+
+CHAOS_PRESETS = ("flaky", "storm")
+
+
+def _fuzz_scenario(seed: int) -> SyntheticScenario:
+    """One deterministic mini-campaign per seed, parameters swept by it."""
+    return SyntheticScenario(
+        name=f"columnar-fuzz-{seed}",
+        seed=seed,
+        bundles=90 + (seed % 5) * 30,
+        attacker_density=0.05 + (seed % 7) * 0.05,
+        non_sol_fraction=(seed % 4) * 0.25,
+        tip_regime=TIP_REGIMES[seed % 3],
+        pending_fraction=(seed % 6) * 0.1,
+        tie_every=1 + seed % 4,
+        victim_scale=0.5 + (seed % 3),
+        description="columnar differential fuzz sweep",
+    )
+
+
+def _assert_engines_agree(rows, tmp_path, label: str) -> None:
+    reports = {}
+    for engine in ("object", "columnar"):
+        path = write_archive(rows, tmp_path / f"{label}-{engine}.db")
+        runner = ParallelAnalysisEngine(
+            path, jobs=1, chunk_size=32, engine=engine
+        )
+        reports[engine] = runner.analyze(persist=False)
+        runner.database.close()
+    assert report_bytes(reports["object"]) == report_bytes(
+        reports["columnar"]
+    ), f"columnar diverged from object on {label}"
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_columnar_matches_object_on_fuzzed_scenario(seed, tmp_path):
+    rows = generate_rows(_fuzz_scenario(seed))
+    _assert_engines_agree(rows, tmp_path, f"seed-{seed}")
+
+
+@pytest.mark.parametrize("preset", CHAOS_PRESETS)
+def test_columnar_matches_object_on_chaos_campaign(preset, tmp_path):
+    """Fault-injected campaigns (outages, stalls, partial fetches) produce
+    archives with ragged pending sets; the engines must still agree."""
+    from repro.collector.campaign import MeasurementCampaign
+    from repro.faults.plan import preset_plan
+    from repro.simulation.scenario import small_scenario
+
+    store = MeasurementCampaign(
+        small_scenario(seed=11, days=2), fault_plan=preset_plan(preset)
+    ).run().store
+    rows = [(bundle, []) for bundle in store.bundles()]
+    path_rows = list(rows)
+    # Details ride separately: write them exactly as collected.
+    for label in ("object", "columnar"):
+        path = tmp_path / f"chaos-{preset}-{label}.db"
+        writer = ArchiveBundleStore(path)
+        writer.add_bundles([bundle for bundle, _ in path_rows])
+        writer.add_details(list(store.details()))
+        writer.flush()
+        writer.database.close()
+    reports = {}
+    for engine in ("object", "columnar"):
+        runner = ParallelAnalysisEngine(
+            tmp_path / f"chaos-{preset}-{engine}.db",
+            jobs=1,
+            chunk_size=32,
+            engine=engine,
+        )
+        reports[engine] = runner.analyze(persist=False)
+        runner.database.close()
+    assert report_bytes(reports["object"]) == report_bytes(
+        reports["columnar"]
+    ), f"columnar diverged from object on chaos preset {preset}"
