@@ -11,19 +11,26 @@ default 50,000 — CI's perf-smoke job shrinks it), then:
   classify + aggregate) serially and at 2/4 jobs, recording bundles/sec
   into ``BENCH_PERF.json``;
 - asserts the >= 2x speedup at 4 jobs — only on hosts with >= 4 cores and
-  a full-size archive, where the claim is physically meaningful;
+  a full-size archive, where the claim is physically meaningful; on
+  smaller hosts the gate is skipped and the skip is annotated in the
+  record itself ("cpu_count < jobs"), so a 1-CPU runner's multi-job
+  numbers read as noise, not regressions;
 - benchmarks the columnar engine (when numpy is importable): the
   detection core — criteria evaluation plus quantification over a
   preloaded working set — on a candidate-dense archive, asserting the
   >= 10x single-core speedup over the object core on full-size runs, and
-  the ungated end-to-end throughput on the mixed archive, asserting byte
-  identity against the serial report either way.
+  the pipelined end-to-end throughput on the mixed archive, asserting
+  byte identity against the serial report always and the >= 3x
+  end-to-end speedup over the serial object pipeline on full-size runs,
+  with the engine's stage profile persisted alongside the number.
 """
 
 from __future__ import annotations
 
+import gc
 import os
 import time
+from contextlib import contextmanager
 
 import pytest
 
@@ -45,6 +52,9 @@ CORE_BUNDLES = max(1_000, TOTAL_BUNDLES // 8)
 #: The columnar acceptance bar: vectorized criteria evaluation plus
 #: quantification must clear 10x the object core, single-core.
 COLUMNAR_CORE_FLOOR = 10.0
+#: The pipelined read path's acceptance bar: columnar end-to-end must
+#: clear 3x the serial object pipeline on full-size runs, single-core.
+COLUMNAR_E2E_FLOOR = 3.0
 BASE_TIME = 1_739_059_200.0
 
 
@@ -139,22 +149,60 @@ def big_archive(tmp_path_factory):
     return path
 
 
-def _timed_serial(path):
-    started = time.perf_counter()
-    store = ArchiveBundleStore.resume(path)
-    report = AnalysisPipeline().analyze_store(store)
-    elapsed = time.perf_counter() - started
-    store.database.close()
-    return report, elapsed
+@contextmanager
+def _gc_paused():
+    """Pause the cyclic collector inside a timed region.
+
+    Allocation-heavy analysis otherwise pays for whatever live heap the
+    *suite* has accumulated by the time a test runs — gen-2 collections
+    scale with total live objects, so the same code measures up to 2x
+    slower late in the session than solo. A collect-then-disable window,
+    applied symmetrically to every timed region, makes the recorded
+    numbers a property of the code under test rather than of test order.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
-def _timed_engine(path, jobs, chunk_size=2_048):
-    engine = ParallelAnalysisEngine(path, jobs=jobs, chunk_size=chunk_size)
-    started = time.perf_counter()
-    report = engine.analyze(persist=False)
-    elapsed = time.perf_counter() - started
-    engine.database.close()
-    return report, elapsed
+def _timed_serial(path, repeats=1):
+    """Serial-pipeline wall time (store resume included), best of N.
+
+    The minimum over ``repeats`` runs is the standard noise-floor
+    estimate: scheduler preemption and cache eviction only ever add
+    time, so the fastest observation is the closest to the code's cost.
+    """
+    best = None
+    for _ in range(repeats):
+        with _gc_paused():
+            started = time.perf_counter()
+            store = ArchiveBundleStore.resume(path)
+            report = AnalysisPipeline().analyze_store(store)
+            elapsed = time.perf_counter() - started
+        store.database.close()
+        best = elapsed if best is None else min(best, elapsed)
+    return report, best
+
+
+def _timed_engine(path, jobs, chunk_size=2_048, repeats=1):
+    """Engine wall time (fresh engine per run), best of N."""
+    best = None
+    for _ in range(repeats):
+        engine = ParallelAnalysisEngine(
+            path, jobs=jobs, chunk_size=chunk_size
+        )
+        with _gc_paused():
+            started = time.perf_counter()
+            report = engine.analyze(persist=False)
+            elapsed = time.perf_counter() - started
+        engine.database.close()
+        best = elapsed if best is None else min(best, elapsed)
+    return report, best
 
 
 def test_parallel_output_byte_identical(big_archive):
@@ -167,6 +215,7 @@ def test_parallel_output_byte_identical(big_archive):
 
 
 def test_end_to_end_throughput_and_speedup(big_archive):
+    cpu_count = os.cpu_count() or 1
     serial_report, serial_s = _timed_serial(big_archive)
     record_perf(
         "analyze_end_to_end_serial", TOTAL_BUNDLES, serial_s, jobs=1
@@ -178,18 +227,25 @@ def test_end_to_end_throughput_and_speedup(big_archive):
             serial_report, report, "serial", f"parallel-j{jobs}", mode="exact"
         )
         timings[jobs] = elapsed
+        extra = {}
+        if cpu_count < jobs:
+            # A multi-job speedup on fewer cores than jobs is noise, not
+            # signal; the record says so explicitly instead of looking
+            # like a regression in cross-host trend diffs.
+            extra["speedup_gate"] = f"skipped: cpu_count {cpu_count} < jobs"
         record_perf(
             f"analyze_end_to_end_parallel_{jobs}",
             TOTAL_BUNDLES,
             elapsed,
             jobs=jobs,
             speedup_vs_serial=round(serial_s / elapsed, 3),
+            **extra,
         )
-    if (os.cpu_count() or 1) >= 4 and TOTAL_BUNDLES >= SPEEDUP_FLOOR_BUNDLES:
+    if cpu_count >= 4 and TOTAL_BUNDLES >= SPEEDUP_FLOOR_BUNDLES:
         speedup = serial_s / timings[4]
         assert speedup >= 2.0, (
             f"expected >= 2x end-to-end speedup at 4 jobs on "
-            f"{os.cpu_count()} cores, measured {speedup:.2f}x"
+            f"{cpu_count} cores, measured {speedup:.2f}x"
         )
 
 
@@ -354,6 +410,7 @@ def test_columnar_detect_core_speedup(candidate_archive):
         "detect_core_columnar",
         CORE_BUNDLES,
         columnar_s,
+        engine="columnar",
         jobs=1,
         speedup_vs_object=round(speedup, 2),
     )
@@ -365,26 +422,54 @@ def test_columnar_detect_core_speedup(candidate_archive):
 
 
 def test_columnar_end_to_end_byte_identical_and_throughput(big_archive):
-    """Ungated end-to-end columnar numbers on the mixed archive — the
-    honest headline is load-dominated, so the gain is modest; byte
-    identity against the object engine is the hard requirement."""
+    """End-to-end columnar numbers on the mixed archive: byte identity
+    against both the object engine and the serial pipeline is the hard
+    requirement, and on full-size runs the pipelined read path (coalesced
+    projections + prefetch) must clear ``COLUMNAR_E2E_FLOOR`` x the
+    serial object pipeline. Both sides of the gated ratio are measured
+    the same way — collector paused, best of N fresh runs, back to back
+    in this test — so the gate compares code, not suite-position noise;
+    the engine's stage profile (from the best run) is persisted into the
+    record for the "where the time goes" trend."""
     pytest.importorskip("numpy")
 
+    serial_report, serial_s = _timed_serial(big_archive, repeats=2)
     object_report, object_s = _timed_engine(big_archive, jobs=1)
-    engine = ParallelAnalysisEngine(
-        big_archive, jobs=1, chunk_size=2_048, engine="columnar"
-    )
-    started = time.perf_counter()
-    columnar_report = engine.analyze(persist=False)
-    columnar_s = time.perf_counter() - started
-    engine.database.close()
+    columnar_s = None
+    for _ in range(3):
+        engine = ParallelAnalysisEngine(
+            big_archive, jobs=1, chunk_size=2_048, engine="columnar"
+        )
+        with _gc_paused():
+            started = time.perf_counter()
+            columnar_report = engine.analyze(persist=False)
+            elapsed = time.perf_counter() - started
+        engine.database.close()
+        if columnar_s is None or elapsed < columnar_s:
+            columnar_s = elapsed
+            stage_profile = engine.stage_profile.as_dict()
+            prefetch = engine.prefetch
     ensure_reports_identical(
         object_report, columnar_report, "object", "columnar", mode="exact"
     )
+    ensure_reports_identical(
+        serial_report, columnar_report, "serial", "columnar", mode="exact"
+    )
+    speedup_vs_serial = serial_s / columnar_s
     record_perf(
         "analyze_end_to_end_columnar",
         TOTAL_BUNDLES,
         columnar_s,
+        engine="columnar",
         jobs=1,
+        prefetch=prefetch,
         speedup_vs_object=round(object_s / columnar_s, 3),
+        speedup_vs_serial=round(speedup_vs_serial, 3),
+        stage_profile=stage_profile,
     )
+    if TOTAL_BUNDLES >= SPEEDUP_FLOOR_BUNDLES:
+        assert speedup_vs_serial >= COLUMNAR_E2E_FLOOR, (
+            f"expected >= {COLUMNAR_E2E_FLOOR}x end-to-end columnar "
+            f"speedup over the serial pipeline on a full-size archive, "
+            f"measured {speedup_vs_serial:.2f}x"
+        )

@@ -35,15 +35,26 @@ def save_artifact(name: str, text: str) -> Path:
 
 
 def record_perf(
-    name: str, bundles: int, seconds: float, **extra: object
+    name: str,
+    bundles: int,
+    seconds: float,
+    engine: str = "object",
+    **extra: object,
 ) -> dict:
-    """Record one throughput measurement (bundles/sec) for BENCH_PERF.json."""
+    """Record one throughput measurement (bundles/sec) for BENCH_PERF.json.
+
+    Every record carries its own ``cpu_count`` and ``engine``
+    (bench-perf/2) so trajectory comparisons across hosts and engines
+    stay meaningful record-by-record.
+    """
     entry: dict = {
         "bundles": bundles,
         "seconds": round(seconds, 6),
         "bundles_per_sec": (
             round(bundles / seconds, 2) if seconds > 0 else None
         ),
+        "cpu_count": os.cpu_count(),
+        "engine": engine,
     }
     entry.update(extra)
     _PERF_RECORDS[name] = entry
@@ -53,9 +64,11 @@ def record_perf(
 def pytest_sessionfinish(session, exitstatus):
     if not _PERF_RECORDS:
         return
+    from benchmarks.perf_schema import CURRENT_SCHEMA
+
     OUTPUT_DIR.mkdir(exist_ok=True)
     payload = {
-        "schema": "bench-perf/1",
+        "schema": CURRENT_SCHEMA,
         "cpu_count": os.cpu_count(),
         "records": dict(sorted(_PERF_RECORDS.items())),
     }

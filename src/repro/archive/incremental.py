@@ -83,6 +83,7 @@ class IncrementalAnalyzer:
         chunk_size: int = 2_048,
         spec: DetectorSpec | None = None,
         engine: str = "object",
+        prefetch: int | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -104,6 +105,7 @@ class IncrementalAnalyzer:
         self.chunk_size = chunk_size
         self.spec = spec
         self.engine = engine
+        self.prefetch = prefetch
         self.quantifier = LossQuantifier(self.oracle)
         self.query = ArchiveQuery(database, metrics=metrics)
         # A writer facade over the same database: reuses the store's
@@ -243,6 +245,9 @@ class IncrementalAnalyzer:
                     "stack with a DetectorSpec instead"
                 )
             spec = DetectorSpec()
+        engine_kwargs = (
+            {} if self.prefetch is None else {"prefetch": self.prefetch}
+        )
         engine = ParallelAnalysisEngine(
             self.database,
             jobs=self.jobs,
@@ -251,6 +256,7 @@ class IncrementalAnalyzer:
             oracle=self.oracle,
             metrics=self.metrics,
             engine=self.engine,
+            **engine_kwargs,
         )
         last_seq = int(state["last_bundle_seq"])
         chunks = list(

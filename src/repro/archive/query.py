@@ -335,6 +335,50 @@ class ArchiveQuery:
             cursor = seqs[-1]
             index += 1
 
+    def chunk_bounds(
+        self,
+        chunk_size: int = 2_048,
+        where: BundleFilter | None = None,
+        seq_min: int | None = None,
+    ) -> list[ArchiveChunk]:
+        """The whole chunk plan in one window-function pass.
+
+        Produces exactly the chunks :meth:`iter_chunks` yields (same
+        indexes, ``seq`` bounds, counts, and slot bounds) but with a
+        single C-side scan instead of one round-trip per chunk — the
+        keyset walk re-executes its query (and re-plans its variable
+        SQL) once per ``chunk_size`` rows, which showed up as a
+        measurable share of short analysis runs. The SQL text here is
+        constant, so SQLite's per-connection statement cache serves
+        every call after the first.
+        """
+        if chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1")
+        where = where or BundleFilter()
+        clause, params = where.compile()
+        cursor = seq_min if seq_min is not None else 0
+        rows = self._timed(
+            "chunk_bounds",
+            "SELECT grp, COUNT(*) AS n, MIN(seq) AS seq_lo, "
+            "MAX(seq) AS seq_hi, MIN(slot) AS slot_lo, MAX(slot) AS slot_hi "
+            "FROM (SELECT seq, slot, "
+            "(ROW_NUMBER() OVER (ORDER BY seq) - 1) / ? AS grp "
+            f"FROM bundles WHERE seq > ? AND {clause}) "
+            "GROUP BY grp ORDER BY grp",
+            [chunk_size, cursor] + params,
+        )
+        return [
+            ArchiveChunk(
+                index=index,
+                seq_lo=row["seq_lo"],
+                seq_hi=row["seq_hi"],
+                count=row["n"],
+                slot_lo=row["slot_lo"],
+                slot_hi=row["slot_hi"],
+            )
+            for index, row in enumerate(rows)
+        ]
+
     def count_bundles(self, where: BundleFilter | None = None) -> int:
         """Number of bundles matching the filter."""
         where = where or BundleFilter()
@@ -521,6 +565,88 @@ class ArchiveQuery:
                 )
             )
         return rows
+
+    # The ``candidate_*`` projections below coalesce a chunk's detail
+    # lookups into one round-trip each: instead of parsing every bundle's
+    # ``transaction_ids`` JSON in Python and shipping thousands of ids
+    # back through ``IN (...)`` batches, the membership join runs inside
+    # SQLite. Their SQL text is constant (no per-batch placeholder lists),
+    # so the connection's prepared-statement cache compiles each of them
+    # exactly once per worker for the whole run.
+
+    def candidate_members(
+        self, seq_lo: int, seq_hi: int, length: int = 3
+    ) -> list:
+        """Member rows of candidate bundles in one contiguous ``seq`` range.
+
+        Row shape: ``(seq, position, transaction_id, signer)`` ordered by
+        ``(seq, position)`` — bundle order, then member order. ``signer``
+        is NULL for members whose detail was never fetched, which is how
+        the columnar loader discovers pending candidates without a second
+        query.
+        """
+        return self._timed(
+            "candidate_members",
+            "SELECT b.seq, m.position, m.transaction_id, t.signer "
+            "FROM bundles b "
+            "JOIN bundle_transactions m ON m.bundle_id = b.bundle_id "
+            "LEFT JOIN transactions t "
+            "ON t.transaction_id = m.transaction_id "
+            "WHERE b.seq >= ? AND b.seq <= ? AND b.num_transactions = ? "
+            "ORDER BY b.seq, m.position",
+            [seq_lo, seq_hi, length],
+        )
+
+    def candidate_event_columns(
+        self, seq_lo: int, seq_hi: int, length: int = 3
+    ) -> list:
+        """Flattened event rows for every member of candidate bundles.
+
+        Same row shape as :meth:`event_columns`, selected by a membership
+        semijoin instead of an id list (the ``IN`` subquery deduplicates
+        transactions shared between bundles, exactly as the Python-side
+        ``dict.fromkeys`` pass did).
+        """
+        return self._timed(
+            "candidate_event_columns",
+            "SELECT t.transaction_id, je.key, "
+            "je.value ->> '$.type', je.value ->> '$.owner', "
+            "je.value ->> '$.pool', je.value ->> '$.mint_in', "
+            "je.value ->> '$.mint_out', je.value ->> '$.amount_in', "
+            "je.value ->> '$.amount_out', je.value ->> '$.dest' "
+            "FROM transactions t, json_each(t.events) je "
+            "WHERE t.transaction_id IN "
+            "(SELECT m.transaction_id FROM bundles b "
+            " JOIN bundle_transactions m ON m.bundle_id = b.bundle_id "
+            " WHERE b.seq >= ? AND b.seq <= ? AND b.num_transactions = ?)",
+            [seq_lo, seq_hi, length],
+        )
+
+    def candidate_token_delta_columns(
+        self,
+        seq_lo: int,
+        seq_hi: int,
+        length: int = 3,
+        positions: tuple[int, int] = (0, 2),
+    ) -> list:
+        """Long-form token deltas for the edge members of candidates.
+
+        Same row shape as :meth:`token_delta_columns`, restricted to the
+        bundle positions quantification reads (the attacker-side front and
+        back transactions by default).
+        """
+        return self._timed(
+            "candidate_token_delta_columns",
+            "SELECT t.transaction_id, o.key, m.key, m.value "
+            "FROM transactions t, json_each(t.token_deltas) o, "
+            "json_each(o.value) m "
+            "WHERE t.transaction_id IN "
+            "(SELECT bm.transaction_id FROM bundles b "
+            " JOIN bundle_transactions bm ON bm.bundle_id = b.bundle_id "
+            " WHERE b.seq >= ? AND b.seq <= ? AND b.num_transactions = ? "
+            " AND bm.position IN (?, ?))",
+            [seq_lo, seq_hi, length, positions[0], positions[1]],
+        )
 
     def raw_payloads(self, tx_ids: Sequence[str]) -> list:
         """``(transaction_id, events_json, token_deltas_json)`` raw text.

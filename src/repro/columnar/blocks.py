@@ -66,6 +66,34 @@ def num_array(values: Sequence) -> "_np.ndarray":
         return obj_array(values)
 
 
+def _fast_record(
+    bundle_id: str,
+    slot: int,
+    landed_at: float,
+    tip_lamports: int,
+    transaction_ids: tuple[str, ...],
+) -> BundleRecord:
+    """Construct a :class:`BundleRecord` without the frozen-init overhead.
+
+    Frozen dataclasses assign every field through ``object.__setattr__``;
+    writing the instance ``__dict__`` directly produces an object with
+    identical fields, hash, and equality at a fraction of the cost. This
+    only holds while :class:`BundleRecord` stores fields in ``__dict__``
+    (i.e. is not a slots dataclass) — the parity test guards that.
+    """
+    record = BundleRecord.__new__(BundleRecord)
+    # In-place update: the frozen __setattr__ guard also rejects direct
+    # __dict__ *assignment*, but mutating the existing dict bypasses it.
+    record.__dict__.update(
+        bundle_id=bundle_id,
+        slot=slot,
+        landed_at=landed_at,
+        tip_lamports=tip_lamports,
+        transaction_ids=transaction_ids,
+    )
+    return record
+
+
 def _parse_txids(raw: str) -> tuple[str, ...]:
     """Parse a ``transaction_ids`` JSON array, fast-pathing single ids."""
     if raw.startswith('["') and raw.endswith('"]'):
@@ -106,18 +134,63 @@ class BundleBlock:
         return ids
 
     def record(self, index: int) -> BundleRecord:
-        """Materialize one bundle as the object path's record type."""
-        return BundleRecord(
-            bundle_id=self.bundle_ids[index],
-            slot=self.slots[index],
-            landed_at=self.landed_at[index],
-            tip_lamports=self.tips[index],
-            transaction_ids=self.transaction_ids(index),
+        """Materialize one bundle as the object path's record type.
+
+        Built through :func:`_fast_record`: a mixed archive is mostly
+        length-one bundles that all flow through here for classification,
+        and the frozen dataclass ``__init__`` (one guarded
+        ``object.__setattr__`` per field) was the single largest cost of
+        the columnar quantify stage. The fast constructor fills the
+        instance ``__dict__`` directly — field-for-field identical, as
+        :func:`tests.columnar.test_blocks` pins.
+        """
+        return _fast_record(
+            self.bundle_ids[index],
+            self.slots[index],
+            self.landed_at[index],
+            self.tips[index],
+            self.transaction_ids(index),
         )
 
     def to_records(self) -> list[BundleRecord]:
         """Materialize every bundle, in block order (round-trip helper)."""
         return [self.record(index) for index in range(len(self))]
+
+    def classify_singles(
+        self, threshold: int
+    ) -> tuple[list[BundleRecord], list[BundleRecord]]:
+        """Split length-one bundles into ``(defensive, priority)`` records.
+
+        The batched form of calling :meth:`record` per single: a mixed
+        archive is mostly length-one bundles, so this loop materializes
+        tens of thousands of records per chunk — everything it touches is
+        bound to a local once, and records are built with the
+        :func:`_fast_record` ``__dict__`` technique inline. Order (block
+        order) and record values match the per-call path exactly.
+        """
+        defensive: list[BundleRecord] = []
+        priority: list[BundleRecord] = []
+        ids, slots, landed = self.bundle_ids, self.slots, self.landed_at
+        tips, raw, txids = self.tips, self.txids_raw, self._txids
+        new = BundleRecord.__new__
+        for index, length in enumerate(self.lengths):
+            if length != 1:
+                continue
+            members = txids[index]
+            if members is None:
+                members = _parse_txids(raw[index])
+                txids[index] = members
+            tip = tips[index]
+            record = new(BundleRecord)
+            record.__dict__.update(
+                bundle_id=ids[index],
+                slot=slots[index],
+                landed_at=landed[index],
+                tip_lamports=tip,
+                transaction_ids=members,
+            )
+            (defensive if tip <= threshold else priority).append(record)
+        return defensive, priority
 
     @classmethod
     def from_rows(cls, rows: Sequence) -> "BundleBlock":
@@ -245,25 +318,22 @@ def _features_from_parts(
     )
 
 
-def load_tx_features(
+def _assemble_features(
     query: ArchiveQuery,
-    tx_ids: Sequence[str],
-    delta_ids: Sequence[str],
+    signers: dict[str, str],
+    event_rows: Sequence,
+    delta_rows: Sequence,
 ) -> dict[str, TxFeatures]:
-    """Extract features for ``tx_ids`` through the columnar projections.
+    """Regroup projection rows into per-transaction features.
 
-    ``delta_ids`` names the subset whose token deltas matter (the
-    attacker-side edge transactions); the others skip the nested
-    ``json_each`` walk entirely. Transactions with degraded big-integer
-    extractions are transparently refetched as raw JSON.
+    Shared by the id-list and range-join load paths — both feed it the
+    same row shapes, so suspect detection, the raw-JSON precision
+    refetch, and feature assembly are identical regardless of how the
+    rows were selected.
     """
-    tx_ids = list(dict.fromkeys(tx_ids))
-    delta_wanted = set(delta_ids)
-    signers = dict(query.detail_signers(tx_ids))
-
     events_by_tx: dict[str, list] = {tx: [] for tx in signers}
     suspects: set[str] = set()
-    for row in query.event_columns(list(signers)):
+    for row in event_rows:
         tx, ordinal = row[0], row[1]
         etype, a_in, a_out = row[2], row[7], row[8]
         if etype == "swap" and (_suspect(a_in) or _suspect(a_out)):
@@ -271,8 +341,7 @@ def load_tx_features(
         events_by_tx[tx].append((ordinal, row[2:]))
 
     deltas_by_tx: dict[str, list] = {tx: [] for tx in signers}
-    wanted = [tx for tx in signers if tx in delta_wanted]
-    for tx, owner, mint, value in query.token_delta_columns(wanted):
+    for tx, owner, mint, value in delta_rows:
         if _suspect(value):
             suspects.add(tx)
         deltas_by_tx[tx].append((owner, mint, value))
@@ -288,6 +357,55 @@ def load_tx_features(
             signer, [row for _, row in rows], deltas_by_tx[tx]
         )
     return features
+
+
+def load_tx_features(
+    query: ArchiveQuery,
+    tx_ids: Sequence[str],
+    delta_ids: Sequence[str],
+) -> dict[str, TxFeatures]:
+    """Extract features for ``tx_ids`` through the columnar projections.
+
+    ``delta_ids`` names the subset whose token deltas matter (the
+    attacker-side edge transactions); the others skip the nested
+    ``json_each`` walk entirely. Transactions with degraded big-integer
+    extractions are transparently refetched as raw JSON.
+    """
+    tx_ids = list(dict.fromkeys(tx_ids))
+    delta_wanted = set(delta_ids)
+    signers = dict(query.detail_signers(tx_ids))
+    wanted = [tx for tx in signers if tx in delta_wanted]
+    return _assemble_features(
+        query,
+        signers,
+        query.event_columns(list(signers)),
+        query.token_delta_columns(wanted),
+    )
+
+
+def load_tx_features_range(
+    query: ArchiveQuery, seq_lo: int, seq_hi: int
+) -> dict[str, TxFeatures]:
+    """Extract candidate features for a whole ``seq`` range, coalesced.
+
+    The range-join form of :func:`load_tx_features`: three constant-SQL
+    round-trips (members+signers, events, edge deltas) cover every
+    length-three bundle in the chunk, with no Python-side id collection
+    and no ``IN``-list construction. Members whose details were never
+    fetched surface as NULL signers and are simply absent from the
+    result — the same "missing feature" signal the id path produces.
+    """
+    signers = {
+        row[2]: row[3]
+        for row in query.candidate_members(seq_lo, seq_hi)
+        if row[3] is not None
+    }
+    return _assemble_features(
+        query,
+        signers,
+        query.candidate_event_columns(seq_lo, seq_hi),
+        query.candidate_token_delta_columns(seq_lo, seq_hi),
+    )
 
 
 def _refetch_raw(
@@ -322,6 +440,24 @@ def _refetch_raw(
 
 
 @dataclass
+class InternPool:
+    """Cross-chunk interning tables for the code columns.
+
+    Codes are only ever compared for equality *within* one block's
+    columns, so sharing the tables across chunks is sound — equal values
+    still get equal codes, unequal values unequal codes — and saves
+    re-interning the same signers, mints, and mint sets for every chunk
+    of a long scan. One pool per analysis run (per worker process under
+    ``--jobs``) is the intended scope; the codes never appear in any
+    output, so pool reuse cannot affect byte identity.
+    """
+
+    signers: dict = field(default_factory=dict)
+    mint_sets: dict = field(default_factory=dict)
+    leg_mints: dict = field(default_factory=dict)
+
+
+@dataclass
 class CandidateBlock:
     """Complete length-three candidates as parallel columns.
 
@@ -331,13 +467,16 @@ class CandidateBlock:
     cached — criteria and quantification share the same arrays, and the
     hot comparisons run on interned int64 *code* columns (equal strings
     or mint sets get equal codes) rather than object-dtype elementwise
-    Python calls.
+    Python calls. ``intern`` optionally shares the interning tables
+    across blocks (see :class:`InternPool`); without one, each block
+    interns from scratch.
     """
 
     block: BundleBlock
     indexes: list[int]
     features: list[tuple[TxFeatures, TxFeatures, TxFeatures]]
     _cache: dict = field(default_factory=dict, repr=False)
+    intern: InternPool | None = None
 
     def __len__(self) -> int:
         """Candidates in the block."""
@@ -384,7 +523,9 @@ class CandidateBlock:
         at int64 vector speed.
         """
         if "signer_codes" not in self._cache:
-            codes: dict[str, int] = {}
+            codes: dict[str, int] = (
+                self.intern.signers if self.intern is not None else {}
+            )
             self._cache["signer_codes"] = tuple(
                 _np.array(
                     [
@@ -415,7 +556,9 @@ class CandidateBlock:
         criterion 2 additionally demands non-emptiness).
         """
         if "mint_set_codes" not in self._cache:
-            interned: dict[frozenset, int] = {}
+            interned: dict[frozenset, int] = (
+                self.intern.mint_sets if self.intern is not None else {}
+            )
             codes = []
             nonempty = []
             for pos in range(3):
@@ -441,7 +584,9 @@ class CandidateBlock:
         presence exactly as with :meth:`leg_columns`.
         """
         if "leg_codes" not in self._cache:
-            codes: dict[str, int] = {}
+            codes: dict[str, int] = (
+                self.intern.leg_mints if self.intern is not None else {}
+            )
             pairs = []
             for position in range(3):
                 _, mint_in, mint_out, _, _ = self.leg_columns(position)
@@ -569,13 +714,15 @@ def split_candidates(
     block: BundleBlock,
     features: dict[str, TxFeatures],
     candidate_indexes: Sequence[int],
+    intern: InternPool | None = None,
 ) -> tuple[CandidateBlock, int, tuple[str, ...]]:
     """Partition candidates into a complete block plus pending bookkeeping.
 
     Returns ``(candidates, skipped_incomplete, pending_bundle_ids)`` with
     pending ids in block (collection) order, matching the object worker's
     accounting exactly: a candidate with any undetailed member counts
-    skipped once and appears once in the pending list.
+    skipped once and appears once in the pending list. ``intern``
+    optionally threads a cross-chunk :class:`InternPool` into the block.
     """
     complete: list[int] = []
     triples: list[tuple] = []
@@ -588,7 +735,9 @@ def split_candidates(
         else:
             pending.append(block.bundle_ids[index])
     return (
-        CandidateBlock(block=block, indexes=complete, features=triples),
+        CandidateBlock(
+            block=block, indexes=complete, features=triples, intern=intern
+        ),
         len(pending),
         tuple(pending),
     )

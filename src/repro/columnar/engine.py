@@ -10,6 +10,15 @@ Vectorization therefore *multiplies* with ``--jobs`` sharding: each worker
 analyzes its chunks columnar-style, and the reducer cannot tell the
 difference.
 
+The analysis is split at the I/O boundary into
+:func:`load_chunk_columnar` (every SQLite round-trip, producing a
+picklable-free in-memory :class:`ColumnarChunkPayload`) and
+:func:`compute_chunk_columnar` (pure in-memory mask evaluation). The
+split is what lets the prefetching pipeline in ``repro.parallel`` overlap
+the next chunk's loads with the current chunk's compute, and it is also
+the stage-profiling seam: load time is measured around the former,
+intern/detect/quantify around the latter's phases.
+
 Only the standard length-three detector is supported; the windowed
 detector's overlapping-window scan has no columnar formulation yet and
 asking for one raises :class:`~repro.errors.ConfigError` up front.
@@ -19,14 +28,19 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import dataclass, field
 
 from repro.archive.database import ArchiveDatabase
 from repro.archive.query import ArchiveQuery
 from repro.columnar import require_columnar
 from repro.columnar.blocks import (
+    BundleBlock,
+    InternPool,
+    TxFeatures,
     load_bundle_block,
     load_bundle_block_for_ids,
     load_tx_features,
+    load_tx_features_range,
     split_candidates,
 )
 from repro.columnar.criteria import evaluate_block
@@ -37,7 +51,6 @@ from repro.dex.oracle import PriceOracle
 from repro.errors import ConfigError
 from repro.parallel.chunks import ChunkTask, DetectorSpec
 from repro.parallel.worker import ChunkOutcome
-from repro.utils.base58 import b58_cache_stats
 
 
 def require_columnar_spec(spec: DetectorSpec) -> None:
@@ -51,56 +64,127 @@ def require_columnar_spec(spec: DetectorSpec) -> None:
         )
 
 
-def analyze_chunk_columnar(
-    database: ArchiveDatabase, task: ChunkTask
-) -> ChunkOutcome:
-    """Analyze one chunk through the columnar path.
+@dataclass
+class ColumnarChunkPayload:
+    """Everything a chunk needs after its last SQLite round-trip.
 
-    The sequence mirrors the object worker exactly — candidates in
-    collection order, detected events stable-sorted by ``landed_at``,
-    length-one bundles classified in collection order, pending ids in
-    collection order — so the merged report is byte-identical.
+    Produced by :func:`load_chunk_columnar` (possibly on a prefetch
+    thread holding its own read-only connection) and consumed by
+    :func:`compute_chunk_columnar` on the analyzing thread — the payload
+    itself never touches the database again.
+    """
+
+    block: BundleBlock
+    candidate_indexes: list[int]
+    features: dict[str, TxFeatures]
+    load_seconds: float = 0.0
+    cache_deltas: dict = field(default_factory=dict)
+
+
+def _cache_counters() -> dict:
+    """Snapshot the hot-path cache counters the outcome reports."""
+    views = view_cache_stats()
+    from repro.utils.base58 import b58_cache_stats
+
+    b58 = b58_cache_stats()
+    return {
+        "view_cache_hits": views["hits"],
+        "view_cache_misses": views["misses"],
+        "b58_cache_hits": b58["hits"],
+        "b58_cache_misses": b58["misses"],
+    }
+
+
+def load_chunk_columnar(
+    query: ArchiveQuery, task: ChunkTask
+) -> ColumnarChunkPayload:
+    """Run every SQLite projection one chunk needs (the *load* stage).
+
+    Range tasks take the coalesced fast path — three constant-SQL
+    candidate projections keyed by the chunk's seq bounds, reusing the
+    connection's prepared statements across chunks — while explicit
+    worklists (the incremental analyzer's pending re-checks) keep the
+    id-batched path. Both produce the same features mapping: members
+    without archived details are simply absent, surfacing as pending
+    downstream exactly as in the object worker.
     """
     task.validate()
     require_columnar_spec(task.spec)
     started = time.perf_counter()
-    views_before = view_cache_stats()
-    b58_before = b58_cache_stats()
-
-    query = ArchiveQuery(database)
+    before = _cache_counters()
     if task.bundle_ids:
         block = load_bundle_block_for_ids(query, task.bundle_ids)
     else:
         block = load_bundle_block(
             query, task.chunk.seq_lo, task.chunk.seq_hi
         )
-    spec = task.spec
 
     candidate_indexes = [
         index
         for index, length in enumerate(block.lengths)
         if length == 3
     ]
-    member_ids: list[str] = []
-    edge_ids: list[str] = []
-    for index in candidate_indexes:
-        members = block.transaction_ids(index)
-        member_ids.extend(members)
-        edge_ids.append(members[0])
-        edge_ids.append(members[2])
-    features = load_tx_features(query, member_ids, edge_ids)
-    candidates, skipped, pending = split_candidates(
-        block, features, candidate_indexes
+    if task.bundle_ids:
+        member_ids: list[str] = []
+        edge_ids: list[str] = []
+        for index in candidate_indexes:
+            members = block.transaction_ids(index)
+            member_ids.extend(members)
+            edge_ids.append(members[0])
+            edge_ids.append(members[2])
+        features = load_tx_features(query, member_ids, edge_ids)
+    else:
+        features = load_tx_features_range(
+            query, task.chunk.seq_lo, task.chunk.seq_hi
+        )
+    after = _cache_counters()
+    return ColumnarChunkPayload(
+        block=block,
+        candidate_indexes=candidate_indexes,
+        features=features,
+        load_seconds=time.perf_counter() - started,
+        cache_deltas={
+            key: after[key] - before[key] for key in after
+        },
     )
-    # Column materialization (interning included) belongs to the load
+
+
+def compute_chunk_columnar(
+    task: ChunkTask,
+    payload: ColumnarChunkPayload,
+    intern: InternPool | None = None,
+) -> ChunkOutcome:
+    """Evaluate a loaded chunk in memory (intern/detect/quantify stages).
+
+    The sequence mirrors the object worker exactly — candidates in
+    collection order, detected events stable-sorted by ``landed_at``,
+    length-one bundles classified in collection order, pending ids in
+    collection order — so the merged report is byte-identical. ``intern``
+    optionally shares code tables across chunks (identity-safe: codes
+    never reach the report).
+    """
+    spec = task.spec
+    block = payload.block
+    before = _cache_counters()
+
+    intern_started = time.perf_counter()
+    candidates, skipped, pending = split_candidates(
+        block, payload.features, payload.candidate_indexes, intern=intern
+    )
+    # Column materialization (interning included) belongs to the intern
     # phase; evaluation below touches cached primitive arrays only.
     candidates.prepare()
+    intern_seconds = time.perf_counter() - intern_started
 
+    detect_started = time.perf_counter()
     verdicts = evaluate_block(candidates, skip=spec.skip_criteria)
     landed = candidates.landed_column()
     event_order = sorted(
         verdicts.detected_indexes, key=lambda index: landed[index]
     )
+    detect_seconds = time.perf_counter() - detect_started
+
+    quantify_started = time.perf_counter()
     oracle = (
         PriceOracle(spec.usd_per_sol)
         if spec.usd_per_sol is not None
@@ -110,14 +194,8 @@ def analyze_chunk_columnar(
         candidates, event_order, usd_per_sol=oracle.usd_per_sol
     )
 
-    defensive = []
-    priority = []
-    threshold = spec.threshold_lamports
-    for index, length in enumerate(block.lengths):
-        if length != 1:
-            continue
-        target = defensive if block.tips[index] <= threshold else priority
-        target.append(block.record(index))
+    defensive, priority = block.classify_singles(spec.threshold_lamports)
+    quantify_seconds = time.perf_counter() - quantify_started
 
     stats = DetectionStats(
         bundles_examined=verdicts.examined,
@@ -125,8 +203,8 @@ def analyze_chunk_columnar(
         bundles_skipped_incomplete=skipped,
         rejections_by_criterion=verdicts.rejections,
     )
-    views_after = view_cache_stats()
-    b58_after = b58_cache_stats()
+    after = _cache_counters()
+    deltas = payload.cache_deltas
     return ChunkOutcome(
         index=task.index,
         bundle_count=len(block),
@@ -135,10 +213,48 @@ def analyze_chunk_columnar(
         priority=tuple(priority),
         stats=stats,
         pending_detail_ids=pending,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=(
+            payload.load_seconds
+            + intern_seconds
+            + detect_seconds
+            + quantify_seconds
+        ),
         worker=f"pid-{os.getpid()}",
-        view_cache_hits=views_after["hits"] - views_before["hits"],
-        view_cache_misses=views_after["misses"] - views_before["misses"],
-        b58_cache_hits=b58_after["hits"] - b58_before["hits"],
-        b58_cache_misses=b58_after["misses"] - b58_before["misses"],
+        view_cache_hits=(
+            after["view_cache_hits"]
+            - before["view_cache_hits"]
+            + deltas.get("view_cache_hits", 0)
+        ),
+        view_cache_misses=(
+            after["view_cache_misses"]
+            - before["view_cache_misses"]
+            + deltas.get("view_cache_misses", 0)
+        ),
+        b58_cache_hits=(
+            after["b58_cache_hits"]
+            - before["b58_cache_hits"]
+            + deltas.get("b58_cache_hits", 0)
+        ),
+        b58_cache_misses=(
+            after["b58_cache_misses"]
+            - before["b58_cache_misses"]
+            + deltas.get("b58_cache_misses", 0)
+        ),
+        stage_seconds=(
+            ("load", payload.load_seconds),
+            ("intern", intern_seconds),
+            ("detect", detect_seconds),
+            ("quantify", quantify_seconds),
+        ),
     )
+
+
+def analyze_chunk_columnar(
+    database: ArchiveDatabase,
+    task: ChunkTask,
+    intern: InternPool | None = None,
+) -> ChunkOutcome:
+    """Analyze one chunk through the columnar path (load then compute)."""
+    query = ArchiveQuery(database)
+    payload = load_chunk_columnar(query, task)
+    return compute_chunk_columnar(task, payload, intern=intern)

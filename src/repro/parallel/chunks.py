@@ -22,6 +22,12 @@ from repro.errors import ConfigError
 #: that a 50k-bundle archive still spreads across a 4-worker pool.
 DEFAULT_CHUNK_SIZE = 2_048
 
+#: Default loaded-chunks-in-flight bound for the prefetching pipeline.
+#: One chunk being computed plus two loaded-ahead keeps the reader busy
+#: without holding more than a few chunks' columns in memory; 0 disables
+#: prefetching entirely (loads and computes alternate on one thread).
+DEFAULT_PREFETCH_DEPTH = 2
+
 
 @dataclass(frozen=True)
 class DetectorSpec:
@@ -106,13 +112,46 @@ class ChunkTask:
             )
 
 
+@dataclass(frozen=True)
+class ChunkBatch:
+    """One worker's ordered task group, pipelined inside the worker.
+
+    Under ``--jobs`` with prefetching, the engine deals the chunk
+    sequence round-robin into one batch per worker; each worker then
+    overlaps its own loads with its own compute via
+    :func:`repro.parallel.worker.iter_batch_outcomes`. Outcomes still
+    carry their tasks' global ``index`` values, so the deterministic
+    merge is indifferent to the batching.
+    """
+
+    tasks: tuple[ChunkTask, ...]
+    prefetch: int
+
+    @property
+    def archive_path(self) -> str:
+        """The archive every task in the batch reads."""
+        return self.tasks[0].archive_path
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on an empty or mixed-archive batch."""
+        if not self.tasks:
+            raise ConfigError("a chunk batch needs at least one task")
+        paths = {task.archive_path for task in self.tasks}
+        if len(paths) != 1:
+            raise ConfigError(
+                f"a chunk batch must target one archive, got {sorted(paths)}"
+            )
+
+
 def plan_chunks(
     query: ArchiveQuery,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     where: BundleFilter | None = None,
     seq_min: int | None = None,
 ) -> list[ArchiveChunk]:
-    """Materialize the chunk plan for an archive (projection-only scan)."""
-    return list(
-        query.iter_chunks(chunk_size=chunk_size, where=where, seq_min=seq_min)
+    """Materialize the chunk plan for an archive in one window-function
+    pass (:meth:`~repro.archive.query.ArchiveQuery.chunk_bounds`), rather
+    than the keyset walk of ``iter_chunks`` — same chunks, one query."""
+    return query.chunk_bounds(
+        chunk_size=chunk_size, where=where, seq_min=seq_min
     )

@@ -30,6 +30,8 @@ from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.parallel.chunks import (
     CHUNK_ENGINES,
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_PREFETCH_DEPTH,
+    ChunkBatch,
     ChunkTask,
     DetectorSpec,
     plan_chunks,
@@ -37,10 +39,12 @@ from repro.parallel.chunks import (
 from repro.parallel.merge import MergedAnalysis, merge_outcomes
 from repro.parallel.worker import (
     ChunkOutcome,
-    dispatch_chunk,
     init_worker,
+    iter_batch_outcomes,
     run_chunk,
+    run_chunk_batch,
 )
+from repro.pipeline.profile import StageProfile, StageTimer
 
 #: Histogram buckets for per-chunk wall-clock (seconds).
 _CHUNK_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0)
@@ -63,6 +67,7 @@ class ParallelAnalysisEngine:
         oracle: PriceOracle | None = None,
         metrics: MetricsRegistry | None = None,
         engine: str = "object",
+        prefetch: int = DEFAULT_PREFETCH_DEPTH,
     ) -> None:
         self.database = (
             database
@@ -75,6 +80,9 @@ class ParallelAnalysisEngine:
         if chunk_size < 1:
             raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
+        if prefetch < 0:
+            raise ConfigError(f"prefetch must be >= 0, got {prefetch}")
+        self.prefetch = prefetch
         self.oracle = oracle or PriceOracle()
         spec = spec or DetectorSpec()
         spec.validate()
@@ -121,6 +129,15 @@ class ParallelAnalysisEngine:
             "hotpath_cache_misses_total",
             "Hot-path memo misses observed during chunk analysis, by cache.",
         )
+        self._stage_seconds = self.metrics.histogram(
+            "analyze_stage_seconds",
+            "Wall-clock seconds per pipeline stage "
+            "(load/intern/detect/quantify/merge), by stage.",
+            buckets=_CHUNK_BUCKETS,
+        )
+        #: Accumulated stage breakdown of the most recent run — reset by
+        #: :meth:`analyze`, folded into by every observed outcome.
+        self.stage_profile = StageProfile()
 
     # --- task execution ----------------------------------------------------
 
@@ -130,6 +147,9 @@ class ParallelAnalysisEngine:
         self._chunk_seconds.observe(
             outcome.elapsed_seconds, worker=outcome.worker
         )
+        self.stage_profile.add_outcome(outcome)
+        for stage, elapsed in outcome.stage_seconds:
+            self._stage_seconds.observe(elapsed, stage=stage)
         for cache, hits, misses in (
             ("view", outcome.view_cache_hits, outcome.view_cache_misses),
             ("b58", outcome.b58_cache_hits, outcome.b58_cache_misses),
@@ -141,8 +161,10 @@ class ParallelAnalysisEngine:
 
     def _run_in_process(self, tasks: list[ChunkTask]) -> list[ChunkOutcome]:
         outcomes: list[ChunkOutcome] = []
-        for position, task in enumerate(tasks):
-            outcome = dispatch_chunk(self.database, task)
+        pipelined = iter_batch_outcomes(
+            self.database, tasks, prefetch=self.prefetch
+        )
+        for position, outcome in enumerate(pipelined):
             self._observe(outcome, remaining=len(tasks) - position - 1)
             outcomes.append(outcome)
         return outcomes
@@ -158,11 +180,32 @@ class ParallelAnalysisEngine:
             initargs=(str(self.database.path),),
         )
         try:
-            for outcome in pool.imap_unordered(run_chunk, tasks):
-                self._observe(
-                    outcome, remaining=len(tasks) - len(outcomes) - 1
-                )
-                outcomes.append(outcome)
+            if self.prefetch > 0 and len(tasks) > workers:
+                # Deal the chunk sequence round-robin into one batch per
+                # worker; each worker pipelines its own loads against its
+                # own compute. Outcomes keep their global index, so the
+                # deterministic merge is indifferent to the dealing.
+                batches = [
+                    ChunkBatch(
+                        tasks=tuple(tasks[offset::workers]),
+                        prefetch=self.prefetch,
+                    )
+                    for offset in range(workers)
+                ]
+                for batch_outcomes in pool.imap_unordered(
+                    run_chunk_batch, batches
+                ):
+                    for outcome in batch_outcomes:
+                        self._observe(
+                            outcome, remaining=len(tasks) - len(outcomes) - 1
+                        )
+                        outcomes.append(outcome)
+            else:
+                for outcome in pool.imap_unordered(run_chunk, tasks):
+                    self._observe(
+                        outcome, remaining=len(tasks) - len(outcomes) - 1
+                    )
+                    outcomes.append(outcome)
         finally:
             pool.close()
             pool.join()
@@ -214,17 +257,22 @@ class ParallelAnalysisEngine:
         the serial pipeline's ``record_analysis`` hook does.
         """
         with self.metrics.span("parallel.analyze"):
+            self.stage_profile = StageProfile()
             chunks = plan_chunks(self.query, chunk_size=self.chunk_size)
             tasks = self.tasks_for_chunks(chunks)
             outcomes = self.run_tasks(tasks)
             if progress is not None:
                 progress(len(outcomes), len(tasks))
-            merged = merge_outcomes(
-                outcomes, threshold_lamports=self.spec.threshold_lamports
-            )
-            report = self.build_report(
-                merged, poll_overlap_fraction=poll_overlap_fraction
-            )
+            with StageTimer(
+                self.stage_profile, "merge", histogram=self._stage_seconds
+            ):
+                merged = merge_outcomes(
+                    outcomes,
+                    threshold_lamports=self.spec.threshold_lamports,
+                )
+                report = self.build_report(
+                    merged, poll_overlap_fraction=poll_overlap_fraction
+                )
             if persist:
                 self.persist(report)
         return report

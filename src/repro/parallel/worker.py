@@ -6,13 +6,22 @@ The same :func:`analyze_chunk` also serves the ``jobs=1`` in-process path —
 the engine calls it directly on its own connection, so single-job runs
 execute byte-for-byte the same analysis code without any
 :mod:`multiprocessing` import.
+
+Every chunk's work is split at the I/O boundary into a *load* stage
+(:func:`load_task`, all SQLite round-trips) and a *compute* stage
+(:func:`compute_task`, pure in-memory detection). :func:`iter_batch_outcomes`
+threads a bounded prefetcher between the two so chunk N+1's loads overlap
+chunk N's compute; :func:`run_chunk_batch` is the pool entry point that
+runs that same pipeline inside a worker process over a
+:class:`~repro.parallel.chunks.ChunkBatch`.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from repro.archive.database import ArchiveDatabase
 from repro.archive.query import ArchiveQuery
@@ -23,11 +32,14 @@ from repro.core.detector import DetectionStats
 from repro.core.quantify import LossQuantifier, QuantifiedSandwich
 from repro.dex.oracle import PriceOracle
 from repro.explorer.models import BundleRecord
-from repro.parallel.chunks import ChunkTask
+from repro.parallel.chunks import ChunkBatch, ChunkTask
 from repro.utils.base58 import b58_cache_stats
 
 #: The worker process's lazily-opened read-only archive handle.
 _WORKER_DB: ArchiveDatabase | None = None
+
+#: The worker process's cross-chunk interning pool (columnar runs only).
+_WORKER_INTERN = None
 
 
 @dataclass(frozen=True)
@@ -37,6 +49,9 @@ class ChunkOutcome:
     All fields are picklable; per-chunk lists are already in the chunk's
     deterministic (collection-order) form, so the reducer only needs to
     concatenate outcomes by ``index`` and re-sort globally.
+    ``stage_seconds`` carries the chunk's wall-time split as
+    ``(stage, seconds)`` pairs — purely observational, never merged into
+    the report itself.
     """
 
     index: int
@@ -52,6 +67,28 @@ class ChunkOutcome:
     view_cache_misses: int = 0
     b58_cache_hits: int = 0
     b58_cache_misses: int = 0
+    stage_seconds: tuple[tuple[str, float], ...] = ()
+
+
+@dataclass
+class ObjectChunkPayload:
+    """The object path's loaded working set, ready for pure compute."""
+
+    mini: BundleStore
+    load_seconds: float = 0.0
+    cache_deltas: dict = field(default_factory=dict)
+
+
+def _counters() -> dict:
+    """Snapshot the hot-path cache counters the outcome reports."""
+    views = view_cache_stats()
+    b58 = b58_cache_stats()
+    return {
+        "view_cache_hits": views["hits"],
+        "view_cache_misses": views["misses"],
+        "b58_cache_hits": b58["hits"],
+        "b58_cache_misses": b58["misses"],
+    }
 
 
 def init_worker(archive_path: str) -> None:
@@ -60,15 +97,50 @@ def init_worker(archive_path: str) -> None:
     _WORKER_DB = ArchiveDatabase(archive_path, read_only=True)
 
 
-def run_chunk(task: ChunkTask) -> ChunkOutcome:
-    """Pool entry point: analyze one chunk on this worker's connection."""
+def _worker_db(archive_path: str) -> ArchiveDatabase:
+    """This worker's connection, opened on first use if the initializer
+    did not run (in-process fallbacks in tests)."""
     global _WORKER_DB
     if _WORKER_DB is None:  # pragma: no cover - initializer normally ran
-        _WORKER_DB = ArchiveDatabase(task.archive_path, read_only=True)
-    return dispatch_chunk(_WORKER_DB, task)
+        _WORKER_DB = ArchiveDatabase(archive_path, read_only=True)
+    return _WORKER_DB
 
 
-def dispatch_chunk(database: ArchiveDatabase, task: ChunkTask) -> ChunkOutcome:
+def _worker_intern():
+    """This worker's cross-chunk :class:`InternPool`, created lazily."""
+    global _WORKER_INTERN
+    if _WORKER_INTERN is None:
+        from repro.columnar.blocks import InternPool
+
+        _WORKER_INTERN = InternPool()
+    return _WORKER_INTERN
+
+
+def run_chunk(task: ChunkTask) -> ChunkOutcome:
+    """Pool entry point: analyze one chunk on this worker's connection."""
+    database = _worker_db(task.archive_path)
+    if task.engine == "columnar":
+        return dispatch_chunk(database, task, intern=_worker_intern())
+    return dispatch_chunk(database, task)
+
+
+def run_chunk_batch(batch: ChunkBatch) -> list[ChunkOutcome]:
+    """Pool entry point: run one worker's task group through the pipeline.
+
+    Each worker receives a round-robin slice of the chunk sequence as a
+    :class:`~repro.parallel.chunks.ChunkBatch` and overlaps its own loads
+    with its own compute via :func:`iter_batch_outcomes` — prefetching
+    composes with process parallelism instead of competing with it.
+    """
+    database = _worker_db(batch.archive_path)
+    return list(
+        iter_batch_outcomes(database, batch.tasks, prefetch=batch.prefetch)
+    )
+
+
+def dispatch_chunk(
+    database: ArchiveDatabase, task: ChunkTask, intern=None
+) -> ChunkOutcome:
     """Route one task to the engine it names (object or columnar).
 
     The columnar import is deferred so object-only runs never touch
@@ -77,8 +149,75 @@ def dispatch_chunk(database: ArchiveDatabase, task: ChunkTask) -> ChunkOutcome:
     if task.engine == "columnar":
         from repro.columnar.engine import analyze_chunk_columnar
 
-        return analyze_chunk_columnar(database, task)
+        return analyze_chunk_columnar(database, task, intern=intern)
     return analyze_chunk(database, task)
+
+
+def load_task(database: ArchiveDatabase, task: ChunkTask):
+    """Run one task's *load* stage (every SQLite round-trip it needs).
+
+    The returned payload is engine-specific but always self-contained:
+    :func:`compute_task` never touches the database, which is what lets a
+    prefetch thread run this stage on its own read-only connection while
+    the analyzing thread computes the previous chunk.
+    """
+    if task.engine == "columnar":
+        from repro.columnar.engine import load_chunk_columnar
+
+        return load_chunk_columnar(ArchiveQuery(database), task)
+    task.validate()
+    started = time.perf_counter()
+    before = _counters()
+    mini = _load_mini_store(database, task)
+    after = _counters()
+    return ObjectChunkPayload(
+        mini=mini,
+        load_seconds=time.perf_counter() - started,
+        cache_deltas={key: after[key] - before[key] for key in after},
+    )
+
+
+def compute_task(task: ChunkTask, payload, intern=None) -> ChunkOutcome:
+    """Run one task's *compute* stage over an already-loaded payload."""
+    if task.engine == "columnar":
+        from repro.columnar.engine import compute_chunk_columnar
+
+        return compute_chunk_columnar(task, payload, intern=intern)
+    return _compute_object_chunk(task, payload)
+
+
+def iter_batch_outcomes(
+    database: ArchiveDatabase,
+    tasks: Iterable[ChunkTask],
+    prefetch: int,
+    intern=None,
+) -> Iterator[ChunkOutcome]:
+    """Yield outcomes for ``tasks`` in order, loads overlapped with compute.
+
+    With ``prefetch > 0`` a bounded background reader (its own read-only
+    connection) keeps up to ``prefetch`` loaded payloads in flight while
+    this thread computes; with ``prefetch <= 0`` the stages simply
+    alternate on ``database``. Either way the outcomes are the same
+    objects in the same order — the pipeline only changes *when* loads
+    happen, never what they return.
+    """
+    tasks = list(tasks)
+    if intern is None and any(task.engine == "columnar" for task in tasks):
+        from repro.columnar.blocks import InternPool
+
+        intern = InternPool()
+    if prefetch <= 0 or len(tasks) <= 1:
+        for task in tasks:
+            yield compute_task(task, load_task(database, task), intern=intern)
+        return
+    from repro.pipeline.prefetch import ChunkPrefetcher
+
+    prefetcher = ChunkPrefetcher(
+        tasks[0].archive_path, tasks, depth=prefetch, load=load_task
+    )
+    with prefetcher:
+        for task, payload in prefetcher:
+            yield compute_task(task, payload, intern=intern)
 
 
 def _load_mini_store(database: ArchiveDatabase, task: ChunkTask) -> BundleStore:
@@ -109,24 +248,26 @@ def _load_mini_store(database: ArchiveDatabase, task: ChunkTask) -> BundleStore:
     return mini
 
 
-def analyze_chunk(database: ArchiveDatabase, task: ChunkTask) -> ChunkOutcome:
-    """Run the full detection stack over one chunk of the archive.
+def _compute_object_chunk(
+    task: ChunkTask, payload: ObjectChunkPayload
+) -> ChunkOutcome:
+    """Detector, quantifier, classifier over a loaded object working set.
 
-    This is deliberately the same sequence the serial pipeline runs —
-    detector, quantifier, classifier, in collection order — restricted to
-    the chunk's bundles. Determinism of the merged result follows from
-    each chunk being analyzed in collection order and the reducer
-    preserving chunk order.
+    This is deliberately the same sequence the serial pipeline runs — in
+    collection order, restricted to the chunk's bundles. Determinism of
+    the merged result follows from each chunk being analyzed in
+    collection order and the reducer preserving chunk order.
     """
-    task.validate()
-    started = time.perf_counter()
-    views_before = view_cache_stats()
-    b58_before = b58_cache_stats()
-
-    mini = _load_mini_store(database, task)
+    mini = payload.mini
     spec = task.spec
+    before = _counters()
+
+    detect_started = time.perf_counter()
     detector = spec.build_detector()
     events = detector.detect_all(mini)
+    detect_seconds = time.perf_counter() - detect_started
+
+    quantify_started = time.perf_counter()
     oracle = (
         PriceOracle(spec.usd_per_sol)
         if spec.usd_per_sol is not None
@@ -143,9 +284,10 @@ def analyze_chunk(database: ArchiveDatabase, task: ChunkTask) -> ChunkOutcome:
         for bundle in mini.bundles()
         if bundle.num_transactions in wanted and mini.missing_details(bundle)
     )
+    quantify_seconds = time.perf_counter() - quantify_started
 
-    views_after = view_cache_stats()
-    b58_after = b58_cache_stats()
+    after = _counters()
+    deltas = payload.cache_deltas
     return ChunkOutcome(
         index=task.index,
         bundle_count=len(mini),
@@ -154,10 +296,38 @@ def analyze_chunk(database: ArchiveDatabase, task: ChunkTask) -> ChunkOutcome:
         priority=tuple(classification.priority),
         stats=detector.stats,
         pending_detail_ids=pending,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=(
+            payload.load_seconds + detect_seconds + quantify_seconds
+        ),
         worker=f"pid-{os.getpid()}",
-        view_cache_hits=views_after["hits"] - views_before["hits"],
-        view_cache_misses=views_after["misses"] - views_before["misses"],
-        b58_cache_hits=b58_after["hits"] - b58_before["hits"],
-        b58_cache_misses=b58_after["misses"] - b58_before["misses"],
+        view_cache_hits=(
+            after["view_cache_hits"]
+            - before["view_cache_hits"]
+            + deltas.get("view_cache_hits", 0)
+        ),
+        view_cache_misses=(
+            after["view_cache_misses"]
+            - before["view_cache_misses"]
+            + deltas.get("view_cache_misses", 0)
+        ),
+        b58_cache_hits=(
+            after["b58_cache_hits"]
+            - before["b58_cache_hits"]
+            + deltas.get("b58_cache_hits", 0)
+        ),
+        b58_cache_misses=(
+            after["b58_cache_misses"]
+            - before["b58_cache_misses"]
+            + deltas.get("b58_cache_misses", 0)
+        ),
+        stage_seconds=(
+            ("load", payload.load_seconds),
+            ("detect", detect_seconds),
+            ("quantify", quantify_seconds),
+        ),
     )
+
+
+def analyze_chunk(database: ArchiveDatabase, task: ChunkTask) -> ChunkOutcome:
+    """Run the full detection stack over one chunk of the archive."""
+    return _compute_object_chunk(task, load_task(database, task))

@@ -1,0 +1,159 @@
+"""Parity of the coalesced range loaders and the fast record constructor.
+
+The read-path optimizations must be invisible above their seams:
+:func:`load_tx_features_range` (three constant-SQL projections per
+chunk) must produce exactly the features the id-batched
+:func:`load_tx_features` produces, :func:`_fast_record` and
+:meth:`BundleBlock.classify_singles` must build records
+field-for-field equal to the frozen-dataclass constructor, and the
+shared :class:`InternPool` must not change any block output.
+"""
+
+import pytest
+
+from repro.archive.database import ArchiveDatabase
+from repro.archive.query import ArchiveQuery
+from repro.columnar.blocks import (
+    InternPool,
+    _fast_record,
+    load_bundle_block,
+    load_tx_features,
+    load_tx_features_range,
+    split_candidates,
+)
+from repro.explorer.models import BundleRecord
+from tests.parallel.helpers import build_archive
+
+DESCRIPTORS = (
+    [("sandwich", i, 2_000_000) for i in range(4)]
+    + [("benign3", i, 50_000) for i in range(4)]
+    + [("undetailed3", 2, 75_000) for _ in range(2)]
+    + [("plain", i % 3, 10_000) for i in range(8)]
+    + [("plain", 1, 900_000) for _ in range(3)]
+    + [("pair", 5, 60_000) for _ in range(2)]
+)
+
+
+@pytest.fixture
+def query(tmp_path):
+    path = tmp_path / "archive.db"
+    build_archive(path, DESCRIPTORS)
+    database = ArchiveDatabase(path, read_only=True)
+    yield ArchiveQuery(database)
+    database.close()
+
+
+def candidate_ids(block):
+    """The id-path inputs: all member ids plus the attacker-edge ids."""
+    member_ids, edge_ids = [], []
+    for index, length in enumerate(block.lengths):
+        if length != 3:
+            continue
+        members = block.transaction_ids(index)
+        member_ids.extend(members)
+        edge_ids.append(members[0])
+        edge_ids.append(members[2])
+    return member_ids, edge_ids
+
+
+class TestRangeFeatureParity:
+    def test_range_loader_matches_id_loader_per_chunk(self, query):
+        for chunk in query.chunk_bounds(chunk_size=5):
+            block = load_bundle_block(query, chunk.seq_lo, chunk.seq_hi)
+            member_ids, edge_ids = candidate_ids(block)
+            by_range = load_tx_features_range(
+                query, chunk.seq_lo, chunk.seq_hi
+            )
+            by_ids = load_tx_features(query, member_ids, edge_ids)
+            assert by_range == by_ids
+
+    def test_undetailed_members_are_absent_not_empty(self, query):
+        total = query.count_bundles()
+        features = load_tx_features_range(query, 1, total)
+        block = load_bundle_block(query, 1, total)
+        detailed = set(features)
+        for index, length in enumerate(block.lengths):
+            if length != 3:
+                continue
+            members = set(block.transaction_ids(index))
+            # Every candidate is either fully detailed or fully pending
+            # in this corpus; pending members never appear in features.
+            assert members <= detailed or not (members & detailed)
+
+
+class TestFastRecordParity:
+    def test_fast_record_equals_frozen_constructor(self):
+        built = _fast_record("b-1", 7, 123.5, 9000, ("t1", "t2"))
+        plain = BundleRecord(
+            bundle_id="b-1",
+            slot=7,
+            landed_at=123.5,
+            tip_lamports=9000,
+            transaction_ids=("t1", "t2"),
+        )
+        assert built == plain
+        assert isinstance(built, BundleRecord)
+        assert built.__dict__ == plain.__dict__
+
+    def test_fast_record_stays_frozen(self):
+        built = _fast_record("b-1", 7, 123.5, 9000, ("t1",))
+        with pytest.raises(Exception):
+            built.slot = 8
+
+    def test_classify_singles_matches_per_record_path(self, query):
+        total = query.count_bundles()
+        block = load_bundle_block(query, 1, total)
+        threshold = 100_000
+        defensive, priority = block.classify_singles(threshold)
+        expected_defensive, expected_priority = [], []
+        for index, length in enumerate(block.lengths):
+            if length != 1:
+                continue
+            record = block.record(index)
+            bucket = (
+                expected_defensive
+                if record.tip_lamports <= threshold
+                else expected_priority
+            )
+            bucket.append(record)
+        assert defensive == expected_defensive
+        assert priority == expected_priority
+        assert len(defensive) + len(priority) == sum(
+            1 for length in block.lengths if length == 1
+        )
+
+
+class TestInternPoolParity:
+    def _candidates(self, query, intern=None):
+        total = query.count_bundles()
+        block = load_bundle_block(query, 1, total)
+        indexes = [
+            i for i, length in enumerate(block.lengths) if length == 3
+        ]
+        features = load_tx_features_range(query, 1, total)
+        candidates, skipped, pending = split_candidates(
+            block, features, indexes, intern=intern
+        )
+        return candidates.prepare(), skipped, pending
+
+    def test_shared_pool_does_not_change_verdicts(self, query):
+        from repro.columnar.criteria import evaluate_block
+
+        pool = InternPool()
+        fresh, skipped, pending = self._candidates(query)
+        # Evaluate twice against the same pool: the second pass reuses
+        # codes interned by the first, the cross-chunk scenario.
+        pooled_one, skipped_one, pending_one = self._candidates(
+            query, intern=pool
+        )
+        pooled_two, _, _ = self._candidates(query, intern=pool)
+        assert (skipped_one, pending_one) == (skipped, pending)
+        baseline = evaluate_block(fresh)
+        for pooled in (pooled_one, pooled_two):
+            verdicts = evaluate_block(pooled)
+            assert verdicts.detected_indexes == baseline.detected_indexes
+            assert verdicts.rejections == baseline.rejections
+            assert verdicts.examined == baseline.examined
+        # The pool actually accumulated interned entries.
+        assert pool.signers
+        assert pool.mint_sets

@@ -56,6 +56,44 @@ class TestIterChunks:
         db.close()
 
 
+class TestChunkBoundsParity:
+    """The window-function planner reproduces the keyset walk exactly."""
+
+    def _assert_same_plan(self, query, **kwargs):
+        assert query.chunk_bounds(**kwargs) == list(
+            query.iter_chunks(**kwargs)
+        )
+
+    def test_plain_plan_matches_iter_chunks(self, archive):
+        self._assert_same_plan(ArchiveQuery(archive), chunk_size=7)
+
+    def test_filtered_plan_matches_iter_chunks(self, archive):
+        self._assert_same_plan(
+            ArchiveQuery(archive),
+            chunk_size=4,
+            where=BundleFilter(tip_min=10_000 * 20),
+        )
+
+    def test_watermarked_plan_matches_iter_chunks(self, archive):
+        self._assert_same_plan(
+            ArchiveQuery(archive), chunk_size=10, seq_min=20
+        )
+
+    def test_uneven_tail_chunk_matches(self, archive):
+        # 25 rows / size 6 leaves a 1-row tail — the boundary the
+        # ROW_NUMBER grouping must get right.
+        self._assert_same_plan(ArchiveQuery(archive), chunk_size=6)
+
+    def test_empty_result_matches(self, tmp_path):
+        db = ArchiveDatabase(tmp_path / "empty.db")
+        self._assert_same_plan(ArchiveQuery(db), chunk_size=5)
+        db.close()
+
+    def test_invalid_chunk_size_rejected(self, archive):
+        with pytest.raises(ConfigError):
+            ArchiveQuery(archive).chunk_bounds(chunk_size=0)
+
+
 class TestBundleIndex:
     def test_projection_skips_payload(self, archive):
         keys = ArchiveQuery(archive).bundle_index()

@@ -1,0 +1,1 @@
+"""Tests for the pipelined (prefetching) archive read path."""

@@ -1,0 +1,82 @@
+"""The versioned BENCH_PERF.json reader (``benchmarks.perf_schema``).
+
+Trend tooling reads BENCH_PERF files written by any commit, so the
+reader must passthrough the current generation, normalize ``bench-perf/1``
+(top-level ``cpu_count``, no engine attribution) to the v2 record shape,
+and fail loudly on a schema it does not understand.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.perf_schema import (
+    CURRENT_SCHEMA,
+    SCHEMA_V1,
+    SCHEMA_V2,
+    load_bench_perf,
+    upgrade_v1,
+)
+
+V1_PAYLOAD = {
+    "schema": SCHEMA_V1,
+    "cpu_count": 4,
+    "records": {
+        "analyze_end_to_end_serial": {"bundles": 100, "seconds": 1.0},
+        "analyze_end_to_end_columnar": {"bundles": 100, "seconds": 0.3},
+    },
+}
+
+
+class TestUpgradeV1:
+    def test_records_gain_cpu_count_and_engine(self):
+        upgraded = upgrade_v1(V1_PAYLOAD)
+        assert upgraded["schema"] == SCHEMA_V2
+        serial = upgraded["records"]["analyze_end_to_end_serial"]
+        columnar = upgraded["records"]["analyze_end_to_end_columnar"]
+        assert serial["cpu_count"] == 4
+        assert serial["engine"] == "object"
+        assert columnar["engine"] == "columnar"
+
+    def test_existing_record_fields_win(self):
+        payload = {
+            "schema": SCHEMA_V1,
+            "cpu_count": 4,
+            "records": {"x": {"cpu_count": 2, "engine": "columnar"}},
+        }
+        upgraded = upgrade_v1(payload)
+        assert upgraded["records"]["x"]["cpu_count"] == 2
+        assert upgraded["records"]["x"]["engine"] == "columnar"
+
+    def test_original_payload_untouched(self):
+        source = json.loads(json.dumps(V1_PAYLOAD))
+        upgrade_v1(source)
+        assert "engine" not in source["records"]["analyze_end_to_end_serial"]
+
+
+class TestLoadBenchPerf:
+    def test_v2_payload_passes_through(self):
+        payload = {
+            "schema": SCHEMA_V2,
+            "cpu_count": 1,
+            "records": {"r": {"engine": "object", "cpu_count": 1}},
+        }
+        assert load_bench_perf(payload) is payload
+
+    def test_v1_payload_is_upgraded(self):
+        loaded = load_bench_perf(V1_PAYLOAD)
+        assert loaded["schema"] == SCHEMA_V2
+        assert all(
+            "engine" in record and "cpu_count" in record
+            for record in loaded["records"].values()
+        )
+
+    def test_loads_from_a_path(self, tmp_path):
+        path = tmp_path / "BENCH_PERF.json"
+        path.write_text(json.dumps(V1_PAYLOAD), encoding="utf-8")
+        loaded = load_bench_perf(path)
+        assert loaded["schema"] == CURRENT_SCHEMA
+
+    def test_unknown_schema_raises(self):
+        with pytest.raises(ValueError, match="unknown BENCH_PERF schema"):
+            load_bench_perf({"schema": "bench-perf/99", "records": {}})
