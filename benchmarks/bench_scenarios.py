@@ -1,0 +1,160 @@
+"""Scenario-pack benchmarks: the arms-race table and the recall p-sweep.
+
+Two measurement artifacts ride this bench:
+
+- **arms race** — the adaptive-attacker escalation sweep: for each evasion
+  level (canonical, four-transaction disguise, multi-bundle split) the
+  paper's length-three detector and the windowed extension are scored
+  against planted ground truth. The gates pin the qualitative story: the
+  disguise defeats only the paper's detector, the split defeats both.
+- **recall degradation** — the private-channel fraction sweep: observed
+  recall must start at exactly 1.0 (p=0), end at exactly 0.0 (p=1), and
+  never increase in between (the generator's coupled draws make this a
+  hard guarantee, not a statistical one).
+
+Results land in ``benchmarks/output/BENCH_SCENARIOS.json`` plus a rendered
+``ARMS_RACE.txt`` table, both uploaded as CI artifacts by the
+scenario-smoke job. The one timed region follows the bench discipline:
+GC paused, best-of-N.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from dataclasses import replace
+
+from benchmarks.conftest import OUTPUT_DIR, save_artifact
+from repro.scenarios import ScenarioPack, evaluate_pack, get_pack
+
+BENCH_SCENARIOS_PATH = OUTPUT_DIR / "BENCH_SCENARIOS.json"
+
+#: The adaptive-attacker escalation ladder (evasion, fraction of attacks).
+ARMS_RACE_LEVELS = (
+    ("none", 0.0),
+    ("disguise4", 1.0),
+    ("split", 1.0),
+)
+
+#: Private-channel fractions for the recall-degradation sweep.
+PRIVATE_SWEEP = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+_RECORDS: dict[str, object] = {}
+
+
+def _flush_records() -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    BENCH_SCENARIOS_PATH.write_text(
+        json.dumps(dict(sorted(_RECORDS.items())), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def _escalated(evasion: str, fraction: float) -> ScenarioPack:
+    base = get_pack("pack-adaptive-attacker")
+    return replace(
+        base,
+        name=f"{base.name}-{evasion}",
+        evasion=evasion,
+        evasion_fraction=fraction,
+    )
+
+
+def test_arms_race_table():
+    rows = []
+    for evasion, fraction in ARMS_RACE_LEVELS:
+        evaluation = evaluate_pack(_escalated(evasion, fraction))
+        standard = evaluation.bias.truth.recall
+        windowed = evaluation.windowed_bias.truth.recall
+        rows.append(
+            {
+                "evasion": evasion,
+                "fraction": fraction,
+                "attacks": evaluation.bias.ground_truth_attacks,
+                "recall_standard": standard,
+                "recall_windowed": windowed,
+            }
+        )
+    by_evasion = {row["evasion"]: row for row in rows}
+    # The qualitative arms race, pinned exactly: the canonical shape is
+    # fully detected, the disguise defeats only the length-three detector,
+    # the split defeats bundle-scoped detection entirely.
+    assert by_evasion["none"]["recall_standard"] == 1.0
+    assert by_evasion["none"]["recall_windowed"] == 1.0
+    assert by_evasion["disguise4"]["recall_standard"] == 0.0
+    assert by_evasion["disguise4"]["recall_windowed"] == 1.0
+    assert by_evasion["split"]["recall_standard"] == 0.0
+    assert by_evasion["split"]["recall_windowed"] == 0.0
+
+    lines = [
+        "Arms race: detector recall vs attacker evasion (ground truth)",
+        f"{'evasion':<12} {'fraction':>8} {'attacks':>8} "
+        f"{'standard':>9} {'windowed':>9}",
+        "-" * 50,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['evasion']:<12} {row['fraction']:>8.2f} "
+            f"{row['attacks']:>8} {row['recall_standard']:>9.3f} "
+            f"{row['recall_windowed']:>9.3f}"
+        )
+    save_artifact("ARMS_RACE.txt", "\n".join(lines))
+    _RECORDS["arms_race"] = rows
+    _flush_records()
+
+
+def test_private_channel_recall_sweep():
+    base = get_pack("pack-private-channel")
+    sweep = []
+    for fraction in PRIVATE_SWEEP:
+        pack = replace(base, private_fraction=fraction)
+        evaluation = evaluate_pack(pack)
+        sweep.append(
+            {
+                "private_fraction": fraction,
+                "recall_observed": evaluation.bias.observed.recall,
+                "recall_truth": evaluation.bias.truth.recall,
+                "hidden_attacks": evaluation.bias.hidden_attacks,
+                "observed_bundles": evaluation.bias.observed_bundles,
+            }
+        )
+    recalls = [row["recall_observed"] for row in sweep]
+    assert recalls[0] == 1.0, "p=0 must observe every attack"
+    assert recalls[-1] == 0.0, "p=1 must observe no attack"
+    assert all(
+        earlier >= later for earlier, later in zip(recalls, recalls[1:])
+    ), f"observed recall must be non-increasing in p: {recalls}"
+    assert all(row["recall_truth"] == 1.0 for row in sweep), (
+        "ground-truth recall must be invariant in p"
+    )
+    _RECORDS["private_channel_sweep"] = sweep
+    _flush_records()
+
+
+def test_pack_evaluation_throughput():
+    pack = get_pack("pack-private-channel")
+    evaluate_pack(pack)  # warm imports and caches outside the timed region
+    best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(3):
+            started = time.perf_counter()
+            evaluation = evaluate_pack(pack)
+            best = min(best, time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    bundles = evaluation.bias.truth_bundles
+    _RECORDS["evaluation_throughput"] = {
+        "bundles": bundles,
+        "seconds_best_of_3": round(best, 6),
+        "bundles_per_sec": round(bundles / best, 2) if best > 0 else None,
+    }
+    _flush_records()
+    # Generous ceiling: one pack evaluation runs four pipeline passes over
+    # ~160 bundles; anything near this budget means something went
+    # accidentally quadratic.
+    assert best < 30.0, f"pack evaluation took {best:.1f}s"

@@ -59,6 +59,13 @@ class SandwichConfig:
     # higher bid and drops the loser risk-free (paper Section 4.2's
     # "outbid others attacking the same victim transaction").
     contested_probability: float = 0.0
+    # Fraction of attacks submitted through a private channel that bypasses
+    # the public explorer feed. The bundle still lands (ground truth records
+    # it) but a feed-scraping collector never sees it — the sampling bias
+    # "Sandwiched and Silent" documents for Ethereum. The channel draw only
+    # happens when the fraction is positive, so default campaigns consume
+    # exactly the historical RNG stream.
+    private_channel_fraction: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -364,6 +371,9 @@ class SandwichAttacker(Behavior):
 
         bundle_id = ctx.searcher.send_bundle([frontrun_tx, claimed, backrun_tx])
         contested = self.rng.bernoulli(config.contested_probability)
+        private = config.private_channel_fraction > 0 and self.rng.bernoulli(
+            config.private_channel_fraction
+        )
         victim_wallet = claimed.message.fee_payer.to_base58()
         generated = ctx.record(
             bundle_id,
@@ -381,6 +391,7 @@ class SandwichAttacker(Behavior):
             victim_slippage_bps=victim_slippage_bps,
             sold_extra=sold_extra,
             contested=contested,
+            channel="private" if private else "public",
         )
         if contested:
             self._submit_rival(

@@ -1,0 +1,232 @@
+"""Detector recall/precision against scenario-pack ground truth.
+
+The paper's measurement sits downstream of the public Jito feed: whatever
+never reaches the feed can never be detected. Scenario packs make that gap
+quantifiable — the pack generator knows every attack it planted (the
+*ground truth*), the collector sees only the biased sample, and this module
+computes how far detection falls from the truth:
+
+- **recall** — the fraction of ground-truth attacks with at least one
+  detected bundle;
+- **precision** — the fraction of detections that correspond to a planted
+  attack.
+
+An attack may span several bundles (a multi-bundle split evasion), so
+matching is attack-scoped: detecting *any* bundle of an attack counts the
+whole attack as found, while each detection is true iff its bundle belongs
+to some attack. The resulting :class:`MeasurementBias` renders as the
+"Measurement bias" report section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class RecallStats:
+    """Attack-scoped recall and detection-scoped precision.
+
+    ``recall`` is ``None`` when there were no ground-truth attacks (nothing
+    to recall), and ``precision`` is ``None`` when there were no detections
+    (division by zero is a report bug, not a number) — callers render both
+    as ``n/a`` rather than inventing a 0.0 or 1.0.
+    """
+
+    #: Ground-truth attacks planted by the generator.
+    relevant: int
+    #: Ground-truth attacks with at least one detected bundle.
+    detected_true: int
+    #: Total detections the pipeline produced.
+    detections: int
+    #: Detections whose bundle belongs to some ground-truth attack.
+    true_detections: int
+
+    @property
+    def recall(self) -> float | None:
+        """Fraction of planted attacks found (None without ground truth)."""
+        if self.relevant == 0:
+            return None
+        return self.detected_true / self.relevant
+
+    @property
+    def precision(self) -> float | None:
+        """Fraction of detections that are planted attacks (None if zero)."""
+        if self.detections == 0:
+            return None
+        return self.true_detections / self.detections
+
+    def to_json(self) -> dict:
+        """JSON-safe form (embedded in pack fixtures and summaries)."""
+        return {
+            "relevant": self.relevant,
+            "detected_true": self.detected_true,
+            "detections": self.detections,
+            "true_detections": self.true_detections,
+            "recall": self.recall,
+            "precision": self.precision,
+        }
+
+
+def compute_recall(
+    attack_bundles: Sequence[Sequence[str]],
+    detected_bundle_ids: Iterable[str],
+) -> RecallStats:
+    """Match detections against ground-truth attacks.
+
+    ``attack_bundles`` holds, per planted attack, the bundle ids that carry
+    it (one id for a plain sandwich; several for a split). A detection is
+    *true* when its bundle id appears in any attack; an attack is *found*
+    when any of its bundles was detected. Duplicate detected ids are
+    counted once — every execution path emits at most one detection per
+    bundle.
+    """
+    detected = set(detected_bundle_ids)
+    bundle_to_attack: dict[str, int] = {}
+    for attack_index, bundles in enumerate(attack_bundles):
+        for bundle_id in bundles:
+            bundle_to_attack[bundle_id] = attack_index
+    found_attacks = {
+        bundle_to_attack[bundle_id]
+        for bundle_id in detected
+        if bundle_id in bundle_to_attack
+    }
+    true_detections = sum(
+        1 for bundle_id in detected if bundle_id in bundle_to_attack
+    )
+    return RecallStats(
+        relevant=len(attack_bundles),
+        detected_true=len(found_attacks),
+        detections=len(detected),
+        true_detections=true_detections,
+    )
+
+
+def _ratio(value: float | None) -> str:
+    """Render a recall/precision value, ``n/a`` when undefined."""
+    return "n/a" if value is None else f"{value:.4f}"
+
+
+@dataclass(frozen=True)
+class MeasurementBias:
+    """How far feed-level observation falls from planted ground truth.
+
+    ``truth`` scores the detector against the full (archived) campaign;
+    ``observed`` scores it against what the biased public feed exposed.
+    The delta between the two recalls is the measurement bias a
+    feed-scraping study inherits — the quantity "Sandwiched and Silent"
+    warns about for private submission channels.
+    """
+
+    pack_name: str
+    #: Attacks planted by the generator, regardless of visibility.
+    ground_truth_attacks: int
+    #: Attacks whose every bundle bypassed the public feed.
+    hidden_attacks: int
+    #: Bundles in the full (archive) campaign vs on the public feed.
+    truth_bundles: int
+    observed_bundles: int
+    #: Detector scored on the full archive (upper bound).
+    truth: RecallStats
+    #: Detector scored on the biased feed sample (what a study measures).
+    observed: RecallStats
+
+    @property
+    def recall_degradation(self) -> float | None:
+        """Truth recall minus observed recall (None when undefined)."""
+        if self.truth.recall is None or self.observed.recall is None:
+            return None
+        return self.truth.recall - self.observed.recall
+
+    def to_json(self) -> dict:
+        """JSON-safe form, canon-rounded downstream by fixture writers."""
+        return {
+            "pack": self.pack_name,
+            "ground_truth_attacks": self.ground_truth_attacks,
+            "hidden_attacks": self.hidden_attacks,
+            "truth_bundles": self.truth_bundles,
+            "observed_bundles": self.observed_bundles,
+            "truth": self.truth.to_json(),
+            "observed": self.observed.to_json(),
+            "recall_degradation": self.recall_degradation,
+        }
+
+    def render(self) -> str:
+        """The "Measurement bias" report section."""
+        lines = [
+            "Measurement bias",
+            "----------------",
+            f"scenario pack:          {self.pack_name}",
+            f"ground-truth attacks:   {self.ground_truth_attacks}",
+            f"attacks off the feed:   {self.hidden_attacks}",
+            (
+                f"bundles (truth/feed):   {self.truth_bundles}"
+                f"/{self.observed_bundles}"
+            ),
+            (
+                f"recall vs ground truth: {_ratio(self.truth.recall)} "
+                f"(archive) -> {_ratio(self.observed.recall)} (public feed)"
+            ),
+            (
+                f"precision:              {_ratio(self.truth.precision)} "
+                f"(archive) -> {_ratio(self.observed.precision)} "
+                "(public feed)"
+            ),
+        ]
+        degradation = self.recall_degradation
+        if degradation is not None:
+            lines.append(
+                f"recall degradation:     {degradation:.4f} "
+                "(attacks a feed-level study misses)"
+            )
+        return "\n".join(lines)
+
+
+def bias_from_counts(
+    pack_name: str,
+    attack_bundles: Sequence[Sequence[str]],
+    hidden_attack_ids: Iterable[int],
+    truth_bundles: int,
+    observed_bundles: int,
+    truth_detected: Iterable[str],
+    observed_detected: Iterable[str],
+) -> MeasurementBias:
+    """Assemble a :class:`MeasurementBias` from raw campaign artifacts.
+
+    ``hidden_attack_ids`` indexes into ``attack_bundles``; the pack
+    campaign computes it from its private-channel assignment.
+    """
+    return MeasurementBias(
+        pack_name=pack_name,
+        ground_truth_attacks=len(attack_bundles),
+        hidden_attacks=len(set(hidden_attack_ids)),
+        truth_bundles=truth_bundles,
+        observed_bundles=observed_bundles,
+        truth=compute_recall(attack_bundles, truth_detected),
+        observed=compute_recall(attack_bundles, observed_detected),
+    )
+
+
+def recall_by_group(
+    attack_bundles: Sequence[Sequence[str]],
+    groups: Mapping[str, set[str]],
+    detected_bundle_ids: Iterable[str],
+) -> dict[str, RecallStats]:
+    """Per-group recall (e.g. per block engine, per evasion level).
+
+    ``groups`` maps a group name to the bundle ids it owns; an attack is
+    scored inside every group holding at least one of its bundles.
+    """
+    detected = set(detected_bundle_ids)
+    out: dict[str, RecallStats] = {}
+    for name, members in sorted(groups.items()):
+        grouped = [
+            bundles
+            for bundles in attack_bundles
+            if any(bundle_id in members for bundle_id in bundles)
+        ]
+        out[name] = compute_recall(
+            grouped, [b for b in detected if b in members]
+        )
+    return out

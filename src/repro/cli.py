@@ -4,7 +4,9 @@ Commands:
 
 - ``campaign`` — run a measurement campaign, persist the collected store,
   and write the rendered report (``--archive`` makes it checkpointed and
-  ``--resume`` continues a killed run byte-identically);
+  ``--resume`` continues a killed run byte-identically; ``--scenario``
+  runs a registered scenario pack and reports measurement bias instead);
+- ``scenarios`` — list the registered scenario packs;
 - ``analyze`` — re-analyze a persisted store offline; accepts either a
   JSONL store directory or an archive database (auto-detected);
 - ``archive`` — maintain an archive database (import/export/stats/vacuum);
@@ -82,9 +84,13 @@ def _build_logs(args: argparse.Namespace) -> tuple[EventLog, EventLog]:
 
 
 def _scenario_from_args(args: argparse.Namespace):
+    # ``campaign`` leaves --seed at None so pack runs can distinguish "use
+    # the pack's own base seed" from an explicit override; plain campaigns
+    # keep the historical 2025 default.
+    seed = args.seed if args.seed is not None else 2025
     if args.small:
-        return small_scenario(seed=args.seed, days=args.days or 5)
-    return paper_scenario(seed=args.seed, days=args.days or 120)
+        return small_scenario(seed=seed, days=args.days or 5)
+    return paper_scenario(seed=seed, days=args.days or 120)
 
 
 def _export_figure_csvs(result, report, out: Path) -> None:
@@ -112,8 +118,48 @@ def _export_figure_csvs(result, report, out: Path) -> None:
         pass  # tiny runs may lack priced sandwiches
 
 
+def _run_scenario_pack(args: argparse.Namespace) -> int:
+    """``campaign --scenario <pack>``: run one scenario-pack campaign."""
+    from repro.scenarios import get_pack, run_pack_campaign
+
+    progress, output = _build_logs(args)
+    pack = get_pack(args.scenario)
+    out = Path(args.out)
+    seed = args.seed if args.seed is not None else pack.base.seed
+    progress.info(
+        "cli.campaign",
+        f"running scenario pack {pack.name} ({pack.kind}, seed {seed})...",
+        pack=pack.name,
+        seed=seed,
+    )
+    evaluation = run_pack_campaign(pack, out, seed=args.seed)
+    from repro.scenarios.campaign import pack_summary
+
+    summary = pack_summary(evaluation)
+    output.info(
+        "cli.campaign", json.dumps(summary["totals"], indent=2), **summary["totals"]
+    )
+    output.info("cli.campaign", evaluation.bias.render())
+    output.info(
+        "cli.campaign",
+        f"wrote {out}/truth.db, observed.db, report.txt, summary.json",
+        out=str(out),
+    )
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a campaign; write store + report + summary under --out."""
+    if getattr(args, "scenario", None):
+        if args.stream or args.resume or args.archive:
+            progress, _output = _build_logs(args)
+            progress.error(
+                "cli.campaign",
+                "--scenario runs a self-contained pack campaign; it "
+                "cannot combine with --stream/--resume/--archive",
+            )
+            return 2
+        return _run_scenario_pack(args)
     progress, output = _build_logs(args)
     scenario = _scenario_from_args(args)
     out = Path(args.out)
@@ -1005,6 +1051,33 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the registered scenario packs (``repro scenarios list``)."""
+    from repro.scenarios import list_packs
+
+    _progress, output = _build_logs(args)
+    packs = list_packs()
+    if getattr(args, "json", False):
+        output.info(
+            "cli.scenarios",
+            json.dumps(
+                [pack.to_json() for pack in packs], indent=2, sort_keys=True
+            ),
+        )
+        return 0
+    lines = [
+        f"{'name':<28} {'kind':<22} {'fingerprint':<18} description",
+        "-" * 96,
+    ]
+    for pack in packs:
+        lines.append(
+            f"{pack.name:<28} {pack.kind:<22} "
+            f"{pack.fingerprint():<18} {pack.description}"
+        )
+    output.info("cli.scenarios", "\n".join(lines), packs=len(packs))
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     """Print the paper's Table 1, executed for real."""
     _progress, output = _build_logs(args)
@@ -1025,9 +1098,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser("campaign", help="run a measurement campaign")
     campaign.add_argument("--days", type=int, default=None)
-    campaign.add_argument("--seed", type=int, default=2025)
+    campaign.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="simulation seed (default 2025; with --scenario, reseeds the "
+        "pack's base campaign)",
+    )
     campaign.add_argument("--small", action="store_true")
     campaign.add_argument("--out", default="campaign-output")
+    campaign.add_argument(
+        "--scenario",
+        default=None,
+        metavar="PACK",
+        help="run a registered scenario pack instead of the default market "
+        "structure (see: repro scenarios list); writes truth/observed "
+        "archives and the measurement-bias report",
+    )
     campaign.add_argument(
         "--metrics-out",
         default=None,
@@ -1411,6 +1498,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append structured events to this JSONL file",
     )
     selftest.set_defaults(func=cmd_selftest)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list the registered scenario packs (see campaign --scenario)",
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command")
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="one line per registered pack"
+    )
+    scenarios_list.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full pack recipes as JSON instead of the table",
+    )
+    scenarios.add_argument(
+        "--log-jsonl",
+        default=None,
+        help="also append structured events to this JSONL file",
+    )
+    scenarios.set_defaults(func=cmd_scenarios, scenarios_command="list")
 
     table1 = sub.add_parser("table1", help="print the example sandwich")
     table1.add_argument("--victim-sol", type=float, default=25.0)

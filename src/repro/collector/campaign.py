@@ -27,6 +27,23 @@ from repro.simulation.results import SimulationWorld
 from repro.utils.rng import DeterministicRNG
 
 
+def _public_feed_filter(ground_truth):
+    """Visibility predicate hiding privately-channelled bundles.
+
+    Consulted live at poll time: a bundle is public unless its generation
+    record says it was submitted through a private channel.
+    """
+
+    def visible(bundle_id: str) -> bool:
+        generated = ground_truth.get(bundle_id)
+        return (
+            generated is None
+            or generated.metadata.get("channel") != "private"
+        )
+
+    return visible
+
+
 def recommended_window_limit(scenario: ScenarioConfig) -> int:
     """Scale the paper's widened 50,000-bundle window to simulation volume.
 
@@ -89,6 +106,7 @@ class MeasurementCampaign:
         metrics: MetricsRegistry | None = None,
         store: BundleStore | None = None,
         fault_plan: FaultPlan | None = None,
+        feed_filter=None,
     ) -> None:
         # Observability is on by default: recording is passive and every
         # value derives from the shared sim clock, so instrumented and
@@ -113,10 +131,21 @@ class MeasurementCampaign:
                 default_recent_limit=max(1, window // 10),
                 max_recent_limit=window,
             )
+        if (
+            feed_filter is None
+            and scenario.population.sandwich.private_channel_fraction > 0
+        ):
+            # Attackers route a fraction of bundles through a private
+            # channel: the ground truth records the channel per bundle as
+            # it lands, and the explorer consults it live, so the poller
+            # only ever sees the public sample while the simulation — like
+            # the chain itself — holds the full truth.
+            feed_filter = _public_feed_filter(world.ground_truth)
         self.service = ExplorerService(
             world.block_engine,
             world.ledger,
             world.clock,
+            feed_filter=feed_filter,
             config=explorer_config,
             downtime=world.downtime,
             metrics=self.metrics,

@@ -71,6 +71,48 @@ def build_fixture(scenario: SyntheticScenario) -> dict:
     }
 
 
+def expected_pack_payload(pack) -> dict:
+    """Evaluate a scenario pack; return its canon fixture payload.
+
+    The payload pins the observed-feed report *and* the measurement-bias
+    figures (recall/precision degradation, per-engine incidence), so a
+    pack fixture freezes the recall-degradation number exactly.
+    """
+    from repro.scenarios.report import evaluate_pack
+
+    return canon_jsonable(evaluate_pack(pack).payload())
+
+
+def build_pack_fixture(pack) -> dict:
+    """The full fixture document for one scenario pack.
+
+    Same shape as a scenario fixture plus ``"kind": "pack"`` — the
+    dispatch key :func:`check_fixture` uses — with the pack recipe (base
+    scenario embedded) under the ``scenario`` key.
+    """
+    payload = expected_pack_payload(pack)
+    return {
+        "format": GOLDEN_FORMAT,
+        "kind": "pack",
+        "scenario": pack.to_json(),
+        "scenario_fingerprint": pack.fingerprint(),
+        "digest": digest(payload),
+        "expected": payload,
+    }
+
+
+def write_pack_fixture(pack, corpus_dir: str | Path) -> Path:
+    """Bless one pack: (re)write its fixture file."""
+    target = fixture_path(corpus_dir, pack.name)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = build_pack_fixture(pack)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
 def write_fixture(scenario: SyntheticScenario, corpus_dir: str | Path) -> Path:
     """Bless one scenario: (re)write its fixture file."""
     target = fixture_path(corpus_dir, scenario.name)
@@ -120,8 +162,43 @@ class GoldenCheck:
 
 
 def check_fixture(path: str | Path) -> GoldenCheck:
-    """Re-run the pipeline for one fixture and compare against its freeze."""
+    """Re-run the pipeline for one fixture and compare against its freeze.
+
+    Dispatches on the fixture's ``kind``: pack fixtures re-evaluate the
+    full pack (observed report plus bias figures), plain fixtures re-run
+    the serial pipeline over the scenario.
+    """
     document = load_fixture(path)
+    if document.get("kind") == "pack":
+        from repro.scenarios.packs import ScenarioPack
+
+        pack = ScenarioPack.from_json(document["scenario"])
+        recorded = document.get("scenario_fingerprint")
+        if recorded and recorded != pack.fingerprint():
+            return GoldenCheck(
+                name=pack.name,
+                passed=False,
+                reason=(
+                    "pack fingerprint drifted "
+                    f"({recorded} != {pack.fingerprint()}); the recipe no "
+                    "longer matches its frozen vectors"
+                ),
+            )
+        actual = expected_pack_payload(pack)
+        actual_digest = digest(actual)
+        if actual_digest == document["digest"]:
+            return GoldenCheck(name=pack.name, passed=True)
+        differences = diff_jsonable(document["expected"], actual)
+        return GoldenCheck(
+            name=pack.name,
+            passed=False,
+            reason=(
+                f"digest {actual_digest[:12]} != frozen "
+                f"{document['digest'][:12]} "
+                f"({len(differences)} field difference(s))"
+            ),
+            differences=differences,
+        )
     scenario = SyntheticScenario.from_json(document["scenario"])
     recorded_fingerprint = document.get("scenario_fingerprint")
     if (
@@ -181,9 +258,21 @@ def check_corpus(corpus_dir: str | Path) -> list[GoldenCheck]:
 def bless_corpus(
     corpus_dir: str | Path,
     scenarios: tuple[SyntheticScenario, ...] = CORPUS_SCENARIOS,
+    packs: tuple | None = None,
 ) -> list[Path]:
-    """(Re)write the full corpus from the canonical scenario list."""
-    return [write_fixture(scenario, corpus_dir) for scenario in scenarios]
+    """(Re)write the full corpus: canonical scenarios plus scenario packs.
+
+    ``packs=None`` blesses the built-in pack corpus
+    (:data:`repro.scenarios.packs.CORPUS_PACKS`); pass an explicit (maybe
+    empty) tuple to bless a different set.
+    """
+    if packs is None:
+        from repro.scenarios.packs import CORPUS_PACKS
+
+        packs = CORPUS_PACKS
+    written = [write_fixture(scenario, corpus_dir) for scenario in scenarios]
+    written += [write_pack_fixture(pack, corpus_dir) for pack in packs]
+    return written
 
 
 def verify_fixture_bytes(path: str | Path) -> None:

@@ -502,11 +502,33 @@ def run_differential(
     determinism contract. The baseline is ``configs[0]`` (serial in the
     default matrix).
     """
+    return run_rows_differential(
+        generate_rows(scenario),
+        Path(workdir) / scenario.name,
+        configs,
+        scenario=scenario,
+    )
+
+
+def run_rows_differential(
+    rows: Sequence[Row],
+    workdir: str | Path,
+    configs: Sequence[PipelineConfig] | None = None,
+    scenario: SyntheticScenario | None = None,
+) -> DifferentialResult:
+    """Run the config matrix over pre-materialized rows.
+
+    The rows-level entry point: scenario packs hand their *observed* feed
+    sample here (rows no :class:`SyntheticScenario` alone can describe),
+    and plain scenarios delegate via :func:`run_differential`. Identity
+    rules are identical — byte identity between exact-comparable configs,
+    contract identity elsewhere.
+    """
     configs = list(configs) if configs is not None else list(default_configs())
     if not configs:
         raise ConfigError("differential run needs at least one config")
-    rows = generate_rows(scenario)
-    workdir = Path(workdir) / scenario.name
+    rows = list(rows)
+    workdir = Path(workdir)
     reports: dict[str, AnalysisReport] = {}
     for config in configs:
         reports[config.name] = run_config(rows, config, workdir)

@@ -128,6 +128,14 @@ class SyntheticScenario:
 
 Row = tuple[BundleRecord, list[TransactionRecord]]
 
+#: A row paired with its ground-truth kind (``"sandwich"`` or ``"benign"``).
+#: The scenario-pack layer consumes these; plain conformance callers keep
+#: using :func:`generate_rows`, whose byte output is unchanged.
+LabeledRow = tuple[Row, str]
+
+#: Ground-truth kinds :func:`generate_labeled_rows` emits.
+ROW_KINDS = ("sandwich", "benign")
+
 
 def _swap_event(
     owner: str,
@@ -261,6 +269,37 @@ def _benign_row(
     return bundle, records if detailed else []
 
 
+def generate_labeled_rows(scenario: SyntheticScenario) -> list[LabeledRow]:
+    """Expand a scenario into rows tagged with their ground-truth kind.
+
+    The draw sequence is exactly the one :func:`generate_rows` consumes —
+    the label is recorded alongside each row without touching any RNG
+    stream — so the row bytes are identical whether or not a caller wants
+    the labels. Scenario packs rely on the labels to know which bundles an
+    adversary controls.
+    """
+    scenario.validate()
+    root = DeterministicRNG(scenario.seed).child(f"conformance/{scenario.name}")
+    kind_rng = root.child("kind")
+    sandwich_rng = root.child("sandwich")
+    benign_rng = root.child("benign")
+    rows: list[LabeledRow] = []
+    for index in range(scenario.bundles):
+        landed = BASE_TIME + (index // scenario.tie_every) * 2.0
+        slot = 1_000 + index
+        if kind_rng.bernoulli(scenario.attacker_density):
+            rows.append(
+                (_sandwich_row(scenario, index, sandwich_rng, landed, slot),
+                 "sandwich")
+            )
+        else:
+            rows.append(
+                (_benign_row(scenario, index, benign_rng, landed, slot),
+                 "benign")
+            )
+    return rows
+
+
 def generate_rows(scenario: SyntheticScenario) -> list[Row]:
     """Expand a scenario into its deterministic campaign rows.
 
@@ -268,24 +307,7 @@ def generate_rows(scenario: SyntheticScenario) -> list[Row]:
     ties every ``tie_every`` bundles, ``slot`` strictly increases, and every
     draw flows from named substreams of the scenario seed.
     """
-    scenario.validate()
-    root = DeterministicRNG(scenario.seed).child(f"conformance/{scenario.name}")
-    kind_rng = root.child("kind")
-    sandwich_rng = root.child("sandwich")
-    benign_rng = root.child("benign")
-    rows: list[Row] = []
-    for index in range(scenario.bundles):
-        landed = BASE_TIME + (index // scenario.tie_every) * 2.0
-        slot = 1_000 + index
-        if kind_rng.bernoulli(scenario.attacker_density):
-            rows.append(
-                _sandwich_row(scenario, index, sandwich_rng, landed, slot)
-            )
-        else:
-            rows.append(
-                _benign_row(scenario, index, benign_rng, landed, slot)
-            )
-    return rows
+    return [row for row, _kind in generate_labeled_rows(scenario)]
 
 
 def build_store(rows: list[Row]) -> BundleStore:

@@ -9,7 +9,11 @@ Three check families, each independently reported:
    analyzes the same campaign, and the oracle demands byte identity where
    the contract promises it and contract identity everywhere else;
 3. **metamorphic** — the invariant battery runs over each seed's campaign;
-4. **oracle-sensitivity** — the oracle must *detect* an injected
+4. **pack** — every built-in scenario pack's *observed* feed sample runs
+   the same differential matrix, so adversarial market structures
+   (private channels, builder concentration, adaptive attackers) hold the
+   byte-identity contract too;
+5. **oracle-sensitivity** — the oracle must *detect* an injected
    divergence (a tampered financial figure); a diff engine that cannot
    fail is not evidence of anything.
 
@@ -202,6 +206,32 @@ def _metamorphic_check(
     return check
 
 
+def _pack_differential_check(
+    pack, workdir: Path, jobs: int
+) -> Callable[[], tuple[bool, str]]:
+    """One scenario pack's observed feed through the full config matrix.
+
+    The pack's biased sample — not its ground truth — is what a real
+    measurement would analyze, so that is the working set every execution
+    path must agree on byte for byte (where the contract promises it).
+    """
+
+    def check() -> tuple[bool, str]:
+        from repro.conformance.oracle import run_rows_differential
+        from repro.scenarios.generate import build_pack_campaign
+
+        campaign = build_pack_campaign(pack)
+        result = run_rows_differential(
+            campaign.observed_rows,
+            workdir / pack.name,
+            configs=default_configs(jobs=jobs),
+        )
+        detail = result.render()
+        return result.identical, detail
+
+    return check
+
+
 def _oracle_sensitivity_check(
     scenario: SyntheticScenario, workdir: Path
 ) -> Callable[[], tuple[bool, str]]:
@@ -327,6 +357,16 @@ def run_selftest(
                 )
                 runner.run(
                     "metamorphic", f"seed-{seed}", _metamorphic_check(scenario)
+                )
+            from repro.scenarios.packs import CORPUS_PACKS
+
+            for pack in CORPUS_PACKS:
+                runner.run(
+                    "pack",
+                    pack.name,
+                    _pack_differential_check(
+                        pack, scratch_root / "packs", jobs
+                    ),
                 )
             sensitivity = selftest_scenario(seeds[0], bundles=60)
             runner.run(

@@ -10,6 +10,7 @@ both go dark (503) inside injected instability windows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.constants import (
     DETAIL_BATCH_LIMIT,
@@ -70,12 +71,18 @@ class ExplorerService:
         config: ExplorerConfig | None = None,
         downtime: DowntimeSchedule | None = None,
         metrics: MetricsRegistry | None = None,
+        feed_filter: Callable[[str], bool] | None = None,
     ) -> None:
         self._engine = block_engine
         self._ledger = ledger
         self._clock = clock
         self._config = config or ExplorerConfig()
         self._downtime = downtime or DowntimeSchedule([])
+        # Visibility predicate over bundle ids: bundles it rejects landed
+        # on chain but never surface on the public endpoints — the
+        # private-submission-channel seam scenario packs exercise. None
+        # means the historical fully-public feed.
+        self._feed_filter = feed_filter
         self._buckets: dict[str, TokenBucket] = {}
         self.requests_served = 0
         self.requests_rejected = 0
@@ -189,6 +196,15 @@ class ExplorerService:
                 f"limit {limit} exceeds maximum {self._config.max_recent_limit}"
             )
         log = self._engine.bundle_log
+        if self._feed_filter is not None:
+            # Filter before windowing: the feed serves ``limit`` *visible*
+            # bundles, exactly as a real endpoint unaware of the hidden
+            # flow would paginate.
+            log = [
+                outcome
+                for outcome in log
+                if self._feed_filter(outcome.bundle_id)
+            ]
         window = log[-limit:]
         self.requests_served += 1
         self._requests_metric.inc(endpoint="recent_bundles")
@@ -214,6 +230,12 @@ class ExplorerService:
         self._check_rate(client_id, "bundle")
         if not bundle_id:
             raise BadRequestError("bundle id is empty")
+        if self._feed_filter is not None and not self._feed_filter(bundle_id):
+            # A privately-submitted bundle is indistinguishable from one
+            # that never landed, from the public explorer's vantage point.
+            self.requests_served += 1
+            self._requests_metric.inc(endpoint="bundle")
+            return None
         outcome = self._engine.get_landed_bundle(bundle_id)
         self.requests_served += 1
         self._requests_metric.inc(endpoint="bundle")

@@ -1,0 +1,60 @@
+"""Pluggable scenario packs: market structures beyond the paper's baseline.
+
+The paper measured one market structure: every attack bundle lands on the
+public Jito feed, flow spreads across block engines, and attackers use the
+canonical three-transaction shape. Related work says each of those
+assumptions bends in practice — private submission channels bias the feed
+sample, flow concentrates onto a couple of builders, and attackers adapt
+their bundle shapes to evade measurement-era detectors.
+
+A :class:`~repro.scenarios.packs.ScenarioPack` parameterizes exactly those
+axes on top of a :class:`~repro.conformance.scenarios.SyntheticScenario`
+base, so every pack inherits the conformance tier for free: fingerprinted
+golden fixtures, the differential-oracle matrix over its observed feed,
+and ``repro campaign --scenario <pack>`` / ``repro scenarios list`` CLI.
+
+Layout:
+
+- :mod:`repro.scenarios.packs` — the pack model, registry, and the three
+  calibrated built-in packs;
+- :mod:`repro.scenarios.generate` — pack expansion into ground-truth and
+  observed campaign rows (evasion transforms, engine assignment, coupled
+  private-channel selection);
+- :mod:`repro.scenarios.report` — pack evaluation: recall/precision vs
+  ground truth, the "Measurement bias" section, per-engine breakdowns;
+- :mod:`repro.scenarios.campaign` — the ``--scenario`` campaign driver
+  writing truth/observed archives and deterministic summaries.
+"""
+
+from repro.scenarios.campaign import run_pack_campaign
+from repro.scenarios.generate import (
+    PackCampaign,
+    TruthAttack,
+    build_pack_campaign,
+)
+from repro.scenarios.packs import (
+    CORPUS_PACKS,
+    EVASIONS,
+    PACK_KINDS,
+    ScenarioPack,
+    get_pack,
+    list_packs,
+    register_pack,
+)
+from repro.scenarios.report import PackEvaluation, evaluate_pack
+
+__all__ = [
+    "CORPUS_PACKS",
+    "EVASIONS",
+    "PACK_KINDS",
+    "PackCampaign",
+    "PackEvaluation",
+    "ScenarioPack",
+    "TruthAttack",
+    "build_pack_campaign",
+    "evaluate_pack",
+    "get_pack",
+    "list_packs",
+    "register_pack",
+    "run_pack_campaign",
+]

@@ -1,0 +1,74 @@
+"""The ``repro campaign --scenario <pack>`` driver.
+
+Expands a pack, writes both sides of the measurement to disk — the
+ground-truth archive (everything that landed) and the observed archive
+(what the public feed exposed) — and renders the pack report with its
+"Measurement bias" section. Every output file is a pure function of the
+pack recipe and the seed: no wall-clock, no host entropy, so two runs of
+the same invocation are byte-identical (the CI smoke job diffs them).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.conformance.canon import canon_jsonable
+from repro.conformance.scenarios import write_archive
+from repro.scenarios.packs import ScenarioPack
+from repro.scenarios.report import PackEvaluation, evaluate_pack
+
+
+def pack_summary(evaluation: PackEvaluation) -> dict:
+    """The deterministic ``summary.json`` payload for one pack campaign."""
+    campaign = evaluation.campaign
+    totals = {
+        "truth_bundles": len(campaign.truth_rows),
+        "observed_bundles": len(campaign.observed_rows),
+        "ground_truth_attacks": len(campaign.attacks),
+        "hidden_attacks": len(campaign.hidden_attack_indexes),
+        "observed_detections": evaluation.observed_report.sandwich_count,
+        "truth_detections": evaluation.truth_report.sandwich_count,
+    }
+    return canon_jsonable(
+        {
+            "pack": evaluation.pack.to_json(),
+            "pack_fingerprint": evaluation.pack.fingerprint(),
+            "totals": totals,
+            "bias": evaluation.bias.to_json(),
+            "windowed_bias": evaluation.windowed_bias.to_json(),
+            "engines": [engine.to_json() for engine in evaluation.engines],
+            "evasion_mix": evaluation.evasion_mix(),
+        }
+    )
+
+
+def run_pack_campaign(
+    pack: ScenarioPack, out: str | Path, seed: int | None = None
+) -> PackEvaluation:
+    """Run one pack campaign and write its artifacts under ``out``.
+
+    Writes ``truth.db`` (ground-truth archive), ``observed.db`` (the feed
+    sample), ``report.txt`` (with the "Measurement bias" section), and
+    ``summary.json``. ``seed`` reseeds the pack's base campaign, keeping
+    the market structure fixed while varying the draws.
+    """
+    if seed is not None:
+        pack = pack.with_seed(seed)
+    evaluation = evaluate_pack(pack)
+    out = Path(out)
+    out.mkdir(parents=True, exist_ok=True)
+    for name in ("truth.db", "observed.db"):
+        target = out / name
+        if target.exists():
+            target.unlink()
+    write_archive(evaluation.campaign.truth_rows, out / "truth.db")
+    write_archive(evaluation.campaign.observed_rows, out / "observed.db")
+    (out / "report.txt").write_text(
+        evaluation.render() + "\n", encoding="utf-8"
+    )
+    (out / "summary.json").write_text(
+        json.dumps(pack_summary(evaluation), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return evaluation

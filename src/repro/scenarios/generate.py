@@ -1,0 +1,220 @@
+"""Pack expansion: ground-truth rows, observed rows, and the gap between.
+
+The base scenario expands through the unchanged conformance generator
+(:func:`repro.conformance.scenarios.generate_labeled_rows`), so a pack
+with no adversarial axes produces byte-identical rows to its base. The
+pack layer then applies, in order:
+
+1. **evasion transforms** — each attack keeps its canonical shape or is
+   rewritten into a measurement-era evasion (a four-transaction disguise,
+   or a split across two bundles);
+2. **engine assignment** — every landed bundle is attributed to a block
+   engine drawn from the pack's flow weights;
+3. **private-channel selection** — each *attack* draws exactly one uniform
+   from a dedicated substream and is hidden from the feed iff that draw
+   falls below ``private_fraction``.
+
+The one-draw-per-attack discipline in step 3 is deliberate: the draw does
+not depend on the fraction, so for any two fractions ``p1 <= p2`` the
+hidden sets nest — the property the hypothesis suite checks (observed
+attack counts are monotonically non-increasing in ``p``) holds by
+construction instead of only statistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conformance.scenarios import (
+    Row,
+    _swap_record,
+    generate_labeled_rows,
+)
+from repro.explorer.models import BundleRecord
+from repro.scenarios.packs import ScenarioPack
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class TruthAttack:
+    """One planted attack and the bundles that carry it after evasion."""
+
+    #: The base generator's bundle id for the attack (stable across axes).
+    attack_id: str
+    #: The landed bundle ids carrying the attack (two for a split).
+    bundle_ids: tuple[str, ...]
+    #: Which evasion this attack used (``"none"`` for the canonical shape).
+    evasion: str
+
+    def to_json(self) -> dict:
+        """JSON-safe form (embedded in pack summaries)."""
+        return {
+            "attack_id": self.attack_id,
+            "bundle_ids": list(self.bundle_ids),
+            "evasion": self.evasion,
+        }
+
+
+@dataclass
+class PackCampaign:
+    """Everything a pack expansion produced.
+
+    ``truth_rows`` is what actually landed on chain (the archive's ground
+    truth); ``observed_rows`` is the subset the public feed exposed —
+    identical lists when the pack has no private channel.
+    """
+
+    pack: ScenarioPack
+    truth_rows: list[Row]
+    observed_rows: list[Row]
+    attacks: list[TruthAttack]
+    #: Bundle ids hidden from the public feed.
+    private_bundle_ids: frozenset[str]
+    #: Indexes into ``attacks`` for attacks fully off the feed.
+    hidden_attack_indexes: tuple[int, ...]
+    #: Landed bundle id -> block engine name (empty map without weights).
+    engine_by_bundle: dict[str, str]
+
+    @property
+    def attack_bundle_lists(self) -> list[tuple[str, ...]]:
+        """Per-attack bundle id tuples, in planting order."""
+        return [attack.bundle_ids for attack in self.attacks]
+
+
+def _disguise_row(row: Row, rng: DeterministicRNG) -> Row:
+    """Repackage a canonical sandwich as a four-transaction disguise.
+
+    A decoy swap from the attacker's wallet rides behind the back-run, so
+    the bundle leaves the length-three population the paper's detector
+    scans; the front/victim/back window is still intact for the windowed
+    extension detector.
+    """
+    bundle, records = row
+    front = records[0]
+    front_swap = front.events[0]
+    decoy = _swap_record(
+        f"{bundle.bundle_id}-d",
+        front.signer,
+        front_swap["mint_in"],
+        front_swap["mint_out"],
+        rng.randint(100, 900),
+        rng.randint(50_000, 500_000),
+        front_swap["pool"],
+        front.block_time,
+        front.slot,
+    )
+    disguised = list(records) + [decoy]
+    return (
+        BundleRecord(
+            bundle_id=bundle.bundle_id,
+            slot=bundle.slot,
+            landed_at=bundle.landed_at,
+            tip_lamports=bundle.tip_lamports,
+            transaction_ids=tuple(r.transaction_id for r in disguised),
+        ),
+        disguised,
+    )
+
+
+def _split_rows(row: Row) -> tuple[Row, Row]:
+    """Split a canonical sandwich across two bundles.
+
+    The front-run wraps the victim in one bundle; the back-run lands alone
+    in a second bundle carrying a third of the tip. No single bundle holds
+    the full front/victim/back pattern, so bundle-scoped detection — plain
+    or windowed — cannot see the attack.
+    """
+    bundle, records = row
+    front, victim, back = records
+    front_bundle = BundleRecord(
+        bundle_id=f"{bundle.bundle_id}-s0",
+        slot=bundle.slot,
+        landed_at=bundle.landed_at,
+        tip_lamports=bundle.tip_lamports - bundle.tip_lamports // 3,
+        transaction_ids=(front.transaction_id, victim.transaction_id),
+    )
+    back_bundle = BundleRecord(
+        bundle_id=f"{bundle.bundle_id}-s1",
+        slot=bundle.slot,
+        landed_at=bundle.landed_at,
+        tip_lamports=bundle.tip_lamports // 3,
+        transaction_ids=(back.transaction_id,),
+    )
+    return (front_bundle, [front, victim]), (back_bundle, [back])
+
+
+def build_pack_campaign(pack: ScenarioPack) -> PackCampaign:
+    """Expand a pack into ground-truth and observed campaign rows.
+
+    Deterministic end to end: the base rows come from the conformance
+    generator's substreams, and every pack-level draw flows from named
+    children of ``scenarios/<pack-name>`` — evasion, engine, and private
+    channel streams never perturb each other or the base.
+    """
+    pack.validate()
+    labeled = generate_labeled_rows(pack.base)
+    root = DeterministicRNG(pack.base.seed).child(f"scenarios/{pack.name}")
+    evasion_rng = root.child("evasion")
+    engine_rng = root.child("engines")
+    private_rng = root.child("private")
+
+    truth_rows: list[Row] = []
+    attacks: list[TruthAttack] = []
+    for row, kind in labeled:
+        if kind != "sandwich":
+            truth_rows.append(row)
+            continue
+        attack_id = row[0].bundle_id
+        evades = (
+            pack.evasion != "none"
+            and pack.evasion_fraction > 0
+            and evasion_rng.bernoulli(pack.evasion_fraction)
+        )
+        if not evades:
+            truth_rows.append(row)
+            attacks.append(TruthAttack(attack_id, (attack_id,), "none"))
+        elif pack.evasion == "disguise4":
+            truth_rows.append(_disguise_row(row, evasion_rng))
+            attacks.append(TruthAttack(attack_id, (attack_id,), "disguise4"))
+        else:
+            front_row, back_row = _split_rows(row)
+            truth_rows.append(front_row)
+            truth_rows.append(back_row)
+            attacks.append(
+                TruthAttack(
+                    attack_id,
+                    (front_row[0].bundle_id, back_row[0].bundle_id),
+                    "split",
+                )
+            )
+
+    engine_by_bundle: dict[str, str] = {}
+    if pack.engine_weights:
+        names = pack.engine_names()
+        weights = list(pack.engine_weights)
+        for bundle, _records in truth_rows:
+            engine_by_bundle[bundle.bundle_id] = engine_rng.choices(
+                names, weights=weights, k=1
+            )[0]
+
+    # One uniform per attack, drawn regardless of the fraction: the hidden
+    # sets nest across fractions (see the module docstring).
+    private_ids: set[str] = set()
+    hidden_indexes: list[int] = []
+    for index, attack in enumerate(attacks):
+        if private_rng.random() < pack.private_fraction:
+            private_ids.update(attack.bundle_ids)
+            hidden_indexes.append(index)
+
+    observed_rows = [
+        row for row in truth_rows if row[0].bundle_id not in private_ids
+    ]
+    return PackCampaign(
+        pack=pack,
+        truth_rows=truth_rows,
+        observed_rows=observed_rows,
+        attacks=attacks,
+        private_bundle_ids=frozenset(private_ids),
+        hidden_attack_indexes=tuple(hidden_indexes),
+        engine_by_bundle=engine_by_bundle,
+    )

@@ -1,0 +1,239 @@
+"""The scenario-pack model and registry.
+
+A pack is a frozen, JSON-round-trippable recipe: a conformance base
+scenario (the bundle mix the generator expands) plus the market-structure
+axes the paper's measurement held fixed — what fraction of attacks bypass
+the public feed, how flow concentrates across block engines, and which
+measurement-era evasion the attackers escalate to. Packs fingerprint like
+base scenarios do, so golden fixtures can refuse a recipe that drifted
+from its frozen vectors.
+
+The three built-in packs are calibrated against the live agent population:
+their attacker mix mirrors :class:`repro.agents.attacker.SandwichConfig`
+defaults (non-SOL pair share), and :meth:`ScenarioPack.scenario_config`
+hands back a live-simulation :class:`~repro.simulation.config.ScenarioConfig`
+with the same knobs applied to the real agents, so a pack describes one
+market structure for both the synthetic and the agent-based worlds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, replace
+
+from repro.conformance.scenarios import SyntheticScenario
+from repro.errors import ConfigError
+from repro.utils.serialization import dumps
+
+#: The market-structure families a pack can model.
+PACK_KINDS = ("private-channel", "builder-concentration", "adaptive-attacker")
+
+#: Measurement-era evasions the adaptive packs escalate through.
+EVASIONS = ("none", "disguise4", "split")
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """One market structure: a base campaign plus adversarial axes.
+
+    ``private_fraction`` hides that share of attacks from the public feed
+    (the archive still records them — ground truth); ``engine_weights``
+    spreads flow across that many block engines; ``evasion`` +
+    ``evasion_fraction`` rewrites that share of attacks into the chosen
+    evading shape.
+    """
+
+    name: str
+    kind: str
+    base: SyntheticScenario
+    #: Fraction of attacks submitted through a private channel (feed-invisible).
+    private_fraction: float = 0.0
+    #: Relative flow share per block engine; empty = single-engine world.
+    engine_weights: tuple[float, ...] = ()
+    #: Which evasion the attackers use, and on what fraction of attacks.
+    evasion: str = "none"
+    evasion_fraction: float = 0.0
+    description: str = ""
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on out-of-range parameters."""
+        if not self.name:
+            raise ConfigError("a scenario pack needs a name")
+        if self.kind not in PACK_KINDS:
+            raise ConfigError(
+                f"pack kind must be one of {PACK_KINDS}, got {self.kind!r}"
+            )
+        self.base.validate()
+        for label, fraction in (
+            ("private_fraction", self.private_fraction),
+            ("evasion_fraction", self.evasion_fraction),
+        ):
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigError(f"{label} must be in [0, 1], got {fraction}")
+        if self.evasion not in EVASIONS:
+            raise ConfigError(
+                f"evasion must be one of {EVASIONS}, got {self.evasion!r}"
+            )
+        if self.evasion == "none" and self.evasion_fraction > 0:
+            raise ConfigError(
+                "evasion_fraction > 0 needs an evasion other than 'none'"
+            )
+        if self.engine_weights:
+            if any(w < 0 for w in self.engine_weights):
+                raise ConfigError("engine weights must be non-negative")
+            if sum(self.engine_weights) <= 0:
+                raise ConfigError("engine weights must not all be zero")
+
+    def engine_names(self) -> tuple[str, ...]:
+        """Stable block-engine names, one per weight."""
+        return tuple(
+            f"engine-{index:02d}" for index in range(len(self.engine_weights))
+        )
+
+    def to_json(self) -> dict:
+        """JSON-safe recipe (embedded verbatim in pack golden fixtures)."""
+        record = asdict(self)
+        record["base"] = self.base.to_json()
+        record["engine_weights"] = list(self.engine_weights)
+        return record
+
+    @classmethod
+    def from_json(cls, record: dict) -> "ScenarioPack":
+        """Rebuild a pack from :meth:`to_json` output."""
+        try:
+            known = dict(record)
+            known["base"] = SyntheticScenario.from_json(known["base"])
+            known["engine_weights"] = tuple(known.get("engine_weights", ()))
+            pack = cls(**known)
+        except (TypeError, KeyError) as exc:
+            raise ConfigError(f"malformed pack record: {exc}") from exc
+        pack.validate()
+        return pack
+
+    def fingerprint(self) -> str:
+        """Short stable hash of the full recipe (base included)."""
+        return hashlib.sha256(dumps(self.to_json()).encode()).hexdigest()[:16]
+
+    def with_seed(self, seed: int) -> "ScenarioPack":
+        """The same market structure over a reseeded base campaign."""
+        return replace(self, base=replace(self.base, seed=seed))
+
+    def scenario_config(self, days: int = 2, seed: int | None = None):
+        """A live-simulation scenario with this pack's knobs applied.
+
+        Returns a small :class:`~repro.simulation.config.ScenarioConfig`
+        whose agent population uses the pack's private-channel fraction, so
+        ``MeasurementCampaign`` collects through the same biased feed the
+        synthetic expansion models. Imported lazily: the pack model itself
+        stays importable without the simulation stack.
+        """
+        from repro.simulation.scenario import small_scenario
+
+        scenario = small_scenario(
+            seed=self.base.seed if seed is None else seed, days=days
+        )
+        sandwich = replace(
+            scenario.population.sandwich,
+            private_channel_fraction=self.private_fraction,
+        )
+        population = replace(scenario.population, sandwich=sandwich)
+        return replace(scenario, population=population)
+
+
+def _default_non_sol_fraction() -> float:
+    """The live attacker population's non-SOL pair share (calibration)."""
+    from repro.agents.attacker import SandwichConfig
+
+    return SandwichConfig().non_sol_fraction
+
+
+def _pack_base(name: str, seed: int, **overrides) -> SyntheticScenario:
+    """A pack's base campaign, calibrated to the agent population.
+
+    The attacker's non-SOL pair share comes straight from the live
+    :class:`~repro.agents.attacker.SandwichConfig` default, so synthetic
+    packs and agent-based campaigns price the same share of sandwiches.
+    """
+    params = {
+        "name": name,
+        "seed": seed,
+        "bundles": 160,
+        "attacker_density": 0.15,
+        "non_sol_fraction": _default_non_sol_fraction(),
+        "tie_every": 3,
+    }
+    params.update(overrides)
+    return SyntheticScenario(**params)
+
+
+#: The checked-in pack corpus (see ``tests/golden/``). Regenerate fixtures
+#: with ``repro selftest --bless`` after any intentional pipeline change.
+CORPUS_PACKS: tuple[ScenarioPack, ...] = (
+    ScenarioPack(
+        name="pack-private-channel",
+        kind="private-channel",
+        base=_pack_base("pack-private-base", seed=505),
+        private_fraction=0.4,
+        description=(
+            "40% of attacks bypass the public feed via a private channel; "
+            "the archive records ground truth, the collector sees the "
+            "biased sample"
+        ),
+    ),
+    ScenarioPack(
+        name="pack-builder-concentration",
+        kind="builder-concentration",
+        base=_pack_base(
+            "pack-builder-base", seed=606, attacker_density=0.12
+        ),
+        engine_weights=(0.45, 0.35, 0.08, 0.06, 0.04, 0.02),
+        description=(
+            "two block engines carry 80% of flow (45/35/8/6/4/2 split); "
+            "per-engine sandwich incidence breaks the aggregate down"
+        ),
+    ),
+    ScenarioPack(
+        name="pack-adaptive-attacker",
+        kind="adaptive-attacker",
+        base=_pack_base("pack-adaptive-base", seed=707, bundles=150),
+        evasion="disguise4",
+        evasion_fraction=0.5,
+        description=(
+            "half the attacks repackage as four-transaction disguises — "
+            "invisible to the paper's length-three detector, visible to "
+            "the windowed extension"
+        ),
+    ),
+)
+
+
+_REGISTRY: dict[str, ScenarioPack] = {}
+
+
+def register_pack(pack: ScenarioPack) -> ScenarioPack:
+    """Validate and register a pack under its name (last write wins)."""
+    pack.validate()
+    _REGISTRY[pack.name] = pack
+    return pack
+
+
+def get_pack(name: str) -> ScenarioPack:
+    """Look up a registered pack; raise :class:`ConfigError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        available = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ConfigError(
+            f"unknown scenario pack {name!r}; available: {available}"
+        ) from None
+
+
+def list_packs() -> tuple[ScenarioPack, ...]:
+    """All registered packs, sorted by name."""
+    return tuple(
+        _REGISTRY[name] for name in sorted(_REGISTRY)
+    )
+
+
+for _pack in CORPUS_PACKS:
+    register_pack(_pack)

@@ -1,0 +1,122 @@
+"""Private submission channels in the live simulation.
+
+When ``SandwichConfig.private_channel_fraction`` is positive, attackers
+route that share of their bundles around the public feed. The simulated
+chain (ground truth) still lands and records them; the explorer consults
+the ground truth live and never serves them, so the collector measures a
+biased sample — the exact gap the scenario packs quantify synthetically.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.agents.base import Label
+from repro.collector.campaign import MeasurementCampaign, _public_feed_filter
+from repro.simulation import small_scenario
+
+
+def private_scenario(seed: int = 31, fraction: float = 0.6):
+    scenario = small_scenario(seed=seed, days=2)
+    sandwich = replace(
+        scenario.population.sandwich, private_channel_fraction=fraction
+    )
+    population = replace(scenario.population, sandwich=sandwich)
+    return replace(scenario, population=population)
+
+
+@pytest.fixture(scope="module")
+def private_campaign():
+    campaign = MeasurementCampaign(private_scenario())
+    result = campaign.run()
+    return campaign, result
+
+
+def _landed_by_channel(result):
+    truth = result.world.ground_truth
+    landed = [o.bundle_id for o in result.world.block_engine.bundle_log]
+    private, public = [], []
+    for bundle_id in landed:
+        generated = truth.get(bundle_id)
+        if generated is None:
+            continue
+        if generated.metadata.get("channel") == "private":
+            private.append(bundle_id)
+        elif generated.metadata.get("channel") == "public":
+            public.append(bundle_id)
+    return landed, private, public
+
+
+class TestGroundTruthStillRecordsPrivateBundles:
+    def test_private_bundles_land_on_chain(self, private_campaign):
+        _campaign, result = private_campaign
+        _landed, private, public = _landed_by_channel(result)
+        assert private, "a 60% private fraction must hide some bundles"
+        assert public, "some attacker bundles must stay public"
+
+    def test_private_bundles_keep_their_labels(self, private_campaign):
+        _campaign, result = private_campaign
+        truth = result.world.ground_truth
+        _landed, private, _public = _landed_by_channel(result)
+        for bundle_id in private:
+            assert truth.label_of(bundle_id) in (
+                Label.SANDWICH,
+                Label.DISGUISED_SANDWICH,
+            )
+
+
+class TestCollectorSeesOnlyThePublicSample:
+    def test_no_private_bundle_is_ever_collected(self, private_campaign):
+        _campaign, result = private_campaign
+        _landed, private, _public = _landed_by_channel(result)
+        collected = {b.bundle_id for b in result.store.bundles()}
+        assert collected.isdisjoint(private)
+
+    def test_collection_stays_otherwise_healthy(self, private_campaign):
+        _campaign, result = private_campaign
+        summary = result.summary()
+        assert summary["bundles_collected"] > 0
+        assert 0.6 <= summary["collection_completeness"] <= 1.0
+
+
+class TestExplorerHidesPrivateBundles:
+    def test_bundle_lookup_returns_none(self, private_campaign):
+        campaign, result = private_campaign
+        _landed, private, _public = _landed_by_channel(result)
+        # Indistinguishable from a bundle that never landed.
+        assert campaign.service.bundle(private[0]) is None
+
+    def test_recent_feed_never_lists_private(self, private_campaign):
+        campaign, result = private_campaign
+        _landed, private, _public = _landed_by_channel(result)
+        recent = campaign.service.recent_bundles(
+            limit=campaign.service.config.max_recent_limit
+        )
+        listed = {b.bundle_id for b in recent}
+        assert listed.isdisjoint(private)
+
+    def test_public_bundles_still_served(self, private_campaign):
+        campaign, result = private_campaign
+        _landed, _private, public = _landed_by_channel(result)
+        assert campaign.service.bundle(public[-1]) is not None
+
+
+class TestDefaultCampaignIsUnaffected:
+    def test_zero_fraction_records_no_channel_metadata(self):
+        campaign = MeasurementCampaign(small_scenario(seed=31, days=1))
+        result = campaign.run()
+        truth = result.world.ground_truth
+        # The bernoulli draw is gated on fraction > 0, so historical
+        # scenarios keep their RNG streams and their metadata shape.
+        for outcome in result.world.block_engine.bundle_log:
+            generated = truth.get(outcome.bundle_id)
+            if generated is not None:
+                assert generated.metadata.get("channel") != "private"
+
+    def test_filter_predicate_matches_metadata(self, private_campaign):
+        _campaign, result = private_campaign
+        visible = _public_feed_filter(result.world.ground_truth)
+        _landed, private, public = _landed_by_channel(result)
+        assert not visible(private[0])
+        assert visible(public[0])
+        assert visible("never-landed-bundle")

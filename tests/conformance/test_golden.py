@@ -25,9 +25,11 @@ pytestmark = pytest.mark.golden
 
 def test_checked_in_corpus_reproduces():
     """The repository's own corpus must pass, fixture by fixture."""
+    from repro.scenarios.packs import CORPUS_PACKS
+
     corpus = default_corpus_dir()
     checks = check_corpus(corpus)
-    assert len(checks) == len(CORPUS_SCENARIOS)
+    assert len(checks) == len(CORPUS_SCENARIOS) + len(CORPUS_PACKS)
     for check in checks:
         assert check.passed, check.render()
 

@@ -36,11 +36,17 @@ def test_quick_level_passes_on_one_seed(blessed_corpus, tmp_path):
         workdir=tmp_path,
     )
     assert report.passed, report.render()
-    # golden + differential + metamorphic + oracle sensitivity.
-    assert len(report.checks) == 4
-    assert len(lines) == 4
+    # golden + differential + metamorphic + oracle sensitivity, plus one
+    # pack differential per corpus pack.
+    from repro.scenarios.packs import CORPUS_PACKS
+
+    expected = 4 + len(CORPUS_PACKS)
+    assert len(report.checks) == expected
+    assert len(lines) == expected
     families = {check.family for check in report.checks}
-    assert families == {"golden", "differential", "metamorphic", "oracle"}
+    assert families == {
+        "golden", "differential", "metamorphic", "oracle", "pack",
+    }
     names = set(metrics.snapshot()["metrics"])
     assert "conformance_checks_total" in names
     assert "conformance_check_seconds" in names
@@ -104,5 +110,11 @@ def test_full_level_passes_on_one_seed(blessed_corpus, tmp_path):
         workdir=tmp_path,
     )
     assert report.passed, report.render()
-    # full adds one stress differential per seed.
-    assert len(report.checks) == 5
+    # full adds one stress differential per seed plus the streaming
+    # chaos-equivalence check on top of quick's battery (which includes
+    # one pack differential per corpus pack).
+    from repro.scenarios.packs import CORPUS_PACKS
+
+    assert len(report.checks) == 6 + len(CORPUS_PACKS)
+    families = {check.family for check in report.checks}
+    assert "pack" in families and "stream" in families

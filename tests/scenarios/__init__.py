@@ -1,0 +1,1 @@
+"""Adversarial scenario-pack tests: model, expansion, recall, goldens."""

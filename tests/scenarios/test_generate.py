@@ -1,0 +1,171 @@
+"""Pack expansion: determinism, evasion shapes, engines, private nesting."""
+
+from dataclasses import replace
+
+from repro.conformance.scenarios import generate_rows
+from repro.scenarios.generate import build_pack_campaign
+from tests.scenarios.test_packs import make_pack, tiny_base
+
+
+def medium_pack(**overrides):
+    base = tiny_base(name="gen-base", seed=21)
+    return make_pack(
+        name="gen-pack", base=replace(base, bundles=40), **overrides
+    )
+
+
+class TestDeterminism:
+    def test_two_builds_are_identical(self):
+        pack = medium_pack(
+            private_fraction=0.5,
+            engine_weights=(0.7, 0.3),
+            evasion="split",
+            evasion_fraction=0.4,
+        )
+        first = build_pack_campaign(pack)
+        second = build_pack_campaign(pack)
+        assert first.truth_rows == second.truth_rows
+        assert first.observed_rows == second.observed_rows
+        assert first.attacks == second.attacks
+        assert first.private_bundle_ids == second.private_bundle_ids
+        assert first.hidden_attack_indexes == second.hidden_attack_indexes
+        assert first.engine_by_bundle == second.engine_by_bundle
+
+    def test_axis_free_pack_matches_base_generator_exactly(self):
+        # A pack with no adversarial axes is its base scenario verbatim:
+        # the expansion must not perturb the conformance substreams.
+        pack = medium_pack()
+        campaign = build_pack_campaign(pack)
+        assert campaign.truth_rows == generate_rows(pack.base)
+        assert campaign.observed_rows == campaign.truth_rows
+        assert campaign.private_bundle_ids == frozenset()
+        assert campaign.hidden_attack_indexes == ()
+        assert campaign.engine_by_bundle == {}
+
+    def test_attacks_cover_exactly_the_sandwich_rows(self):
+        pack = medium_pack()
+        campaign = build_pack_campaign(pack)
+        all_ids = {bundle.bundle_id for bundle, _ in campaign.truth_rows}
+        for attack in campaign.attacks:
+            assert attack.evasion == "none"
+            assert set(attack.bundle_ids) <= all_ids
+
+
+class TestEvasionShapes:
+    def test_disguise_appends_fourth_transaction(self):
+        pack = medium_pack(evasion="disguise4", evasion_fraction=1.0)
+        campaign = build_pack_campaign(pack)
+        by_id = {
+            bundle.bundle_id: (bundle, records)
+            for bundle, records in campaign.truth_rows
+        }
+        assert campaign.attacks, "the base must plant attacks"
+        for attack in campaign.attacks:
+            assert attack.evasion == "disguise4"
+            bundle, records = by_id[attack.attack_id]
+            assert len(records) == 4
+            assert len(bundle.transaction_ids) == 4
+            # The decoy rides last and is signed by the attacker wallet.
+            assert records[3].transaction_id.endswith("-d")
+            assert records[3].signer == records[0].signer
+            # The front/victim/back window stays intact up front.
+            assert [r.transaction_id for r in records[:3]] == list(
+                bundle.transaction_ids[:3]
+            )
+
+    def test_split_spreads_attack_over_two_bundles(self):
+        pack = medium_pack(evasion="split", evasion_fraction=1.0)
+        campaign = build_pack_campaign(pack)
+        by_id = {
+            bundle.bundle_id: (bundle, records)
+            for bundle, records in campaign.truth_rows
+        }
+        for attack in campaign.attacks:
+            assert attack.evasion == "split"
+            first_id, second_id = attack.bundle_ids
+            assert first_id == f"{attack.attack_id}-s0"
+            assert second_id == f"{attack.attack_id}-s1"
+            front_bundle, front_records = by_id[first_id]
+            back_bundle, back_records = by_id[second_id]
+            assert len(front_records) == 2
+            assert len(back_records) == 1
+            # Same slot and landing: the split is a timing disguise, not
+            # a rescheduling. The tip divides across the two bundles.
+            assert front_bundle.slot == back_bundle.slot
+            assert front_bundle.landed_at == back_bundle.landed_at
+            total = front_bundle.tip_lamports + back_bundle.tip_lamports
+            assert back_bundle.tip_lamports == total // 3
+
+    def test_partial_evasion_mixes_shapes(self):
+        pack = medium_pack(evasion="disguise4", evasion_fraction=0.5)
+        campaign = build_pack_campaign(pack)
+        shapes = {attack.evasion for attack in campaign.attacks}
+        assert shapes == {"none", "disguise4"}
+
+
+class TestEngineAssignment:
+    def test_every_landed_bundle_gets_an_engine(self):
+        pack = medium_pack(engine_weights=(0.6, 0.3, 0.1))
+        campaign = build_pack_campaign(pack)
+        assert set(campaign.engine_by_bundle) == {
+            bundle.bundle_id for bundle, _ in campaign.truth_rows
+        }
+        assert set(campaign.engine_by_bundle.values()) <= set(
+            pack.engine_names()
+        )
+
+    def test_no_weights_means_no_assignment(self):
+        campaign = build_pack_campaign(medium_pack())
+        assert campaign.engine_by_bundle == {}
+
+    def test_heavier_engine_carries_more_flow(self):
+        pack = medium_pack(engine_weights=(0.9, 0.1))
+        campaign = build_pack_campaign(pack)
+        counts = {"engine-00": 0, "engine-01": 0}
+        for engine in campaign.engine_by_bundle.values():
+            counts[engine] += 1
+        assert counts["engine-00"] > counts["engine-01"]
+
+
+class TestPrivateChannel:
+    def test_hidden_sets_nest_across_fractions(self):
+        # One uniform per attack, drawn regardless of the fraction: the
+        # hidden set at a smaller p must be a subset of the set at a
+        # larger p (this is what makes observed recall monotone in p).
+        fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+        hidden = []
+        for fraction in fractions:
+            campaign = build_pack_campaign(
+                medium_pack(private_fraction=fraction)
+            )
+            hidden.append(set(campaign.hidden_attack_indexes))
+        for smaller, larger in zip(hidden, hidden[1:]):
+            assert smaller <= larger
+        assert hidden[0] == set()
+        campaign = build_pack_campaign(medium_pack(private_fraction=1.0))
+        assert hidden[-1] == set(range(len(campaign.attacks)))
+
+    def test_observed_rows_drop_exactly_the_private_bundles(self):
+        campaign = build_pack_campaign(medium_pack(private_fraction=0.5))
+        observed_ids = {b.bundle_id for b, _ in campaign.observed_rows}
+        truth_ids = {b.bundle_id for b, _ in campaign.truth_rows}
+        assert observed_ids == truth_ids - campaign.private_bundle_ids
+
+    def test_private_draw_is_independent_of_other_axes(self):
+        # Turning on engine weights must not reshuffle which attacks the
+        # private channel hides: the substreams are named children.
+        plain = build_pack_campaign(medium_pack(private_fraction=0.5))
+        loaded = build_pack_campaign(
+            medium_pack(private_fraction=0.5, engine_weights=(0.5, 0.5))
+        )
+        assert (
+            plain.hidden_attack_indexes == loaded.hidden_attack_indexes
+        )
+
+    def test_split_attack_hides_both_bundles(self):
+        pack = medium_pack(
+            private_fraction=1.0, evasion="split", evasion_fraction=1.0
+        )
+        campaign = build_pack_campaign(pack)
+        for attack in campaign.attacks:
+            assert set(attack.bundle_ids) <= campaign.private_bundle_ids

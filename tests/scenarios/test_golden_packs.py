@@ -1,0 +1,105 @@
+"""Golden pack fixtures: reproduction, tampering, the frozen recall figure."""
+
+import json
+
+import pytest
+
+from repro.conformance.canon import canon_jsonable, digest
+from repro.conformance.golden import (
+    check_fixture,
+    default_corpus_dir,
+    expected_pack_payload,
+    fixture_path,
+    load_fixture,
+    verify_fixture_bytes,
+    write_pack_fixture,
+)
+from repro.scenarios.packs import CORPUS_PACKS, get_pack
+from repro.scenarios.report import evaluate_pack
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.mark.parametrize("pack", CORPUS_PACKS, ids=lambda p: p.name)
+def test_checked_in_pack_fixture_reproduces(pack):
+    path = fixture_path(default_corpus_dir(), pack.name)
+    assert path.exists(), (
+        f"missing pack fixture {path}; bless with: repro selftest --bless"
+    )
+    check = check_fixture(path)
+    assert check.passed, check.render()
+
+
+@pytest.mark.parametrize("pack", CORPUS_PACKS, ids=lambda p: p.name)
+def test_checked_in_pack_fixture_is_self_consistent(pack):
+    verify_fixture_bytes(fixture_path(default_corpus_dir(), pack.name))
+
+
+def test_recall_degradation_figure_matches_frozen_fixture():
+    # The acceptance-criterion figure: a fresh evaluation of the
+    # private-channel pack must reproduce the recall-degradation number
+    # frozen in its golden fixture, exactly — not approximately.
+    pack = get_pack("pack-private-channel")
+    document = load_fixture(
+        fixture_path(default_corpus_dir(), pack.name)
+    )
+    frozen = document["expected"]["bias"]
+    evaluation = evaluate_pack(pack)
+    fresh = canon_jsonable(evaluation.bias.to_json())
+    assert fresh == frozen
+    assert frozen["recall_degradation"] > 0, (
+        "the private-channel pack must exhibit real degradation"
+    )
+    # Each field is canon-rounded independently, so the cross-field
+    # identity holds to rounding precision, not bit-exactly.
+    assert fresh["recall_degradation"] == pytest.approx(
+        frozen["truth"]["recall"] - frozen["observed"]["recall"]
+    )
+
+
+def test_pack_fixture_round_trips_through_bless(tmp_path):
+    pack = get_pack("pack-adaptive-attacker")
+    first = write_pack_fixture(pack, tmp_path / "a")
+    second = write_pack_fixture(pack, tmp_path / "b")
+    assert first.read_bytes() == second.read_bytes()
+    assert check_fixture(first).passed
+
+
+def test_pack_fingerprint_drift_fails_check(tmp_path):
+    pack = get_pack("pack-private-channel")
+    path = write_pack_fixture(pack, tmp_path)
+    document = json.loads(path.read_text())
+    document["scenario"]["private_fraction"] = 0.41
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    check = check_fixture(path)
+    assert not check.passed
+    assert "pack fingerprint drifted" in check.reason
+
+
+def test_tampered_pack_payload_fails_with_field_diff(tmp_path):
+    pack = get_pack("pack-private-channel")
+    path = write_pack_fixture(pack, tmp_path)
+    document = json.loads(path.read_text())
+    document["expected"]["bias"]["recall_degradation"] = 0.0
+    document["digest"] = digest(document["expected"])
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    check = check_fixture(path)
+    assert not check.passed
+    assert check.differences, "a digest mismatch must carry the field diff"
+
+
+def test_pack_payload_is_deterministic():
+    pack = get_pack("pack-builder-concentration")
+    assert expected_pack_payload(pack) == expected_pack_payload(pack)
+
+
+def test_pack_payload_pins_engine_breakdowns():
+    document = load_fixture(
+        fixture_path(default_corpus_dir(), "pack-builder-concentration")
+    )
+    engines = document["expected"]["engines"]
+    assert len(engines) == 6
+    shares = [entry["flow_share"] for entry in engines]
+    # The calibration story: the top two engines carry most of the flow.
+    assert shares[0] + shares[1] > 0.6
+    assert sum(shares) == pytest.approx(1.0)

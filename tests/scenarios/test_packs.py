@@ -1,0 +1,188 @@
+"""Pack model and registry: validation, round-trips, fingerprints."""
+
+import pytest
+
+from repro.conformance.scenarios import SyntheticScenario
+from repro.errors import ConfigError
+from repro.scenarios.packs import (
+    CORPUS_PACKS,
+    EVASIONS,
+    PACK_KINDS,
+    ScenarioPack,
+    get_pack,
+    list_packs,
+    register_pack,
+)
+
+
+def tiny_base(name: str = "tiny-base", seed: int = 9) -> SyntheticScenario:
+    return SyntheticScenario(
+        name=name,
+        seed=seed,
+        bundles=6,
+        attacker_density=0.5,
+        pending_fraction=0.0,
+    )
+
+
+def make_pack(**overrides) -> ScenarioPack:
+    params = {
+        "name": "tiny-pack",
+        "kind": "private-channel",
+        "base": tiny_base(),
+    }
+    params.update(overrides)
+    return ScenarioPack(**params)
+
+
+class TestValidation:
+    def test_valid_pack_passes(self):
+        make_pack().validate()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError, match="needs a name"):
+            make_pack(name="").validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="pack kind"):
+            make_pack(kind="mystery").validate()
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1, 2.0])
+    def test_private_fraction_out_of_range(self, fraction):
+        with pytest.raises(ConfigError, match="private_fraction"):
+            make_pack(private_fraction=fraction).validate()
+
+    @pytest.mark.parametrize("fraction", [-0.5, 1.5])
+    def test_evasion_fraction_out_of_range(self, fraction):
+        with pytest.raises(ConfigError, match="evasion_fraction"):
+            make_pack(
+                evasion="disguise4", evasion_fraction=fraction
+            ).validate()
+
+    def test_unknown_evasion_rejected(self):
+        with pytest.raises(ConfigError, match="evasion must be"):
+            make_pack(evasion="teleport").validate()
+
+    def test_evasion_fraction_without_evasion_rejected(self):
+        with pytest.raises(ConfigError, match="other than 'none'"):
+            make_pack(evasion="none", evasion_fraction=0.5).validate()
+
+    def test_negative_engine_weight_rejected(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            make_pack(engine_weights=(0.5, -0.1)).validate()
+
+    def test_all_zero_engine_weights_rejected(self):
+        with pytest.raises(ConfigError, match="not all be zero"):
+            make_pack(engine_weights=(0.0, 0.0)).validate()
+
+    def test_base_scenario_is_validated_too(self):
+        bad = make_pack(
+            base=SyntheticScenario(name="bad", seed=1, bundles=0)
+        )
+        with pytest.raises(ConfigError, match="bundles"):
+            bad.validate()
+
+
+class TestSerialization:
+    def test_json_round_trip_is_identity(self):
+        pack = make_pack(
+            private_fraction=0.4,
+            engine_weights=(0.6, 0.4),
+            evasion="split",
+            evasion_fraction=0.25,
+            description="round trip",
+        )
+        assert ScenarioPack.from_json(pack.to_json()) == pack
+
+    def test_round_trip_preserves_fingerprint(self):
+        for pack in CORPUS_PACKS:
+            clone = ScenarioPack.from_json(pack.to_json())
+            assert clone.fingerprint() == pack.fingerprint()
+
+    def test_malformed_record_is_config_error(self):
+        with pytest.raises(ConfigError, match="malformed pack record"):
+            ScenarioPack.from_json({"name": "incomplete"})
+
+    def test_from_json_validates(self):
+        record = make_pack().to_json()
+        record["kind"] = "mystery"
+        with pytest.raises(ConfigError, match="pack kind"):
+            ScenarioPack.from_json(record)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        pack = make_pack()
+        assert pack.fingerprint() == pack.fingerprint()
+
+    def test_any_axis_change_drifts(self):
+        base = make_pack()
+        variants = [
+            make_pack(private_fraction=0.01),
+            make_pack(engine_weights=(1.0,)),
+            make_pack(evasion="disguise4", evasion_fraction=0.5),
+            make_pack(base=tiny_base(seed=10)),
+        ]
+        prints = {pack.fingerprint() for pack in variants}
+        assert base.fingerprint() not in prints
+        assert len(prints) == len(variants)
+
+
+class TestWithSeed:
+    def test_reseeds_only_the_base(self):
+        pack = make_pack(private_fraction=0.4)
+        reseeded = pack.with_seed(4242)
+        assert reseeded.base.seed == 4242
+        assert reseeded.private_fraction == pack.private_fraction
+        assert reseeded.name == pack.name
+        assert reseeded.fingerprint() != pack.fingerprint()
+
+
+class TestScenarioConfig:
+    def test_applies_private_fraction_to_live_population(self):
+        pack = make_pack(private_fraction=0.3)
+        scenario = pack.scenario_config(days=1)
+        assert (
+            scenario.population.sandwich.private_channel_fraction == 0.3
+        )
+
+    def test_seed_defaults_to_base_seed(self):
+        pack = make_pack()
+        assert pack.scenario_config().seed == pack.base.seed
+        assert pack.scenario_config(seed=77).seed == 77
+
+
+class TestRegistry:
+    def test_corpus_packs_are_registered(self):
+        names = {pack.name for pack in list_packs()}
+        assert {pack.name for pack in CORPUS_PACKS} <= names
+
+    def test_corpus_covers_every_kind(self):
+        assert {pack.kind for pack in CORPUS_PACKS} == set(PACK_KINDS)
+
+    def test_get_pack_unknown_lists_available(self):
+        with pytest.raises(ConfigError, match="pack-private-channel"):
+            get_pack("no-such-pack")
+
+    def test_register_validates(self):
+        with pytest.raises(ConfigError):
+            register_pack(make_pack(kind="mystery"))
+
+    def test_register_and_lookup(self):
+        pack = make_pack(name="test-registry-entry")
+        try:
+            register_pack(pack)
+            assert get_pack("test-registry-entry") == pack
+            assert pack in list_packs()
+        finally:
+            from repro.scenarios.packs import _REGISTRY
+
+            _REGISTRY.pop("test-registry-entry", None)
+
+    def test_list_packs_sorted_by_name(self):
+        names = [pack.name for pack in list_packs()]
+        assert names == sorted(names)
+
+    def test_evasion_vocabulary_is_frozen(self):
+        # The arms-race bench and the generator dispatch on these names.
+        assert EVASIONS == ("none", "disguise4", "split")

@@ -1,0 +1,64 @@
+"""Hypothesis properties for the private-channel axis.
+
+The ISSUE-level invariant: for *any* private-channel fraction p in [0, 1],
+the ground-truth attack count is invariant while the observed attack count
+is monotonically non-increasing in p. The generator makes this hold by
+construction (one fraction-independent uniform per attack), and these
+properties check the construction from the outside.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios.generate import build_pack_campaign
+from tests.scenarios.test_packs import make_pack, tiny_base
+
+fractions = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def prop_pack(fraction: float, seed: int = 33, bundles: int = 24):
+    base = replace(tiny_base(name="prop-base", seed=seed), bundles=bundles)
+    return make_pack(name="prop-pack", base=base, private_fraction=fraction)
+
+
+@settings(max_examples=40, deadline=None)
+@given(fraction=fractions)
+def test_ground_truth_is_invariant_in_p(fraction):
+    campaign = build_pack_campaign(prop_pack(fraction))
+    baseline = build_pack_campaign(prop_pack(0.0))
+    assert campaign.attacks == baseline.attacks
+    assert campaign.truth_rows == baseline.truth_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=st.tuples(fractions, fractions))
+def test_observed_attacks_non_increasing_in_p(pair):
+    smaller, larger = sorted(pair)
+    low = build_pack_campaign(prop_pack(smaller))
+    high = build_pack_campaign(prop_pack(larger))
+    observed_low = len(low.attacks) - len(low.hidden_attack_indexes)
+    observed_high = len(high.attacks) - len(high.hidden_attack_indexes)
+    assert observed_low >= observed_high
+    # Stronger than counts: the hidden sets nest.
+    assert set(low.hidden_attack_indexes) <= set(
+        high.hidden_attack_indexes
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(fraction=fractions, seed=st.integers(min_value=0, max_value=2**31))
+def test_endpoints_and_bounds_for_any_seed(fraction, seed):
+    campaign = build_pack_campaign(prop_pack(fraction, seed=seed))
+    hidden = len(campaign.hidden_attack_indexes)
+    assert 0 <= hidden <= len(campaign.attacks)
+    if fraction == 0.0:
+        assert hidden == 0
+    if fraction == 1.0:
+        # random() < 1.0 always holds: every attack goes private.
+        assert hidden == len(campaign.attacks)
+    observed_ids = {b.bundle_id for b, _ in campaign.observed_rows}
+    assert observed_ids.isdisjoint(campaign.private_bundle_ids)

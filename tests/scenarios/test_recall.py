@@ -1,0 +1,200 @@
+"""Recall/precision arithmetic pinned to hand-computed values.
+
+Two layers: pure :func:`compute_recall` tables with attack lists written
+out by hand, and a tiny six-bundle pack whose private-channel draws are
+frozen by the named substreams — the expected figures below were derived
+by walking those draws by hand (``scenarios/tiny6 → private`` yields
+uniforms ≈ 0.664, 0.753, 0.997, and one below 0.3 for the last attack).
+"""
+
+import pytest
+
+from repro.analysis.recall import (
+    RecallStats,
+    bias_from_counts,
+    compute_recall,
+    recall_by_group,
+)
+from repro.scenarios.generate import build_pack_campaign
+from repro.scenarios.report import evaluate_pack
+from tests.scenarios.test_packs import make_pack, tiny_base
+
+
+class TestComputeRecallTables:
+    # Each case: (attack bundle lists, detected ids, expected stats).
+    CASES = [
+        pytest.param(
+            [["b1"], ["b2"], ["b3"]],
+            ["b1", "b2", "b3"],
+            RecallStats(3, 3, 3, 3),
+            id="all-found",
+        ),
+        pytest.param(
+            [["b1"], ["b2"], ["b3"]],
+            ["b1", "b3"],
+            RecallStats(3, 2, 2, 2),
+            id="one-missed",
+        ),
+        pytest.param(
+            [["b1"], ["b2"]],
+            ["b1", "benign-x"],
+            RecallStats(2, 1, 2, 1),
+            id="false-positive",
+        ),
+        pytest.param(
+            [["s0", "s1"], ["b2"]],
+            ["s1"],
+            RecallStats(2, 1, 1, 1),
+            id="split-found-by-either-bundle",
+        ),
+        pytest.param(
+            [["s0", "s1"]],
+            ["s0", "s1"],
+            RecallStats(1, 1, 2, 2),
+            id="split-both-bundles-one-attack",
+        ),
+        pytest.param(
+            [],
+            ["benign-x"],
+            RecallStats(0, 0, 1, 0),
+            id="no-ground-truth",
+        ),
+        pytest.param(
+            [["b1"]],
+            [],
+            RecallStats(1, 0, 0, 0),
+            id="no-detections",
+        ),
+        pytest.param(
+            [["b1"]],
+            ["b1", "b1", "b1"],
+            RecallStats(1, 1, 1, 1),
+            id="duplicate-detections-count-once",
+        ),
+    ]
+
+    @pytest.mark.parametrize("attacks, detected, expected", CASES)
+    def test_counts(self, attacks, detected, expected):
+        assert compute_recall(attacks, detected) == expected
+
+    def test_ratio_edge_semantics(self):
+        # No ground truth: recall undefined, not 0.0 or 1.0.
+        assert compute_recall([], ["x"]).recall is None
+        # No detections: precision undefined, not 0.0.
+        assert compute_recall([["b1"]], []).precision is None
+        stats = compute_recall([["b1"], ["b2"], ["b3"]], ["b1", "b2"])
+        assert stats.recall == pytest.approx(2 / 3)
+        assert stats.precision == 1.0
+
+    def test_to_json_carries_the_ratios(self):
+        record = compute_recall([["b1"]], []).to_json()
+        assert record["recall"] == 0.0
+        assert record["precision"] is None
+        assert record["relevant"] == 1
+
+
+class TestRecallByGroup:
+    def test_attack_scored_in_every_owning_group(self):
+        attacks = [["s0", "s1"], ["b2"]]
+        groups = {"east": {"s0", "b2"}, "west": {"s1"}}
+        out = recall_by_group(attacks, groups, ["s1", "b2"])
+        # The split attack straddles both groups; each group scores only
+        # the detections on its own bundles, so east sees just b2.
+        assert out["east"] == RecallStats(2, 1, 1, 1)
+        assert out["west"] == RecallStats(1, 1, 1, 1)
+
+    def test_empty_group_has_undefined_recall(self):
+        out = recall_by_group([["b1"]], {"idle": set()}, ["b1"])
+        assert out["idle"].recall is None
+
+
+class TestBiasFromCounts:
+    def test_degradation_is_recall_delta(self):
+        bias = bias_from_counts(
+            "hand",
+            [["b1"], ["b2"], ["b3"], ["b4"]],
+            hidden_attack_ids=[3],
+            truth_bundles=6,
+            observed_bundles=5,
+            truth_detected=["b1", "b2", "b3", "b4"],
+            observed_detected=["b1", "b2", "b3"],
+        )
+        assert bias.truth.recall == 1.0
+        assert bias.observed.recall == 0.75
+        assert bias.recall_degradation == 0.25
+        assert bias.hidden_attacks == 1
+
+    def test_degradation_undefined_without_ground_truth(self):
+        bias = bias_from_counts(
+            "hand", [], [], 2, 2, [], []
+        )
+        assert bias.recall_degradation is None
+        assert "n/a" in bias.render()
+
+
+def tiny6(private_fraction: float):
+    """The hand-walked six-bundle pack: 4 attacks, 2 benign bundles."""
+    return make_pack(
+        name="tiny6",
+        base=tiny_base(name="tiny6-base", seed=9),
+        private_fraction=private_fraction,
+    )
+
+
+class TestTinySixBundlePack:
+    """Figures pinned by hand from the frozen draw sequence."""
+
+    def test_population_is_four_attacks_two_benign(self):
+        campaign = build_pack_campaign(tiny6(0.0))
+        assert len(campaign.truth_rows) == 6
+        assert len(campaign.attacks) == 4
+
+    # (p, hidden attack indexes, observed bundles,
+    #  observed recall, observed precision, degradation)
+    TABLE = [
+        pytest.param(0.0, (), 6, 1.0, 1.0, 0.0, id="p0-exact-recall"),
+        pytest.param(0.3, (3,), 5, 0.75, 1.0, 0.25, id="p03"),
+        pytest.param(0.5, (3,), 5, 0.75, 1.0, 0.25, id="p05"),
+        pytest.param(0.7, (0, 3), 4, 0.5, 1.0, 0.5, id="p07"),
+        pytest.param(
+            1.0, (0, 1, 2, 3), 2, 0.0, None, 1.0, id="p1-zero-observation"
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "fraction, hidden, observed_bundles, recall, precision, "
+        "degradation",
+        TABLE,
+    )
+    def test_pinned_bias_figures(
+        self, fraction, hidden, observed_bundles, recall, precision,
+        degradation,
+    ):
+        evaluation = evaluate_pack(tiny6(fraction))
+        campaign = evaluation.campaign
+        assert campaign.hidden_attack_indexes == hidden
+        assert len(campaign.observed_rows) == observed_bundles
+        bias = evaluation.bias
+        assert bias.truth.recall == 1.0, "archive recall never degrades"
+        assert bias.observed.recall == recall
+        assert bias.observed.precision == precision
+        assert bias.recall_degradation == degradation
+
+    def test_p0_feed_equals_archive(self):
+        evaluation = evaluate_pack(tiny6(0.0))
+        assert (
+            evaluation.campaign.observed_rows
+            == evaluation.campaign.truth_rows
+        )
+        assert evaluation.bias.to_json() == {
+            **evaluation.bias.to_json(),
+            "hidden_attacks": 0,
+            "recall_degradation": 0.0,
+        }
+
+    def test_p1_report_renders_na_precision(self):
+        rendered = evaluate_pack(tiny6(1.0)).bias.render()
+        assert "Measurement bias" in rendered
+        assert "-> 0.0000 (public feed)" in rendered
+        assert "n/a" in rendered
+        assert "recall degradation:     1.0000" in rendered

@@ -14,7 +14,11 @@ class TestParser:
 
     def test_campaign_defaults(self):
         args = build_parser().parse_args(["campaign"])
-        assert args.seed == 2025
+        # --seed stays None so pack runs can tell "use the pack's base
+        # seed" from an explicit override; plain campaigns fall back to
+        # 2025 inside _scenario_from_args.
+        assert args.seed is None
+        assert args.scenario is None
         assert not args.small
 
     def test_unknown_command_rejected(self):

@@ -1,0 +1,164 @@
+"""CLI tests for ``repro scenarios`` and ``repro campaign --scenario``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios.packs import CORPUS_PACKS
+
+
+class TestScenariosList:
+    def test_lists_every_registered_pack(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for pack in CORPUS_PACKS:
+            assert pack.name in out
+            assert pack.kind in out
+
+    def test_explicit_list_subcommand(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        assert "pack-private-channel" in capsys.readouterr().out
+
+    def test_json_output_carries_full_recipes(self, capsys):
+        assert main(["scenarios", "list", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        by_name = {record["name"]: record for record in records}
+        assert by_name["pack-private-channel"]["private_fraction"] == 0.4
+        assert by_name["pack-builder-concentration"]["engine_weights"]
+
+
+class TestCampaignScenario:
+    @pytest.fixture(scope="class")
+    def pack_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("cli-pack")
+        code = main(
+            [
+                "campaign",
+                "--scenario",
+                "pack-private-channel",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_artifacts_written(self, pack_dir):
+        for name in (
+            "truth.db",
+            "observed.db",
+            "report.txt",
+            "summary.json",
+        ):
+            assert (pack_dir / name).exists(), f"missing {name}"
+
+    def test_report_carries_measurement_bias_section(self, pack_dir):
+        report = (pack_dir / "report.txt").read_text()
+        assert "Measurement bias" in report
+        assert "recall degradation" in report
+        assert "public feed" in report
+
+    def test_summary_pins_the_bias_figures(self, pack_dir):
+        summary = json.loads((pack_dir / "summary.json").read_text())
+        assert summary["pack"]["name"] == "pack-private-channel"
+        totals = summary["totals"]
+        assert totals["hidden_attacks"] > 0
+        assert totals["observed_bundles"] < totals["truth_bundles"]
+        bias = summary["bias"]
+        assert bias["recall_degradation"] > 0
+
+    def test_double_run_is_byte_identical(self, pack_dir, tmp_path):
+        again = tmp_path / "again"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--scenario",
+                    "pack-private-channel",
+                    "--out",
+                    str(again),
+                ]
+            )
+            == 0
+        )
+        for name in (
+            "truth.db",
+            "observed.db",
+            "report.txt",
+            "summary.json",
+        ):
+            assert (again / name).read_bytes() == (
+                pack_dir / name
+            ).read_bytes(), f"{name} differs between identical runs"
+
+    def test_seed_override_changes_the_campaign(self, pack_dir, tmp_path):
+        reseeded = tmp_path / "reseeded"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--scenario",
+                    "pack-private-channel",
+                    "--seed",
+                    "911",
+                    "--out",
+                    str(reseeded),
+                ]
+            )
+            == 0
+        )
+        summary = json.loads((reseeded / "summary.json").read_text())
+        baseline = json.loads((pack_dir / "summary.json").read_text())
+        assert summary["pack"]["base"]["seed"] == 911
+        assert (
+            summary["pack_fingerprint"] != baseline["pack_fingerprint"]
+        )
+
+
+class TestCampaignScenarioErrors:
+    def test_unknown_pack_is_a_config_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "campaign",
+                "--scenario",
+                "no-such-pack",
+                "--out",
+                str(tmp_path / "x"),
+            ]
+        )
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "no-such-pack" in err
+        assert "pack-private-channel" in err, (
+            "the error must list the available packs"
+        )
+
+    @pytest.mark.parametrize("flag", ["--stream", "--resume"])
+    def test_scenario_rejects_pipeline_modes(self, flag, tmp_path, capsys):
+        code = main(
+            [
+                "campaign",
+                "--scenario",
+                "pack-private-channel",
+                flag,
+                "--out",
+                str(tmp_path / "x"),
+            ]
+        )
+        assert code == 2
+        assert "self-contained" in capsys.readouterr().err
+
+    def test_scenario_rejects_archive(self, tmp_path, capsys):
+        code = main(
+            [
+                "campaign",
+                "--scenario",
+                "pack-private-channel",
+                "--archive",
+                str(tmp_path / "a.db"),
+                "--out",
+                str(tmp_path / "x"),
+            ]
+        )
+        assert code == 2

@@ -23,6 +23,20 @@ def iter_modules():
 MODULES = list(iter_modules())
 
 
+def test_scenarios_package_is_discovered():
+    # The scenario-pack package must stay under the lint's walk — a
+    # packaging slip that dropped it would silently waive its gate.
+    names = {module.__name__ for module in MODULES}
+    assert {
+        "repro.scenarios",
+        "repro.scenarios.packs",
+        "repro.scenarios.generate",
+        "repro.scenarios.report",
+        "repro.scenarios.campaign",
+        "repro.analysis.recall",
+    } <= names
+
+
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
 def test_module_has_docstring(module):
     assert module.__doc__, f"module {module.__name__} lacks a docstring"
